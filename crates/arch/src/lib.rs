@@ -1,0 +1,48 @@
+//! Transaction-processing architectures for permissioned blockchains
+//! (§2.3.3 of the paper).
+//!
+//! All five surveyed architectures over a common substrate
+//! ([`pbc_ledger`] state + chain, [`pbc_txn`] concurrency control), so
+//! their trade-offs can be measured head-to-head (experiments E2–E4):
+//!
+//! * [`ox`] — **order-execute** (Tendermint, Quorum, Multichain, Chain
+//!   Core, Iroha, Corda): order first, then execute *sequentially*.
+//!   Simple, handles contention perfectly, parallelizes nothing.
+//! * [`oxii`] — **order-(parallel-execute)** (ParBlockchain): orderers
+//!   emit a dependency graph per block; executors run non-conflicting
+//!   transactions in parallel, layer by layer.
+//! * [`xov`] — **execute-order-validate** (Fabric): speculative parallel
+//!   endorsement, then ordering, then last-step read-set validation that
+//!   aborts stale transactions under contention. Optional in-block
+//!   reordering upgrades it to Fabric++ / FabricSharp behaviour.
+//! * [`xox`] — **XOX Fabric**: XOV plus a post-order re-execution step
+//!   that salvages invalidated transactions instead of aborting them.
+//! * [`fastfabric`] — **FastFabric**: XOV with the validation pipeline
+//!   parallelized for (near-)conflict-free workloads.
+//!
+//! [`endorsement`] adds Fabric's organization-level endorsement policies
+//! in front of XOV: per-org endorsers execute in parallel, results must
+//! match k-of-n, and a lying endorser is caught *before* ordering.
+//!
+//! Every pipeline implements [`pipeline::ExecutionPipeline`], commits
+//! into a real hash-chained [`pbc_ledger::ChainLedger`], and reports a
+//! [`pipeline::BlockOutcome`] with commit/abort accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endorsement;
+pub mod fastfabric;
+pub mod ox;
+pub mod oxii;
+pub mod pipeline;
+pub mod xov;
+pub mod xox;
+
+pub use endorsement::{EndorsementPolicy, EndorsingPipeline};
+pub use fastfabric::FastFabricPipeline;
+pub use ox::OxPipeline;
+pub use oxii::OxiiPipeline;
+pub use pipeline::{BlockOutcome, ExecutionPipeline};
+pub use xov::{ReorderPolicy, XovPipeline};
+pub use xox::XoxPipeline;

@@ -1,0 +1,103 @@
+//! E2 — OX vs OXII vs XOV across contention levels (§2.3.3 Discussion).
+//!
+//! Claims under test:
+//! * OX suffers from sequential execution (slowest at low contention);
+//! * OXII and XOV both execute in parallel (fast at low contention);
+//! * under contention, OXII keeps committing (dependency graphs) while
+//!   XOV's last-step validation aborts transactions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_arch::{ExecutionPipeline, OxPipeline, OxiiPipeline, XovPipeline};
+use pbc_bench::{drive_pipeline, drive_pipeline_steps, header};
+use pbc_workload::PaymentWorkload;
+
+const BLOCK: usize = 64;
+const TXS: usize = 256;
+/// Execution weight per transaction (≈45 µs of simulated contract
+/// logic) — heavy enough that execution, not bookkeeping, dominates.
+const BUSY: u32 = 20_000;
+
+fn workload(theta: f64, accounts: usize) -> PaymentWorkload {
+    PaymentWorkload { accounts, theta, busy_work: BUSY, ..Default::default() }
+}
+
+fn series() {
+    header(
+        "E2: architecture × contention",
+        "OX slow but abort-free; OXII parallel and abort-free; XOV parallel but aborts under contention",
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>15}",
+        "workload", "arch", "committed", "aborted", "commit-rate", "critical-path"
+    );
+    for (label, theta, accounts) in
+        [("uniform", 0.0, 4096usize), ("zipf-0.9", 0.9, 256), ("hot-8", 1.3, 8)]
+    {
+        let w = workload(theta, accounts);
+        let txs = w.generate(0, TXS);
+        let mut pipelines: Vec<Box<dyn ExecutionPipeline>> = vec![
+            Box::new(OxPipeline::with_state(w.initial_state())),
+            Box::new(OxiiPipeline::with_state(w.initial_state())),
+            Box::new(XovPipeline::with_state(w.initial_state())),
+        ];
+        let mut paths = Vec::new();
+        for p in &mut pipelines {
+            let (committed, aborted, _, steps) = drive_pipeline_steps(p.as_mut(), &txs, BLOCK);
+            paths.push((p.name(), steps));
+            println!(
+                "{:<14} {:>10} {:>10} {:>10} {:>11.1}% {:>15}",
+                label,
+                p.name(),
+                committed,
+                aborted,
+                100.0 * committed as f64 / (committed + aborted) as f64,
+                steps
+            );
+        }
+        // The host-independent parallelism claim: OX's critical path is
+        // every transaction; OXII's shrinks to the conflict structure.
+        let get = |n: &str| paths.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert_eq!(get("OX"), TXS, "OX executes strictly serially");
+        assert!(get("OXII") <= get("OX"));
+        if theta == 0.0 {
+            assert!(
+                get("OXII") * 8 < get("OX"),
+                "uniform workload must expose OXII parallelism: {paths:?}"
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e02_architectures");
+    group.sample_size(10);
+    for (label, theta, accounts) in
+        [("uniform", 0.0, 4096usize), ("zipf-0.9", 0.9, 256), ("hot-8", 1.3, 8)]
+    {
+        let w = workload(theta, accounts);
+        let txs = w.generate(0, TXS);
+        group.bench_with_input(BenchmarkId::new("OX", label), &txs, |b, txs| {
+            b.iter(|| {
+                let mut p = OxPipeline::with_state(w.initial_state());
+                drive_pipeline(&mut p, txs, BLOCK)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("OXII", label), &txs, |b, txs| {
+            b.iter(|| {
+                let mut p = OxiiPipeline::with_state(w.initial_state());
+                drive_pipeline(&mut p, txs, BLOCK)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("XOV", label), &txs, |b, txs| {
+            b.iter(|| {
+                let mut p = XovPipeline::with_state(w.initial_state());
+                drive_pipeline(&mut p, txs, BLOCK)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! E3 — in-block reordering and post-order re-execution (§2.3.3).
+//!
+//! Claims under test:
+//! * Fabric++-style reordering cuts XOV's contention aborts;
+//! * FabricSharp commits at least as much as Fabric++ (filters doomed
+//!   transactions, breaks cycles with smaller abort sets);
+//! * XOX recovers invalidated transactions via post-order re-execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_arch::{ExecutionPipeline, ReorderPolicy, XovPipeline, XoxPipeline};
+use pbc_bench::{drive_pipeline, header};
+use pbc_workload::{PaymentWorkload, SmallBankWorkload};
+
+const BLOCK: usize = 48;
+const TXS: usize = 192;
+
+fn contention_levels() -> Vec<(&'static str, PaymentWorkload)> {
+    vec![
+        (
+            "low (4096 accts)",
+            PaymentWorkload { accounts: 4096, theta: 0.0, ..Default::default() },
+        ),
+        (
+            "medium (64 accts, θ=0.9)",
+            PaymentWorkload { accounts: 64, theta: 0.9, ..Default::default() },
+        ),
+        (
+            "high (12 accts, θ=1.1)",
+            PaymentWorkload { accounts: 12, theta: 1.1, ..Default::default() },
+        ),
+    ]
+}
+
+fn variants(w: &PaymentWorkload) -> Vec<(&'static str, Box<dyn ExecutionPipeline>)> {
+    vec![
+        ("XOV", Box::new(XovPipeline::with_state(w.initial_state()))),
+        (
+            "XOV+Fabric++",
+            Box::new(XovPipeline::with_state(w.initial_state()).with_reorder(ReorderPolicy::FabricPP)),
+        ),
+        (
+            "XOV+FabricSharp",
+            Box::new(
+                XovPipeline::with_state(w.initial_state()).with_reorder(ReorderPolicy::FabricSharp),
+            ),
+        ),
+        ("XOX", Box::new(XoxPipeline::with_state(w.initial_state()))),
+    ]
+}
+
+fn series() {
+    header(
+        "E3: reordering and re-execution under contention",
+        "Fabric++ < FabricSharp ≤ XOX in commits; all beat plain XOV under contention",
+    );
+    println!("{:<26} {:>16} {:>10} {:>10} {:>12}", "contention", "variant", "committed", "aborted", "commit-rate");
+    for (label, w) in contention_levels() {
+        let txs = w.generate(0, TXS);
+        let mut rows = Vec::new();
+        for (name, mut p) in variants(&w) {
+            let (committed, aborted, _) = drive_pipeline(p.as_mut(), &txs, BLOCK);
+            rows.push((name, committed, aborted));
+            println!(
+                "{:<26} {:>16} {:>10} {:>10} {:>11.1}%",
+                label,
+                name,
+                committed,
+                aborted,
+                100.0 * committed as f64 / (committed + aborted) as f64
+            );
+        }
+        // Shape assertions the paper implies.
+        let get = |n: &str| rows.iter().find(|(name, _, _)| *name == n).unwrap().1;
+        assert!(get("XOV+FabricSharp") >= get("XOV+Fabric++"), "{label}");
+        assert!(get("XOV+FabricSharp") >= get("XOV"), "{label}");
+        assert!(get("XOX") >= get("XOV"), "{label}");
+    }
+}
+
+fn smallbank_series() {
+    // The Fabric++ paper's own workload: SmallBank with a hotspot.
+    println!("\nSmallBank (Fabric++'s evaluation workload), 192 txs, hotspot sweep:");
+    println!("{:<12} {:>16} {:>10} {:>10}", "hotspot", "variant", "committed", "aborted");
+    for hotspot in [0.0f64, 0.9, 1.3] {
+        let w = SmallBankWorkload { customers: 64, hotspot, ..Default::default() };
+        let txs = w.generate(0, TXS);
+        let mut rows = Vec::new();
+        for (name, mut pipeline) in [
+            ("XOV", Box::new(XovPipeline::with_state(w.initial_state())) as Box<dyn ExecutionPipeline>),
+            (
+                "XOV+FabricSharp",
+                Box::new(
+                    XovPipeline::with_state(w.initial_state())
+                        .with_reorder(ReorderPolicy::FabricSharp),
+                ),
+            ),
+            ("XOX", Box::new(XoxPipeline::with_state(w.initial_state()))),
+        ] {
+            let (committed, aborted, _) = drive_pipeline(pipeline.as_mut(), &txs, BLOCK);
+            rows.push((name, committed));
+            println!("{hotspot:<12} {name:>16} {committed:>10} {aborted:>10}");
+        }
+        let get = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert!(get("XOV+FabricSharp") >= get("XOV"), "hotspot {hotspot}");
+        assert!(get("XOX") >= get("XOV+FabricSharp"), "hotspot {hotspot}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    smallbank_series();
+    let mut group = c.benchmark_group("e03_reordering");
+    group.sample_size(10);
+    let (_, w) = contention_levels().remove(2);
+    let txs = w.generate(0, TXS);
+    for (name, _) in variants(&w) {
+        group.bench_with_input(BenchmarkId::new("high_contention", name), &txs, |b, txs| {
+            b.iter(|| {
+                let mut p: Box<dyn ExecutionPipeline> = match name {
+                    "XOV" => Box::new(XovPipeline::with_state(w.initial_state())),
+                    "XOV+Fabric++" => Box::new(
+                        XovPipeline::with_state(w.initial_state())
+                            .with_reorder(ReorderPolicy::FabricPP),
+                    ),
+                    "XOV+FabricSharp" => Box::new(
+                        XovPipeline::with_state(w.initial_state())
+                            .with_reorder(ReorderPolicy::FabricSharp),
+                    ),
+                    _ => Box::new(XoxPipeline::with_state(w.initial_state())),
+                };
+                drive_pipeline(p.as_mut(), txs, BLOCK)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E6 — confidentiality techniques vs workload mix (§2.3.1 Discussion).
+//!
+//! Claims under test:
+//! * Caper keeps internal transactions local: its cost falls as the
+//!   internal fraction rises (local rounds ≪ global rounds);
+//! * a single shared channel processes everything at channel scope —
+//!   cheaper than global consensus but with zero enterprise-level
+//!   confidentiality (that is the *reason* for Caper/PDC);
+//! * private data collections add hash-evidence overhead per confidential
+//!   transaction but avoid extra channels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::header;
+use pbc_confidential::{CaperNetwork, CostModel, PdcChannel};
+use pbc_types::tx::balance_value;
+use pbc_types::TxScope;
+use pbc_workload::SupplyChainWorkload;
+
+const TXS: usize = 300;
+
+fn caper_cost(internal_fraction: f64) -> (u64, u64, u64) {
+    let w = SupplyChainWorkload { enterprises: 4, internal_fraction, ..Default::default() };
+    let mut net = CaperNetwork::new(4);
+    for tx in w.generate(0, TXS) {
+        let _ = match &tx.scope {
+            TxScope::Internal(_) => net.submit_internal(tx),
+            TxScope::CrossEnterprise(_) => net.submit_cross(tx),
+            TxScope::Global => Ok(()),
+        };
+    }
+    assert!(net.confidentiality_holds());
+    let model = CostModel::default();
+    (net.counters.local_rounds, net.counters.global_rounds, model.time(&net.counters))
+}
+
+fn pdc_cost(internal_fraction: f64) -> (u64, u64) {
+    // PDC model: internal txs become private-collection writes on one
+    // shared channel; cross txs are public channel txs.
+    let w = SupplyChainWorkload { enterprises: 4, internal_fraction, ..Default::default() };
+    let mut ch = PdcChannel::new();
+    for e in 0..4u32 {
+        ch.define_collection(&format!("ent{e}"), vec![pbc_types::EnterpriseId(e)]).unwrap();
+    }
+    for tx in w.generate(0, TXS) {
+        match &tx.scope {
+            TxScope::Internal(e) => {
+                let writes: Vec<(String, pbc_types::Value)> = tx
+                    .write_keys()
+                    .iter()
+                    .map(|k| (k.to_string(), balance_value(1)))
+                    .collect();
+                ch.submit_private(&format!("ent{}", e.0), writes).unwrap();
+            }
+            _ => ch.submit_public(tx),
+        }
+    }
+    let model = CostModel::default();
+    (ch.counters.evidence_hashes, model.time(&ch.counters))
+}
+
+fn series() {
+    header(
+        "E6: confidentiality cost vs internal-transaction fraction",
+        "Caper's cost falls with internal fraction (local ordering); PDC pays per-tx evidence hashing on a shared channel",
+    );
+    println!(
+        "{:<10} {:>12} {:>13} {:>14} | {:>12} {:>14}",
+        "internal", "caper-local", "caper-global", "caper-time", "pdc-hashes", "pdc-time"
+    );
+    let mut caper_times = Vec::new();
+    for frac in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let (local, global, caper_time) = caper_cost(frac);
+        let (hashes, pdc_time) = pdc_cost(frac);
+        caper_times.push(caper_time);
+        println!(
+            "{:<10} {:>12} {:>13} {:>14} | {:>12} {:>14}",
+            format!("{:.0}%", frac * 100.0),
+            local,
+            global,
+            caper_time,
+            hashes,
+            pdc_time
+        );
+    }
+    assert!(
+        caper_times.windows(2).all(|w| w[0] >= w[1]),
+        "Caper cost must fall as the internal fraction rises: {caper_times:?}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e06_confidentiality");
+    group.sample_size(10);
+    for frac in [0.25f64, 0.75] {
+        group.bench_with_input(
+            BenchmarkId::new("caper", format!("internal_{:.0}pct", frac * 100.0)),
+            &frac,
+            |b, &frac| b.iter(|| caper_cost(frac)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pdc", format!("internal_{:.0}pct", frac * 100.0)),
+            &frac,
+            |b, &frac| b.iter(|| pdc_cost(frac)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E7 — verifiability: zero-knowledge proofs vs tokens (§2.3.2
+//! Discussion).
+//!
+//! Claims under test:
+//! * "zero-knowledge proofs have considerable overhead": proving and
+//!   verifying a shielded transfer costs orders of magnitude more than a
+//!   token redemption, and proofs are kilobytes;
+//! * token-based verification is cheap but requires the trusted
+//!   authority (a structural property shown by the Separ API itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbc_bench::header;
+use pbc_verify::zktransfer::{build_transfer, ZkLedger};
+use pbc_verify::SeparSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn series() {
+    header(
+        "E7: verifiability overhead — ZKP vs token-based",
+        "ZKPs are truly decentralized but cost considerably more per transaction than tokens",
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // ZK side: one 2-output shielded transfer.
+    let mut pool = ZkLedger::new();
+    let note = pool.mint(1_000, &mut rng);
+    let start = Instant::now();
+    let (transfer, _) = build_transfer(&[note], &[600, 400], b"bench", &mut rng).unwrap();
+    let prove_time = start.elapsed();
+    let start = Instant::now();
+    pool.verify(&transfer).unwrap();
+    let verify_time = start.elapsed();
+
+    // Token side: issue + redeem.
+    let mut separ = SeparSystem::new(40, &[0], &mut rng);
+    let start = Instant::now();
+    let mut wallet = separ.register_worker(&mut rng);
+    let issue_time = start.elapsed() / 40; // per token
+    let start = Instant::now();
+    separ.contribute(0, &mut wallet, "t", 1).unwrap();
+    let redeem_time = start.elapsed();
+
+    println!("zk prove (1 in, 2 out, 32-bit ranges): {prove_time:?}");
+    println!("zk verify                            : {verify_time:?}");
+    println!("zk proof size                        : {} bytes", transfer.proof_size_bytes());
+    println!("token blind-issue (per token)        : {issue_time:?}");
+    println!("token redeem (1 hour)                : {redeem_time:?}");
+    println!(
+        "overhead ratio (zk verify / token redeem): {:.0}×",
+        verify_time.as_nanos() as f64 / redeem_time.as_nanos().max(1) as f64
+    );
+    assert!(
+        verify_time > redeem_time,
+        "the paper's 'considerable overhead' claim must hold"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e07_verifiability");
+
+    group.bench_function("zk_prove_transfer", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pool = ZkLedger::new();
+        b.iter(|| {
+            let note = pool.mint(1_000, &mut rng);
+            build_transfer(&[note], &[600, 400], b"bench", &mut rng).unwrap()
+        })
+    });
+
+    group.bench_function("zk_verify_transfer", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pool = ZkLedger::new();
+        let note = pool.mint(1_000, &mut rng);
+        let (transfer, _) = build_transfer(&[note], &[600, 400], b"bench", &mut rng).unwrap();
+        b.iter(|| pool.verify(&transfer).unwrap())
+    });
+
+    group.bench_function("token_issue", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let separ = SeparSystem::new(1, &[0], &mut rng);
+        b.iter(|| {
+            let session = pbc_crypto::token::BlindingSession::start(&mut rng);
+            std::hint::black_box(session.blinded);
+            let _ = separ; // authority held for realism
+        })
+    });
+
+    group.bench_function("token_redeem_one_hour", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut separ = SeparSystem::new(4_096, &[0], &mut rng);
+        let mut wallet = separ.register_worker(&mut rng);
+        b.iter(|| {
+            if wallet.remaining() == 0 {
+                wallet = separ.register_worker(&mut rng);
+            }
+            separ.contribute(0, &mut wallet, "t", 1).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

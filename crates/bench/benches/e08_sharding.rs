@@ -1,0 +1,103 @@
+//! E8 — sharded vs single-ledger scalability (§2.3.4 Discussion).
+//!
+//! Claims under test:
+//! * sharded throughput scales with the number of clusters when the
+//!   cross-shard ratio is low, and degrades as the ratio grows;
+//! * the single-ledger approach (ResilientDB) pays no cross-shard
+//!   penalty but gains nothing from extra clusters (everyone executes
+//!   everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::header;
+use pbc_shard::{ResilientDb, SharperSystem};
+use pbc_sim::Topology;
+use pbc_types::tx::balance_value;
+use pbc_workload::ShardedWorkload;
+
+const TXS: usize = 400;
+const INTRA: u64 = 300;
+const LAN: u64 = 100;
+const WAN: u64 = 10_000;
+
+fn sharper_elapsed(shards: u32, cross: f64) -> u64 {
+    let w = ShardedWorkload {
+        shards,
+        accounts_per_shard: 64,
+        cross_fraction: cross,
+        ..Default::default()
+    };
+    let topo = Topology::flat_clusters(shards as usize, 4, LAN, WAN);
+    let mut sys = SharperSystem::new(shards, topo, INTRA);
+    for key in w.all_keys() {
+        sys.seed(&key, balance_value(1_000_000));
+    }
+    sys.process_batch(&w.generate(0, TXS));
+    assert_eq!(sys.stats.intra_committed + sys.stats.cross_committed, TXS as u64);
+    sys.stats.elapsed
+}
+
+fn resilientdb_elapsed(clusters: u32) -> u64 {
+    let w = ShardedWorkload { shards: 1, accounts_per_shard: 256, cross_fraction: 0.0, ..Default::default() };
+    let topo = Topology::flat_clusters(clusters as usize, 4, LAN, WAN);
+    let mut db = ResilientDb::new(topo, INTRA);
+    for key in w.all_keys() {
+        db.seed(&key, balance_value(1_000_000));
+    }
+    let txs = w.generate(0, TXS);
+    for chunk in txs.chunks(40) {
+        let mut batches: Vec<Vec<pbc_types::Transaction>> =
+            vec![Vec::new(); clusters as usize];
+        for (i, tx) in chunk.iter().enumerate() {
+            batches[i % clusters as usize].push(tx.clone());
+        }
+        db.process_round(batches);
+    }
+    assert!(db.replicas_consistent());
+    db.stats.elapsed
+}
+
+fn series() {
+    header(
+        "E8: throughput scaling — sharded (SharPer) vs single-ledger (ResilientDB)",
+        "sharded scales with clusters at low cross ratio, degrades with ratio; single-ledger flat",
+    );
+    println!("simulated elapsed time for 400 txs (lower = higher throughput)\n");
+    println!("{:<10} {:>12} {:>12} {:>12} | {:>14}", "clusters", "cross=0%", "cross=10%", "cross=30%", "resilientdb");
+    let mut scaling_at_zero = Vec::new();
+    for shards in [2u32, 4, 8, 16] {
+        let e0 = sharper_elapsed(shards, 0.0);
+        let e10 = sharper_elapsed(shards, 0.10);
+        let e30 = sharper_elapsed(shards, 0.30);
+        let rdb = resilientdb_elapsed(shards);
+        scaling_at_zero.push(e0);
+        println!("{shards:<10} {e0:>12} {e10:>12} {e30:>12} | {rdb:>14}");
+        assert!(e0 <= e10 && e10 <= e30, "cross-shard ratio must hurt ({shards} shards)");
+    }
+    assert!(
+        scaling_at_zero.windows(2).all(|w| w[1] <= w[0]),
+        "more clusters must not slow a cross-free workload: {scaling_at_zero:?}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e08_sharding");
+    group.sample_size(10);
+    for shards in [2u32, 8] {
+        for cross in [0.0f64, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    "sharper",
+                    format!("{}shards_cross{:.0}pct", shards, cross * 100.0),
+                ),
+                &(shards, cross),
+                |b, &(shards, cross)| b.iter(|| sharper_elapsed(shards, cross)),
+            );
+        }
+    }
+    group.bench_function("resilientdb_4clusters", |b| b.iter(|| resilientdb_elapsed(4)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

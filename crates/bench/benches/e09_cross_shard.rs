@@ -1,0 +1,132 @@
+//! E9 — cross-shard coordination: centralized vs flattened vs
+//! hierarchical (§2.3.4 Discussion).
+//!
+//! Claims under test:
+//! * centralized (AHL's reference committee) needs more communication
+//!   phases than the flattened approach;
+//! * flattened (SharPer) is distance-sensitive: far-apart involved
+//!   clusters make its consensus round expensive;
+//! * hierarchical (Saguaro) coordinates via the LCA, cutting latency for
+//!   transactions whose clusters share a region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::header;
+use pbc_shard::{AhlSystem, ChannelShardedSystem, CrossChannelMode, SaguaroSystem, SharperSystem};
+use pbc_sim::Topology;
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, Op, Transaction, TxId};
+
+const INTRA: u64 = 300;
+const LAN: u64 = 100;
+
+fn cross_tx(id: u64, a: u32, b: u32) -> Transaction {
+    Transaction::new(
+        TxId(id),
+        ClientId(0),
+        vec![Op::Transfer { from: format!("s{a}/x"), to: format!("s{b}/x"), amount: 1 }],
+    )
+}
+
+/// One cross-shard tx between clusters 0 and 1 under each system, at a
+/// given inter-cluster distance. Returns (phases, elapsed).
+fn one_tx_cost(system: &str, wan: u64) -> (u64, u64) {
+    let txs = vec![cross_tx(1, 0, 1)];
+    match system {
+        "ahl" => {
+            let mut sys = AhlSystem::new(4, Topology::flat_clusters(5, 4, LAN, wan), INTRA);
+            for i in 0..4 {
+                sys.seed(&format!("s{i}/x"), balance_value(1_000));
+            }
+            sys.process_batch(&txs);
+            (sys.stats.coordination_phases, sys.stats.elapsed)
+        }
+        "chan-trusted" | "chan-2pc" => {
+            let mode = if system == "chan-trusted" {
+                CrossChannelMode::TrustedChannel
+            } else {
+                CrossChannelMode::AtomicCommit
+            };
+            let mut sys = ChannelShardedSystem::new(
+                4,
+                Topology::flat_clusters(5, 4, LAN, wan),
+                INTRA,
+                mode,
+            );
+            for i in 0..4 {
+                sys.seed(&format!("s{i}/x"), balance_value(1_000));
+            }
+            sys.process_batch(&txs);
+            (sys.stats.coordination_phases, sys.stats.elapsed)
+        }
+        "sharper" => {
+            let mut sys =
+                SharperSystem::new(4, Topology::flat_clusters(4, 4, LAN, wan), INTRA);
+            for i in 0..4 {
+                sys.seed(&format!("s{i}/x"), balance_value(1_000));
+            }
+            sys.process_batch(&txs);
+            (sys.stats.coordination_phases, sys.stats.elapsed)
+        }
+        _ => {
+            // Saguaro: clusters 0,1 share a region (LCA latency = wan/10);
+            // the WAN root would cost `wan`.
+            let topo = Topology::hierarchical(&[2, 2], 4, &[LAN, wan / 10, wan]);
+            let mut sys = SaguaroSystem::new(topo, INTRA);
+            for i in 0..4 {
+                sys.seed(&format!("s{i}/x"), balance_value(1_000));
+            }
+            sys.process_batch(&txs);
+            (sys.stats.coordination_phases, sys.stats.elapsed)
+        }
+    }
+}
+
+fn series() {
+    header(
+        "E9: cross-shard coordination, one tx between clusters 0 and 1",
+        "AHL most phases; SharPer fewest but distance-bound; Saguaro cheap when clusters share a region",
+    );
+    println!("{:<12} {:>10} {:>14} {:>14} {:>14}", "system", "phases", "wan=2ms", "wan=20ms", "wan=100ms");
+    for system in ["ahl", "chan-trusted", "chan-2pc", "sharper", "saguaro"] {
+        let (phases, t2) = one_tx_cost(system, 2_000);
+        let (_, t20) = one_tx_cost(system, 20_000);
+        let (_, t100) = one_tx_cost(system, 100_000);
+        println!("{system:<12} {phases:>10} {t2:>14} {t20:>14} {t100:>14}");
+    }
+    let (ahl_phases, ahl_t) = one_tx_cost("ahl", 20_000);
+    let (shp_phases, shp_t) = one_tx_cost("sharper", 20_000);
+    let (sag_phases, sag_t) = one_tx_cost("saguaro", 20_000);
+    assert!(shp_phases < ahl_phases, "flattened uses fewer phases");
+    assert!(shp_t < ahl_t, "no reference-committee round trips");
+    assert!(sag_t < ahl_t, "LCA beats the WAN committee");
+    let _ = sag_phases;
+
+    // Parallelism: 8 disjoint cross-shard txs in one SharPer batch → 1 step.
+    let mut sys = SharperSystem::new(16, Topology::flat_clusters(16, 4, LAN, 20_000), INTRA);
+    for i in 0..16 {
+        sys.seed(&format!("s{i}/x"), balance_value(1_000));
+    }
+    let txs: Vec<Transaction> =
+        (0..8).map(|i| cross_tx(i, (2 * i) as u32, (2 * i + 1) as u32)).collect();
+    sys.process_batch(&txs);
+    println!(
+        "\nSharPer parallelism: 8 non-overlapping cross-shard txs → {} scheduler step(s)",
+        sys.stats.steps
+    );
+    assert_eq!(sys.stats.steps, 1);
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e09_cross_shard");
+    group.sample_size(10);
+    for system in ["ahl", "sharper", "saguaro"] {
+        group.bench_with_input(BenchmarkId::new("one_cross_tx", system), &system, |b, &s| {
+            b.iter(|| one_tx_cost(s, 20_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E11 — ablations over the stack's own design choices.
+//!
+//! Not a paper claim but the knobs any deployment must tune; DESIGN.md
+//! promises these sweeps:
+//!
+//! * **batch size** — larger blocks amortize consensus (higher
+//!   throughput) but raise per-transaction decide latency;
+//! * **network latency** — a WAN multiplies every consensus round;
+//!   protocols with more phases/rounds hurt more;
+//! * **hybrid quorums** — SeeMoRe/UpRight-style `(u, r)` configurations
+//!   trade Byzantine coverage against replica count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::header;
+use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
+use pbc_core::{ArchKind, ConsensusKind, NetworkBuilder};
+use pbc_sim::{LatencyModel, Network, NetworkConfig};
+use pbc_workload::PaymentWorkload;
+
+fn run_with_batch(batch: usize, latency: LatencyModel) -> pbc_core::RunReport {
+    let w = PaymentWorkload { accounts: 256, ..Default::default() };
+    let mut chain = NetworkBuilder::new(4)
+        .consensus(ConsensusKind::Pbft)
+        .architecture(ArchKind::Oxii)
+        .initial_state(w.initial_state())
+        .batch_size(batch)
+        .latency(latency)
+        .build();
+    chain.submit_all(w.generate(0, 128));
+    chain.run_to_completion()
+}
+
+fn hybrid_decides(u: usize, r: usize) -> (usize, u64) {
+    let cfg = PbftConfig::hybrid(u, r);
+    let n = cfg.n;
+    let actors = (0..n).map(|_| PbftReplica::new(cfg.clone())).collect();
+    let mut net: Network<PbftReplica<u64>> =
+        Network::new(actors, NetworkConfig::default());
+    for p in 1..=8u64 {
+        for i in 0..n {
+            net.inject(0, i, PbftMsg::Request(p), 1);
+        }
+    }
+    net.run_to_quiescence(2_000_000);
+    assert_eq!(net.actor(0).log.len(), 8);
+    (n, net.stats().msgs_sent)
+}
+
+fn series() {
+    header(
+        "E11: ablations — batch size, network latency, hybrid quorums",
+        "deployment knobs: amortization vs latency; WAN round costs; replicas vs Byzantine coverage",
+    );
+
+    println!("batch size (PBFT, LAN, 128 txs):");
+    println!("{:<8} {:>8} {:>12} {:>16}", "batch", "blocks", "msgs", "decide-latency");
+    let mut msgs_seen = Vec::new();
+    for batch in [4usize, 16, 64, 128] {
+        let r = run_with_batch(batch, LatencyModel::lan());
+        msgs_seen.push(r.msgs_sent);
+        println!(
+            "{batch:<8} {:>8} {:>12} {:>16.0}",
+            r.batches, r.msgs_sent, r.mean_decide_latency
+        );
+    }
+    assert!(
+        msgs_seen.windows(2).all(|w| w[1] <= w[0]),
+        "bigger batches must amortize consensus messages: {msgs_seen:?}"
+    );
+
+    println!("\nnetwork latency (PBFT, batch 32):");
+    println!("{:<12} {:>14}", "link (µs)", "sim-time");
+    let mut times = Vec::new();
+    for base in [100u64, 2_000, 20_000] {
+        let r = run_with_batch(32, LatencyModel::Uniform { base, jitter: base / 10 });
+        times.push(r.sim_time);
+        println!("{base:<12} {:>14}", r.sim_time);
+    }
+    assert!(times.windows(2).all(|w| w[1] > w[0]), "WAN must slow consensus: {times:?}");
+
+    println!("\nhybrid quorums (tolerate u total faults, r of them Byzantine):");
+    println!("{:<8} {:<8} {:>8} {:>8} {:>10}", "u", "r", "n", "quorum", "msgs");
+    for (u, r) in [(1usize, 1usize), (2, 0), (2, 1), (2, 2), (3, 1)] {
+        let cfg = PbftConfig::hybrid(u, r);
+        let (n, msgs) = hybrid_decides(u, r);
+        println!("{u:<8} {r:<8} {n:>8} {:>8} {msgs:>10}", cfg.quorum());
+    }
+    // The paper's hybrid-model pitch: trading Byzantine coverage for
+    // replicas. Full BFT u=r=2 needs 7 nodes; 2 crashes + 1 Byzantine
+    // needs only 6.
+    assert_eq!(PbftConfig::hybrid(2, 2).n, 7);
+    assert_eq!(PbftConfig::hybrid(2, 1).n, 6);
+    assert_eq!(PbftConfig::hybrid(2, 0).n, 5);
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("e11_ablations");
+    group.sample_size(10);
+    for batch in [4usize, 64] {
+        group.bench_with_input(BenchmarkId::new("batch_size", batch), &batch, |b, &batch| {
+            b.iter(|| run_with_batch(batch, LatencyModel::lan()))
+        });
+    }
+    for (u, r) in [(2usize, 0usize), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", format!("u{u}_r{r}")),
+            &(u, r),
+            |b, &(u, r)| b.iter(|| hybrid_decides(u, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Coordination cost accounting shared by the confidentiality techniques.
+//!
+//! Confidentiality experiments (E6) compare *where consensus happens*:
+//! Caper orders internal transactions inside one enterprise (cheap local
+//! round) and cross-enterprise transactions globally (expensive round
+//! among all enterprises); channels pay a per-channel round plus an
+//! atomic-commit surcharge for cross-channel transactions; PDC pays the
+//! channel round plus hashing. The techniques report round *counts*; the
+//! [`CostModel`] turns counts into simulated time so benches can chart
+//! latency/throughput against workload mix.
+
+use serde::Serialize;
+
+/// Counters a confidentiality technique accumulates.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CoordCounters {
+    /// Consensus rounds confined to a single enterprise/cluster.
+    pub local_rounds: u64,
+    /// Consensus rounds within one channel (its member enterprises).
+    pub channel_rounds: u64,
+    /// Consensus rounds involving every enterprise.
+    pub global_rounds: u64,
+    /// Cross-channel / cross-shard atomic-commit coordinations.
+    pub atomic_commits: u64,
+    /// Hash computations for on-ledger evidence (PDC).
+    pub evidence_hashes: u64,
+}
+
+/// Latency weights for each coordination class (abstract microseconds).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CostModel {
+    /// One consensus round inside an enterprise (LAN).
+    pub local_round: u64,
+    /// One consensus round among a channel's members.
+    pub channel_round: u64,
+    /// One consensus round among all enterprises (WAN).
+    pub global_round: u64,
+    /// One cross-channel atomic commit (2 extra phases).
+    pub atomic_commit: u64,
+    /// One evidence hash.
+    pub evidence_hash: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Defaults mirror the LAN/WAN gap used across the benches:
+        // local ≈ intra-cluster, global ≈ wide-area.
+        CostModel {
+            local_round: 300,
+            channel_round: 600,
+            global_round: 5_000,
+            atomic_commit: 10_000,
+            evidence_hash: 10,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total simulated time the counters represent.
+    pub fn time(&self, c: &CoordCounters) -> u64 {
+        c.local_rounds * self.local_round
+            + c.channel_rounds * self.channel_round
+            + c.global_rounds * self.global_round
+            + c.atomic_commits * self.atomic_commit
+            + c.evidence_hashes * self.evidence_hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accumulates_linearly() {
+        let model = CostModel {
+            local_round: 1,
+            channel_round: 10,
+            global_round: 100,
+            atomic_commit: 1000,
+            evidence_hash: 10000,
+        };
+        let c = CoordCounters {
+            local_rounds: 2,
+            channel_rounds: 3,
+            global_rounds: 4,
+            atomic_commits: 5,
+            evidence_hashes: 6,
+        };
+        assert_eq!(model.time(&c), 2 + 30 + 400 + 5000 + 60000);
+    }
+
+    #[test]
+    fn default_orders_local_below_global() {
+        let m = CostModel::default();
+        assert!(m.local_round < m.channel_round);
+        assert!(m.channel_round < m.global_round);
+    }
+}

@@ -1,0 +1,189 @@
+//! Attested append-only memory (A2M) / USIG — the trusted-hardware
+//! primitive of Chun et al. \[21\] and Veronese et al. \[59\] that AHL
+//! (§2.3.4) uses to shrink its committees.
+//!
+//! Each node owns a [`Usig`] ("unique sequential identifier generator"):
+//! a tamper-evident module holding a secret MAC key and a strictly
+//! monotonic counter. `attest(digest)` binds the digest to the *next*
+//! counter value; because the module never reuses or rewinds the counter
+//! and the host cannot forge MACs, a Byzantine node **cannot send two
+//! different messages claiming the same position** — equivocation, the
+//! attack that forces `3f+1` replicas in classic BFT, becomes detectable.
+//! That is exactly the paper's claim: with attested memory, `2f+1` nodes
+//! tolerate `f` Byzantine faults (see [`crate::minbft`], experiment E10).
+//!
+//! In this simulation the trusted boundary is the Rust module boundary:
+//! protocol actors (including Byzantine test actors) can only obtain
+//! attestations through [`Usig::attest`], which they cannot rewind.
+
+use pbc_crypto::hmac::hmac_sha256;
+use pbc_crypto::Hash;
+use std::collections::{HashMap, HashSet};
+
+/// A counter-bound MAC over a message digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attestation {
+    /// The attesting node.
+    pub node: usize,
+    /// The (strictly monotonic) counter value assigned to this message.
+    pub counter: u64,
+    /// The attested message digest.
+    pub digest: u64,
+    /// MAC over `(node, counter, digest)` under the module's key.
+    pub mac: Hash,
+}
+
+fn mac_input(node: usize, counter: u64, digest: u64) -> [u8; 24] {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&(node as u64).to_be_bytes());
+    buf[8..16].copy_from_slice(&counter.to_be_bytes());
+    buf[16..24].copy_from_slice(&digest.to_be_bytes());
+    buf
+}
+
+fn module_key(seed: u64, node: usize) -> [u8; 32] {
+    let mut input = [0u8; 16];
+    input[..8].copy_from_slice(&seed.to_be_bytes());
+    input[8..].copy_from_slice(&(node as u64).to_be_bytes());
+    pbc_crypto::sha256(&input).0
+}
+
+/// The per-node trusted module: key + monotonic counter.
+///
+/// The host can request attestations but can never rewind the counter or
+/// extract the key.
+#[derive(Debug)]
+pub struct Usig {
+    key: [u8; 32],
+    counter: u64,
+    node: usize,
+}
+
+impl Usig {
+    /// Provisions a module for `node` (trusted setup with shared `seed`).
+    pub fn new(seed: u64, node: usize) -> Self {
+        Usig { key: module_key(seed, node), counter: 0, node }
+    }
+
+    /// Attests `digest` with the next counter value.
+    pub fn attest(&mut self, digest: u64) -> Attestation {
+        self.counter += 1;
+        let mac = hmac_sha256(&self.key, &mac_input(self.node, self.counter, digest));
+        Attestation { node: self.node, counter: self.counter, digest, mac }
+    }
+
+    /// The last counter value issued.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+}
+
+/// Verifier-side registry: knows every module's key (trusted setup) and
+/// tracks used counters per node to reject replays/equivocation.
+#[derive(Debug, Default)]
+pub struct A2mVerifier {
+    keys: HashMap<usize, [u8; 32]>,
+    used: HashMap<usize, HashSet<u64>>,
+}
+
+impl A2mVerifier {
+    /// Builds a verifier for nodes `0..n` provisioned with `seed`.
+    pub fn new(seed: u64, n: usize) -> Self {
+        let keys = (0..n).map(|i| (i, module_key(seed, i))).collect();
+        A2mVerifier { keys, used: HashMap::new() }
+    }
+
+    /// Verifies the MAC only (no freshness tracking).
+    pub fn mac_valid(&self, att: &Attestation) -> bool {
+        match self.keys.get(&att.node) {
+            Some(key) => {
+                hmac_sha256(key, &mac_input(att.node, att.counter, att.digest)) == att.mac
+            }
+            None => false,
+        }
+    }
+
+    /// Verifies the MAC *and* that this counter was never accepted from
+    /// this node before (equivocation/replay rejection). Marks the
+    /// counter used on success.
+    pub fn verify_fresh(&mut self, att: &Attestation) -> bool {
+        if !self.mac_valid(att) {
+            return false;
+        }
+        self.used.entry(att.node).or_default().insert(att.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attest_verify_roundtrip() {
+        let mut usig = Usig::new(9, 2);
+        let mut v = A2mVerifier::new(9, 4);
+        let att = usig.attest(0xAB);
+        assert!(v.verify_fresh(&att));
+    }
+
+    #[test]
+    fn counters_strictly_increase() {
+        let mut usig = Usig::new(9, 0);
+        let a1 = usig.attest(1);
+        let a2 = usig.attest(2);
+        assert_eq!(a1.counter, 1);
+        assert_eq!(a2.counter, 2);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let mut usig = Usig::new(9, 0);
+        let mut v = A2mVerifier::new(9, 4);
+        let att = usig.attest(7);
+        assert!(v.verify_fresh(&att));
+        assert!(!v.verify_fresh(&att), "same counter twice must fail");
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let mut usig = Usig::new(9, 0);
+        let v = A2mVerifier::new(9, 4);
+        let mut att = usig.attest(7);
+        att.digest = 8; // host tampers with the digest after attestation
+        assert!(!v.mac_valid(&att));
+    }
+
+    #[test]
+    fn equivocation_requires_counter_reuse_which_fails() {
+        // A Byzantine host wanting to claim two messages at position 1
+        // must forge the second attestation (it can only get counter 2
+        // from the module).
+        let mut usig = Usig::new(9, 0);
+        let mut v = A2mVerifier::new(9, 4);
+        let real = usig.attest(100);
+        assert!(v.verify_fresh(&real));
+        // Forgery attempt: same counter, different digest, stolen MAC.
+        let forged = Attestation { digest: 200, ..real };
+        assert!(!v.verify_fresh(&forged), "MAC check must fail");
+        // Honest path: the module only hands out counter 2.
+        let next = usig.attest(200);
+        assert_eq!(next.counter, 2);
+    }
+
+    #[test]
+    fn wrong_node_key_rejected() {
+        let mut usig = Usig::new(9, 0);
+        let v = A2mVerifier::new(9, 4);
+        let mut att = usig.attest(7);
+        att.node = 1; // claim another node's identity
+        assert!(!v.mac_valid(&att));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut usig = Usig::new(9, 10);
+        let v = A2mVerifier::new(9, 4); // only nodes 0..4
+        let att = usig.attest(7);
+        assert!(!v.mac_valid(&att));
+    }
+}

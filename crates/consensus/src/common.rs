@@ -1,0 +1,183 @@
+//! Shared consensus vocabulary: payloads, decided logs, quorum math.
+
+use pbc_sim::SimTime;
+
+/// What a consensus protocol agrees on.
+///
+/// Protocol proposals carry the full payload; votes carry only
+/// `digest_u64()`. Benches use `u64` payloads; the architecture crates
+/// decide on serialized blocks.
+pub trait Payload: Clone + PartialEq + std::fmt::Debug {
+    /// A collision-resistant-enough digest for vote messages.
+    fn digest_u64(&self) -> u64;
+
+    /// Approximate serialized size for byte accounting.
+    fn wire_size(&self) -> usize {
+        256
+    }
+}
+
+impl Payload for u64 {
+    fn digest_u64(&self) -> u64 {
+        // splitmix64 finalizer: decorrelates sequential ids.
+        let mut z = self.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// An in-order decided log with decision timestamps.
+///
+/// Protocols push decisions as slots finalize (possibly out of order);
+/// the log delivers them in sequence-number order, which is what state
+/// machine replication requires (§2.2).
+#[derive(Clone, Debug)]
+pub struct DecidedLog<P> {
+    delivered: Vec<(u64, P, SimTime)>,
+    buffer: std::collections::BTreeMap<u64, (P, SimTime)>,
+    next_seq: u64,
+}
+
+impl<P> Default for DecidedLog<P> {
+    fn default() -> Self {
+        DecidedLog { delivered: Vec::new(), buffer: std::collections::BTreeMap::new(), next_seq: 0 }
+    }
+}
+
+impl<P: Clone> DecidedLog<P> {
+    /// A fresh log expecting sequence number `first_seq` first.
+    pub fn starting_at(first_seq: u64) -> Self {
+        DecidedLog { next_seq: first_seq, ..Default::default() }
+    }
+
+    /// Records that `seq` decided `payload` at `time`. Duplicate
+    /// decisions for an already-delivered or buffered slot are ignored.
+    pub fn decide(&mut self, seq: u64, payload: P, time: SimTime) {
+        if seq < self.next_seq || self.buffer.contains_key(&seq) {
+            return;
+        }
+        self.buffer.insert(seq, (payload, time));
+        while let Some((p, t)) = self.buffer.remove(&self.next_seq) {
+            self.delivered.push((self.next_seq, p, t));
+            self.next_seq += 1;
+        }
+    }
+
+    /// The contiguous, in-order delivered prefix.
+    pub fn delivered(&self) -> &[(u64, P, SimTime)] {
+        &self.delivered
+    }
+
+    /// Number of delivered entries.
+    pub fn len(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// True if nothing was delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty()
+    }
+
+    /// The payloads in delivery order (for agreement assertions).
+    pub fn payloads(&self) -> Vec<&P> {
+        self.delivered.iter().map(|(_, p, _)| p).collect()
+    }
+
+    /// Next expected sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Quorum sizes for the standard fault models.
+pub mod quorum {
+    /// Max Byzantine faults tolerable with `n` replicas (`⌊(n-1)/3⌋`).
+    pub fn bft_f(n: usize) -> usize {
+        (n - 1) / 3
+    }
+
+    /// Byzantine quorum `2f+1` for `n` replicas.
+    pub fn bft_quorum(n: usize) -> usize {
+        2 * bft_f(n) + 1
+    }
+
+    /// Max crash faults tolerable with `n` replicas (`⌊(n-1)/2⌋`).
+    pub fn cft_f(n: usize) -> usize {
+        (n - 1) / 2
+    }
+
+    /// Majority quorum.
+    pub fn majority(n: usize) -> usize {
+        n / 2 + 1
+    }
+
+    /// MinBFT / A2M fault bound: `n = 2f+1` tolerates `f` with trusted
+    /// hardware, quorum `f+1`.
+    pub fn a2m_f(n: usize) -> usize {
+        (n - 1) / 2
+    }
+
+    /// MinBFT quorum `f+1`.
+    pub fn a2m_quorum(n: usize) -> usize {
+        a2m_f(n) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decided_log_orders_out_of_order_decisions() {
+        let mut log: DecidedLog<u64> = DecidedLog::default();
+        log.decide(2, 20, 5);
+        assert!(log.is_empty(), "gap before seq 0");
+        log.decide(0, 0, 1);
+        assert_eq!(log.len(), 1);
+        log.decide(1, 10, 3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.payloads(), vec![&0, &10, &20]);
+        assert_eq!(log.next_seq(), 3);
+    }
+
+    #[test]
+    fn duplicate_decisions_ignored() {
+        let mut log: DecidedLog<u64> = DecidedLog::default();
+        log.decide(0, 5, 1);
+        log.decide(0, 99, 2);
+        assert_eq!(log.payloads(), vec![&5]);
+    }
+
+    #[test]
+    fn starting_at_offsets_delivery() {
+        let mut log: DecidedLog<u64> = DecidedLog::starting_at(10);
+        log.decide(10, 1, 0);
+        assert_eq!(log.len(), 1);
+        log.decide(9, 9, 0); // below the floor: ignored
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn quorum_math() {
+        use quorum::*;
+        assert_eq!(bft_f(4), 1);
+        assert_eq!(bft_quorum(4), 3);
+        assert_eq!(bft_f(7), 2);
+        assert_eq!(bft_quorum(7), 5);
+        assert_eq!(cft_f(5), 2);
+        assert_eq!(majority(5), 3);
+        assert_eq!(a2m_f(3), 1);
+        assert_eq!(a2m_quorum(3), 2);
+    }
+
+    #[test]
+    fn u64_payload_digest_spreads() {
+        assert_ne!(Payload::digest_u64(&1u64), Payload::digest_u64(&2u64));
+        assert_eq!(1u64.wire_size(), 8);
+    }
+}

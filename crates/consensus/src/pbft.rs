@@ -1,0 +1,883 @@
+//! PBFT (Castro–Liskov) with view changes, plus an IBFT-style
+//! rotating-proposer mode.
+//!
+//! The protocol of §2.2: `n = 3f + 1` replicas, a primary assigns
+//! sequence numbers and the replicas run the classic three-phase exchange
+//! — `PrePrepare` (primary → all), `Prepare` (all → all), `Commit`
+//! (all → all) — deciding a slot once `2f + 1` distinct replicas commit
+//! the same `(view, digest)`. Message complexity is `O(n²)` per decision,
+//! the baseline HotStuff's linear scheme is measured against (E5).
+//!
+//! A progress timer guards liveness: replicas that hold undecided client
+//! requests past the timeout broadcast `ViewChange` for the next view;
+//! the new primary collects `2f + 1` view-change votes, re-proposes every
+//! prepared slot (safety) plus all pending requests, and announces them
+//! in `NewView`.
+//!
+//! [`LeaderPolicy::RotatePerHeight`] turns the module into an IBFT-style
+//! protocol: the proposer of height `h` is `(h + view) mod n` and heights
+//! are decided one at a time.
+
+use crate::common::{quorum, DecidedLog, Payload};
+use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Who proposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaderPolicy {
+    /// Classic PBFT: primary = `view mod n`, pipelined sequence numbers.
+    FixedPerView,
+    /// IBFT-style: proposer of height `h` is `(h + view) mod n`; one
+    /// height in flight at a time.
+    RotatePerHeight,
+}
+
+/// Static configuration shared by all replicas.
+#[derive(Clone, Debug)]
+pub struct PbftConfig {
+    /// Number of replicas (`3f + 1` for full Byzantine tolerance;
+    /// `2u + r + 1` in hybrid mode).
+    pub n: usize,
+    /// Progress timeout before starting a view change.
+    pub timeout: SimTime,
+    /// Leader policy (PBFT vs IBFT mode).
+    pub policy: LeaderPolicy,
+    /// Vote quorum size.
+    quorum_size: usize,
+    /// Byzantine-fault bound (drives the view-change join threshold).
+    byz_bound: usize,
+}
+
+impl PbftConfig {
+    /// Classic PBFT with the given replica count (`quorum = 2f + 1`).
+    pub fn new(n: usize) -> Self {
+        PbftConfig {
+            n,
+            timeout: 50_000,
+            policy: LeaderPolicy::FixedPerView,
+            quorum_size: quorum::bft_quorum(n),
+            byz_bound: quorum::bft_f(n),
+        }
+    }
+
+    /// IBFT-style rotating proposer.
+    pub fn ibft(n: usize) -> Self {
+        PbftConfig { policy: LeaderPolicy::RotatePerHeight, ..Self::new(n) }
+    }
+
+    /// Hybrid fault model (SeeMoRe \[14\] / UpRight \[22\], §2.3.3): tolerate
+    /// up to `u` total failures of which at most `r` are Byzantine, with
+    /// `n = 2u + r + 1` replicas and quorums of `u + r + 1`. Two quorums
+    /// intersect in `r + 1` replicas — at least one honest — so safety
+    /// holds with fewer replicas than PBFT whenever `r < u` (e.g.
+    /// tolerating 2 crashes + 1 Byzantine takes 6 nodes instead of 10).
+    ///
+    /// # Panics
+    /// Panics if `r > u` (the Byzantine bound counts toward `u`).
+    pub fn hybrid(u: usize, r: usize) -> Self {
+        assert!(r <= u, "byzantine faults count toward the total bound");
+        let n = 2 * u + r + 1;
+        PbftConfig {
+            n,
+            timeout: 50_000,
+            policy: LeaderPolicy::FixedPerView,
+            quorum_size: u + r + 1,
+            byz_bound: r,
+        }
+    }
+
+    /// Tolerated Byzantine faults (`r` in hybrid mode).
+    pub fn f(&self) -> usize {
+        self.byz_bound
+    }
+
+    /// Quorum size (`2f + 1` classic, `u + r + 1` hybrid).
+    pub fn quorum(&self) -> usize {
+        self.quorum_size
+    }
+
+    /// The proposer of `(view, seq)` under the configured policy.
+    pub fn proposer(&self, view: u64, seq: u64) -> NodeIdx {
+        match self.policy {
+            LeaderPolicy::FixedPerView => (view % self.n as u64) as NodeIdx,
+            LeaderPolicy::RotatePerHeight => ((view + seq) % self.n as u64) as NodeIdx,
+        }
+    }
+}
+
+/// PBFT wire messages.
+#[derive(Clone, Debug)]
+pub enum PbftMsg<P> {
+    /// A client request (injected by the harness to every replica).
+    Request(P),
+    /// Primary's proposal for a slot.
+    PrePrepare {
+        /// Proposal view.
+        view: u64,
+        /// Slot.
+        seq: u64,
+        /// Proposed payload.
+        payload: P,
+    },
+    /// Phase-2 vote.
+    Prepare {
+        /// Vote view.
+        view: u64,
+        /// Slot.
+        seq: u64,
+        /// Payload digest.
+        digest: u64,
+    },
+    /// Phase-3 vote.
+    Commit {
+        /// Vote view.
+        view: u64,
+        /// Slot.
+        seq: u64,
+        /// Payload digest.
+        digest: u64,
+    },
+    /// Vote to move to `new_view`, carrying the sender's prepared slots.
+    ViewChange {
+        /// The proposed new view.
+        new_view: u64,
+        /// Slots the sender prepared (2f+1 prepares) but not decided.
+        prepared: Vec<(u64, P)>,
+        /// The sender's contiguous delivered watermark (peers ahead of it
+        /// respond with `Decided` state transfer).
+        delivered: u64,
+    },
+    /// New primary's announcement re-proposing slots in `view`.
+    NewView {
+        /// The installed view.
+        view: u64,
+        /// Re-proposals `(seq, payload)`.
+        proposals: Vec<(u64, P)>,
+    },
+    /// State-transfer aid: "I decided `payload` at `seq`". A replica
+    /// adopts a slot once `f + 1` distinct peers assert the same decision
+    /// (at least one of them is honest and only asserts after deciding).
+    Decided {
+        /// The decided slot.
+        seq: u64,
+        /// The decided payload.
+        payload: P,
+    },
+}
+
+impl<P: Payload> Message for PbftMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            PbftMsg::Request(p) => 24 + p.wire_size(),
+            PbftMsg::PrePrepare { payload, .. } => 48 + payload.wire_size(),
+            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 48,
+            PbftMsg::ViewChange { prepared, .. } => {
+                64 + prepared.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+            PbftMsg::NewView { proposals, .. } => {
+                64 + proposals.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+            PbftMsg::Decided { payload, .. } => 32 + payload.wire_size(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<P> {
+    /// The accepted proposal for this slot: (view, digest, payload).
+    accepted: Option<(u64, u64, P)>,
+    /// Prepare votes keyed by (view, digest).
+    prepares: HashMap<(u64, u64), HashSet<NodeIdx>>,
+    /// Commit votes keyed by (view, digest).
+    commits: HashMap<(u64, u64), HashSet<NodeIdx>>,
+    sent_commit: bool,
+    decided: bool,
+}
+
+impl<P> Default for Slot<P> {
+    fn default() -> Self {
+        Slot {
+            accepted: None,
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            sent_commit: false,
+            decided: false,
+        }
+    }
+}
+
+/// One PBFT replica.
+#[derive(Debug)]
+pub struct PbftReplica<P> {
+    cfg: PbftConfig,
+    view: u64,
+    slots: BTreeMap<u64, Slot<P>>,
+    /// Undecided client requests by digest.
+    pending: BTreeMap<u64, P>,
+    /// Digests already delivered (dedup across re-proposals).
+    delivered_digests: HashSet<u64>,
+    /// digest → seq assigned in the current view.
+    assigned: HashMap<u64, u64>,
+    /// Next sequence number to assign (as primary).
+    next_assign: u64,
+    /// View-change votes: new_view → sender → prepared set.
+    vc_votes: HashMap<u64, HashMap<NodeIdx, Vec<(u64, P)>>>,
+    /// State-transfer tallies: (seq, digest) → asserting peers.
+    decided_certs: HashMap<(u64, u64), HashSet<NodeIdx>>,
+    /// The in-order decided log.
+    pub log: DecidedLog<P>,
+    /// Count of view changes this replica has entered (observability).
+    pub view_changes: u64,
+}
+
+impl<P: Payload> PbftReplica<P> {
+    /// Creates a replica with the given configuration.
+    pub fn new(cfg: PbftConfig) -> Self {
+        PbftReplica {
+            cfg,
+            view: 0,
+            slots: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            delivered_digests: HashSet::new(),
+            assigned: HashMap::new(),
+            next_assign: 0,
+            vc_votes: HashMap::new(),
+            decided_certs: HashMap::new(),
+            log: DecidedLog::default(),
+            view_changes: 0,
+        }
+    }
+
+    /// The replica's current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Undecided requests currently known.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn is_proposer(&self, ctx: &Context<PbftMsg<P>>, seq: u64) -> bool {
+        self.cfg.proposer(self.view, seq) == ctx.self_id
+    }
+
+    /// Proposes pending requests if this replica is the proposer.
+    fn try_propose(&mut self, ctx: &mut Context<PbftMsg<P>>) {
+        match self.cfg.policy {
+            LeaderPolicy::FixedPerView => {
+                if self.cfg.proposer(self.view, 0) != ctx.self_id {
+                    return;
+                }
+                let unassigned: Vec<(u64, P)> = self
+                    .pending
+                    .iter()
+                    .filter(|(d, _)| !self.assigned.contains_key(d))
+                    .map(|(d, p)| (*d, p.clone()))
+                    .collect();
+                for (digest, payload) in unassigned {
+                    let seq = self.next_assign;
+                    self.next_assign += 1;
+                    self.assigned.insert(digest, seq);
+                    ctx.broadcast(PbftMsg::PrePrepare { view: self.view, seq, payload });
+                }
+            }
+            LeaderPolicy::RotatePerHeight => {
+                // One height in flight: the next undelivered slot.
+                let h = self.log.next_seq();
+                if !self.is_proposer(ctx, h) {
+                    return;
+                }
+                // In flight if the slot accepted a proposal in this view
+                // or we already assigned a payload to it (our own
+                // PrePrepare may still be in transit to ourselves).
+                let in_flight = self
+                    .slots
+                    .get(&h)
+                    .map(|s| s.accepted.as_ref().is_some_and(|(v, _, _)| *v == self.view))
+                    .unwrap_or(false)
+                    || self.assigned.values().any(|&s| s == h);
+                if in_flight {
+                    return;
+                }
+                let Some((digest, payload)) = self
+                    .pending
+                    .iter()
+                    .find(|(d, _)| !self.assigned.contains_key(d))
+                    .map(|(d, p)| (*d, p.clone()))
+                else {
+                    return;
+                };
+                self.assigned.insert(digest, h);
+                self.next_assign = self.next_assign.max(h + 1);
+                ctx.broadcast(PbftMsg::PrePrepare { view: self.view, seq: h, payload });
+            }
+        }
+    }
+
+    fn accept_preprepare(
+        &mut self,
+        from: NodeIdx,
+        view: u64,
+        seq: u64,
+        payload: P,
+        ctx: &mut Context<PbftMsg<P>>,
+    ) {
+        if view != self.view || self.cfg.proposer(view, seq) != from {
+            return;
+        }
+        let digest = payload.digest_u64();
+        if self.delivered_digests.contains(&digest) {
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        if slot.decided {
+            return;
+        }
+        match &slot.accepted {
+            // Equivocation guard: accept only the first proposal per view.
+            Some((v, d, _)) if *v == view && *d != digest => return,
+            Some((v, d, _)) if *v == view && *d == digest => return, // duplicate
+            _ => {}
+        }
+        slot.accepted = Some((view, digest, payload));
+        slot.sent_commit = false;
+        self.assigned.insert(digest, seq);
+        ctx.broadcast(PbftMsg::Prepare { view, seq, digest });
+        self.check_progress(seq, ctx);
+    }
+
+    fn check_progress(&mut self, seq: u64, ctx: &mut Context<PbftMsg<P>>) {
+        let q = self.cfg.quorum();
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        if slot.decided {
+            return;
+        }
+        let Some((view, digest, payload)) = slot.accepted.clone() else {
+            return;
+        };
+        let prepared =
+            slot.prepares.get(&(view, digest)).is_some_and(|s| s.len() >= q);
+        if prepared && !slot.sent_commit {
+            slot.sent_commit = true;
+            ctx.broadcast(PbftMsg::Commit { view, seq, digest });
+        }
+        let committed =
+            slot.commits.get(&(view, digest)).is_some_and(|s| s.len() >= q);
+        if committed {
+            slot.decided = true;
+            self.pending.remove(&digest);
+            self.delivered_digests.insert(digest);
+            self.log.decide(seq, payload, ctx.now);
+            // Rotate mode: the next height's proposer may now act.
+            self.try_propose(ctx);
+            self.arm_timer_if_pending(ctx);
+        }
+    }
+
+    /// Slots this replica has *prepared* (quorum of prepares) but not
+    /// decided — the safety cargo of a view-change message.
+    fn prepared_undecided(&self) -> Vec<(u64, P)> {
+        let q = self.cfg.quorum();
+        self.slots
+            .iter()
+            .filter(|(_, s)| !s.decided)
+            .filter_map(|(seq, s)| {
+                let (v, d, p) = s.accepted.as_ref()?;
+                s.prepares
+                    .get(&(*v, *d))
+                    .is_some_and(|set| set.len() >= q)
+                    .then(|| (*seq, p.clone()))
+            })
+            .collect()
+    }
+
+    fn arm_timer_if_pending(&mut self, ctx: &mut Context<PbftMsg<P>>) {
+        if !self.pending.is_empty() {
+            ctx.set_timer(self.cfg.timeout, self.view);
+        }
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<PbftMsg<P>>) {
+        self.view += 1;
+        self.view_changes += 1;
+        self.assigned.clear();
+        ctx.broadcast(PbftMsg::ViewChange {
+            new_view: self.view,
+            prepared: self.prepared_undecided(),
+            delivered: self.log.next_seq(),
+        });
+        // Guard the new view too.
+        self.arm_timer_if_pending(ctx);
+    }
+
+    fn maybe_new_view(&mut self, new_view: u64, ctx: &mut Context<PbftMsg<P>>) {
+        if self.cfg.proposer(new_view, self.log.next_seq()) != ctx.self_id {
+            return;
+        }
+        let Some(votes) = self.vc_votes.get(&new_view) else {
+            return;
+        };
+        if votes.len() < self.cfg.quorum() {
+            return;
+        }
+        // Collect prepared slots from the quorum (honest senders cannot
+        // conflict on a prepared slot).
+        let mut proposals: BTreeMap<u64, P> = BTreeMap::new();
+        for prepared in votes.values() {
+            for (seq, payload) in prepared {
+                proposals.entry(*seq).or_insert_with(|| payload.clone());
+            }
+        }
+        // Plus our own prepared knowledge.
+        for (seq, payload) in self.prepared_undecided() {
+            proposals.entry(seq).or_insert(payload);
+        }
+        self.view = self.view.max(new_view);
+        self.assigned.clear();
+        let mut max_seq = self.log.next_seq();
+        for seq in proposals.keys() {
+            max_seq = max_seq.max(seq + 1);
+        }
+        // Re-propose pending requests not covered by prepared slots.
+        let covered: HashSet<u64> =
+            proposals.values().map(|p| p.digest_u64()).collect();
+        let uncovered: Vec<P> = self
+            .pending
+            .values()
+            .filter(|p| !covered.contains(&p.digest_u64()))
+            .cloned()
+            .collect();
+        match self.cfg.policy {
+            LeaderPolicy::FixedPerView => {
+                for p in uncovered {
+                    proposals.insert(max_seq, p);
+                    max_seq += 1;
+                }
+            }
+            LeaderPolicy::RotatePerHeight => {
+                // Only the next height may be re-proposed by us.
+                let h = self.log.next_seq();
+                if let std::collections::btree_map::Entry::Vacant(e) = proposals.entry(h) {
+                    if let Some(p) = uncovered.into_iter().next() {
+                        e.insert(p);
+                    }
+                }
+            }
+        }
+        self.next_assign = max_seq;
+        let list: Vec<(u64, P)> = proposals.into_iter().collect();
+        ctx.broadcast(PbftMsg::NewView { view: self.view, proposals: list });
+    }
+}
+
+impl<P: Payload> Actor for PbftReplica<P> {
+    type Msg = PbftMsg<P>;
+
+    fn on_message(&mut self, from: NodeIdx, msg: PbftMsg<P>, ctx: &mut Context<PbftMsg<P>>) {
+        match msg {
+            PbftMsg::Request(p) => {
+                let digest = p.digest_u64();
+                if self.delivered_digests.contains(&digest) || self.pending.contains_key(&digest)
+                {
+                    return;
+                }
+                self.pending.insert(digest, p);
+                self.arm_timer_if_pending(ctx);
+                self.try_propose(ctx);
+            }
+            PbftMsg::PrePrepare { view, seq, payload } => {
+                self.accept_preprepare(from, view, seq, payload, ctx);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                let slot = self.slots.entry(seq).or_default();
+                slot.prepares.entry((view, digest)).or_default().insert(from);
+                self.check_progress(seq, ctx);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                let slot = self.slots.entry(seq).or_default();
+                slot.commits.entry((view, digest)).or_default().insert(from);
+                self.check_progress(seq, ctx);
+            }
+            PbftMsg::ViewChange { new_view, prepared, delivered } => {
+                // A view change from a peer that is behind our delivered
+                // watermark signals a straggler: assist with our decided
+                // slots (PBFT's checkpoint/state transfer, simplified to
+                // f+1 matching assertions).
+                if delivered < self.log.next_seq() {
+                    for (seq, payload, _) in self.log.delivered().to_vec() {
+                        if seq >= delivered {
+                            ctx.send(from, PbftMsg::Decided { seq, payload });
+                        }
+                    }
+                }
+                if new_view < self.view {
+                    return;
+                }
+                self.vc_votes.entry(new_view).or_default().insert(from, prepared);
+                // f+1 view changes: join even without timing out ourselves.
+                let join_threshold = self.cfg.f() + 1;
+                if new_view > self.view
+                    && self.vc_votes[&new_view].len() >= join_threshold
+                {
+                    self.view = new_view;
+                    self.view_changes += 1;
+                    self.assigned.clear();
+                    ctx.broadcast(PbftMsg::ViewChange {
+                        new_view,
+                        prepared: self.prepared_undecided(),
+                        delivered: self.log.next_seq(),
+                    });
+                    self.arm_timer_if_pending(ctx);
+                }
+                self.maybe_new_view(new_view, ctx);
+            }
+            PbftMsg::Decided { seq, payload } => {
+                let digest = payload.digest_u64();
+                if self.delivered_digests.contains(&digest) {
+                    return;
+                }
+                let voters = self.decided_certs.entry((seq, digest)).or_default();
+                voters.insert(from);
+                if voters.len() > self.cfg.f() {
+                    // f+1 assertions ⇒ at least one honest decider.
+                    self.pending.remove(&digest);
+                    self.delivered_digests.insert(digest);
+                    self.slots.entry(seq).or_default().decided = true;
+                    self.log.decide(seq, payload, ctx.now);
+                    self.arm_timer_if_pending(ctx);
+                }
+            }
+            PbftMsg::NewView { view, proposals } => {
+                if view < self.view {
+                    return;
+                }
+                // Only accept from the legitimate new primary.
+                if self.cfg.proposer(view, self.log.next_seq()) != from
+                    && self.cfg.policy == LeaderPolicy::FixedPerView
+                {
+                    return;
+                }
+                self.view = view;
+                for (seq, payload) in proposals {
+                    self.accept_preprepare(from, view, seq, payload, ctx);
+                }
+                self.arm_timer_if_pending(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer_view: u64, ctx: &mut Context<PbftMsg<P>>) {
+        // Fire only if we are still in the view the timer guarded and
+        // requests remain undecided.
+        if timer_view == self.view && !self.pending.is_empty() {
+            self.start_view_change(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_sim::{Network, NetworkConfig};
+
+    fn cluster(n: usize, seed: u64, policy: LeaderPolicy) -> Network<PbftReplica<u64>> {
+        let mut cfg = PbftConfig::new(n);
+        cfg.policy = policy;
+        let actors = (0..n).map(|_| PbftReplica::new(cfg.clone())).collect();
+        Network::new(actors, NetworkConfig { seed, ..Default::default() })
+    }
+
+    fn submit(net: &mut Network<PbftReplica<u64>>, payload: u64) {
+        // Clients broadcast requests to every replica.
+        for i in 0..net.len() {
+            net.inject(0, i, PbftMsg::Request(payload), 1);
+        }
+    }
+
+    fn assert_agreement(net: &Network<PbftReplica<u64>>, expected: usize) {
+        let reference: Vec<u64> = net
+            .actor(0)
+            .log
+            .delivered()
+            .iter()
+            .map(|(_, p, _)| *p)
+            .collect();
+        assert_eq!(reference.len(), expected, "node 0 delivered count");
+        for i in 1..net.len() {
+            if net.is_crashed(i) {
+                continue;
+            }
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, reference, "node {i} diverged");
+        }
+    }
+
+    #[test]
+    fn four_nodes_decide_one_request() {
+        let mut net = cluster(4, 1, LeaderPolicy::FixedPerView);
+        submit(&mut net, 42);
+        net.run_to_quiescence(100_000);
+        assert_agreement(&net, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_decide_in_order() {
+        let mut net = cluster(4, 2, LeaderPolicy::FixedPerView);
+        for p in 1..=20u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(1_000_000);
+        assert_agreement(&net, 20);
+    }
+
+    #[test]
+    fn ibft_mode_rotates_proposers() {
+        let mut net = cluster(4, 3, LeaderPolicy::RotatePerHeight);
+        for p in 1..=8u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(2_000_000);
+        assert_agreement(&net, 8);
+        // Heights rotate proposers: the decided log is identical anyway,
+        // and no view change was needed.
+        assert_eq!(net.actor(0).view_changes, 0);
+    }
+
+    #[test]
+    fn survives_backup_crash() {
+        let mut net = cluster(4, 4, LeaderPolicy::FixedPerView);
+        net.crash(2); // backup, not primary (primary of view 0 is node 0)
+        for p in 1..=5u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(1_000_000);
+        let log0: Vec<u64> =
+            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(log0.len(), 5);
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change_and_recovers() {
+        let mut net = cluster(4, 5, LeaderPolicy::FixedPerView);
+        net.crash(0); // primary of view 0
+        submit(&mut net, 7);
+        // Allow timers to fire and the new view to decide.
+        net.run_to_quiescence(5_000_000);
+        for i in 1..4 {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, vec![7], "node {i}");
+            assert!(net.actor(i).view() >= 1, "node {i} must have changed view");
+        }
+    }
+
+    #[test]
+    fn seven_nodes_tolerate_two_crashes() {
+        let mut net = cluster(7, 6, LeaderPolicy::FixedPerView);
+        net.crash(3);
+        net.crash(5);
+        for p in 1..=10u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(2_000_000);
+        let log0: Vec<u64> =
+            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(log0.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_requests_decided_once() {
+        let mut net = cluster(4, 7, LeaderPolicy::FixedPerView);
+        submit(&mut net, 42);
+        submit(&mut net, 42);
+        submit(&mut net, 42);
+        net.run_to_quiescence(500_000);
+        assert_agreement(&net, 1);
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic() {
+        // Doubling n should roughly quadruple messages per decision.
+        let count = |n: usize| {
+            let mut net = cluster(n, 8, LeaderPolicy::FixedPerView);
+            submit(&mut net, 1);
+            net.run_to_quiescence(1_000_000);
+            assert_eq!(net.actor(0).log.len(), 1);
+            net.stats().msgs_sent as f64
+        };
+        let m4 = count(4);
+        let m8 = count(8);
+        let ratio = m8 / m4;
+        assert!(
+            ratio > 2.5,
+            "expected superlinear growth, got {m4} → {m8} (ratio {ratio:.2})"
+        );
+    }
+
+    /// A Byzantine primary that equivocates: different payloads to
+    /// different replicas for the same slot.
+    #[allow(clippy::large_enum_variant)]
+    enum TestNode {
+        Honest(PbftReplica<u64>),
+        EquivocatingPrimary { proposed: bool },
+    }
+
+    impl Actor for TestNode {
+        type Msg = PbftMsg<u64>;
+        fn on_message(&mut self, from: NodeIdx, msg: PbftMsg<u64>, ctx: &mut Context<PbftMsg<u64>>) {
+            match self {
+                TestNode::Honest(r) => r.on_message(from, msg, ctx),
+                TestNode::EquivocatingPrimary { proposed } => {
+                    if let PbftMsg::Request(_) = msg {
+                        if !*proposed {
+                            *proposed = true;
+                            // Send conflicting proposals for seq 0.
+                            for to in 0..ctx.n {
+                                let payload = 1000 + (to % 2) as u64;
+                                ctx.send(
+                                    to,
+                                    PbftMsg::PrePrepare { view: 0, seq: 0, payload },
+                                );
+                            }
+                        }
+                    }
+                    // Otherwise stay silent (worst case: no progress help).
+                }
+            }
+        }
+        fn on_timer(&mut self, id: u64, ctx: &mut Context<PbftMsg<u64>>) {
+            if let TestNode::Honest(r) = self {
+                r.on_timer(id, ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_split_honest_replicas() {
+        let cfg = PbftConfig::new(4);
+        let actors: Vec<TestNode> = (0..4)
+            .map(|i| {
+                if i == 0 {
+                    TestNode::EquivocatingPrimary { proposed: false }
+                } else {
+                    TestNode::Honest(PbftReplica::new(cfg.clone()))
+                }
+            })
+            .collect();
+        let mut net = Network::new(actors, NetworkConfig { seed: 9, ..Default::default() });
+        for i in 0..4 {
+            net.inject(0, i, PbftMsg::Request(7), 1);
+        }
+        net.run_to_quiescence(10_000_000);
+        // The equivocation (1000 to half, 1001 to the other half) must not
+        // decide; after view change, the honest request 7 decides. All
+        // honest logs must agree.
+        let mut logs = Vec::new();
+        for i in 1..4 {
+            if let TestNode::Honest(r) = net.actor(i) {
+                let log: Vec<u64> = r.log.delivered().iter().map(|(_, p, _)| *p).collect();
+                assert!(
+                    !log.contains(&1000) || !log.contains(&1001),
+                    "node {i} decided both equivocated payloads"
+                );
+                logs.push(log);
+            }
+        }
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+        assert!(logs[0].contains(&7), "honest request must eventually decide: {logs:?}");
+    }
+
+    #[test]
+    fn ibft_survives_proposer_crash() {
+        let mut net = cluster(4, 10, LeaderPolicy::RotatePerHeight);
+        net.crash(0); // proposer of height 0 in view 0
+        submit(&mut net, 5);
+        net.run_to_quiescence(5_000_000);
+        for i in 1..4 {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, vec![5], "node {i}");
+        }
+    }
+
+    #[test]
+    fn hybrid_quorum_math() {
+        // u=2 total faults, r=1 Byzantine: 6 replicas, quorum 4.
+        let cfg = PbftConfig::hybrid(2, 1);
+        assert_eq!(cfg.n, 6);
+        assert_eq!(cfg.quorum(), 4);
+        assert_eq!(cfg.f(), 1);
+        // Crash-only hybrid (r=0) degenerates to majority quorums.
+        let cft = PbftConfig::hybrid(2, 0);
+        assert_eq!(cft.n, 5);
+        assert_eq!(cft.quorum(), 3);
+    }
+
+    #[test]
+    fn hybrid_tolerates_u_crashes_with_fewer_nodes_than_pbft() {
+        // Tolerating u=2, r=1 needs n=6 here; classic PBFT would need
+        // 3·2+1 = 7 to survive two arbitrary faults. Crash two backups.
+        let cfg = PbftConfig::hybrid(2, 1);
+        let actors = (0..cfg.n).map(|_| PbftReplica::new(cfg.clone())).collect();
+        let mut net: Network<PbftReplica<u64>> =
+            Network::new(actors, NetworkConfig { seed: 21, ..Default::default() });
+        net.crash(4);
+        net.crash(5);
+        for p in 1..=6u64 {
+            for i in 0..net.len() {
+                net.inject(0, i, PbftMsg::Request(p), 1);
+            }
+        }
+        net.run_to_quiescence(2_000_000);
+        let log0: Vec<u64> =
+            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(log0.len(), 6);
+        for i in 1..4 {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, log0, "node {i}");
+        }
+    }
+
+    #[test]
+    fn hybrid_equivocating_primary_cannot_split_network() {
+        // n=6, quorum=4: two quorums intersect in 2 ≥ r+1 nodes, so an
+        // equivocating primary (the one allowed Byzantine fault) cannot
+        // get both conflicting payloads decided.
+        let cfg = PbftConfig::hybrid(2, 1);
+        let actors: Vec<TestNode> = (0..cfg.n)
+            .map(|i| {
+                if i == 0 {
+                    TestNode::EquivocatingPrimary { proposed: false }
+                } else {
+                    TestNode::Honest(PbftReplica::new(cfg.clone()))
+                }
+            })
+            .collect();
+        let mut net = Network::new(actors, NetworkConfig { seed: 22, ..Default::default() });
+        for i in 0..6 {
+            net.inject(0, i, PbftMsg::Request(7), 1);
+        }
+        net.run_to_quiescence(10_000_000);
+        let mut logs = Vec::new();
+        for i in 1..6 {
+            if let TestNode::Honest(r) = net.actor(i) {
+                let log: Vec<u64> = r.log.delivered().iter().map(|(_, p, _)| *p).collect();
+                assert!(
+                    !(log.contains(&1000) && log.contains(&1001)),
+                    "node {i} decided both equivocated payloads"
+                );
+                logs.push(log);
+            }
+        }
+        for w in logs.windows(2) {
+            assert_eq!(w[0], w[1], "honest replicas diverged");
+        }
+        assert!(logs[0].contains(&7), "honest request must decide: {logs:?}");
+    }
+}

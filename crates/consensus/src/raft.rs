@@ -1,0 +1,606 @@
+//! Raft (Ongaro & Ousterhout) — the crash-fault-tolerant ordering
+//! protocol used by Quorum and by Fabric's ordering service (§2.3.3).
+//!
+//! `n = 2f + 1` nodes tolerate `f` crashes. A leader is elected with
+//! randomized timeouts; client requests are appended to the leader's log
+//! and replicated with `AppendEntries`; an entry commits once a majority
+//! stores it in the leader's current term. Compared to the BFT protocols
+//! in this crate, Raft needs fewer phases and no all-to-all exchange —
+//! the CFT-vs-BFT gap experiment E5 quantifies exactly that.
+
+use crate::common::{quorum, DecidedLog, Payload};
+use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Raft wire messages.
+#[derive(Clone, Debug)]
+pub enum RaftMsg<P> {
+    /// A client request (injected to every node; only the leader acts).
+    Request(P),
+    /// Candidate solicitation.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Index of candidate's last log entry.
+        last_log_index: u64,
+        /// Term of candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Vote reply.
+    Vote {
+        /// Voter's term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Log replication / heartbeat.
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Index of the entry preceding `entries`.
+        prev_index: u64,
+        /// Term of that entry.
+        prev_term: u64,
+        /// Entries to append (`(term, payload)`).
+        entries: Vec<(u64, P)>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Follower's replication acknowledgement.
+    AppendReply {
+        /// Follower's term.
+        term: u64,
+        /// Whether the append matched.
+        success: bool,
+        /// Highest index known replicated on the follower.
+        match_index: u64,
+    },
+}
+
+impl<P: Payload> Message for RaftMsg<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            RaftMsg::Request(p) => 24 + p.wire_size(),
+            RaftMsg::RequestVote { .. } | RaftMsg::Vote { .. } => 40,
+            RaftMsg::AppendEntries { entries, .. } => {
+                56 + entries.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+            RaftMsg::AppendReply { .. } => 40,
+        }
+    }
+}
+
+/// Raft role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// The elected leader.
+    Leader,
+}
+
+const TIMER_ELECTION: u64 = 1;
+const TIMER_HEARTBEAT: u64 = 2;
+
+/// Static Raft configuration.
+#[derive(Clone, Debug)]
+pub struct RaftConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Election timeout lower bound (randomized in `[min, 2·min]`).
+    pub election_timeout: SimTime,
+    /// Heartbeat interval (must be well under the election timeout).
+    pub heartbeat: SimTime,
+    /// Seed for per-node timeout randomization.
+    pub seed: u64,
+}
+
+impl RaftConfig {
+    /// Sensible defaults for a LAN-latency simulation.
+    pub fn new(n: usize) -> Self {
+        RaftConfig { n, election_timeout: 10_000, heartbeat: 2_000, seed: 7 }
+    }
+}
+
+/// One Raft node.
+#[derive(Debug)]
+pub struct RaftNode<P> {
+    cfg: RaftConfig,
+    id: NodeIdx,
+    term: u64,
+    voted_for: Option<NodeIdx>,
+    role: Role,
+    /// 1-indexed log; index 0 is a sentinel.
+    log_entries: Vec<(u64, P)>,
+    log_digests: HashSet<u64>,
+    commit_index: u64,
+    last_applied: u64,
+    /// Leader state.
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    votes: HashSet<NodeIdx>,
+    /// Requests waiting for a leader.
+    pending: Vec<P>,
+    last_heartbeat: SimTime,
+    rng: StdRng,
+    /// The in-order decided log.
+    pub log: DecidedLog<P>,
+    /// Elections this node has started (observability).
+    pub elections_started: u64,
+}
+
+impl<P: Payload> RaftNode<P> {
+    /// Creates a node; `id` must match its index in the network.
+    pub fn new(cfg: RaftConfig, id: NodeIdx) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9e3779b9));
+        RaftNode {
+            id,
+            term: 0,
+            voted_for: None,
+            role: Role::Follower,
+            log_entries: Vec::new(),
+            log_digests: HashSet::new(),
+            commit_index: 0,
+            last_applied: 0,
+            next_index: vec![1; cfg.n],
+            match_index: vec![0; cfg.n],
+            votes: HashSet::new(),
+            pending: Vec::new(),
+            last_heartbeat: 0,
+            rng,
+            log: DecidedLog::starting_at(0),
+            elections_started: 0,
+            cfg,
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.log_entries.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log_entries.last().map_or(0, |(t, _)| *t)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            self.log_entries.get(index as usize - 1).map_or(0, |(t, _)| *t)
+        }
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        let d = self.cfg.election_timeout
+            + self.rng.gen_range(0..self.cfg.election_timeout);
+        ctx.set_timer(d, TIMER_ELECTION);
+    }
+
+    fn become_follower(&mut self, term: u64, ctx: &mut Context<RaftMsg<P>>) {
+        let was_leader = self.role == Role::Leader;
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+        }
+        self.role = Role::Follower;
+        self.votes.clear();
+        if was_leader {
+            // Stop issuing heartbeats implicitly (timer checks role).
+        }
+        self.arm_election_timer(ctx);
+    }
+
+    fn start_election(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.elections_started += 1;
+        ctx.broadcast(RaftMsg::RequestVote {
+            term: self.term,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        });
+        self.arm_election_timer(ctx);
+    }
+
+    fn become_leader(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        self.role = Role::Leader;
+        self.next_index = vec![self.last_log_index() + 1; self.cfg.n];
+        self.match_index = vec![0; self.cfg.n];
+        self.match_index[self.id] = self.last_log_index();
+        // Adopt buffered client requests.
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            self.append_if_new(p);
+        }
+        self.replicate_all(ctx);
+        ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+    }
+
+    fn append_if_new(&mut self, p: P) {
+        let d = p.digest_u64();
+        if self.log_digests.insert(d) {
+            self.log_entries.push((self.term, p));
+            self.match_index[self.id] = self.last_log_index();
+        }
+    }
+
+    fn replicate_all(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        for peer in 0..self.cfg.n {
+            if peer == self.id {
+                continue;
+            }
+            let next = self.next_index[peer];
+            let prev_index = next - 1;
+            let prev_term = self.term_at(prev_index);
+            let entries: Vec<(u64, P)> = self
+                .log_entries
+                .iter()
+                .skip(prev_index as usize)
+                .cloned()
+                .collect();
+            ctx.send(
+                peer,
+                RaftMsg::AppendEntries {
+                    term: self.term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit: self.commit_index,
+                },
+            );
+        }
+    }
+
+    fn advance_commit(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        let maj = quorum::majority(self.cfg.n);
+        for n in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.term_at(n) != self.term {
+                continue;
+            }
+            let count = self.match_index.iter().filter(|&&m| m >= n).count();
+            if count >= maj {
+                self.commit_index = n;
+                break;
+            }
+        }
+        self.apply_committed(ctx.now);
+    }
+
+    fn apply_committed(&mut self, now: SimTime) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let (_, p) = &self.log_entries[self.last_applied as usize - 1];
+            self.log.decide(self.last_applied - 1, p.clone(), now);
+        }
+    }
+}
+
+impl<P: Payload> Actor for RaftNode<P> {
+    type Msg = RaftMsg<P>;
+
+    fn on_start(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        self.arm_election_timer(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeIdx, msg: RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
+        match msg {
+            RaftMsg::Request(p) => {
+                if self.role == Role::Leader {
+                    self.append_if_new(p);
+                    self.replicate_all(ctx);
+                } else if !self.log_digests.contains(&p.digest_u64())
+                    && !self.pending.iter().any(|q| q.digest_u64() == p.digest_u64())
+                {
+                    self.pending.push(p);
+                }
+            }
+            RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
+                if term > self.term {
+                    self.become_follower(term, ctx);
+                }
+                let up_to_date = (last_log_term, last_log_index)
+                    >= (self.last_log_term(), self.last_log_index());
+                let granted = term == self.term
+                    && up_to_date
+                    && (self.voted_for.is_none() || self.voted_for == Some(from));
+                if granted {
+                    self.voted_for = Some(from);
+                    self.last_heartbeat = ctx.now; // don't start a rival election
+                    self.arm_election_timer(ctx);
+                }
+                ctx.send(from, RaftMsg::Vote { term: self.term, granted });
+            }
+            RaftMsg::Vote { term, granted } => {
+                if term > self.term {
+                    self.become_follower(term, ctx);
+                    return;
+                }
+                if self.role == Role::Candidate && granted && term == self.term {
+                    self.votes.insert(from);
+                    if self.votes.len() >= quorum::majority(self.cfg.n) {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+            RaftMsg::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
+                if term < self.term {
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendReply { term: self.term, success: false, match_index: 0 },
+                    );
+                    return;
+                }
+                self.become_follower(term, ctx);
+                self.last_heartbeat = ctx.now;
+                // Consistency check.
+                if prev_index > self.last_log_index() || self.term_at(prev_index) != prev_term {
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendReply {
+                            term: self.term,
+                            success: false,
+                            match_index: self.commit_index,
+                        },
+                    );
+                    return;
+                }
+                // Truncate conflicts, append new entries.
+                let mut idx = prev_index;
+                for (eterm, payload) in entries {
+                    idx += 1;
+                    if idx <= self.last_log_index() {
+                        if self.term_at(idx) != eterm {
+                            for (_, p) in self.log_entries.drain(idx as usize - 1..) {
+                                self.log_digests.remove(&p.digest_u64());
+                            }
+                            self.log_digests.insert(payload.digest_u64());
+                            self.log_entries.push((eterm, payload));
+                        }
+                    } else {
+                        self.log_digests.insert(payload.digest_u64());
+                        self.log_entries.push((eterm, payload));
+                    }
+                }
+                if leader_commit > self.commit_index {
+                    self.commit_index = leader_commit.min(self.last_log_index());
+                    self.apply_committed(ctx.now);
+                }
+                ctx.send(
+                    from,
+                    RaftMsg::AppendReply {
+                        term: self.term,
+                        success: true,
+                        match_index: idx.max(self.last_log_index().min(prev_index)),
+                    },
+                );
+            }
+            RaftMsg::AppendReply { term, success, match_index } => {
+                if term > self.term {
+                    self.become_follower(term, ctx);
+                    return;
+                }
+                if self.role != Role::Leader || term != self.term {
+                    return;
+                }
+                if success {
+                    self.match_index[from] = self.match_index[from].max(match_index);
+                    self.next_index[from] = self.match_index[from] + 1;
+                    self.advance_commit(ctx);
+                } else {
+                    self.next_index[from] = self.next_index[from].saturating_sub(1).max(1);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<RaftMsg<P>>) {
+        match id {
+            TIMER_ELECTION => {
+                if self.role == Role::Leader {
+                    return;
+                }
+                let elapsed = ctx.now.saturating_sub(self.last_heartbeat);
+                if elapsed >= self.cfg.election_timeout {
+                    self.start_election(ctx);
+                } else {
+                    self.arm_election_timer(ctx);
+                }
+            }
+            TIMER_HEARTBEAT
+                if self.role == Role::Leader => {
+                    self.replicate_all(ctx);
+                    ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_sim::{Network, NetworkConfig};
+
+    fn cluster(n: usize, seed: u64) -> Network<RaftNode<u64>> {
+        let cfg = RaftConfig::new(n);
+        let actors = (0..n).map(|i| RaftNode::new(cfg.clone(), i)).collect();
+        let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+        net.start();
+        net
+    }
+
+    fn leader(net: &Network<RaftNode<u64>>) -> Option<NodeIdx> {
+        (0..net.len()).find(|&i| !net.is_crashed(i) && net.actor(i).role() == Role::Leader)
+    }
+
+    fn submit(net: &mut Network<RaftNode<u64>>, p: u64) {
+        for i in 0..net.len() {
+            net.inject(0, i, RaftMsg::Request(p), 1);
+        }
+    }
+
+    /// Heartbeat timers run forever; run until all (alive) logs reach `target`.
+    fn run_until_delivered(net: &mut Network<RaftNode<u64>>, target: usize, max_events: u64) {
+        let mut events = 0;
+        while events < max_events {
+            let done = (0..net.len())
+                .filter(|&i| !net.is_crashed(i))
+                .all(|i| net.actor(i).log.len() >= target);
+            if done {
+                return;
+            }
+            if !net.step() {
+                return;
+            }
+            events += 1;
+        }
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        let mut net = cluster(5, 1);
+        net.run_until(200_000);
+        let leaders: Vec<_> = (0..5)
+            .filter(|&i| net.actor(i).role() == Role::Leader)
+            .collect();
+        assert_eq!(leaders.len(), 1, "roles: {:?}", (0..5).map(|i| net.actor(i).role()).collect::<Vec<_>>());
+        // All on the same term as the leader.
+        let lt = net.actor(leaders[0]).term();
+        for i in 0..5 {
+            assert!(net.actor(i).term() <= lt);
+        }
+    }
+
+    #[test]
+    fn replicates_and_commits() {
+        let mut net = cluster(3, 2);
+        net.run_until(100_000);
+        assert!(leader(&net).is_some());
+        for p in 1..=10u64 {
+            submit(&mut net, p);
+        }
+        run_until_delivered(&mut net, 10, 5_000_000);
+        let reference: Vec<u64> =
+            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(reference.len(), 10);
+        for i in 1..3 {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, reference, "node {i}");
+        }
+    }
+
+    #[test]
+    fn survives_leader_crash() {
+        let mut net = cluster(5, 3);
+        net.run_until(200_000);
+        let old_leader = leader(&net).expect("initial leader");
+        submit(&mut net, 1);
+        run_until_delivered(&mut net, 1, 2_000_000);
+        net.crash(old_leader);
+        submit(&mut net, 2);
+        run_until_delivered(&mut net, 2, 20_000_000);
+        let new_leader = leader(&net).expect("new leader elected");
+        assert_ne!(new_leader, old_leader);
+        for i in 0..5 {
+            if net.is_crashed(i) {
+                continue;
+            }
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, vec![1, 2], "node {i}");
+        }
+    }
+
+    #[test]
+    fn tolerates_minority_crashes() {
+        let mut net = cluster(5, 4);
+        net.run_until(200_000);
+        let l = leader(&net).unwrap();
+        // Crash two non-leaders.
+        let victims: Vec<_> = (0..5).filter(|&i| i != l).take(2).collect();
+        for v in victims {
+            net.crash(v);
+        }
+        for p in 1..=5u64 {
+            submit(&mut net, p);
+        }
+        run_until_delivered(&mut net, 5, 5_000_000);
+        let log: Vec<u64> =
+            net.actor(l).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn majority_loss_halts_commits() {
+        let mut net = cluster(5, 5);
+        net.run_until(200_000);
+        let l = leader(&net).unwrap();
+        // Crash three nodes (a majority), sparing the leader.
+        let victims: Vec<_> = (0..5).filter(|&i| i != l).take(3).collect();
+        for v in victims {
+            net.crash(v);
+        }
+        submit(&mut net, 9);
+        net.run_until(3_000_000);
+        assert_eq!(net.actor(l).log.len(), 0, "no commit without a majority");
+    }
+
+    #[test]
+    fn duplicate_requests_committed_once() {
+        let mut net = cluster(3, 6);
+        net.run_until(100_000);
+        submit(&mut net, 42);
+        submit(&mut net, 42);
+        run_until_delivered(&mut net, 1, 2_000_000);
+        // Give duplicates a chance to (incorrectly) appear.
+        net.run_until(net.now() + 100_000);
+        for i in 0..3 {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(log, vec![42], "node {i}");
+        }
+    }
+
+    #[test]
+    fn fewer_messages_than_pbft_per_decision() {
+        // E5's qualitative claim: CFT needs less communication than BFT.
+        let mut raft = cluster(4, 7);
+        raft.run_until(100_000);
+        let baseline = raft.stats().msgs_sent;
+        submit(&mut raft, 1);
+        run_until_delivered(&mut raft, 1, 2_000_000);
+        let raft_msgs = raft.stats().msgs_sent - baseline;
+
+        let cfg = crate::pbft::PbftConfig::new(4);
+        let actors = (0..4).map(|_| crate::pbft::PbftReplica::new(cfg.clone())).collect();
+        let mut pbft: Network<crate::pbft::PbftReplica<u64>> =
+            Network::new(actors, NetworkConfig { seed: 7, ..Default::default() });
+        for i in 0..4 {
+            pbft.inject(0, i, crate::pbft::PbftMsg::Request(1), 1);
+        }
+        pbft.run_to_quiescence(1_000_000);
+        let pbft_msgs = pbft.stats().msgs_sent;
+        assert!(
+            raft_msgs < pbft_msgs,
+            "raft {raft_msgs} should use fewer msgs than pbft {pbft_msgs}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The consensus payload: an ordered batch of client transactions.
+
+use pbc_consensus::Payload;
+use pbc_types::encode::CanonicalEncode;
+use pbc_types::Transaction;
+
+/// A transaction batch proposed to consensus (one batch = one block).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    /// Batch sequence number assigned by the submitting client layer.
+    pub id: u64,
+    /// The transactions, in client-submission order.
+    pub txs: Vec<Transaction>,
+}
+
+impl Batch {
+    /// Creates a batch.
+    pub fn new(id: u64, txs: Vec<Transaction>) -> Self {
+        Batch { id, txs }
+    }
+}
+
+impl Payload for Batch {
+    fn digest_u64(&self) -> u64 {
+        let mut enc = pbc_types::encode::Encoder::new();
+        enc.u64(self.id);
+        for tx in &self.txs {
+            tx.encode(&mut enc);
+        }
+        pbc_crypto::sha256(enc.as_slice()).prefix_u64()
+    }
+
+    fn wire_size(&self) -> usize {
+        16 + self.txs.iter().map(|t| t.canonical_bytes().len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::{ClientId, Op, TxId};
+
+    fn tx(i: u64) -> Transaction {
+        Transaction::new(TxId(i), ClientId(0), vec![Op::Get { key: format!("k{i}") }])
+    }
+
+    #[test]
+    fn digest_depends_on_content_and_id() {
+        let a = Batch::new(1, vec![tx(1)]);
+        let b = Batch::new(1, vec![tx(1)]);
+        let c = Batch::new(2, vec![tx(1)]);
+        let d = Batch::new(1, vec![tx(2)]);
+        assert_eq!(a.digest_u64(), b.digest_u64());
+        assert_ne!(a.digest_u64(), c.digest_u64());
+        assert_ne!(a.digest_u64(), d.digest_u64());
+    }
+
+    #[test]
+    fn wire_size_grows_with_transactions() {
+        let small = Batch::new(1, vec![tx(1)]);
+        let big = Batch::new(1, (0..10).map(tx).collect());
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,55 @@
+//! The integrated permissioned blockchain.
+//!
+//! This crate ties the workspace together into the system of the paper's
+//! Figure 1: a set of known, identified nodes over an asynchronous
+//! network, each maintaining a replica of the hash-chained blockchain
+//! ledger, with
+//!
+//! * a pluggable **consensus protocol** ([`ConsensusKind`]) ordering
+//!   transaction batches (§2.2),
+//! * a pluggable **execution architecture** ([`ArchKind`]) turning the
+//!   ordered batches into state (§2.3.3),
+//! * the [`pbc_sim`] discrete-event network underneath (latency models,
+//!   crashes, partitions).
+//!
+//! ```
+//! use pbc_core::{NetworkBuilder, ConsensusKind, ArchKind};
+//! use pbc_workload::PaymentWorkload;
+//!
+//! // The five-node network of Figure 1.
+//! let workload = PaymentWorkload::default();
+//! let mut chain = NetworkBuilder::new(5)
+//!     .consensus(ConsensusKind::Pbft)
+//!     .architecture(ArchKind::Oxii)
+//!     .initial_state(workload.initial_state())
+//!     .build();
+//! chain.submit_all(workload.generate(0, 40));
+//! let report = chain.run_to_completion();
+//! assert_eq!(report.committed, 40);
+//! assert!(chain.replicas_identical());
+//! ```
+//!
+//! The technique crates are re-exported for convenience:
+//! [`pbc_confidential`] (§2.3.1), [`pbc_verify`] (§2.3.2),
+//! [`pbc_shard`] (§2.3.4), and [`pbc_workload`] generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod network;
+
+pub use batch::Batch;
+pub use network::{ArchKind, BlockchainNetwork, ConsensusKind, NetworkBuilder, RunReport};
+
+pub use pbc_arch as arch;
+pub use pbc_confidential as confidential;
+pub use pbc_consensus as consensus;
+pub use pbc_crypto as crypto;
+pub use pbc_ledger as ledger;
+pub use pbc_shard as shard;
+pub use pbc_sim as sim;
+pub use pbc_txn as txn;
+pub use pbc_types as types;
+pub use pbc_verify as verify;
+pub use pbc_workload as workload;

@@ -1,0 +1,609 @@
+//! The blockchain network driver: consensus × architecture × simulation.
+
+use crate::batch::Batch;
+use pbc_arch::{
+    EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline, OxPipeline,
+    OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
+};
+use pbc_consensus::hotstuff::{HotStuffConfig, HotStuffReplica, HsMsg};
+use pbc_consensus::minbft::{MinBftConfig, MinBftMsg, MinBftReplica};
+use pbc_consensus::paxos::{PaxosConfig, PaxosMsg, PaxosNode};
+use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
+use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode};
+use pbc_consensus::tendermint::{TendermintConfig, TendermintNode, TmMsg};
+use pbc_ledger::StateStore;
+use pbc_sim::{LatencyModel, NetStats, Network, NetworkConfig, SimTime};
+use pbc_types::Transaction;
+
+/// Which ordering protocol the network runs (§2.2, §2.3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsensusKind {
+    /// PBFT with a fixed primary per view.
+    Pbft,
+    /// IBFT-style PBFT with per-height proposer rotation.
+    Ibft,
+    /// Basic HotStuff (linear message complexity).
+    HotStuff,
+    /// Tendermint with equal validator powers.
+    Tendermint,
+    /// Raft (crash fault tolerant).
+    Raft,
+    /// Multi-decree Paxos (crash fault tolerant).
+    Paxos,
+    /// MinBFT with trusted hardware (n = 2f+1).
+    MinBft,
+}
+
+/// Which execution architecture the nodes run (§2.3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArchKind {
+    /// Order-execute (sequential execution).
+    Ox,
+    /// Order-parallel-execute (ParBlockchain).
+    Oxii,
+    /// Execute-order-validate (Fabric).
+    Xov,
+    /// XOV with Fabric++ reordering.
+    XovFabricPp,
+    /// XOV with FabricSharp reordering.
+    XovFabricSharp,
+    /// XOV with post-order re-execution (XOX Fabric).
+    Xox,
+    /// XOV with parallel validation (FastFabric).
+    FastFabric,
+    /// XOV behind a 2-of-3 organization endorsement policy.
+    XovEndorsed,
+}
+
+impl ArchKind {
+    fn make(&self, state: StateStore) -> Box<dyn ExecutionPipeline> {
+        match self {
+            ArchKind::Ox => Box::new(OxPipeline::with_state(state)),
+            ArchKind::Oxii => Box::new(OxiiPipeline::with_state(state)),
+            ArchKind::Xov => Box::new(XovPipeline::with_state(state)),
+            ArchKind::XovFabricPp => {
+                Box::new(XovPipeline::with_state(state).with_reorder(ReorderPolicy::FabricPP))
+            }
+            ArchKind::XovFabricSharp => {
+                Box::new(XovPipeline::with_state(state).with_reorder(ReorderPolicy::FabricSharp))
+            }
+            ArchKind::Xox => Box::new(XoxPipeline::with_state(state)),
+            ArchKind::FastFabric => Box::new(FastFabricPipeline::with_state(state)),
+            ArchKind::XovEndorsed => {
+                let orgs = (0..3).map(pbc_types::EnterpriseId).collect();
+                Box::new(EndorsingPipeline::new(EndorsementPolicy::new(orgs, 2), 0xE5D0, state))
+            }
+        }
+    }
+}
+
+/// The consensus layer, enum-dispatched over the protocol actors.
+enum Driver {
+    Pbft(Network<PbftReplica<Batch>>),
+    HotStuff(Network<HotStuffReplica<Batch>>),
+    Tendermint(Network<TendermintNode<Batch>>),
+    Raft(Network<RaftNode<Batch>>),
+    Paxos(Network<PaxosNode<Batch>>),
+    MinBft(Network<MinBftReplica<Batch>>),
+}
+
+impl Driver {
+    fn len(&self) -> usize {
+        match self {
+            Driver::Pbft(n) => n.len(),
+            Driver::HotStuff(n) => n.len(),
+            Driver::Tendermint(n) => n.len(),
+            Driver::Raft(n) => n.len(),
+            Driver::Paxos(n) => n.len(),
+            Driver::MinBft(n) => n.len(),
+        }
+    }
+
+    fn is_crashed(&self, i: usize) -> bool {
+        match self {
+            Driver::Pbft(n) => n.is_crashed(i),
+            Driver::HotStuff(n) => n.is_crashed(i),
+            Driver::Tendermint(n) => n.is_crashed(i),
+            Driver::Raft(n) => n.is_crashed(i),
+            Driver::Paxos(n) => n.is_crashed(i),
+            Driver::MinBft(n) => n.is_crashed(i),
+        }
+    }
+
+    fn crash(&mut self, i: usize) {
+        match self {
+            Driver::Pbft(n) => n.crash(i),
+            Driver::HotStuff(n) => n.crash(i),
+            Driver::Tendermint(n) => n.crash(i),
+            Driver::Raft(n) => n.crash(i),
+            Driver::Paxos(n) => n.crash(i),
+            Driver::MinBft(n) => n.crash(i),
+        }
+    }
+
+    fn inject_batch(&mut self, batch: Batch) {
+        let n = self.len();
+        for i in 0..n {
+            match self {
+                Driver::Pbft(net) => net.inject(0, i, PbftMsg::Request(batch.clone()), 1),
+                Driver::HotStuff(net) => net.inject(0, i, HsMsg::Request(batch.clone()), 1),
+                Driver::Tendermint(net) => net.inject(0, i, TmMsg::Request(batch.clone()), 1),
+                Driver::Raft(net) => net.inject(0, i, RaftMsg::Request(batch.clone()), 1),
+                Driver::Paxos(net) => net.inject(0, i, PaxosMsg::Request(batch.clone()), 1),
+                Driver::MinBft(net) => net.inject(0, i, MinBftMsg::Request(batch.clone()), 1),
+            }
+        }
+    }
+
+    fn decided_len(&self, i: usize) -> usize {
+        match self {
+            Driver::Pbft(n) => n.actor(i).log.len(),
+            Driver::HotStuff(n) => n.actor(i).log.len(),
+            Driver::Tendermint(n) => n.actor(i).log.len(),
+            Driver::Raft(n) => n.actor(i).log.len(),
+            Driver::Paxos(n) => n.actor(i).log.len(),
+            Driver::MinBft(n) => n.actor(i).log.len(),
+        }
+    }
+
+    fn decided(&self, i: usize) -> Vec<(u64, Batch, SimTime)> {
+        match self {
+            Driver::Pbft(n) => n.actor(i).log.delivered().to_vec(),
+            Driver::HotStuff(n) => n.actor(i).log.delivered().to_vec(),
+            Driver::Tendermint(n) => n.actor(i).log.delivered().to_vec(),
+            Driver::Raft(n) => n.actor(i).log.delivered().to_vec(),
+            Driver::Paxos(n) => n.actor(i).log.delivered().to_vec(),
+            Driver::MinBft(n) => n.actor(i).log.delivered().to_vec(),
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match self {
+            Driver::Pbft(n) => n.step(),
+            Driver::HotStuff(n) => n.step(),
+            Driver::Tendermint(n) => n.step(),
+            Driver::Raft(n) => n.step(),
+            Driver::Paxos(n) => n.step(),
+            Driver::MinBft(n) => n.step(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Driver::Pbft(n) => n.now(),
+            Driver::HotStuff(n) => n.now(),
+            Driver::Tendermint(n) => n.now(),
+            Driver::Raft(n) => n.now(),
+            Driver::Paxos(n) => n.now(),
+            Driver::MinBft(n) => n.now(),
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        match self {
+            Driver::Pbft(n) => n.stats(),
+            Driver::HotStuff(n) => n.stats(),
+            Driver::Tendermint(n) => n.stats(),
+            Driver::Raft(n) => n.stats(),
+            Driver::Paxos(n) => n.stats(),
+            Driver::MinBft(n) => n.stats(),
+        }
+    }
+
+    /// Runs until every alive node delivered `target` batches or
+    /// `max_events` elapse. Returns whether the target was reached.
+    fn run_until_decided(&mut self, target: usize, max_events: u64) -> bool {
+        let n = self.len();
+        let mut events = 0;
+        loop {
+            let done = (0..n)
+                .filter(|&i| !self.is_crashed(i))
+                .all(|i| self.decided_len(i) >= target);
+            if done {
+                return true;
+            }
+            if events >= max_events || !self.step() {
+                return false;
+            }
+            events += 1;
+        }
+    }
+}
+
+/// Configures and builds a [`BlockchainNetwork`].
+pub struct NetworkBuilder {
+    n: usize,
+    consensus: ConsensusKind,
+    arch: ArchKind,
+    latency: LatencyModel,
+    seed: u64,
+    batch_size: usize,
+    initial_state: StateStore,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for `n` nodes with PBFT + OX defaults.
+    pub fn new(n: usize) -> Self {
+        NetworkBuilder {
+            n,
+            consensus: ConsensusKind::Pbft,
+            arch: ArchKind::Ox,
+            latency: LatencyModel::lan(),
+            seed: 0,
+            batch_size: 32,
+            initial_state: StateStore::new(),
+        }
+    }
+
+    /// Selects the consensus protocol.
+    pub fn consensus(mut self, kind: ConsensusKind) -> Self {
+        self.consensus = kind;
+        self
+    }
+
+    /// Selects the execution architecture.
+    pub fn architecture(mut self, kind: ArchKind) -> Self {
+        self.arch = kind;
+        self
+    }
+
+    /// Sets the link latency model.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.latency = model;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transactions-per-block batch size.
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.batch_size = size.max(1);
+        self
+    }
+
+    /// Seeds every node's state store.
+    pub fn initial_state(mut self, state: StateStore) -> Self {
+        self.initial_state = state;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> BlockchainNetwork {
+        let cfg = NetworkConfig { latency: self.latency, seed: self.seed, drop_rate: 0.0 };
+        let driver = match self.consensus {
+            ConsensusKind::Pbft => {
+                let c = PbftConfig::new(self.n);
+                let actors = (0..self.n).map(|_| PbftReplica::new(c.clone())).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::Pbft(net)
+            }
+            ConsensusKind::Ibft => {
+                let c = PbftConfig::ibft(self.n);
+                let actors = (0..self.n).map(|_| PbftReplica::new(c.clone())).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::Pbft(net)
+            }
+            ConsensusKind::HotStuff => {
+                let c = HotStuffConfig::new(self.n);
+                let actors = (0..self.n).map(|_| HotStuffReplica::new(c.clone())).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::HotStuff(net)
+            }
+            ConsensusKind::Tendermint => {
+                let c = TendermintConfig::equal(self.n);
+                let actors = (0..self.n).map(|_| TendermintNode::new(c.clone())).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::Tendermint(net)
+            }
+            ConsensusKind::Raft => {
+                let c = RaftConfig::new(self.n);
+                let actors = (0..self.n).map(|i| RaftNode::new(c.clone(), i)).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::Raft(net)
+            }
+            ConsensusKind::Paxos => {
+                let c = PaxosConfig::new(self.n);
+                let actors = (0..self.n).map(|i| PaxosNode::new(c.clone(), i)).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::Paxos(net)
+            }
+            ConsensusKind::MinBft => {
+                let c = MinBftConfig::new(self.n);
+                let actors = (0..self.n).map(|i| MinBftReplica::new(c.clone(), i)).collect();
+                let mut net = Network::new(actors, cfg);
+                net.start();
+                Driver::MinBft(net)
+            }
+        };
+        let pipelines =
+            (0..self.n).map(|_| self.arch.make(self.initial_state.clone())).collect();
+        BlockchainNetwork {
+            driver,
+            pipelines,
+            pending: Vec::new(),
+            batch_size: self.batch_size,
+            next_batch_id: 0,
+            batches_decided: 0,
+            consensus: self.consensus,
+            arch: self.arch,
+        }
+    }
+}
+
+/// The outcome of a [`BlockchainNetwork::run_to_completion`] call.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Transactions committed (per node-0's pipeline accounting).
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Batches (blocks) decided by consensus.
+    pub batches: usize,
+    /// Logical time at completion.
+    pub sim_time: SimTime,
+    /// Messages the consensus layer sent.
+    pub msgs_sent: u64,
+    /// Bytes the consensus layer sent.
+    pub bytes_sent: u64,
+    /// Mean decide latency per batch (submission → decision), in ticks.
+    pub mean_decide_latency: f64,
+    /// True if consensus reached the target (false = stalled).
+    pub consensus_complete: bool,
+}
+
+/// A running permissioned blockchain (Figure 1, parameterized).
+pub struct BlockchainNetwork {
+    driver: Driver,
+    pipelines: Vec<Box<dyn ExecutionPipeline>>,
+    pending: Vec<Transaction>,
+    batch_size: usize,
+    next_batch_id: u64,
+    batches_decided: usize,
+    consensus: ConsensusKind,
+    arch: ArchKind,
+}
+
+impl BlockchainNetwork {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.driver.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.driver.len() == 0
+    }
+
+    /// The configured consensus protocol.
+    pub fn consensus_kind(&self) -> ConsensusKind {
+        self.consensus
+    }
+
+    /// The configured architecture.
+    pub fn arch_kind(&self) -> ArchKind {
+        self.arch
+    }
+
+    /// Queues a transaction for the next batch.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.pending.push(tx);
+    }
+
+    /// Queues many transactions.
+    pub fn submit_all(&mut self, txs: Vec<Transaction>) {
+        self.pending.extend(txs);
+    }
+
+    /// Crashes a node (it stops participating in consensus; its pipeline
+    /// stops applying blocks).
+    pub fn crash(&mut self, node: usize) {
+        self.driver.crash(node);
+    }
+
+    /// Flushes pending transactions through consensus and executes every
+    /// decided batch on every alive node's pipeline.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        // Batch and inject.
+        let mut submitted = 0;
+        let pending = std::mem::take(&mut self.pending);
+        for chunk in pending.chunks(self.batch_size) {
+            let batch = Batch::new(self.next_batch_id, chunk.to_vec());
+            self.next_batch_id += 1;
+            self.driver.inject_batch(batch);
+            submitted += 1;
+        }
+        let target = self.batches_decided + submitted;
+        // Generous budget: protocols with timers need room for recovery.
+        let max_events = 200_000 + 400_000 * submitted as u64;
+        let complete = self.driver.run_until_decided(target, max_events);
+
+        // Apply newly decided batches to every alive pipeline in order.
+        let mut report = RunReport {
+            consensus_complete: complete,
+            sim_time: self.driver.now(),
+            msgs_sent: self.driver.stats().msgs_sent,
+            bytes_sent: self.driver.stats().bytes_sent,
+            ..Default::default()
+        };
+        let reference = (0..self.len()).find(|&i| !self.driver.is_crashed(i));
+        let Some(reference) = reference else {
+            return report;
+        };
+        let decided = self.driver.decided(reference);
+        let mut latency_sum = 0u64;
+        let mut latency_n = 0u64;
+        for (node, pipeline) in self.pipelines.iter_mut().enumerate() {
+            if self.driver.is_crashed(node) {
+                continue;
+            }
+            let node_decided = self.driver.decided(node);
+            for (seq, batch, t) in node_decided.iter().skip(self.batches_decided) {
+                let outcome = pipeline.process_block(batch.txs.clone());
+                if node == reference {
+                    report.committed += outcome.committed.len();
+                    report.aborted += outcome.aborted.len();
+                    report.batches += 1;
+                    latency_sum += t;
+                    latency_n += 1;
+                    let _ = seq;
+                }
+            }
+        }
+        self.batches_decided = decided.len();
+        if latency_n > 0 {
+            report.mean_decide_latency = latency_sum as f64 / latency_n as f64;
+        }
+        report
+    }
+
+    /// True when all alive nodes hold identical ledgers and states —
+    /// the consistency property Figure 1 illustrates.
+    pub fn replicas_identical(&self) -> bool {
+        let alive: Vec<usize> =
+            (0..self.len()).filter(|&i| !self.driver.is_crashed(i)).collect();
+        let Some(&first) = alive.first() else {
+            return true;
+        };
+        let head = self.pipelines[first].ledger().head_hash();
+        let digest = self.pipelines[first].state().state_digest();
+        alive.iter().all(|&i| {
+            self.pipelines[i].ledger().head_hash() == head
+                && self.pipelines[i].state().state_digest() == digest
+        })
+    }
+
+    /// A node's committed state.
+    pub fn node_state(&self, node: usize) -> &StateStore {
+        self.pipelines[node].state()
+    }
+
+    /// A node's block ledger.
+    pub fn node_ledger(&self, node: usize) -> &pbc_ledger::ChainLedger {
+        self.pipelines[node].ledger()
+    }
+
+    /// Consensus-layer network statistics.
+    pub fn net_stats(&self) -> &NetStats {
+        self.driver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_workload::PaymentWorkload;
+
+    fn run(consensus: ConsensusKind, arch: ArchKind, n: usize, txs: usize) -> (BlockchainNetwork, RunReport) {
+        let w = PaymentWorkload { accounts: 64, ..Default::default() };
+        let mut chain = NetworkBuilder::new(n)
+            .consensus(consensus)
+            .architecture(arch)
+            .initial_state(w.initial_state())
+            .batch_size(8)
+            .build();
+        chain.submit_all(w.generate(0, txs));
+        let report = chain.run_to_completion();
+        (chain, report)
+    }
+
+    #[test]
+    fn figure1_five_nodes_identical_replicas() {
+        let (chain, report) = run(ConsensusKind::Pbft, ArchKind::Ox, 5, 24);
+        assert!(report.consensus_complete);
+        assert_eq!(report.committed, 24);
+        assert_eq!(report.batches, 3);
+        assert!(chain.replicas_identical());
+        // The ledger chains verify on every node.
+        for i in 0..5 {
+            chain.node_ledger(i).verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_consensus_kind_drives_the_chain() {
+        for kind in [
+            ConsensusKind::Pbft,
+            ConsensusKind::Ibft,
+            ConsensusKind::HotStuff,
+            ConsensusKind::Tendermint,
+            ConsensusKind::Raft,
+            ConsensusKind::Paxos,
+            ConsensusKind::MinBft,
+        ] {
+            let n = if kind == ConsensusKind::MinBft { 3 } else { 4 };
+            let (chain, report) = run(kind, ArchKind::Ox, n, 16);
+            assert!(report.consensus_complete, "{kind:?} stalled");
+            assert_eq!(report.committed, 16, "{kind:?}");
+            assert!(chain.replicas_identical(), "{kind:?} replicas diverged");
+        }
+    }
+
+    #[test]
+    fn every_arch_kind_commits_consistently() {
+        for arch in [
+            ArchKind::Ox,
+            ArchKind::Oxii,
+            ArchKind::Xov,
+            ArchKind::XovFabricPp,
+            ArchKind::XovFabricSharp,
+            ArchKind::Xox,
+            ArchKind::FastFabric,
+        ] {
+            let (chain, report) = run(ConsensusKind::Pbft, arch, 4, 16);
+            assert!(report.consensus_complete, "{arch:?}");
+            assert!(report.committed + report.aborted == 16, "{arch:?}");
+            assert!(chain.replicas_identical(), "{arch:?} replicas diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_submission_rounds() {
+        let w = PaymentWorkload { accounts: 64, ..Default::default() };
+        let mut chain = NetworkBuilder::new(4)
+            .architecture(ArchKind::Oxii)
+            .initial_state(w.initial_state())
+            .batch_size(4)
+            .build();
+        chain.submit_all(w.generate(0, 8));
+        let r1 = chain.run_to_completion();
+        chain.submit_all(w.generate(100, 8));
+        let r2 = chain.run_to_completion();
+        assert_eq!(r1.committed + r2.committed, 16);
+        assert!(chain.replicas_identical());
+        assert_eq!(chain.node_ledger(0).len(), 5); // genesis + 4 blocks
+    }
+
+    #[test]
+    fn crash_tolerance_end_to_end() {
+        let w = PaymentWorkload { accounts: 64, ..Default::default() };
+        let mut chain = NetworkBuilder::new(4)
+            .consensus(ConsensusKind::Pbft)
+            .initial_state(w.initial_state())
+            .build();
+        chain.crash(2);
+        chain.submit_all(w.generate(0, 8));
+        let report = chain.run_to_completion();
+        assert!(report.consensus_complete);
+        assert_eq!(report.committed, 8);
+        assert!(chain.replicas_identical(), "alive replicas stay identical");
+    }
+
+    #[test]
+    fn report_metrics_populated() {
+        let (_, report) = run(ConsensusKind::Pbft, ArchKind::Ox, 4, 8);
+        assert!(report.msgs_sent > 0);
+        assert!(report.bytes_sent > 0);
+        assert!(report.mean_decide_latency > 0.0);
+        assert!(report.sim_time > 0);
+    }
+}

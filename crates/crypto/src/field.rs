@@ -1,0 +1,150 @@
+//! 64-bit modular arithmetic and primality testing.
+//!
+//! These are the building blocks of the [`crate::group`] Schnorr group.
+//! All operations use `u128` intermediates, so they are exact for any
+//! 64-bit modulus.
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+pub fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(a + b) mod m` without overflow.
+#[inline]
+pub fn addmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `(a - b) mod m`, result in `[0, m)`.
+#[inline]
+pub fn submod(a: u64, b: u64, m: u64) -> u64 {
+    let (a, b) = (a % m, b % m);
+    if a >= b {
+        a - b
+    } else {
+        a + (m - b)
+    }
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn powmod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut r = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mulmod(r, a, m);
+        }
+        a = mulmod(a, a, m);
+        e >>= 1;
+    }
+    r
+}
+
+/// Modular inverse of `a` mod prime `p` via Fermat's little theorem.
+///
+/// # Panics
+/// Panics if `a % p == 0` (zero has no inverse).
+pub fn invmod_prime(a: u64, p: u64) -> u64 {
+    let a = a % p;
+    assert!(a != 0, "zero has no modular inverse");
+    powmod(a, p - 2, p)
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the sprp base set {2,3,5,7,11,13,17,19,23,29,31,37}, which is
+/// proven sufficient for n < 3.3·10^24.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulmod_large_operands() {
+        let m = u64::MAX - 58; // arbitrary large modulus
+        assert_eq!(mulmod(m - 1, m - 1, m), 1); // (-1)^2 = 1
+    }
+
+    #[test]
+    fn submod_wraps() {
+        assert_eq!(submod(2, 5, 7), 4);
+        assert_eq!(submod(5, 2, 7), 3);
+        assert_eq!(submod(0, 0, 7), 0);
+    }
+
+    #[test]
+    fn powmod_edge_cases() {
+        assert_eq!(powmod(5, 0, 13), 1);
+        assert_eq!(powmod(0, 5, 13), 0);
+        assert_eq!(powmod(5, 1, 13), 5);
+        assert_eq!(powmod(2, 10, 1000), 24);
+        assert_eq!(powmod(7, 100, 1), 0);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let p = 1_000_000_007u64;
+        for a in [1u64, 2, 12345, p - 1] {
+            let inv = invmod_prime(a, p);
+            assert_eq!(mulmod(a, inv, p), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inverse_of_zero_panics() {
+        invmod_prime(0, 13);
+    }
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn primality_large_known() {
+        assert!(is_prime(2_305_843_009_213_693_951)); // 2^61 - 1 (Mersenne)
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        // Strong pseudoprime to base 2 (Carmichael-adjacent trap).
+        assert!(!is_prime(3_215_031_751));
+    }
+}

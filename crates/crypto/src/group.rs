@@ -1,0 +1,236 @@
+//! A Schnorr group: the order-`q` subgroup of `Z_p^*`.
+//!
+//! `p = 2q + 1` is a 61-bit safe prime, so the squares of `Z_p^*` form a
+//! prime-order-`q` subgroup in which the decisional Diffie–Hellman
+//! structure needed by Pedersen commitments and Σ-protocols holds. The
+//! group is intentionally small (see the crate-level security note); the
+//! unit tests re-verify all the constants with Miller–Rabin.
+
+use crate::field::{invmod_prime, mulmod, powmod, submod};
+use crate::hash::Hash;
+use serde::{Deserialize, Serialize};
+
+/// The 61-bit safe prime modulus `p`.
+pub const P: u64 = 2_305_843_009_213_691_579;
+/// The prime group order `q = (p - 1) / 2`.
+pub const Q: u64 = 1_152_921_504_606_845_789;
+/// Generator of the order-`q` subgroup: `g = 2²`.
+pub const G: u64 = 4;
+/// Second generator `h = 3²` with unknown discrete log w.r.t. `g`
+/// (nothing-up-my-sleeve choice), required by Pedersen binding.
+pub const H: u64 = 9;
+
+/// A scalar modulo the group order `q`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub struct Scalar(pub u64);
+
+// Arithmetic methods use the conventional short names (`add`, `mul`, …)
+// by-value rather than the operator traits: proofs chain them heavily and
+// the explicit form keeps modular-arithmetic call sites obvious.
+#[allow(clippy::should_implement_trait)]
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar(0);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar(1);
+
+    /// Reduces an arbitrary `u64` into the scalar field.
+    pub fn new(v: u64) -> Scalar {
+        Scalar(v % Q)
+    }
+
+    /// Uniformly random scalar.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Scalar {
+        Scalar(rng.gen_range(0..Q))
+    }
+
+    /// `self + rhs (mod q)`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(((self.0 as u128 + rhs.0 as u128) % Q as u128) as u64)
+    }
+
+    /// `self - rhs (mod q)`.
+    pub fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(submod(self.0, rhs.0, Q))
+    }
+
+    /// `self * rhs (mod q)`.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(mulmod(self.0, rhs.0, Q))
+    }
+
+    /// `-self (mod q)`.
+    pub fn neg(self) -> Scalar {
+        Scalar(submod(0, self.0, Q))
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn inv(self) -> Scalar {
+        Scalar(invmod_prime(self.0, Q))
+    }
+}
+
+/// An element of the order-`q` subgroup of `Z_p^*`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub struct GroupElement(pub u64);
+
+#[allow(clippy::should_implement_trait)]
+impl GroupElement {
+    /// The group identity.
+    pub const ONE: GroupElement = GroupElement(1);
+
+    /// The standard generator `g`.
+    pub fn generator() -> GroupElement {
+        GroupElement(G)
+    }
+
+    /// The second Pedersen generator `h`.
+    pub fn generator_h() -> GroupElement {
+        GroupElement(H)
+    }
+
+    /// `g^e` for the standard generator.
+    pub fn g_pow(e: Scalar) -> GroupElement {
+        GroupElement(powmod(G, e.0, P))
+    }
+
+    /// `h^e` for the second generator.
+    pub fn h_pow(e: Scalar) -> GroupElement {
+        GroupElement(powmod(H, e.0, P))
+    }
+
+    /// `self^e`.
+    pub fn pow(self, e: Scalar) -> GroupElement {
+        GroupElement(powmod(self.0, e.0, P))
+    }
+
+    /// Group operation `self * rhs (mod p)`.
+    pub fn mul(self, rhs: GroupElement) -> GroupElement {
+        GroupElement(mulmod(self.0, rhs.0, P))
+    }
+
+    /// Inverse element `self^{-1} (mod p)`.
+    pub fn inv(self) -> GroupElement {
+        GroupElement(invmod_prime(self.0, P))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: GroupElement) -> GroupElement {
+        self.mul(rhs.inv())
+    }
+
+    /// True if this element is in the order-`q` subgroup (a square mod p).
+    pub fn is_valid(self) -> bool {
+        self.0 != 0 && self.0 < P && powmod(self.0, Q, P) == 1
+    }
+}
+
+/// Maps a digest onto a scalar (used for Fiat–Shamir challenges).
+pub fn hash_to_scalar(h: &Hash) -> Scalar {
+    Scalar::new(h.prefix_u64())
+}
+
+/// Maps arbitrary bytes onto a group element by hashing into `Z_p^*` and
+/// squaring (squares generate the order-`q` subgroup).
+pub fn hash_to_group(data: &[u8]) -> GroupElement {
+    let mut counter = 0u8;
+    loop {
+        let h = crate::sha256::sha256_concat(&[data, &[counter]]);
+        let x = h.prefix_u64() % P;
+        if x > 1 {
+            return GroupElement(mulmod(x, x, P));
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::is_prime;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constants_are_sound() {
+        assert!(is_prime(P), "p must be prime");
+        assert!(is_prime(Q), "q must be prime");
+        assert_eq!(P, 2 * Q + 1, "p must be a safe prime");
+        assert!(GroupElement(G).is_valid());
+        assert!(GroupElement(H).is_valid());
+        // g and h have order exactly q (not 1).
+        assert_ne!(G, 1);
+        assert_ne!(H, 1);
+    }
+
+    #[test]
+    fn exponent_laws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            // g^(a+b) = g^a * g^b
+            assert_eq!(
+                GroupElement::g_pow(a.add(b)),
+                GroupElement::g_pow(a).mul(GroupElement::g_pow(b))
+            );
+            // (g^a)^b = g^(ab)
+            assert_eq!(GroupElement::g_pow(a).pow(b), GroupElement::g_pow(a.mul(b)));
+        }
+    }
+
+    #[test]
+    fn inverse_laws() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = Scalar::random(&mut rng);
+            if a == Scalar::ZERO {
+                continue;
+            }
+            assert_eq!(a.mul(a.inv()), Scalar::ONE);
+            let x = GroupElement::g_pow(a);
+            assert_eq!(x.mul(x.inv()), GroupElement::ONE);
+            assert_eq!(x.div(x), GroupElement::ONE);
+        }
+    }
+
+    #[test]
+    fn scalar_field_axioms() {
+        let a = Scalar::new(u64::MAX);
+        assert!(a.0 < Q);
+        assert_eq!(a.add(a.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::new(Q), Scalar::ZERO);
+    }
+
+    #[test]
+    fn hash_to_group_lands_in_subgroup() {
+        for i in 0..20u32 {
+            let e = hash_to_group(&i.to_be_bytes());
+            assert!(e.is_valid(), "i={i}");
+        }
+    }
+
+    #[test]
+    fn hash_to_group_is_deterministic_and_spread() {
+        let a = hash_to_group(b"alpha");
+        let b = hash_to_group(b"alpha");
+        let c = hash_to_group(b"beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subgroup_membership_rejects_non_squares() {
+        // 2 generates all of Z_p^* for a safe prime unless it is a QR;
+        // find some non-member.
+        let mut found_invalid = false;
+        for x in 2u64..50 {
+            if !GroupElement(x).is_valid() {
+                found_invalid = true;
+                break;
+            }
+        }
+        assert!(found_invalid, "expected some x < 50 outside the subgroup");
+        assert!(!GroupElement(0).is_valid());
+        assert!(!GroupElement(P).is_valid());
+    }
+}

@@ -1,0 +1,102 @@
+//! The 32-byte digest type shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte SHA-256 digest.
+///
+/// Used for block hashes, Merkle roots, transaction ids derived from
+/// content, and Fiat–Shamir transcripts. `Hash::ZERO` conventionally
+/// denotes "no predecessor" (the genesis back-pointer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Hash(pub [u8; 32]);
+
+impl Hash {
+    /// The all-zero hash, used as the genesis block's predecessor.
+    pub const ZERO: Hash = Hash([0u8; 32]);
+
+    /// Lower-case hex encoding of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    pub fn from_hex(s: &str) -> Option<Hash> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for i in 0..32 {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash(out))
+    }
+
+    /// First 8 bytes of the digest as a `u64` (big-endian); handy for
+    /// deriving seeds and short identifiers from content.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+
+    /// Returns true if this is the all-zero hash.
+    pub fn is_zero(&self) -> bool {
+        *self == Hash::ZERO
+    }
+}
+
+impl fmt::Debug for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = sha256(b"roundtrip");
+        assert_eq!(Hash::from_hex(&h.to_hex()), Some(h));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Hash::from_hex("abc"), None);
+        assert_eq!(Hash::from_hex(&"zz".repeat(32)), None);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Hash::ZERO.is_zero());
+        assert!(!sha256(b"x").is_zero());
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian_prefix() {
+        let mut raw = [0u8; 32];
+        raw[..8].copy_from_slice(&0x0102030405060708u64.to_be_bytes());
+        assert_eq!(Hash(raw).prefix_u64(), 0x0102030405060708);
+    }
+}

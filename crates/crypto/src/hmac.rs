@@ -1,0 +1,86 @@
+//! HMAC-SHA256 per RFC 2104.
+
+use crate::hash::Hash;
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Hash {
+    // Keys longer than the block size are hashed first.
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kh = crate::sha256(key);
+        k[..32].copy_from_slice(&kh.0);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest.0);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            out.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            out.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let out = hmac_sha256(&key, &msg);
+        assert_eq!(
+            out.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            out.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

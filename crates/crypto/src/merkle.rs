@@ -1,0 +1,211 @@
+//! Binary Merkle trees with inclusion proofs.
+//!
+//! Used for block transaction roots and for the hash-on-ledger evidence of
+//! private data collections (§2.3.1). Leaves are domain-separated from
+//! interior nodes (prefix byte `0x00` vs `0x01`) to rule out
+//! second-preimage tree-splicing attacks. Odd nodes are promoted (Bitcoin
+//! duplicates them instead; promotion avoids the duplicate-leaf ambiguity).
+
+use crate::hash::Hash;
+use crate::sha256::sha256_concat;
+use serde::{Deserialize, Serialize};
+
+/// Hashes a leaf with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Hash {
+    sha256_concat(&[&[0x00], data])
+}
+
+/// Hashes an interior node with domain separation.
+pub fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    sha256_concat(&[&[0x01], &left.0, &right.0])
+}
+
+/// A Merkle tree over a list of byte-string leaves.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels\[0\] = leaf hashes, last level = [root]. Empty tree has no levels.
+    levels: Vec<Vec<Hash>>,
+}
+
+/// One step of an inclusion proof: the sibling hash and which side it is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProofStep {
+    /// Sibling is on the left: parent = H(sibling ‖ current).
+    Left(Hash),
+    /// Sibling is on the right: parent = H(current ‖ sibling).
+    Right(Hash),
+}
+
+/// Inclusion proof for a leaf.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proved leaf.
+    pub index: usize,
+    /// Sibling path from leaf level to the root.
+    pub path: Vec<ProofStep>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves` (each hashed with [`leaf_hash`]).
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        let hashes: Vec<Hash> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_hashes(hashes)
+    }
+
+    /// Builds a tree over already-hashed leaves.
+    pub fn from_leaf_hashes(hashes: Vec<Hash>) -> Self {
+        if hashes.is_empty() {
+            return MerkleTree { levels: vec![] };
+        }
+        let mut levels = vec![hashes];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i < prev.len() {
+                if i + 1 < prev.len() {
+                    next.push(node_hash(&prev[i], &prev[i + 1]));
+                } else {
+                    // Odd node: promote unchanged.
+                    next.push(prev[i]);
+                }
+                i += 2;
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Root of the tree. The empty tree's root is `Hash::ZERO`.
+    pub fn root(&self) -> Hash {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Hash::ZERO)
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map_or(0, |l| l.len())
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces an inclusion proof for leaf `index`, or `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+            if sibling < level.len() {
+                if idx.is_multiple_of(2) {
+                    path.push(ProofStep::Right(level[sibling]));
+                } else {
+                    path.push(ProofStep::Left(level[sibling]));
+                }
+            }
+            // Promoted odd nodes contribute no step.
+            idx /= 2;
+        }
+        Some(MerkleProof { index, path })
+    }
+}
+
+/// Verifies that `leaf_data` is included under `root` via `proof`.
+pub fn verify_inclusion(root: &Hash, leaf_data: &[u8], proof: &MerkleProof) -> bool {
+    verify_inclusion_hash(root, leaf_hash(leaf_data), proof)
+}
+
+/// Verifies inclusion of an already-hashed leaf.
+pub fn verify_inclusion_hash(root: &Hash, leaf: Hash, proof: &MerkleProof) -> bool {
+    let mut cur = leaf;
+    for step in &proof.path {
+        cur = match step {
+            ProofStep::Left(sib) => node_hash(sib, &cur),
+            ProofStep::Right(sib) => node_hash(&cur, sib),
+        };
+    }
+    cur == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        let t = MerkleTree::build::<Vec<u8>>(&[]);
+        assert_eq!(t.root(), Hash::ZERO);
+        assert!(t.is_empty());
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let t = MerkleTree::build(&[b"only".to_vec()]);
+        assert_eq!(t.root(), leaf_hash(b"only"));
+        let p = t.prove(0).unwrap();
+        assert!(p.path.is_empty());
+        assert!(verify_inclusion(&t.root(), b"only", &p));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_many_sizes() {
+        for n in 1..=33 {
+            let ls = leaves(n);
+            let t = MerkleTree::build(&ls);
+            for (i, l) in ls.iter().enumerate() {
+                let p = t.prove(i).unwrap();
+                assert!(verify_inclusion(&t.root(), l, &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let ls = leaves(8);
+        let t = MerkleTree::build(&ls);
+        let p = t.prove(3).unwrap();
+        assert!(!verify_inclusion(&t.root(), b"tx-4", &p));
+    }
+
+    #[test]
+    fn proof_for_other_tree_fails() {
+        let t1 = MerkleTree::build(&leaves(8));
+        let t2 = MerkleTree::build(&leaves(9));
+        let p = t1.prove(2).unwrap();
+        assert!(!verify_inclusion(&t2.root(), b"tx-2", &p));
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut ls = leaves(4);
+        let t1 = MerkleTree::build(&ls);
+        ls.swap(0, 1);
+        let t2 = MerkleTree::build(&ls);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A leaf equal to 0x01 || h1 || h2 must not collide with the
+        // interior node H(h1, h2).
+        let h1 = leaf_hash(b"a");
+        let h2 = leaf_hash(b"b");
+        let mut fake = vec![0x01];
+        fake.extend_from_slice(&h1.0);
+        fake.extend_from_slice(&h2.0);
+        assert_ne!(leaf_hash(&fake), node_hash(&h1, &h2));
+    }
+}

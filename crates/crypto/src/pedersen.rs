@@ -1,0 +1,127 @@
+//! Pedersen commitments `C = g^m · h^r` in the Schnorr group.
+//!
+//! Perfectly hiding (for `r` uniform) and computationally binding (under
+//! the discrete-log assumption in the toy group), with the additive
+//! homomorphism `C(m1, r1) · C(m2, r2) = C(m1 + m2, r1 + r2)` that the
+//! Quorum-style private transfer in `pbc-verify` relies on for its
+//! mass-conservation check.
+
+use crate::group::{GroupElement, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// A Pedersen commitment to a scalar value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub struct Commitment(pub GroupElement);
+
+/// The opening (value, blinding) of a commitment; kept secret by the
+/// committer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Opening {
+    /// The committed value.
+    pub value: Scalar,
+    /// The blinding factor.
+    pub blinding: Scalar,
+}
+
+/// Commits to `value` with blinding `r`.
+pub fn commit(value: Scalar, blinding: Scalar) -> Commitment {
+    Commitment(GroupElement::g_pow(value).mul(GroupElement::h_pow(blinding)))
+}
+
+/// Commits to `value` with fresh randomness, returning the opening too.
+pub fn commit_random<R: rand::Rng + ?Sized>(value: Scalar, rng: &mut R) -> (Commitment, Opening) {
+    let blinding = Scalar::random(rng);
+    (commit(value, blinding), Opening { value, blinding })
+}
+
+/// Verifies an opening against a commitment.
+pub fn open(c: &Commitment, o: &Opening) -> bool {
+    commit(o.value, o.blinding) == *c
+}
+
+impl Commitment {
+    /// Homomorphic addition: commits to the sum of the two values.
+    pub fn add(&self, rhs: &Commitment) -> Commitment {
+        Commitment(self.0.mul(rhs.0))
+    }
+
+    /// Homomorphic subtraction: commits to the difference of values.
+    pub fn sub(&self, rhs: &Commitment) -> Commitment {
+        Commitment(self.0.div(rhs.0))
+    }
+
+    /// True if this commits to zero with blinding `r` — i.e. equals `h^r`.
+    pub fn is_zero_commitment(&self, blinding: Scalar) -> bool {
+        self.0 == GroupElement::h_pow(blinding)
+    }
+}
+
+impl Opening {
+    /// Adds two openings (matches [`Commitment::add`]).
+    pub fn add(&self, rhs: &Opening) -> Opening {
+        Opening { value: self.value.add(rhs.value), blinding: self.blinding.add(rhs.blinding) }
+    }
+
+    /// Subtracts two openings (matches [`Commitment::sub`]).
+    pub fn sub(&self, rhs: &Opening) -> Opening {
+        Opening { value: self.value.sub(rhs.value), blinding: self.blinding.sub(rhs.blinding) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn commit_open_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (c, o) = commit_random(Scalar::new(42), &mut rng);
+        assert!(open(&c, &o));
+    }
+
+    #[test]
+    fn wrong_value_fails_to_open() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (c, o) = commit_random(Scalar::new(42), &mut rng);
+        let bad = Opening { value: Scalar::new(43), ..o };
+        assert!(!open(&c, &bad));
+    }
+
+    #[test]
+    fn wrong_blinding_fails_to_open() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c, o) = commit_random(Scalar::new(42), &mut rng);
+        let bad = Opening { blinding: o.blinding.add(Scalar::ONE), ..o };
+        assert!(!open(&c, &bad));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (c1, o1) = commit_random(Scalar::new(10), &mut rng);
+        let (c2, o2) = commit_random(Scalar::new(32), &mut rng);
+        let sum_c = c1.add(&c2);
+        let sum_o = o1.add(&o2);
+        assert_eq!(sum_o.value, Scalar::new(42));
+        assert!(open(&sum_c, &sum_o));
+    }
+
+    #[test]
+    fn homomorphic_subtraction_and_zero_test() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (c1, o1) = commit_random(Scalar::new(100), &mut rng);
+        let (c2, o2) = commit_random(Scalar::new(100), &mut rng);
+        let diff = c1.sub(&c2);
+        // Difference commits to zero; provable with the combined blinding.
+        assert!(diff.is_zero_commitment(o1.blinding.sub(o2.blinding)));
+    }
+
+    #[test]
+    fn hiding_same_value_different_commitments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (c1, _) = commit_random(Scalar::new(7), &mut rng);
+        let (c2, _) = commit_random(Scalar::new(7), &mut rng);
+        assert_ne!(c1, c2, "fresh blinding must hide the value");
+    }
+}

@@ -1,0 +1,181 @@
+//! Non-interactive Σ-protocols (Fiat–Shamir transform).
+//!
+//! * [`DlogProof`] — proof of knowledge of `x` such that `X = base^x`.
+//! * [`OpeningProof`] — proof of knowledge of an opening `(m, r)` of a
+//!   Pedersen commitment `C = g^m · h^r`, without revealing it.
+//!
+//! Challenges are derived by hashing the statement, the prover's
+//! commitment, and a caller-supplied domain-separation context, which
+//! binds proofs to the transaction they accompany (preventing replay
+//! across transactions in `pbc-verify`).
+
+use crate::group::{hash_to_scalar, GroupElement, Scalar};
+use crate::pedersen::Commitment;
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// Derives a Fiat–Shamir challenge from group elements and a context tag.
+pub fn challenge(context: &[u8], elements: &[GroupElement]) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(b"pbc-sigma-v1");
+    h.update(&(context.len() as u64).to_be_bytes());
+    h.update(context);
+    for e in elements {
+        h.update(&e.0.to_be_bytes());
+    }
+    hash_to_scalar(&h.finalize())
+}
+
+/// Proof of knowledge of the discrete log of `statement` w.r.t. `base`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlogProof {
+    /// Prover's commitment `a = base^k`.
+    pub commit: GroupElement,
+    /// Response `z = k + c·x (mod q)`.
+    pub response: Scalar,
+}
+
+impl DlogProof {
+    /// Proves knowledge of `witness` where `statement = base^witness`.
+    pub fn prove<R: rand::Rng + ?Sized>(
+        base: GroupElement,
+        statement: GroupElement,
+        witness: Scalar,
+        context: &[u8],
+        rng: &mut R,
+    ) -> DlogProof {
+        let k = Scalar::random(rng);
+        let a = base.pow(k);
+        let c = challenge(context, &[base, statement, a]);
+        DlogProof { commit: a, response: k.add(c.mul(witness)) }
+    }
+
+    /// Verifies the proof: `base^z == a · statement^c`.
+    pub fn verify(&self, base: GroupElement, statement: GroupElement, context: &[u8]) -> bool {
+        if !statement.is_valid() || !self.commit.is_valid() {
+            return false;
+        }
+        let c = challenge(context, &[base, statement, self.commit]);
+        base.pow(self.response) == self.commit.mul(statement.pow(c))
+    }
+}
+
+/// Proof of knowledge of a Pedersen opening `(m, r)` for `C = g^m h^r`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpeningProof {
+    /// Prover's commitment `a = g^{k_m} h^{k_r}`.
+    pub commit: GroupElement,
+    /// Response for the value slot.
+    pub z_value: Scalar,
+    /// Response for the blinding slot.
+    pub z_blinding: Scalar,
+}
+
+impl OpeningProof {
+    /// Proves knowledge of the opening of `c`.
+    pub fn prove<R: rand::Rng + ?Sized>(
+        c: &Commitment,
+        value: Scalar,
+        blinding: Scalar,
+        context: &[u8],
+        rng: &mut R,
+    ) -> OpeningProof {
+        let km = Scalar::random(rng);
+        let kr = Scalar::random(rng);
+        let a = GroupElement::g_pow(km).mul(GroupElement::h_pow(kr));
+        let ch = challenge(context, &[c.0, a]);
+        OpeningProof {
+            commit: a,
+            z_value: km.add(ch.mul(value)),
+            z_blinding: kr.add(ch.mul(blinding)),
+        }
+    }
+
+    /// Verifies: `g^{z_m} h^{z_r} == a · C^c`.
+    pub fn verify(&self, c: &Commitment, context: &[u8]) -> bool {
+        if !c.0.is_valid() || !self.commit.is_valid() {
+            return false;
+        }
+        let ch = challenge(context, &[c.0, self.commit]);
+        GroupElement::g_pow(self.z_value).mul(GroupElement::h_pow(self.z_blinding))
+            == self.commit.mul(c.0.pow(ch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pedersen;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn dlog_proof_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Scalar::random(&mut rng);
+        let base = GroupElement::generator();
+        let statement = base.pow(x);
+        let proof = DlogProof::prove(base, statement, x, b"ctx", &mut rng);
+        assert!(proof.verify(base, statement, b"ctx"));
+    }
+
+    #[test]
+    fn dlog_proof_rejects_wrong_statement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Scalar::random(&mut rng);
+        let base = GroupElement::generator();
+        let statement = base.pow(x);
+        let proof = DlogProof::prove(base, statement, x, b"ctx", &mut rng);
+        let other = base.pow(x.add(Scalar::ONE));
+        assert!(!proof.verify(base, other, b"ctx"));
+    }
+
+    #[test]
+    fn dlog_proof_bound_to_context() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Scalar::random(&mut rng);
+        let base = GroupElement::generator();
+        let statement = base.pow(x);
+        let proof = DlogProof::prove(base, statement, x, b"tx-1", &mut rng);
+        assert!(!proof.verify(base, statement, b"tx-2"), "replay across contexts must fail");
+    }
+
+    #[test]
+    fn dlog_proof_rejects_tampered_response() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Scalar::random(&mut rng);
+        let base = GroupElement::generator();
+        let statement = base.pow(x);
+        let mut proof = DlogProof::prove(base, statement, x, b"ctx", &mut rng);
+        proof.response = proof.response.add(Scalar::ONE);
+        assert!(!proof.verify(base, statement, b"ctx"));
+    }
+
+    #[test]
+    fn opening_proof_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (c, o) = pedersen::commit_random(Scalar::new(77), &mut rng);
+        let proof = OpeningProof::prove(&c, o.value, o.blinding, b"ctx", &mut rng);
+        assert!(proof.verify(&c, b"ctx"));
+    }
+
+    #[test]
+    fn opening_proof_rejects_other_commitment() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (c1, o1) = pedersen::commit_random(Scalar::new(77), &mut rng);
+        let (c2, _) = pedersen::commit_random(Scalar::new(77), &mut rng);
+        let proof = OpeningProof::prove(&c1, o1.value, o1.blinding, b"ctx", &mut rng);
+        assert!(!proof.verify(&c2, b"ctx"));
+    }
+
+    #[test]
+    fn proofs_do_not_reveal_witness_trivially() {
+        // Two proofs of the same statement with different randomness differ.
+        let mut rng = StdRng::seed_from_u64(16);
+        let x = Scalar::random(&mut rng);
+        let base = GroupElement::generator();
+        let statement = base.pow(x);
+        let p1 = DlogProof::prove(base, statement, x, b"ctx", &mut rng);
+        let p2 = DlogProof::prove(base, statement, x, b"ctx", &mut rng);
+        assert_ne!(p1, p2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Schnorr digital signatures over the toy group — the *public-key*
+//! alternative to the keyed-hash scheme in [`crate::sig`].
+//!
+//! The MAC-based directory is the cheaper fit for a closed membership
+//! (every verifier already shares trust with the setup), but some flows
+//! benefit from genuine asymmetry: third parties verifying endorsements
+//! without holding any secrets, or auditors checking signatures offline.
+//! This is textbook Schnorr (the basis of Ed25519's design): key
+//! `x ← Z_q`, public key `X = g^x`; a signature on `m` is `(R = g^k,
+//! s = k + H(R ‖ X ‖ m)·x)`, verified by `g^s = R · X^{H(R ‖ X ‖ m)}`.
+
+use crate::group::{hash_to_scalar, GroupElement, Scalar};
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// A Schnorr signing key.
+#[derive(Clone, Copy)]
+pub struct SigningKey {
+    secret: Scalar,
+    /// The corresponding public key (`g^secret`).
+    pub public: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(pub={:?})", self.public)
+    }
+}
+
+/// A Schnorr public key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VerifyingKey(pub GroupElement);
+
+/// A Schnorr signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchnorrSignature {
+    /// The nonce commitment `R = g^k`.
+    pub r: GroupElement,
+    /// The response `s = k + c·x`.
+    pub s: Scalar,
+}
+
+fn challenge(r: GroupElement, public: VerifyingKey, msg: &[u8]) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(b"pbc-schnorr-sig-v1");
+    h.update(&r.0.to_be_bytes());
+    h.update(&public.0 .0.to_be_bytes());
+    h.update(&(msg.len() as u64).to_be_bytes());
+    h.update(msg);
+    hash_to_scalar(&h.finalize())
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> SigningKey {
+        let secret = Scalar::random(rng);
+        SigningKey { secret, public: VerifyingKey(GroupElement::g_pow(secret)) }
+    }
+
+    /// Derives a key pair deterministically from a seed (reproducible
+    /// network setups).
+    pub fn derive(seed: u64, id: u64) -> SigningKey {
+        let mut input = [0u8; 16];
+        input[..8].copy_from_slice(&seed.to_be_bytes());
+        input[8..].copy_from_slice(&id.to_be_bytes());
+        let secret = hash_to_scalar(&crate::sha256(&input));
+        SigningKey { secret, public: VerifyingKey(GroupElement::g_pow(secret)) }
+    }
+
+    /// Signs a message.
+    pub fn sign<R: rand::Rng + ?Sized>(&self, msg: &[u8], rng: &mut R) -> SchnorrSignature {
+        let k = Scalar::random(rng);
+        let r = GroupElement::g_pow(k);
+        let c = challenge(r, self.public, msg);
+        SchnorrSignature { r, s: k.add(c.mul(self.secret)) }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies a signature: `g^s == R · X^c`.
+    pub fn verify(&self, msg: &[u8], sig: &SchnorrSignature) -> bool {
+        if !self.0.is_valid() || !sig.r.is_valid() {
+            return false;
+        }
+        let c = challenge(sig.r, *self, msg);
+        GroupElement::g_pow(sig.s) == sig.r.mul(self.0.pow(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"endorse block 7", &mut rng);
+        assert!(key.public.verify(b"endorse block 7", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"block 7", &mut rng);
+        assert!(!key.public.verify(b"block 8", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = SigningKey::generate(&mut rng);
+        let b = SigningKey::generate(&mut rng);
+        let sig = a.sign(b"m", &mut rng);
+        assert!(!b.public.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = SigningKey::generate(&mut rng);
+        let mut sig = key.sign(b"m", &mut rng);
+        sig.s = sig.s.add(Scalar::ONE);
+        assert!(!key.public.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = SigningKey::generate(&mut rng);
+        let s1 = key.sign(b"m", &mut rng);
+        let s2 = key.sign(b"m", &mut rng);
+        assert_ne!(s1, s2);
+        assert!(key.public.verify(b"m", &s1));
+        assert!(key.public.verify(b"m", &s2));
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = SigningKey::derive(9, 3);
+        let b = SigningKey::derive(9, 3);
+        let c = SigningKey::derive(9, 4);
+        assert_eq!(a.public, b.public);
+        assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn verification_needs_no_secret() {
+        // The asymmetry that the MAC directory lacks: anyone holding only
+        // the public key verifies.
+        let mut rng = StdRng::seed_from_u64(6);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"audit", &mut rng);
+        let public_only: VerifyingKey = key.public;
+        assert!(public_only.verify(b"audit", &sig));
+    }
+}

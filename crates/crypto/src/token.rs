@@ -1,0 +1,240 @@
+//! Anonymous blind tokens (Privacy-Pass–style VOPRF).
+//!
+//! The Separ technique (§2.3.2) relies on a centralized trusted authority
+//! that models global regulations as *anonymous tokens* and distributes
+//! them to participants. We implement the standard verifiable-oblivious-PRF
+//! construction over the toy Schnorr group:
+//!
+//! * the authority holds a PRF key `k` with public commitment `K = g^k`;
+//! * a participant picks a random serial `s`, hashes it to the group
+//!   (`T = H2G(s)`) and sends the *blinded* point `B = T^b`;
+//! * the authority returns `B^k` with a Chaum–Pedersen DLEQ proof that it
+//!   used the committed key (so it cannot segment users by key);
+//! * the participant unblinds (`S = (B^k)^{1/b} = T^k`), obtaining a token
+//!   `(s, S)` that is unlinkable to the issuance interaction;
+//! * at redemption the authority checks `S = H2G(s)^k` and records `s` in
+//!   a spent set to prevent double spends.
+
+use crate::group::{hash_to_group, GroupElement, Scalar};
+use crate::schnorr::challenge;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A token serial — random bytes chosen by the participant.
+pub type Serial = [u8; 16];
+
+/// An issued, unblinded token: the serial and the authority's PRF output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The participant-chosen serial.
+    pub serial: Serial,
+    /// `H2G(serial)^k`.
+    pub signature: GroupElement,
+}
+
+/// Chaum–Pedersen proof that `log_g(K) == log_B(S)` — i.e. the authority
+/// evaluated the committed PRF key on the blinded point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DleqProof {
+    /// `a1 = g^t`.
+    pub a1: GroupElement,
+    /// `a2 = B^t`.
+    pub a2: GroupElement,
+    /// `z = t + c·k`.
+    pub z: Scalar,
+}
+
+impl DleqProof {
+    /// Proves equality of discrete logs of `(public_key, signed)` w.r.t.
+    /// `(g, blinded)` using key `k`.
+    pub fn prove<R: rand::Rng + ?Sized>(
+        k: Scalar,
+        public_key: GroupElement,
+        blinded: GroupElement,
+        signed: GroupElement,
+        rng: &mut R,
+    ) -> DleqProof {
+        let t = Scalar::random(rng);
+        let a1 = GroupElement::g_pow(t);
+        let a2 = blinded.pow(t);
+        let c = challenge(b"dleq", &[GroupElement::generator(), public_key, blinded, signed, a1, a2]);
+        DleqProof { a1, a2, z: t.add(c.mul(k)) }
+    }
+
+    /// Verifies the equality proof.
+    pub fn verify(
+        &self,
+        public_key: GroupElement,
+        blinded: GroupElement,
+        signed: GroupElement,
+    ) -> bool {
+        let c = challenge(
+            b"dleq",
+            &[GroupElement::generator(), public_key, blinded, signed, self.a1, self.a2],
+        );
+        GroupElement::g_pow(self.z) == self.a1.mul(public_key.pow(c))
+            && blinded.pow(self.z) == self.a2.mul(signed.pow(c))
+    }
+}
+
+/// The token-issuing and token-verifying authority (Separ's trusted party).
+#[derive(Debug)]
+pub struct TokenAuthority {
+    key: Scalar,
+    public_key: GroupElement,
+    spent: HashSet<Serial>,
+}
+
+impl TokenAuthority {
+    /// Creates an authority with a fresh random PRF key.
+    pub fn new<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let key = Scalar::random(rng);
+        TokenAuthority { key, public_key: GroupElement::g_pow(key), spent: HashSet::new() }
+    }
+
+    /// The public key commitment `K = g^k`.
+    pub fn public_key(&self) -> GroupElement {
+        self.public_key
+    }
+
+    /// Signs a blinded point, returning `B^k` and a DLEQ proof.
+    pub fn issue<R: rand::Rng + ?Sized>(
+        &self,
+        blinded: GroupElement,
+        rng: &mut R,
+    ) -> (GroupElement, DleqProof) {
+        let signed = blinded.pow(self.key);
+        let proof = DleqProof::prove(self.key, self.public_key, blinded, signed, rng);
+        (signed, proof)
+    }
+
+    /// Verifies and consumes a token. Returns false for forged or
+    /// already-spent tokens.
+    pub fn redeem(&mut self, token: &Token) -> bool {
+        if self.spent.contains(&token.serial) {
+            return false;
+        }
+        if hash_to_group(&token.serial).pow(self.key) != token.signature {
+            return false;
+        }
+        self.spent.insert(token.serial);
+        true
+    }
+
+    /// Number of tokens redeemed so far.
+    pub fn redeemed_count(&self) -> usize {
+        self.spent.len()
+    }
+}
+
+/// Client-side state for one blind issuance.
+#[derive(Debug)]
+pub struct BlindingSession {
+    serial: Serial,
+    blind: Scalar,
+    /// The blinded point to send to the authority.
+    pub blinded: GroupElement,
+}
+
+impl BlindingSession {
+    /// Starts a new issuance: picks a serial and blinds its group hash.
+    pub fn start<R: rand::Rng + ?Sized>(rng: &mut R) -> BlindingSession {
+        let mut serial = [0u8; 16];
+        rng.fill(&mut serial);
+        // blind must be invertible.
+        let blind = loop {
+            let b = Scalar::random(rng);
+            if b != Scalar::ZERO {
+                break b;
+            }
+        };
+        let blinded = hash_to_group(&serial).pow(blind);
+        BlindingSession { serial, blind, blinded }
+    }
+
+    /// Verifies the authority's DLEQ proof and unblinds the token.
+    /// Returns `None` if the proof fails (misbehaving authority).
+    pub fn finish(
+        self,
+        authority_key: GroupElement,
+        signed: GroupElement,
+        proof: &DleqProof,
+    ) -> Option<Token> {
+        if !proof.verify(authority_key, self.blinded, signed) {
+            return None;
+        }
+        Some(Token { serial: self.serial, signature: signed.pow(self.blind.inv()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn issue_one(auth: &TokenAuthority, rng: &mut StdRng) -> Token {
+        let session = BlindingSession::start(rng);
+        let (signed, proof) = auth.issue(session.blinded, rng);
+        session.finish(auth.public_key(), signed, &proof).expect("honest issuance")
+    }
+
+    #[test]
+    fn issue_and_redeem() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut auth = TokenAuthority::new(&mut rng);
+        let token = issue_one(&auth, &mut rng);
+        assert!(auth.redeem(&token));
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut auth = TokenAuthority::new(&mut rng);
+        let token = issue_one(&auth, &mut rng);
+        assert!(auth.redeem(&token));
+        assert!(!auth.redeem(&token), "second redemption must fail");
+        assert_eq!(auth.redeemed_count(), 1);
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut auth = TokenAuthority::new(&mut rng);
+        let forged = Token { serial: [9u8; 16], signature: GroupElement::g_pow(Scalar::new(123)) };
+        assert!(!auth.redeem(&forged));
+    }
+
+    #[test]
+    fn token_from_other_authority_rejected() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let auth_a = TokenAuthority::new(&mut rng);
+        let mut auth_b = TokenAuthority::new(&mut rng);
+        let token = issue_one(&auth_a, &mut rng);
+        assert!(!auth_b.redeem(&token));
+    }
+
+    #[test]
+    fn bad_dleq_proof_detected_by_client() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let auth = TokenAuthority::new(&mut rng);
+        let session = BlindingSession::start(&mut rng);
+        // Authority signs with a different key than committed.
+        let rogue_key = Scalar::new(0xBAD);
+        let signed = session.blinded.pow(rogue_key);
+        let proof = DleqProof::prove(rogue_key, GroupElement::g_pow(rogue_key), session.blinded, signed, &mut rng);
+        assert!(session.finish(auth.public_key(), signed, &proof).is_none());
+    }
+
+    #[test]
+    fn unblinded_token_valid_under_authority_prf() {
+        // Structural check: token.signature == H2G(serial)^k.
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut auth = TokenAuthority::new(&mut rng);
+        let t1 = issue_one(&auth, &mut rng);
+        let t2 = issue_one(&auth, &mut rng);
+        assert_ne!(t1.serial, t2.serial);
+        assert!(auth.redeem(&t1));
+        assert!(auth.redeem(&t2));
+        assert_eq!(auth.redeemed_count(), 2);
+    }
+}

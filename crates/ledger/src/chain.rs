@@ -1,0 +1,205 @@
+//! The append-only, hash-chained block ledger (Figure 1 of the paper).
+
+use pbc_crypto::Hash;
+use pbc_types::{Block, Height};
+
+/// Errors from appending to or verifying a chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's height is not exactly head height + 1.
+    WrongHeight {
+        /// Height the chain expected.
+        expected: Height,
+        /// Height the block carried.
+        got: Height,
+    },
+    /// The block's `prev` pointer doesn't match the head's hash.
+    BrokenLink {
+        /// Hash of the current head.
+        expected: Hash,
+        /// The block's `prev` field.
+        got: Hash,
+    },
+    /// The block's transaction Merkle root doesn't match its body.
+    BadTxRoot,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::WrongHeight { expected, got } => {
+                write!(f, "wrong height: expected {expected}, got {got}")
+            }
+            ChainError::BrokenLink { .. } => write!(f, "prev pointer does not match head hash"),
+            ChainError::BadTxRoot => write!(f, "tx merkle root mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// An append-only chain of blocks starting at genesis.
+#[derive(Clone, Debug)]
+pub struct ChainLedger {
+    blocks: Vec<Block>,
+}
+
+impl Default for ChainLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainLedger {
+    /// A fresh ledger holding only the genesis block.
+    pub fn new() -> Self {
+        ChainLedger { blocks: vec![Block::genesis()] }
+    }
+
+    /// The current head block.
+    pub fn head(&self) -> &Block {
+        self.blocks.last().expect("chain always has genesis")
+    }
+
+    /// The hash of the head block.
+    pub fn head_hash(&self) -> Hash {
+        self.head().hash()
+    }
+
+    /// Height of the head block.
+    pub fn height(&self) -> Height {
+        self.head().header.height
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false — a chain has at least genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The block at `height`, if present.
+    pub fn block_at(&self, height: Height) -> Option<&Block> {
+        self.blocks.get(height.0 as usize)
+    }
+
+    /// All blocks, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total committed transactions across all blocks.
+    pub fn total_txs(&self) -> usize {
+        self.blocks.iter().map(|b| b.txs.len()).sum()
+    }
+
+    /// Validates and appends a block.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected_height = self.height().next();
+        if block.header.height != expected_height {
+            return Err(ChainError::WrongHeight { expected: expected_height, got: block.header.height });
+        }
+        let expected_prev = self.head_hash();
+        if block.header.prev != expected_prev {
+            return Err(ChainError::BrokenLink { expected: expected_prev, got: block.header.prev });
+        }
+        if !block.verify_tx_root() {
+            return Err(ChainError::BadTxRoot);
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Re-verifies the entire chain from genesis (hash links, heights,
+    /// transaction roots). Used by auditors and in tests.
+    pub fn verify(&self) -> Result<(), ChainError> {
+        for i in 1..self.blocks.len() {
+            let prev = &self.blocks[i - 1];
+            let cur = &self.blocks[i];
+            if cur.header.height != prev.header.height.next() {
+                return Err(ChainError::WrongHeight {
+                    expected: prev.header.height.next(),
+                    got: cur.header.height,
+                });
+            }
+            if cur.header.prev != prev.hash() {
+                return Err(ChainError::BrokenLink { expected: prev.hash(), got: cur.header.prev });
+            }
+            if !cur.verify_tx_root() {
+                return Err(ChainError::BadTxRoot);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::{ClientId, NodeId, Op, Transaction, TxId};
+
+    fn block_on(ledger: &ChainLedger, txs: Vec<Transaction>) -> Block {
+        Block::build(ledger.height().next(), ledger.head_hash(), NodeId(0), 1, txs)
+    }
+
+    fn some_tx(i: u64) -> Transaction {
+        Transaction::new(TxId(i), ClientId(0), vec![Op::Get { key: format!("k{i}") }])
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let mut l = ChainLedger::new();
+        for i in 0..5 {
+            let b = block_on(&l, vec![some_tx(i)]);
+            l.append(b).unwrap();
+        }
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.total_txs(), 5);
+        l.verify().unwrap();
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut l = ChainLedger::new();
+        let b = Block::build(Height(5), l.head_hash(), NodeId(0), 1, vec![]);
+        assert!(matches!(l.append(b), Err(ChainError::WrongHeight { .. })));
+    }
+
+    #[test]
+    fn broken_link_rejected() {
+        let mut l = ChainLedger::new();
+        let b = Block::build(l.height().next(), Hash::ZERO, NodeId(0), 1, vec![some_tx(1)]);
+        // genesis hash != ZERO, so prev=ZERO is a broken link
+        assert!(matches!(l.append(b), Err(ChainError::BrokenLink { .. })));
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let mut l = ChainLedger::new();
+        let mut b = block_on(&l, vec![some_tx(1)]);
+        b.txs[0] = some_tx(2); // header root now stale
+        assert_eq!(l.append(b), Err(ChainError::BadTxRoot));
+    }
+
+    #[test]
+    fn verify_detects_post_hoc_tampering() {
+        let mut l = ChainLedger::new();
+        l.append(block_on(&l, vec![some_tx(1)])).unwrap();
+        l.append(block_on(&l, vec![some_tx(2)])).unwrap();
+        l.verify().unwrap();
+        // Tamper with a middle block's body.
+        l.blocks[1].txs[0] = some_tx(9);
+        assert!(l.verify().is_err());
+    }
+
+    #[test]
+    fn block_at_lookup() {
+        let mut l = ChainLedger::new();
+        l.append(block_on(&l, vec![some_tx(1)])).unwrap();
+        assert_eq!(l.block_at(Height(1)).unwrap().txs.len(), 1);
+        assert!(l.block_at(Height(9)).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Caper's DAG blockchain ledger (§2.3.1).
+//!
+//! In Caper each enterprise orders and executes its *internal*
+//! transactions locally, while *cross-enterprise* transactions are global
+//! and visible to everyone. The resulting ledger is a directed acyclic
+//! graph: every enterprise's internal transactions form a chain, and each
+//! cross-enterprise transaction is anchored to the latest transaction of
+//! *every* enterprise, totally ordering the global transactions with
+//! respect to all chains. Crucially, **no node stores the whole DAG** —
+//! enterprise `e` materializes only its [`LocalView`]: its own internal
+//! transactions plus all cross-enterprise ones.
+
+use pbc_crypto::Hash;
+use pbc_types::encode::{CanonicalEncode, Encoder};
+use pbc_types::{EnterpriseId, Transaction};
+use std::collections::HashMap;
+
+/// Whether a DAG node is an internal or a cross-enterprise transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagNodeKind {
+    /// Internal transaction of one enterprise (confidential to it).
+    Internal(EnterpriseId),
+    /// Cross-enterprise transaction (public to all enterprises).
+    Cross,
+    /// The unique genesis node.
+    Genesis,
+}
+
+/// A node in the DAG ledger.
+#[derive(Clone, Debug)]
+pub struct DagNode {
+    /// Content-derived identity (hashes the transaction and its parents).
+    pub id: Hash,
+    /// The transaction (empty ops for genesis).
+    pub tx: Transaction,
+    /// Node kind.
+    pub kind: DagNodeKind,
+    /// Hashes of the parent nodes this transaction is anchored to.
+    pub parents: Vec<Hash>,
+}
+
+fn node_id(tx: &Transaction, parents: &[Hash]) -> Hash {
+    let mut enc = Encoder::new();
+    tx.encode(&mut enc);
+    enc.u64(parents.len() as u64);
+    for p in parents {
+        enc.bytes(&p.0);
+    }
+    pbc_crypto::sha256(enc.as_slice())
+}
+
+/// The full DAG — held only by the test/audit harness; real Caper nodes
+/// hold [`LocalView`]s produced by [`DagLedger::local_view`].
+#[derive(Clone, Debug)]
+pub struct DagLedger {
+    nodes: HashMap<Hash, DagNode>,
+    /// Insertion order — a valid topological order by construction.
+    order: Vec<Hash>,
+    /// Latest node on each enterprise's chain.
+    tips: HashMap<EnterpriseId, Hash>,
+    enterprises: Vec<EnterpriseId>,
+    genesis: Hash,
+}
+
+impl DagLedger {
+    /// Creates a DAG ledger for the given enterprises, with every chain
+    /// rooted at a shared genesis node.
+    pub fn new(enterprises: Vec<EnterpriseId>) -> Self {
+        let genesis_tx = Transaction::new(pbc_types::TxId(0), pbc_types::ClientId(0), vec![]);
+        let gid = node_id(&genesis_tx, &[]);
+        let mut nodes = HashMap::new();
+        nodes.insert(gid, DagNode { id: gid, tx: genesis_tx, kind: DagNodeKind::Genesis, parents: vec![] });
+        let tips = enterprises.iter().map(|&e| (e, gid)).collect();
+        DagLedger { nodes, order: vec![gid], tips, enterprises, genesis: gid }
+    }
+
+    /// The genesis node id.
+    pub fn genesis(&self) -> Hash {
+        self.genesis
+    }
+
+    /// Enterprises participating in this ledger.
+    pub fn enterprises(&self) -> &[EnterpriseId] {
+        &self.enterprises
+    }
+
+    /// Appends an internal transaction of `enterprise`, chained to that
+    /// enterprise's current tip. Returns the new node id.
+    ///
+    /// # Panics
+    /// Panics if `enterprise` is unknown.
+    pub fn append_internal(&mut self, enterprise: EnterpriseId, tx: Transaction) -> Hash {
+        let tip = *self.tips.get(&enterprise).expect("unknown enterprise");
+        let parents = vec![tip];
+        let id = node_id(&tx, &parents);
+        self.nodes.insert(id, DagNode { id, tx, kind: DagNodeKind::Internal(enterprise), parents });
+        self.order.push(id);
+        self.tips.insert(enterprise, id);
+        id
+    }
+
+    /// Appends a cross-enterprise transaction, anchored to the current tip
+    /// of **every** enterprise (this is what totally orders cross
+    /// transactions against all chains). Returns the new node id.
+    pub fn append_cross(&mut self, tx: Transaction) -> Hash {
+        let mut parents: Vec<Hash> = self.enterprises.iter().map(|e| self.tips[e]).collect();
+        parents.sort_unstable();
+        parents.dedup();
+        let id = node_id(&tx, &parents);
+        self.nodes.insert(id, DagNode { id, tx, kind: DagNodeKind::Cross, parents });
+        self.order.push(id);
+        for e in &self.enterprises {
+            self.tips.insert(*e, id);
+        }
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: &Hash) -> Option<&DagNode> {
+        self.nodes.get(id)
+    }
+
+    /// Number of nodes including genesis.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if only genesis exists.
+    pub fn is_empty(&self) -> bool {
+        self.order.len() <= 1
+    }
+
+    /// All nodes in a topological order.
+    pub fn topo_order(&self) -> impl Iterator<Item = &DagNode> {
+        self.order.iter().map(|h| &self.nodes[h])
+    }
+
+    /// Enterprise `e`'s local view: genesis, `e`'s internal transactions,
+    /// and all cross-enterprise transactions, in topological order.
+    pub fn local_view(&self, e: EnterpriseId) -> LocalView {
+        let nodes: Vec<DagNode> = self
+            .topo_order()
+            .filter(|n| match &n.kind {
+                DagNodeKind::Internal(owner) => *owner == e,
+                DagNodeKind::Cross | DagNodeKind::Genesis => true,
+            })
+            .cloned()
+            .collect();
+        LocalView { enterprise: e, nodes }
+    }
+
+    /// Structural validation: every parent exists and precedes its child
+    /// in the stored order (acyclicity witness).
+    pub fn verify(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for h in &self.order {
+            let Some(node) = self.nodes.get(h) else {
+                return false;
+            };
+            for p in &node.parents {
+                if !seen.contains(p) {
+                    return false;
+                }
+            }
+            seen.insert(*h);
+        }
+        seen.len() == self.nodes.len()
+    }
+}
+
+/// One enterprise's materialized view of the DAG ledger — the only thing
+/// a Caper node actually stores.
+#[derive(Clone, Debug)]
+pub struct LocalView {
+    /// The owning enterprise.
+    pub enterprise: EnterpriseId,
+    /// Genesis + own internal + all cross transactions, topologically
+    /// ordered.
+    pub nodes: Vec<DagNode>,
+}
+
+impl LocalView {
+    /// The ids of cross-enterprise transactions in order — the sequence
+    /// all views must agree on (global consensus safety).
+    pub fn cross_sequence(&self) -> Vec<Hash> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == DagNodeKind::Cross)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The ids of this enterprise's internal transactions in order.
+    pub fn internal_sequence(&self) -> Vec<Hash> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, DagNodeKind::Internal(_)))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of nodes in the view.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the view holds only genesis.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::{ClientId, Op, TxId, TxScope};
+
+    fn e(i: u32) -> EnterpriseId {
+        EnterpriseId(i)
+    }
+
+    fn itx(id: u64, ent: u32) -> Transaction {
+        Transaction::with_scope(
+            TxId(id),
+            ClientId(0),
+            TxScope::Internal(e(ent)),
+            vec![Op::Get { key: format!("k{id}") }],
+        )
+    }
+
+    fn ctx_tx(id: u64) -> Transaction {
+        Transaction::with_scope(
+            TxId(id),
+            ClientId(0),
+            TxScope::CrossEnterprise(vec![e(0), e(1)]),
+            vec![Op::Get { key: format!("g{id}") }],
+        )
+    }
+
+    fn three_enterprise_dag() -> DagLedger {
+        DagLedger::new(vec![e(0), e(1), e(2)])
+    }
+
+    #[test]
+    fn internal_chain_per_enterprise() {
+        let mut dag = three_enterprise_dag();
+        let a1 = dag.append_internal(e(0), itx(1, 0));
+        let a2 = dag.append_internal(e(0), itx(2, 0));
+        assert_eq!(dag.node(&a2).unwrap().parents, vec![a1]);
+        assert!(dag.verify());
+    }
+
+    #[test]
+    fn cross_anchors_all_tips() {
+        let mut dag = three_enterprise_dag();
+        let a1 = dag.append_internal(e(0), itx(1, 0));
+        let b1 = dag.append_internal(e(1), itx(2, 1));
+        let x = dag.append_cross(ctx_tx(3));
+        let parents = &dag.node(&x).unwrap().parents;
+        // parents = {a1, b1, genesis (tip of e2)}
+        assert_eq!(parents.len(), 3);
+        assert!(parents.contains(&a1));
+        assert!(parents.contains(&b1));
+        assert!(parents.contains(&dag.genesis()));
+    }
+
+    #[test]
+    fn internal_after_cross_chains_to_cross() {
+        let mut dag = three_enterprise_dag();
+        dag.append_internal(e(0), itx(1, 0));
+        let x = dag.append_cross(ctx_tx(2));
+        let a2 = dag.append_internal(e(0), itx(3, 0));
+        assert_eq!(dag.node(&a2).unwrap().parents, vec![x]);
+    }
+
+    #[test]
+    fn local_views_hide_other_enterprises() {
+        let mut dag = three_enterprise_dag();
+        dag.append_internal(e(0), itx(1, 0));
+        dag.append_internal(e(1), itx(2, 1));
+        dag.append_cross(ctx_tx(3));
+        dag.append_internal(e(0), itx(4, 0));
+
+        let v0 = dag.local_view(e(0));
+        let v1 = dag.local_view(e(1));
+        // v0: genesis + 2 internal + 1 cross = 4
+        assert_eq!(v0.len(), 4);
+        assert_eq!(v0.internal_sequence().len(), 2);
+        // v1: genesis + 1 internal + 1 cross = 3
+        assert_eq!(v1.len(), 3);
+        assert_eq!(v1.internal_sequence().len(), 1);
+        // No view contains the other's internal txs.
+        assert!(v1
+            .nodes
+            .iter()
+            .all(|n| !matches!(n.kind, DagNodeKind::Internal(owner) if owner == e(0))));
+    }
+
+    #[test]
+    fn views_agree_on_cross_sequence() {
+        let mut dag = three_enterprise_dag();
+        dag.append_internal(e(0), itx(1, 0));
+        dag.append_cross(ctx_tx(2));
+        dag.append_internal(e(1), itx(3, 1));
+        dag.append_cross(ctx_tx(4));
+        let seqs: Vec<Vec<Hash>> =
+            (0..3).map(|i| dag.local_view(e(i)).cross_sequence()).collect();
+        assert_eq!(seqs[0], seqs[1]);
+        assert_eq!(seqs[1], seqs[2]);
+        assert_eq!(seqs[0].len(), 2);
+    }
+
+    #[test]
+    fn node_ids_depend_on_parents() {
+        // Same tx appended at different DAG positions gets different ids.
+        let mut d1 = DagLedger::new(vec![e(0)]);
+        let mut d2 = DagLedger::new(vec![e(0)]);
+        d2.append_internal(e(0), itx(7, 0));
+        let id1 = d1.append_internal(e(0), itx(1, 0));
+        let id2 = d2.append_internal(e(0), itx(1, 0));
+        assert_ne!(id1, id2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown enterprise")]
+    fn unknown_enterprise_panics() {
+        let mut dag = DagLedger::new(vec![e(0)]);
+        dag.append_internal(e(9), itx(1, 9));
+    }
+
+    #[test]
+    fn verify_catches_missing_parent() {
+        let mut dag = three_enterprise_dag();
+        let a = dag.append_internal(e(0), itx(1, 0));
+        // Corrupt: remove a node that a later node points to.
+        dag.append_internal(e(0), itx(2, 0));
+        dag.nodes.remove(&a);
+        dag.order.retain(|h| *h != a);
+        assert!(!dag.verify());
+    }
+}

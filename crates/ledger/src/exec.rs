@@ -1,0 +1,296 @@
+//! Deterministic transaction execution.
+//!
+//! Interprets a transaction's [`Op`] program against a [`StateStore`],
+//! producing a versioned read set and a buffered write set — the unit of
+//! work every architecture in `pbc-arch` schedules differently. Execution
+//! is strictly deterministic (SMR requirement, §2.2): the same ops against
+//! the same state always produce the same result.
+
+use crate::state::{StateStore, Version};
+use pbc_types::tx::{balance_of, balance_value};
+use pbc_types::{Key, Op, Transaction, Value};
+
+/// Why a transaction aborted during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// All operations applied.
+    Success,
+    /// A `Transfer` found insufficient funds; no effects are produced.
+    InsufficientFunds {
+        /// The account that lacked funds.
+        account: Key,
+        /// The amount requested.
+        requested: u64,
+        /// The balance available.
+        available: u64,
+    },
+}
+
+impl ExecStatus {
+    /// True for successful execution.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExecStatus::Success)
+    }
+}
+
+/// The outcome of executing one transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// The executed transaction's id.
+    pub tx_id: pbc_types::TxId,
+    /// Keys read, with the version observed at read time.
+    pub read_set: Vec<(Key, Version)>,
+    /// Buffered writes (not yet applied to any store).
+    pub write_set: Vec<(Key, Value)>,
+    /// Success or abort reason.
+    pub status: ExecStatus,
+    /// Abstract work units consumed (`Noop { busy_work }` accumulates
+    /// here; real ops count 1 each). Used by cost-sensitive benches.
+    pub work: u64,
+}
+
+impl ExecResult {
+    /// True if the transaction executed successfully.
+    pub fn is_success(&self) -> bool {
+        self.status.is_success()
+    }
+}
+
+/// Executes `tx` against `state` *without mutating it*.
+///
+/// Reads see earlier writes of the same transaction (read-your-writes
+/// within the op list). A failed `Transfer` aborts the whole transaction:
+/// the returned write set is empty and the status carries the reason, but
+/// the read set is retained (XOV still validates reads of aborted
+/// endorsements).
+pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
+    let mut read_set: Vec<(Key, Version)> = Vec::new();
+    let mut writes: Vec<(Key, Value)> = Vec::new();
+    let mut work: u64 = 0;
+
+    // Read-your-writes buffer: last write wins.
+    let lookup = |key: &str, writes: &[(Key, Value)], reads: &mut Vec<(Key, Version)>| {
+        if let Some((_, v)) = writes.iter().rev().find(|(k, _)| k == key) {
+            return Some(v.clone());
+        }
+        let (val, ver) = state.get_versioned(key);
+        reads.push((key.to_string(), ver));
+        val.cloned()
+    };
+
+    for op in &tx.ops {
+        match op {
+            Op::Get { key } => {
+                work += 1;
+                let _ = lookup(key, &writes, &mut read_set);
+            }
+            Op::Put { key, value } => {
+                work += 1;
+                writes.push((key.clone(), value.clone()));
+            }
+            Op::Incr { key, delta } => {
+                work += 1;
+                let cur = balance_of(lookup(key, &writes, &mut read_set).as_ref());
+                let next = if *delta >= 0 {
+                    cur.saturating_add(*delta as u64)
+                } else {
+                    cur.saturating_sub(delta.unsigned_abs())
+                };
+                writes.push((key.clone(), balance_value(next)));
+            }
+            Op::Transfer { from, to, amount } => {
+                work += 1;
+                let from_bal = balance_of(lookup(from, &writes, &mut read_set).as_ref());
+                if from_bal < *amount {
+                    return ExecResult {
+                        tx_id: tx.id,
+                        read_set,
+                        write_set: Vec::new(),
+                        status: ExecStatus::InsufficientFunds {
+                            account: from.clone(),
+                            requested: *amount,
+                            available: from_bal,
+                        },
+                        work,
+                    };
+                }
+                // Debit before reading the credit side so self-transfers
+                // observe the debited balance and conserve funds.
+                writes.push((from.clone(), balance_value(from_bal - amount)));
+                let to_bal = balance_of(lookup(to, &writes, &mut read_set).as_ref());
+                writes.push((to.clone(), balance_value(to_bal + amount)));
+            }
+            Op::Noop { busy_work } => {
+                // Simulated contract cost: a cheap but real computation so
+                // wall-clock benches feel execution weight.
+                let mut x = 0x9e3779b97f4a7c15u64 ^ (*busy_work as u64);
+                for _ in 0..*busy_work {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                }
+                work += *busy_work as u64;
+                std::hint::black_box(x);
+            }
+        }
+    }
+
+    // Deduplicate the read set (first read per key is authoritative) and
+    // collapse the write set to the last write per key.
+    read_set.dedup_by(|a, b| a.0 == b.0);
+    let mut final_writes: Vec<(Key, Value)> = Vec::with_capacity(writes.len());
+    for (k, v) in writes {
+        if let Some(slot) = final_writes.iter_mut().find(|(fk, _)| *fk == k) {
+            slot.1 = v;
+        } else {
+            final_writes.push((k, v));
+        }
+    }
+
+    ExecResult { tx_id: tx.id, read_set, write_set: final_writes, status: ExecStatus::Success, work }
+}
+
+/// Executes `tx` and applies its writes to `state` at `version` if it
+/// succeeded. Returns the result either way.
+pub fn execute_and_apply(tx: &Transaction, state: &mut StateStore, version: Version) -> ExecResult {
+    let result = execute(tx, state);
+    if result.is_success() {
+        state.apply(&result.write_set, version);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pbc_types::{ClientId, TxId};
+
+    fn tx(ops: Vec<Op>) -> Transaction {
+        Transaction::new(TxId(1), ClientId(0), ops)
+    }
+
+    fn seeded_state() -> StateStore {
+        let mut s = StateStore::new();
+        s.put("alice".into(), balance_value(100), Version::new(1, 0));
+        s.put("bob".into(), balance_value(50), Version::new(1, 1));
+        s
+    }
+
+    #[test]
+    fn transfer_moves_funds() {
+        let mut s = seeded_state();
+        let t = tx(vec![Op::Transfer { from: "alice".into(), to: "bob".into(), amount: 30 }]);
+        let r = execute_and_apply(&t, &mut s, Version::new(2, 0));
+        assert!(r.is_success());
+        assert_eq!(balance_of(s.get("alice")), 70);
+        assert_eq!(balance_of(s.get("bob")), 80);
+    }
+
+    #[test]
+    fn transfer_insufficient_funds_aborts_without_effects() {
+        let mut s = seeded_state();
+        let t = tx(vec![
+            Op::Put { key: "side".into(), value: Bytes::from_static(b"effect") },
+            Op::Transfer { from: "alice".into(), to: "bob".into(), amount: 1000 },
+        ]);
+        let r = execute_and_apply(&t, &mut s, Version::new(2, 0));
+        assert_eq!(
+            r.status,
+            ExecStatus::InsufficientFunds {
+                account: "alice".into(),
+                requested: 1000,
+                available: 100
+            }
+        );
+        assert!(r.write_set.is_empty());
+        assert!(s.get("side").is_none(), "aborted tx must leave no effects");
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let s = StateStore::new();
+        let t = tx(vec![
+            Op::Put { key: "k".into(), value: balance_value(5) },
+            Op::Incr { key: "k".into(), delta: 2 },
+        ]);
+        let r = execute(&t, &s);
+        assert!(r.is_success());
+        // Final write must be 7.
+        let (_, v) = r.write_set.iter().find(|(k, _)| k == "k").unwrap().clone();
+        assert_eq!(balance_of(Some(&v)), 7);
+        // The Incr read was served from the tx's own buffer: no state read.
+        assert!(r.read_set.is_empty());
+    }
+
+    #[test]
+    fn read_set_records_versions() {
+        let s = seeded_state();
+        let t = tx(vec![Op::Get { key: "alice".into() }, Op::Get { key: "ghost".into() }]);
+        let r = execute(&t, &s);
+        assert_eq!(
+            r.read_set,
+            vec![
+                ("alice".to_string(), Version::new(1, 0)),
+                ("ghost".to_string(), Version::GENESIS)
+            ]
+        );
+    }
+
+    #[test]
+    fn incr_on_missing_key_starts_at_zero() {
+        let mut s = StateStore::new();
+        let t = tx(vec![Op::Incr { key: "c".into(), delta: 5 }]);
+        execute_and_apply(&t, &mut s, Version::new(1, 0));
+        assert_eq!(balance_of(s.get("c")), 5);
+    }
+
+    #[test]
+    fn negative_incr_saturates_at_zero() {
+        let mut s = StateStore::new();
+        let t = tx(vec![Op::Incr { key: "c".into(), delta: -5 }]);
+        execute_and_apply(&t, &mut s, Version::new(1, 0));
+        assert_eq!(balance_of(s.get("c")), 0);
+    }
+
+    #[test]
+    fn write_set_collapses_multiple_writes() {
+        let s = StateStore::new();
+        let t = tx(vec![
+            Op::Put { key: "k".into(), value: balance_value(1) },
+            Op::Put { key: "k".into(), value: balance_value(2) },
+        ]);
+        let r = execute(&t, &s);
+        assert_eq!(r.write_set.len(), 1);
+        assert_eq!(balance_of(Some(&r.write_set[0].1)), 2);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let s = seeded_state();
+        let t = tx(vec![
+            Op::Transfer { from: "alice".into(), to: "bob".into(), amount: 10 },
+            Op::Noop { busy_work: 100 },
+            Op::Incr { key: "counter".into(), delta: 1 },
+        ]);
+        assert_eq!(execute(&t, &s), execute(&t, &s));
+    }
+
+    #[test]
+    fn noop_accumulates_work() {
+        let s = StateStore::new();
+        let t = tx(vec![Op::Noop { busy_work: 500 }]);
+        let r = execute(&t, &s);
+        assert_eq!(r.work, 500);
+        assert!(r.write_set.is_empty());
+    }
+
+    #[test]
+    fn self_transfer_preserves_balance() {
+        let mut s = seeded_state();
+        let t = tx(vec![Op::Transfer { from: "alice".into(), to: "alice".into(), amount: 40 }]);
+        let r = execute_and_apply(&t, &mut s, Version::new(2, 0));
+        assert!(r.is_success());
+        assert_eq!(balance_of(s.get("alice")), 100, "self transfer must conserve balance");
+    }
+}

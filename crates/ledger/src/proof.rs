@@ -1,0 +1,141 @@
+//! Merkle state commitments and key-value inclusion proofs.
+//!
+//! The paper's verifiability story (§2.3.2) extends to *light* verifiers:
+//! an auditor holding only a 32-byte state commitment can check a claimed
+//! key-value pair against it. [`state_root`] commits to a state store as
+//! a Merkle tree over its sorted `(key, value)` entries; [`prove_key`]
+//! and [`verify_key`] produce and check inclusion proofs. Full nodes
+//! publish the root (e.g. in a block header); clients verify responses
+//! without replaying the chain.
+
+use crate::state::StateStore;
+use pbc_crypto::merkle::{verify_inclusion, MerkleProof, MerkleTree};
+use pbc_crypto::Hash;
+use pbc_types::encode::Encoder;
+use pbc_types::{Key, Value};
+
+fn entry_bytes(key: &str, value: &Value) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.str(key).bytes(value);
+    enc.finish()
+}
+
+fn sorted_entries(state: &StateStore) -> Vec<(Key, Value)> {
+    let mut entries: Vec<(Key, Value)> =
+        state.iter().map(|(k, v, _)| (k.clone(), v.clone())).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// The Merkle commitment to a state store (sorted-entry tree root).
+pub fn state_root(state: &StateStore) -> Hash {
+    let leaves: Vec<Vec<u8>> =
+        sorted_entries(state).iter().map(|(k, v)| entry_bytes(k, v)).collect();
+    MerkleTree::build(&leaves).root()
+}
+
+/// A verifiable claim that `key = value` under some state root.
+#[derive(Clone, Debug)]
+pub struct StateProof {
+    /// The claimed key.
+    pub key: Key,
+    /// The claimed value.
+    pub value: Value,
+    /// Merkle inclusion path.
+    pub proof: MerkleProof,
+}
+
+/// Proves the current value of `key`, or `None` if absent.
+pub fn prove_key(state: &StateStore, key: &str) -> Option<StateProof> {
+    let entries = sorted_entries(state);
+    let index = entries.iter().position(|(k, _)| k == key)?;
+    let leaves: Vec<Vec<u8>> = entries.iter().map(|(k, v)| entry_bytes(k, v)).collect();
+    let tree = MerkleTree::build(&leaves);
+    let proof = tree.prove(index)?;
+    let (key, value) = entries[index].clone();
+    Some(StateProof { key, value, proof })
+}
+
+/// Verifies a state proof against a root (the light-client check).
+pub fn verify_key(root: &Hash, proof: &StateProof) -> bool {
+    verify_inclusion(root, &entry_bytes(&proof.key, &proof.value), &proof.proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Version;
+    use pbc_types::tx::balance_value;
+
+    fn sample_state(n: usize) -> StateStore {
+        let mut s = StateStore::new();
+        for i in 0..n {
+            s.put(format!("key{i:03}"), balance_value(i as u64 * 10), Version::new(1, i as u32));
+        }
+        s
+    }
+
+    #[test]
+    fn prove_verify_roundtrip_all_keys() {
+        let state = sample_state(17);
+        let root = state_root(&state);
+        for i in 0..17 {
+            let key = format!("key{i:03}");
+            let proof = prove_key(&state, &key).unwrap();
+            assert!(verify_key(&root, &proof), "{key}");
+            assert_eq!(proof.value, balance_value(i as u64 * 10));
+        }
+    }
+
+    #[test]
+    fn missing_key_has_no_proof() {
+        let state = sample_state(4);
+        assert!(prove_key(&state, "ghost").is_none());
+    }
+
+    #[test]
+    fn tampered_value_rejected() {
+        let state = sample_state(8);
+        let root = state_root(&state);
+        let mut proof = prove_key(&state, "key003").unwrap();
+        proof.value = balance_value(999_999);
+        assert!(!verify_key(&root, &proof));
+    }
+
+    #[test]
+    fn proof_against_stale_root_rejected() {
+        let mut state = sample_state(8);
+        let old_root = state_root(&state);
+        state.put("key003".into(), balance_value(777), Version::new(2, 0));
+        let fresh_proof = prove_key(&state, "key003").unwrap();
+        assert!(!verify_key(&old_root, &fresh_proof), "state moved on; old root must reject");
+        let new_root = state_root(&state);
+        assert!(verify_key(&new_root, &fresh_proof));
+    }
+
+    #[test]
+    fn root_tracks_state_changes() {
+        let mut state = sample_state(4);
+        let r1 = state_root(&state);
+        state.put("key000".into(), balance_value(1), Version::new(2, 0));
+        let r2 = state_root(&state);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn empty_state_root_is_zero() {
+        assert_eq!(state_root(&StateStore::new()), Hash::ZERO);
+    }
+
+    #[test]
+    fn cross_key_splice_rejected() {
+        // A proof for key A cannot be replayed claiming key B.
+        let state = sample_state(8);
+        let root = state_root(&state);
+        let mut proof = prove_key(&state, "key002").unwrap();
+        proof.key = "key005".into();
+        // Keep key005's real value: the leaf bytes differ either way.
+        proof.value = balance_value(50);
+        assert!(!verify_key(&root, &proof));
+    }
+}

@@ -1,0 +1,174 @@
+//! The blockchain state (datastore): a versioned key-value store.
+//!
+//! Every committed write stamps its key with the [`Version`] (block
+//! height, transaction index) that produced it. XOV validation (§2.3.3)
+//! compares the versions read at endorsement time against current
+//! versions at validation time; this store provides both operations.
+
+use pbc_types::{Key, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The version a key's current value was written at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Version {
+    /// Block height of the writing transaction.
+    pub height: u64,
+    /// Index of the writing transaction within its block.
+    pub tx_index: u32,
+}
+
+impl Version {
+    /// The version of keys that were never written.
+    pub const GENESIS: Version = Version { height: 0, tx_index: 0 };
+
+    /// Creates a version.
+    pub fn new(height: u64, tx_index: u32) -> Version {
+        Version { height, tx_index }
+    }
+}
+
+/// A versioned key-value store.
+#[derive(Clone, Debug, Default)]
+pub struct StateStore {
+    current: HashMap<Key, (Value, Version)>,
+    writes_applied: u64,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a key's current value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.current.get(key).map(|(v, _)| v)
+    }
+
+    /// Reads a key's current value and version. Missing keys read as
+    /// `(None, Version::GENESIS)` — the convention XOV validation uses
+    /// for keys that didn't exist at endorsement time.
+    pub fn get_versioned(&self, key: &str) -> (Option<&Value>, Version) {
+        match self.current.get(key) {
+            Some((v, ver)) => (Some(v), *ver),
+            None => (None, Version::GENESIS),
+        }
+    }
+
+    /// Current version of a key (GENESIS if absent).
+    pub fn version(&self, key: &str) -> Version {
+        self.current.get(key).map_or(Version::GENESIS, |(_, v)| *v)
+    }
+
+    /// Writes a key at a version.
+    pub fn put(&mut self, key: Key, value: Value, version: Version) {
+        self.current.insert(key, (value, version));
+        self.writes_applied += 1;
+    }
+
+    /// Applies a whole write set at a version.
+    pub fn apply(&mut self, writes: &[(Key, Value)], version: Version) {
+        for (k, v) in writes {
+            self.put(k.clone(), v.clone(), version);
+        }
+    }
+
+    /// Number of distinct keys present.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True if no key was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Total writes applied over the store's lifetime.
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Iterates over `(key, value, version)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value, Version)> {
+        self.current.iter().map(|(k, (v, ver))| (k, v, *ver))
+    }
+
+    /// A deterministic digest of the full state (sorted by key), for
+    /// cross-replica consistency checks in tests and examples.
+    pub fn state_digest(&self) -> pbc_crypto::Hash {
+        let mut entries: Vec<(&Key, &(Value, Version))> = self.current.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut enc = pbc_types::encode::Encoder::new();
+        for (k, (v, ver)) in entries {
+            enc.str(k).bytes(v).u64(ver.height).u32(ver.tx_index);
+        }
+        pbc_crypto::sha256(enc.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn b(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn get_put_roundtrip() {
+        let mut s = StateStore::new();
+        s.put("a".into(), b("1"), Version::new(1, 0));
+        assert_eq!(s.get("a"), Some(&b("1")));
+        assert_eq!(s.version("a"), Version::new(1, 0));
+    }
+
+    #[test]
+    fn missing_key_reads_genesis_version() {
+        let s = StateStore::new();
+        let (v, ver) = s.get_versioned("nope");
+        assert!(v.is_none());
+        assert_eq!(ver, Version::GENESIS);
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let mut s = StateStore::new();
+        s.put("a".into(), b("1"), Version::new(1, 0));
+        s.put("a".into(), b("2"), Version::new(2, 3));
+        assert_eq!(s.get("a"), Some(&b("2")));
+        assert_eq!(s.version("a"), Version::new(2, 3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.writes_applied(), 2);
+    }
+
+    #[test]
+    fn apply_write_set() {
+        let mut s = StateStore::new();
+        s.apply(&[("x".into(), b("1")), ("y".into(), b("2"))], Version::new(5, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.version("y"), Version::new(5, 1));
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_content_sensitive() {
+        let mut s1 = StateStore::new();
+        s1.put("a".into(), b("1"), Version::new(1, 0));
+        s1.put("b".into(), b("2"), Version::new(1, 1));
+        let mut s2 = StateStore::new();
+        s2.put("b".into(), b("2"), Version::new(1, 1));
+        s2.put("a".into(), b("1"), Version::new(1, 0));
+        assert_eq!(s1.state_digest(), s2.state_digest());
+
+        let mut s3 = s1.clone();
+        s3.put("a".into(), b("9"), Version::new(2, 0));
+        assert_ne!(s1.state_digest(), s3.state_digest());
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(Version::new(1, 5) < Version::new(2, 0));
+        assert!(Version::new(2, 0) < Version::new(2, 1));
+    }
+}

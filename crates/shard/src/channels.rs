@@ -1,0 +1,264 @@
+//! Channel-based sharding (§2.3.4, last technique): multi-channel Fabric
+//! with each channel acting as a shard.
+//!
+//! "A channel is in fact a shard of the full system that is autonomously
+//! managed by a (logically) separate set of nodes but is still aware of
+//! the bigger system it belongs to." Intra-shard transactions are
+//! efficient channel transactions; cross-shard transactions are
+//! "processed in a centralized manner and require either the existence
+//! of a trusted channel among the participants to play the coordinator
+//! role or an atomic commit protocol" — both options implemented as
+//! [`CrossChannelMode`] so E9 can price them.
+
+use crate::cluster::{split_by_shard, Cluster, Partitioner, ShardStats};
+use pbc_sim::Topology;
+use pbc_types::{ShardId, Transaction};
+
+/// How cross-channel transactions are coordinated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossChannelMode {
+    /// A dedicated *trusted channel* (at the last topology position)
+    /// coordinates: like a reference committee, but its members must be
+    /// trusted by all participants (weaker assumption than AHL's BFT
+    /// committee — one consensus round instead of two, but a trust cost).
+    TrustedChannel,
+    /// Direct two-phase atomic commit between the involved channels
+    /// (no third party; the initiating peer drives the protocol).
+    AtomicCommit,
+}
+
+/// A channel-per-shard deployment.
+pub struct ChannelShardedSystem {
+    clusters: Vec<Cluster>,
+    partitioner: Partitioner,
+    topology: Topology,
+    /// One channel-consensus round's cost.
+    pub intra_round: u64,
+    /// The configured cross-channel option.
+    pub mode: CrossChannelMode,
+    /// Accounting.
+    pub stats: ShardStats,
+    next_tx_serial: u64,
+}
+
+impl ChannelShardedSystem {
+    /// Creates `n_shards` channels. With [`CrossChannelMode::TrustedChannel`]
+    /// the topology must cover `n_shards + 1` clusters (the extra one is
+    /// the trusted channel's placement).
+    pub fn new(
+        n_shards: u32,
+        topology: Topology,
+        intra_round: u64,
+        mode: CrossChannelMode,
+    ) -> Self {
+        let needed = match mode {
+            CrossChannelMode::TrustedChannel => n_shards as usize + 1,
+            CrossChannelMode::AtomicCommit => n_shards as usize,
+        };
+        assert!(
+            topology.n_clusters() >= needed,
+            "topology covers {} clusters, need {needed}",
+            topology.n_clusters()
+        );
+        ChannelShardedSystem {
+            clusters: (0..n_shards).map(|i| Cluster::new(ShardId(i))).collect(),
+            partitioner: Partitioner::new(n_shards),
+            topology,
+            intra_round,
+            mode,
+            stats: ShardStats::default(),
+            next_tx_serial: 0,
+        }
+    }
+
+    /// The key partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// A channel (cluster) view.
+    pub fn cluster(&self, s: ShardId) -> &Cluster {
+        &self.clusters[s.0 as usize]
+    }
+
+    /// Seeds a key on its owning channel.
+    pub fn seed(&mut self, key: &str, value: pbc_types::Value) {
+        let s = self.partitioner.shard_of(key);
+        self.clusters[s.0 as usize].seed(key, value);
+    }
+
+    /// Processes a batch: intra-channel in parallel, cross-channel
+    /// serialized through the configured coordinator option.
+    pub fn process_batch(&mut self, txs: &[Transaction]) -> Vec<bool> {
+        let mut results = vec![false; txs.len()];
+        let mut per_cluster: Vec<Vec<usize>> = vec![Vec::new(); self.clusters.len()];
+        let mut cross: Vec<usize> = Vec::new();
+        for (i, tx) in txs.iter().enumerate() {
+            let shards = self.partitioner.shards_of(tx);
+            if shards.len() == 1 {
+                per_cluster[shards[0].0 as usize].push(i);
+            } else {
+                cross.push(i);
+            }
+        }
+        let busiest = per_cluster.iter().map(|v| v.len()).max().unwrap_or(0);
+        for (c, indices) in per_cluster.iter().enumerate() {
+            for &i in indices {
+                let ok = self.clusters[c].execute_local(&txs[i]);
+                results[i] = ok;
+                self.stats.local_rounds += 1;
+                if ok {
+                    self.stats.intra_committed += 1;
+                } else {
+                    self.stats.aborted += 1;
+                }
+            }
+        }
+        self.stats.elapsed += busiest as u64 * self.intra_round;
+        self.stats.steps += busiest as u64;
+        for i in cross {
+            results[i] = self.process_cross(&txs[i]);
+            self.stats.steps += 1;
+        }
+        results
+    }
+
+    fn process_cross(&mut self, tx: &Transaction) -> bool {
+        self.next_tx_serial += 1;
+        let serial = self.next_tx_serial;
+        let shards = self.partitioner.shards_of(tx);
+        let split = split_by_shard(tx, &self.partitioner);
+
+        match self.mode {
+            CrossChannelMode::TrustedChannel => {
+                // Coordinator = the trusted channel at the last position.
+                let coord = self.topology.n_clusters() - 1;
+                let max_dist = shards
+                    .iter()
+                    .map(|s| self.topology.cluster_latency(coord, s.0 as usize))
+                    .max()
+                    .unwrap_or(0);
+                // Trusted (non-BFT) coordinator: a single round inside the
+                // trusted channel per decision, not two.
+                self.stats.coordination_phases += 4;
+                self.stats.elapsed +=
+                    self.intra_round + 2 * (max_dist + self.intra_round + max_dist);
+            }
+            CrossChannelMode::AtomicCommit => {
+                // Initiator-driven 2PC straight between the channels.
+                let max_pair = shards
+                    .iter()
+                    .flat_map(|a| shards.iter().map(move |b| (a, b)))
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| self.topology.cluster_latency(a.0 as usize, b.0 as usize))
+                    .max()
+                    .unwrap_or(0);
+                self.stats.coordination_phases += 4;
+                self.stats.elapsed += 2 * (max_pair + self.intra_round + max_pair);
+            }
+        }
+
+        let mut all_ok = true;
+        for s in &shards {
+            let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+            all_ok &= self.clusters[s.0 as usize].prepare(serial, ops);
+            self.stats.local_rounds += 1;
+        }
+        if all_ok {
+            for s in &shards {
+                let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+                self.clusters[s.0 as usize].commit(serial, ops);
+                self.stats.local_rounds += 1;
+            }
+            self.stats.cross_committed += 1;
+            true
+        } else {
+            for s in &shards {
+                self.clusters[s.0 as usize].release(serial);
+            }
+            self.stats.aborted += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::tx::{balance_of, balance_value};
+    use pbc_types::{ClientId, Op, TxId};
+
+    fn transfer(id: u64, from: &str, to: &str, amount: u64) -> Transaction {
+        Transaction::new(
+            TxId(id),
+            ClientId(0),
+            vec![Op::Transfer { from: from.into(), to: to.into(), amount }],
+        )
+    }
+
+    fn system(mode: CrossChannelMode) -> ChannelShardedSystem {
+        let topo = Topology::flat_clusters(3, 4, 100, 10_000);
+        let mut sys = ChannelShardedSystem::new(2, topo, 300, mode);
+        sys.seed("s0/a", balance_value(100));
+        sys.seed("s1/b", balance_value(0));
+        sys
+    }
+
+    #[test]
+    fn intra_channel_is_cheap() {
+        let mut sys = system(CrossChannelMode::AtomicCommit);
+        sys.seed("s0/c", balance_value(0));
+        let ok = sys.process_batch(&[transfer(1, "s0/a", "s0/c", 10)]);
+        assert_eq!(ok, vec![true]);
+        assert_eq!(sys.stats.coordination_phases, 0);
+        assert_eq!(sys.stats.elapsed, 300);
+    }
+
+    #[test]
+    fn both_modes_commit_cross_channel() {
+        for mode in [CrossChannelMode::TrustedChannel, CrossChannelMode::AtomicCommit] {
+            let mut sys = system(mode);
+            let ok = sys.process_batch(&[transfer(1, "s0/a", "s1/b", 40)]);
+            assert_eq!(ok, vec![true], "{mode:?}");
+            assert_eq!(balance_of(sys.cluster(ShardId(1)).state.get("s1/b")), 40);
+            assert_eq!(sys.cluster(ShardId(0)).locks_held(), 0);
+        }
+    }
+
+    #[test]
+    fn trusted_channel_cheaper_than_ahl_committee() {
+        // Same trusted placement, but the coordinator is *trusted* (one
+        // internal round per decision instead of a BFT committee's two).
+        let mut chan = system(CrossChannelMode::TrustedChannel);
+        chan.process_batch(&[transfer(1, "s0/a", "s1/b", 10)]);
+
+        let topo = Topology::flat_clusters(3, 4, 100, 10_000);
+        let mut ahl = crate::ahl::AhlSystem::new(2, topo, 300);
+        ahl.seed("s0/a", balance_value(100));
+        ahl.seed("s1/b", balance_value(0));
+        ahl.process_batch(&[transfer(1, "s0/a", "s1/b", 10)]);
+
+        assert!(chan.stats.elapsed < ahl.stats.elapsed);
+        assert_eq!(chan.stats.coordination_phases, ahl.stats.coordination_phases);
+    }
+
+    #[test]
+    fn atomic_commit_avoids_the_detour() {
+        // Direct 2PC between the two channels beats routing through a
+        // third (trusted) channel position.
+        let mut direct = system(CrossChannelMode::AtomicCommit);
+        direct.process_batch(&[transfer(1, "s0/a", "s1/b", 10)]);
+        let mut trusted = system(CrossChannelMode::TrustedChannel);
+        trusted.process_batch(&[transfer(1, "s0/a", "s1/b", 10)]);
+        assert!(direct.stats.elapsed <= trusted.stats.elapsed);
+    }
+
+    #[test]
+    fn abort_releases_locks_atomically() {
+        let mut sys = system(CrossChannelMode::AtomicCommit);
+        let ok = sys.process_batch(&[transfer(1, "s0/a", "s1/b", 5_000)]);
+        assert_eq!(ok, vec![false]);
+        assert_eq!(balance_of(sys.cluster(ShardId(0)).state.get("s0/a")), 100);
+        assert_eq!(sys.cluster(ShardId(0)).locks_held(), 0);
+    }
+}

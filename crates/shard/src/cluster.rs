@@ -1,0 +1,382 @@
+//! Shared sharding machinery: clusters, key partitioning, lock tables,
+//! cross-shard transaction decomposition, and phase/latency accounting.
+
+use pbc_ledger::{ChainLedger, StateStore, Version};
+use pbc_types::tx::{balance_of, balance_value};
+use pbc_types::{Block, Key, NodeId, Op, ShardId, Transaction};
+use std::collections::{HashMap, HashSet};
+
+/// Maps keys to shards.
+///
+/// Keys of the form `s<N>/…` are pinned to shard `N` (workloads use this
+/// to control the cross-shard ratio); all other keys hash.
+#[derive(Clone, Copy, Debug)]
+pub struct Partitioner {
+    /// Number of shards.
+    pub n_shards: u32,
+}
+
+impl Partitioner {
+    /// A partitioner over `n_shards` shards.
+    pub fn new(n_shards: u32) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        Partitioner { n_shards }
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &str) -> ShardId {
+        if let Some(rest) = key.strip_prefix('s') {
+            if let Some((num, _)) = rest.split_once('/') {
+                if let Ok(n) = num.parse::<u32>() {
+                    return ShardId(n % self.n_shards);
+                }
+            }
+        }
+        ShardId((pbc_crypto_hash(key) % self.n_shards as u64) as u32)
+    }
+
+    /// The set of shards a transaction touches, sorted.
+    pub fn shards_of(&self, tx: &Transaction) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = tx
+            .read_keys()
+            .iter()
+            .chain(tx.write_keys().iter())
+            .map(|k| self.shard_of(k))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// True if the transaction touches more than one shard.
+    pub fn is_cross_shard(&self, tx: &Transaction) -> bool {
+        self.shards_of(tx).len() > 1
+    }
+}
+
+fn pbc_crypto_hash(key: &str) -> u64 {
+    // FNV-1a: cheap, deterministic, good spread for short keys.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One fault-tolerant cluster maintaining a shard.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The shard this cluster maintains.
+    pub id: ShardId,
+    /// The shard's state.
+    pub state: StateStore,
+    /// The shard's ledger.
+    pub ledger: ChainLedger,
+    /// 2PL lock table: locked keys with the owning transaction id.
+    locks: HashMap<Key, u64>,
+    next_version: u64,
+}
+
+impl Cluster {
+    /// A fresh cluster for `id`.
+    pub fn new(id: ShardId) -> Self {
+        Cluster {
+            id,
+            state: StateStore::new(),
+            ledger: ChainLedger::new(),
+            locks: HashMap::new(),
+            next_version: 1,
+        }
+    }
+
+    /// Seeds a key directly (setup helper).
+    pub fn seed(&mut self, key: &str, value: pbc_types::Value) {
+        self.state.put(key.to_string(), value, Version::GENESIS);
+    }
+
+    /// Executes an intra-shard transaction (one local consensus round in
+    /// the enclosing system's accounting). Returns success.
+    pub fn execute_local(&mut self, tx: &Transaction) -> bool {
+        // Respect locks held by in-flight cross-shard transactions.
+        let touches_locked = tx
+            .read_keys()
+            .iter()
+            .chain(tx.write_keys().iter())
+            .any(|k| self.locks.contains_key(*k));
+        if touches_locked {
+            return false;
+        }
+        let v = Version::new(self.next_version, 0);
+        self.next_version += 1;
+        let r = pbc_ledger::execute_and_apply(tx, &mut self.state, v);
+        self.append_block(vec![tx.clone()]);
+        r.is_success()
+    }
+
+    /// 2PL prepare: lock the transaction's keys on this shard and check
+    /// feasibility of its debits. Returns `true` (vote yes) on success;
+    /// on conflict or insufficient funds, acquires nothing and votes no.
+    pub fn prepare(&mut self, tx_id: u64, ops: &[Op]) -> bool {
+        let keys = ops_keys(ops);
+        for k in &keys {
+            if let Some(owner) = self.locks.get(k.as_str()) {
+                if *owner != tx_id {
+                    return false;
+                }
+            }
+        }
+        // Feasibility: every debit must be funded. In the 2PC context a
+        // negative increment is a debit half of a split transfer.
+        for op in ops {
+            match op {
+                Op::Transfer { from, amount, .. }
+                    if balance_of(self.state.get(from)) < *amount => {
+                        return false;
+                    }
+                Op::Incr { key, delta } if *delta < 0
+                    && balance_of(self.state.get(key)) < delta.unsigned_abs() => {
+                        return false;
+                    }
+                _ => {}
+            }
+        }
+        for k in keys {
+            self.locks.insert(k, tx_id);
+        }
+        true
+    }
+
+    /// 2PC commit: apply this shard's portion of the transaction and
+    /// release its locks.
+    pub fn commit(&mut self, tx_id: u64, ops: &[Op]) {
+        let v = Version::new(self.next_version, 0);
+        self.next_version += 1;
+        for op in ops {
+            match op {
+                Op::Put { key, value } => self.state.put(key.clone(), value.clone(), v),
+                Op::Incr { key, delta } => {
+                    let cur = balance_of(self.state.get(key));
+                    let next = if *delta >= 0 {
+                        cur.saturating_add(*delta as u64)
+                    } else {
+                        cur.saturating_sub(delta.unsigned_abs())
+                    };
+                    self.state.put(key.clone(), balance_value(next), v);
+                }
+                Op::Transfer { from, to, amount } => {
+                    // Split transfers arrive as Incr pairs; a whole
+                    // Transfer here means both keys are on this shard.
+                    let fb = balance_of(self.state.get(from));
+                    self.state.put(from.clone(), balance_value(fb - amount), v);
+                    let tb = balance_of(self.state.get(to));
+                    self.state.put(to.clone(), balance_value(tb + amount), v);
+                }
+                Op::Get { .. } | Op::Noop { .. } => {}
+            }
+        }
+        self.release(tx_id);
+        let marker = Transaction::new(pbc_types::TxId(tx_id), pbc_types::ClientId(0), ops.to_vec());
+        self.append_block(vec![marker]);
+    }
+
+    /// 2PC abort: release the transaction's locks without effects.
+    pub fn release(&mut self, tx_id: u64) {
+        self.locks.retain(|_, owner| *owner != tx_id);
+    }
+
+    /// Number of currently held locks.
+    pub fn locks_held(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn append_block(&mut self, txs: Vec<Transaction>) {
+        let height = self.ledger.height().next();
+        let block =
+            Block::build(height, self.ledger.head_hash(), NodeId(self.id.0), height.0, txs);
+        self.ledger.append(block).expect("sequential build");
+    }
+}
+
+fn ops_keys(ops: &[Op]) -> HashSet<Key> {
+    let mut keys = HashSet::new();
+    for op in ops {
+        for k in op.reads().into_iter().chain(op.writes()) {
+            keys.insert(k.to_string());
+        }
+    }
+    keys
+}
+
+/// Splits a cross-shard transaction into per-shard op lists.
+///
+/// Single-key ops route to their key's shard; a `Transfer` whose
+/// endpoints live on different shards becomes a funded-checked debit
+/// (`Incr -amount` guarded at prepare) on the source shard and a credit
+/// on the destination shard.
+pub fn split_by_shard(tx: &Transaction, p: &Partitioner) -> HashMap<ShardId, Vec<Op>> {
+    let mut per: HashMap<ShardId, Vec<Op>> = HashMap::new();
+    for op in &tx.ops {
+        match op {
+            Op::Transfer { from, to, amount } => {
+                let sf = p.shard_of(from);
+                let st = p.shard_of(to);
+                if sf == st {
+                    per.entry(sf).or_default().push(op.clone());
+                } else {
+                    // Debit/credit halves as Incr ops; prepare rejects an
+                    // underfunded negative Incr, giving 2PC its vote.
+                    per.entry(sf)
+                        .or_default()
+                        .push(Op::Incr { key: from.clone(), delta: -(*amount as i64) });
+                    per.entry(st)
+                        .or_default()
+                        .push(Op::Incr { key: to.clone(), delta: *amount as i64 });
+                }
+            }
+            Op::Put { key, .. } | Op::Incr { key, .. } | Op::Get { key } => {
+                per.entry(p.shard_of(key)).or_default().push(op.clone());
+            }
+            Op::Noop { .. } => {}
+        }
+    }
+    per
+}
+
+/// Accounting every sharded system reports (experiments E8/E9).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ShardStats {
+    /// Committed intra-shard transactions.
+    pub intra_committed: u64,
+    /// Committed cross-shard transactions.
+    pub cross_committed: u64,
+    /// Aborted transactions (conflicts, funds).
+    pub aborted: u64,
+    /// Consensus rounds confined to one cluster.
+    pub local_rounds: u64,
+    /// Flattened/joint consensus rounds spanning multiple clusters.
+    pub cross_rounds: u64,
+    /// Communication phases consumed by cross-shard coordination.
+    pub coordination_phases: u64,
+    /// Accumulated simulated time.
+    pub elapsed: u64,
+    /// Scheduler steps (parallelism: lower = more parallel).
+    pub steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::{ClientId, TxId};
+
+    fn p4() -> Partitioner {
+        Partitioner::new(4)
+    }
+
+    #[test]
+    fn prefix_keys_pin_shards() {
+        let p = p4();
+        assert_eq!(p.shard_of("s2/account"), ShardId(2));
+        assert_eq!(p.shard_of("s7/account"), ShardId(3)); // 7 % 4
+    }
+
+    #[test]
+    fn hashed_keys_are_stable_and_spread() {
+        let p = p4();
+        let shards: HashSet<ShardId> =
+            (0..50).map(|i| p.shard_of(&format!("key{i}"))).collect();
+        assert!(shards.len() > 1, "hashing must spread keys");
+        assert_eq!(p.shard_of("abc"), p.shard_of("abc"));
+    }
+
+    #[test]
+    fn cross_shard_detection() {
+        let p = p4();
+        let intra = Transaction::new(
+            TxId(1),
+            ClientId(0),
+            vec![Op::Transfer { from: "s0/a".into(), to: "s0/b".into(), amount: 1 }],
+        );
+        let cross = Transaction::new(
+            TxId(2),
+            ClientId(0),
+            vec![Op::Transfer { from: "s0/a".into(), to: "s1/b".into(), amount: 1 }],
+        );
+        assert!(!p.is_cross_shard(&intra));
+        assert!(p.is_cross_shard(&cross));
+        assert_eq!(p.shards_of(&cross), vec![ShardId(0), ShardId(1)]);
+    }
+
+    #[test]
+    fn split_transfer_across_shards() {
+        let p = p4();
+        let tx = Transaction::new(
+            TxId(1),
+            ClientId(0),
+            vec![Op::Transfer { from: "s0/a".into(), to: "s1/b".into(), amount: 10 }],
+        );
+        let split = split_by_shard(&tx, &p);
+        assert!(split[&ShardId(0)]
+            .iter()
+            .any(|o| matches!(o, Op::Incr { delta: -10, .. })));
+        assert!(split[&ShardId(1)]
+            .iter()
+            .any(|o| matches!(o, Op::Incr { delta: 10, .. })));
+    }
+
+    #[test]
+    fn local_execution_and_locking() {
+        let mut c = Cluster::new(ShardId(0));
+        c.seed("s0/a", balance_value(100));
+        c.seed("s0/b", balance_value(0));
+        let tx = Transaction::new(
+            TxId(1),
+            ClientId(0),
+            vec![Op::Transfer { from: "s0/a".into(), to: "s0/b".into(), amount: 30 }],
+        );
+        assert!(c.execute_local(&tx));
+        assert_eq!(balance_of(c.state.get("s0/b")), 30);
+        c.ledger.verify().unwrap();
+    }
+
+    #[test]
+    fn prepare_locks_and_conflicts() {
+        let mut c = Cluster::new(ShardId(0));
+        c.seed("s0/a", balance_value(100));
+        let ops = vec![Op::Incr { key: "s0/a".into(), delta: -10 }];
+        assert!(c.prepare(1, &ops));
+        assert_eq!(c.locks_held(), 1);
+        // A second transaction on the same key must be refused.
+        assert!(!c.prepare(2, &ops));
+        // Local transactions also blocked by the lock.
+        let local = Transaction::new(
+            TxId(3),
+            ClientId(0),
+            vec![Op::Incr { key: "s0/a".into(), delta: 1 }],
+        );
+        assert!(!c.execute_local(&local));
+        // Abort releases.
+        c.release(1);
+        assert!(c.prepare(2, &ops));
+    }
+
+    #[test]
+    fn commit_applies_and_releases() {
+        let mut c = Cluster::new(ShardId(0));
+        c.seed("s0/a", balance_value(100));
+        let ops = vec![Op::Incr { key: "s0/a".into(), delta: -10 }];
+        assert!(c.prepare(7, &ops));
+        c.commit(7, &ops);
+        assert_eq!(balance_of(c.state.get("s0/a")), 90);
+        assert_eq!(c.locks_held(), 0);
+    }
+
+    #[test]
+    fn prepare_rejects_underfunded_debit() {
+        let mut c = Cluster::new(ShardId(0));
+        c.seed("s0/a", balance_value(5));
+        let ops = vec![Op::Transfer { from: "s0/a".into(), to: "s0/a".into(), amount: 10 }];
+        assert!(!c.prepare(1, &ops));
+        assert_eq!(c.locks_held(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Scalability techniques for permissioned blockchains (§2.3.4).
+//!
+//! Nodes are grouped into fault-tolerant **clusters**; the surveyed
+//! systems differ in whether the ledger is replicated everywhere or
+//! sharded, and in how cross-shard transactions are coordinated:
+//!
+//! * [`resilientdb`] — **single-ledger** (ResilientDB): every cluster
+//!   orders its own transactions locally and multicasts them; *all*
+//!   clusters execute *all* transactions in a deterministic round order.
+//!   No cross-shard concept — and no per-cluster throughput scaling.
+//! * [`ahl`] — **sharded, centralized coordination** (AHL): a reference
+//!   committee coordinates cross-shard transactions with classic 2PC +
+//!   2PL; committees are randomly sampled, and [`ahl::committee`]
+//!   reproduces the committee-size-vs-failure-probability analysis
+//!   (≈80 nodes with trusted hardware vs ≈600 for OmniLedger parameters).
+//! * [`sharper`] — **sharded, decentralized coordination** (SharPer):
+//!   involved clusters order a cross-shard transaction among themselves
+//!   with a flattened consensus round — fewer phases, no extra committee,
+//!   and cross-shard transactions over *non-overlapping* cluster sets
+//!   proceed in parallel.
+//! * [`channels`] — **channel-based sharding** (multi-channel Fabric
+//!   used as a sharding device): intra-shard = ordinary channel
+//!   transactions; cross-shard via a *trusted channel* coordinator or a
+//!   direct atomic-commit protocol.
+//! * [`saguaro`] — **sharded, hierarchical coordination** (Saguaro):
+//!   clusters sit in an edge/fog/cloud hierarchy; the coordinator of a
+//!   cross-shard transaction is the lowest common ancestor of the
+//!   involved clusters, cutting WAN latency.
+//!
+//! All five share [`cluster::Cluster`] (per-shard ledger + state + lock
+//! table), [`cluster::Partitioner`] (key→shard mapping), and explicit
+//! phase/latency accounting ([`cluster::ShardStats`]) on a
+//! [`pbc_sim::Topology`] — the quantities behind experiments E8–E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ahl;
+pub mod channels;
+pub mod cluster;
+pub mod resilientdb;
+pub mod saguaro;
+pub mod sharper;
+
+pub use ahl::AhlSystem;
+pub use channels::{ChannelShardedSystem, CrossChannelMode};
+pub use cluster::{Cluster, Partitioner, ShardStats};
+pub use resilientdb::ResilientDb;
+pub use saguaro::SaguaroSystem;
+pub use sharper::SharperSystem;

@@ -1,0 +1,257 @@
+//! Saguaro (Amiri et al.) — hierarchical sharding over the wide-area
+//! network structure, from edge devices through fog to cloud (§2.3.4).
+//!
+//! Clusters sit at the leaves of an edge→fog→cloud hierarchy
+//! ([`pbc_sim::Topology::hierarchical`]); each leaf cluster maintains a
+//! shard, like SharPer. The difference is cross-shard coordination: for
+//! each cross-shard transaction Saguaro picks as coordinator **the lowest
+//! common ancestor of the involved clusters** — the internal cluster with
+//! minimum total distance — so a transaction between two edge clusters in
+//! the same region coordinates through the regional fog node rather than
+//! a global committee or a full flattened exchange across the WAN. E9
+//! compares the resulting latency against AHL's fixed reference committee
+//! and SharPer's distance-bound flattened rounds.
+
+use crate::cluster::{split_by_shard, Cluster, Partitioner, ShardStats};
+use pbc_sim::Topology;
+use pbc_types::{ShardId, Transaction};
+
+/// A Saguaro deployment.
+pub struct SaguaroSystem {
+    clusters: Vec<Cluster>,
+    partitioner: Partitioner,
+    topology: Topology,
+    /// One intra-cluster consensus round's cost.
+    pub intra_round: u64,
+    /// Accounting.
+    pub stats: ShardStats,
+    next_tx_serial: u64,
+}
+
+impl SaguaroSystem {
+    /// Creates a Saguaro system; `topology` should be hierarchical and
+    /// its leaf clusters map 1:1 onto shards.
+    pub fn new(topology: Topology, intra_round: u64) -> Self {
+        let n_shards = topology.n_clusters() as u32;
+        SaguaroSystem {
+            clusters: (0..n_shards).map(|i| Cluster::new(ShardId(i))).collect(),
+            partitioner: Partitioner::new(n_shards),
+            topology,
+            intra_round,
+            stats: ShardStats::default(),
+            next_tx_serial: 0,
+        }
+    }
+
+    /// The key partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// A cluster view.
+    pub fn cluster(&self, s: ShardId) -> &Cluster {
+        &self.clusters[s.0 as usize]
+    }
+
+    /// Seeds a key on its owning shard.
+    pub fn seed(&mut self, key: &str, value: pbc_types::Value) {
+        let s = self.partitioner.shard_of(key);
+        self.clusters[s.0 as usize].seed(key, value);
+    }
+
+    /// One-way latency from an involved leaf cluster to the LCA
+    /// coordinator of `shards`: half the leaf-to-leaf latency through
+    /// that ancestor (the coordinator sits on the path between them).
+    fn coordinator_distance(&self, shards: &[ShardId]) -> u64 {
+        let ids: Vec<usize> = shards.iter().map(|s| s.0 as usize).collect();
+        let depth = self.topology.clusters_lca_depth(&ids);
+        self.topology.level_latency.get(depth).copied().unwrap_or(0) / 2
+    }
+
+    /// Processes a batch: intra-shard in parallel per cluster, cross-shard
+    /// through the per-transaction LCA coordinator (transactions with
+    /// different coordinators and disjoint clusters run in parallel).
+    pub fn process_batch(&mut self, txs: &[Transaction]) -> Vec<bool> {
+        let mut results = vec![false; txs.len()];
+        let mut per_cluster: Vec<Vec<usize>> = vec![Vec::new(); self.clusters.len()];
+        let mut cross: Vec<usize> = Vec::new();
+        for (i, tx) in txs.iter().enumerate() {
+            let shards = self.partitioner.shards_of(tx);
+            if shards.len() == 1 {
+                per_cluster[shards[0].0 as usize].push(i);
+            } else {
+                cross.push(i);
+            }
+        }
+        let busiest = per_cluster.iter().map(|v| v.len()).max().unwrap_or(0);
+        for (c, indices) in per_cluster.iter().enumerate() {
+            for &i in indices {
+                let ok = self.clusters[c].execute_local(&txs[i]);
+                results[i] = ok;
+                self.stats.local_rounds += 1;
+                if ok {
+                    self.stats.intra_committed += 1;
+                } else {
+                    self.stats.aborted += 1;
+                }
+            }
+        }
+        self.stats.elapsed += busiest as u64 * self.intra_round;
+        self.stats.steps += busiest as u64;
+
+        // Cross-shard: parallel steps over disjoint cluster sets (the
+        // hierarchy gives distinct subtrees distinct coordinators).
+        let mut remaining = cross;
+        while !remaining.is_empty() {
+            let mut busy: std::collections::HashSet<ShardId> = std::collections::HashSet::new();
+            let mut step = Vec::new();
+            let mut deferred = Vec::new();
+            for i in remaining {
+                let shards = self.partitioner.shards_of(&txs[i]);
+                if shards.iter().any(|s| busy.contains(s)) {
+                    deferred.push(i);
+                } else {
+                    busy.extend(shards.iter().copied());
+                    step.push(i);
+                }
+            }
+            let mut step_cost = 0u64;
+            for &i in &step {
+                let shards = self.partitioner.shards_of(&txs[i]);
+                let dist = self.coordinator_distance(&shards);
+                // 2PC through the LCA: prepare out/votes back, commit
+                // out/acks back — but over LCA distances, not WAN ones.
+                let cost = 4 * dist + 3 * self.intra_round;
+                step_cost = step_cost.max(cost);
+                results[i] = self.run_via_lca(&txs[i], &shards);
+            }
+            self.stats.elapsed += step_cost;
+            self.stats.steps += 1;
+            remaining = deferred;
+        }
+        results
+    }
+
+    fn run_via_lca(&mut self, tx: &Transaction, shards: &[ShardId]) -> bool {
+        self.next_tx_serial += 1;
+        let serial = self.next_tx_serial;
+        let split = split_by_shard(tx, &self.partitioner);
+        self.stats.coordination_phases += 4; // 2PC phases, via the LCA
+        let mut all_ok = true;
+        for s in shards {
+            let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+            all_ok &= self.clusters[s.0 as usize].prepare(serial, ops);
+            self.stats.local_rounds += 1;
+        }
+        if all_ok {
+            for s in shards {
+                let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+                self.clusters[s.0 as usize].commit(serial, ops);
+                self.stats.local_rounds += 1;
+            }
+            self.stats.cross_committed += 1;
+            true
+        } else {
+            for s in shards {
+                self.clusters[s.0 as usize].release(serial);
+            }
+            self.stats.aborted += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::tx::{balance_of, balance_value};
+    use pbc_types::{ClientId, Op, TxId};
+
+    /// 2 regions × 2 edge clusters: latencies 100 (intra), 1_000 (same
+    /// region), 20_000 (cross region).
+    fn hierarchy() -> Topology {
+        Topology::hierarchical(&[2, 2], 4, &[100, 1_000, 20_000])
+    }
+
+    fn transfer(id: u64, from: &str, to: &str, amount: u64) -> Transaction {
+        Transaction::new(
+            TxId(id),
+            ClientId(0),
+            vec![Op::Transfer { from: from.into(), to: to.into(), amount }],
+        )
+    }
+
+    fn seeded_system() -> SaguaroSystem {
+        let mut sys = SaguaroSystem::new(hierarchy(), 300);
+        for i in 0..4 {
+            sys.seed(&format!("s{i}/a"), balance_value(100));
+        }
+        sys
+    }
+
+    #[test]
+    fn same_region_coordination_is_cheap() {
+        // Clusters 0 and 1 share a fog parent (LCA depth 1): the
+        // coordinator distance is 1000/2, not 20000/2.
+        let mut near = seeded_system();
+        near.process_batch(&[transfer(1, "s0/a", "s1/a", 5)]);
+        let mut far = seeded_system();
+        far.process_batch(&[transfer(1, "s0/a", "s2/a", 5)]);
+        assert!(near.stats.elapsed * 5 < far.stats.elapsed,
+            "near {} vs far {}", near.stats.elapsed, far.stats.elapsed);
+        assert_eq!(near.stats.cross_committed, 1);
+        assert_eq!(far.stats.cross_committed, 1);
+    }
+
+    #[test]
+    fn lca_beats_fixed_global_coordinator() {
+        // Same same-region workload through AHL, whose reference
+        // committee always sits across the WAN.
+        let mut saguaro = seeded_system();
+        saguaro.process_batch(&[transfer(1, "s0/a", "s1/a", 5)]);
+
+        let flat = Topology::flat_clusters(5, 4, 100, 20_000);
+        let mut ahl = crate::ahl::AhlSystem::new(4, flat, 300);
+        for i in 0..4 {
+            ahl.seed(&format!("s{i}/a"), balance_value(100));
+        }
+        ahl.process_batch(&[transfer(1, "s0/a", "s1/a", 5)]);
+        assert!(
+            saguaro.stats.elapsed < ahl.stats.elapsed / 4,
+            "saguaro {} vs ahl {}",
+            saguaro.stats.elapsed,
+            ahl.stats.elapsed
+        );
+    }
+
+    #[test]
+    fn intra_shard_unaffected_by_hierarchy() {
+        let mut sys = seeded_system();
+        sys.seed("s0/b", balance_value(0));
+        let ok = sys.process_batch(&[transfer(1, "s0/a", "s0/b", 10)]);
+        assert_eq!(ok, vec![true]);
+        assert_eq!(sys.stats.coordination_phases, 0);
+        assert_eq!(balance_of(sys.cluster(ShardId(0)).state.get("s0/b")), 10);
+    }
+
+    #[test]
+    fn disjoint_cross_shard_parallelizes() {
+        let mut sys = seeded_system();
+        let ok = sys.process_batch(&[
+            transfer(1, "s0/a", "s1/a", 5),
+            transfer(2, "s2/a", "s3/a", 5),
+        ]);
+        assert_eq!(ok, vec![true, true]);
+        assert_eq!(sys.stats.steps, 1);
+    }
+
+    #[test]
+    fn atomicity_on_abort() {
+        let mut sys = seeded_system();
+        let ok = sys.process_batch(&[transfer(1, "s0/a", "s1/a", 5_000)]);
+        assert_eq!(ok, vec![false]);
+        assert_eq!(balance_of(sys.cluster(ShardId(0)).state.get("s0/a")), 100);
+        assert_eq!(balance_of(sys.cluster(ShardId(1)).state.get("s1/a")), 100);
+        assert_eq!(sys.cluster(ShardId(0)).locks_held(), 0);
+    }
+}

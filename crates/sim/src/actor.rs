@@ -1,0 +1,155 @@
+//! The actor abstraction protocols implement.
+
+use crate::{NodeIdx, SimTime};
+
+/// A message that can travel through the simulated network.
+///
+/// `wire_size` feeds the byte accounting in [`crate::NetStats`]; the
+/// default models a small fixed-size control message.
+pub trait Message: Clone {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// A deterministic protocol state machine.
+///
+/// Actors never touch wall-clock time or OS randomness; everything they
+/// observe arrives through [`Context`], which makes protocol logic
+/// directly unit-testable (construct a `Context`, call `on_message`,
+/// inspect the outbox).
+pub trait Actor {
+    /// The protocol's message type.
+    type Msg: Message;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<Self::Msg>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeIdx, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _timer_id: u64, _ctx: &mut Context<Self::Msg>) {}
+}
+
+/// An effect emitted by an actor.
+#[derive(Clone, Debug)]
+pub enum Effect<M> {
+    /// Unicast `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeIdx,
+        /// Payload.
+        msg: M,
+    },
+    /// Arm a timer that fires `delay` ticks from now with id `id`.
+    Timer {
+        /// Delay from the current time.
+        delay: SimTime,
+        /// Actor-chosen timer identity (delivered back in `on_timer`).
+        id: u64,
+    },
+}
+
+/// The per-callback execution context handed to actors.
+///
+/// Collects effects; the network applies them after the callback returns,
+/// which keeps actor code free of reentrancy concerns.
+pub struct Context<M> {
+    /// The current logical time.
+    pub now: SimTime,
+    /// The index of the executing actor.
+    pub self_id: NodeIdx,
+    /// Total number of nodes in the simulation.
+    pub n: usize,
+    pub(crate) outbox: Vec<Effect<M>>,
+}
+
+impl<M: Message> Context<M> {
+    /// Creates a standalone context (useful in unit tests of actors).
+    pub fn standalone(now: SimTime, self_id: NodeIdx, n: usize) -> Self {
+        Context { now, self_id, n, outbox: Vec::new() }
+    }
+
+    /// Unicasts `msg` to `to`. Sending to self is delivered (with local
+    /// latency) like any other message.
+    pub fn send(&mut self, to: NodeIdx, msg: M) {
+        self.outbox.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to every node (including self).
+    pub fn broadcast(&mut self, msg: M) {
+        for to in 0..self.n {
+            if to != self.self_id {
+                self.outbox.push(Effect::Send { to, msg: msg.clone() });
+            }
+        }
+        // Self-delivery last, same payload.
+        self.outbox.push(Effect::Send { to: self.self_id, msg });
+    }
+
+    /// Sends `msg` to each node in `to`.
+    pub fn multicast(&mut self, to: &[NodeIdx], msg: M) {
+        for &t in to {
+            self.outbox.push(Effect::Send { to: t, msg: msg.clone() });
+        }
+    }
+
+    /// Arms a timer firing `delay` ticks from now.
+    pub fn set_timer(&mut self, delay: SimTime, id: u64) {
+        self.outbox.push(Effect::Timer { delay, id });
+    }
+
+    /// Drains the collected effects (used by the network and by tests).
+    pub fn take_effects(&mut self) -> Vec<Effect<M>> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl Message for Ping {}
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut ctx: Context<Ping> = Context::standalone(0, 1, 4);
+        ctx.broadcast(Ping(7));
+        let effects = ctx.take_effects();
+        let mut dests: Vec<NodeIdx> = effects
+            .iter()
+            .map(|e| match e {
+                Effect::Send { to, .. } => *to,
+                _ => panic!("unexpected"),
+            })
+            .collect();
+        dests.sort_unstable();
+        assert_eq!(dests, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multicast_targets_exactly() {
+        let mut ctx: Context<Ping> = Context::standalone(0, 0, 5);
+        ctx.multicast(&[2, 4], Ping(1));
+        assert_eq!(ctx.take_effects().len(), 2);
+    }
+
+    #[test]
+    fn timer_effect_recorded() {
+        let mut ctx: Context<Ping> = Context::standalone(100, 0, 1);
+        ctx.set_timer(50, 9);
+        match &ctx.take_effects()[..] {
+            [Effect::Timer { delay: 50, id: 9 }] => {}
+            other => panic!("unexpected effects: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_wire_size() {
+        assert_eq!(Ping(0).wire_size(), 64);
+    }
+}

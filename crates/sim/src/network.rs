@@ -1,0 +1,478 @@
+//! The event loop: queue, delivery, fault injection.
+
+use crate::actor::{Actor, Context, Effect};
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use crate::{NodeIdx, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// RNG seed; the same seed reproduces the same run exactly.
+    pub seed: u64,
+    /// Probability that any message is silently lost.
+    pub drop_rate: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { latency: LatencyModel::lan(), seed: 0, drop_rate: 0.0 }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeIdx, to: NodeIdx, msg: M, sent_at: SimTime },
+    Timer { node: NodeIdx, id: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// Ordering solely by (at, seq): deterministic FIFO tie-breaking.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network driving a set of actors.
+pub struct Network<A: Actor> {
+    actors: Vec<A>,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    time: SimTime,
+    seq: u64,
+    rng: StdRng,
+    config: NetworkConfig,
+    crashed: Vec<bool>,
+    /// `partition[i]` = group of node i; messages across groups drop.
+    partition: Option<Vec<usize>>,
+    stats: NetStats,
+}
+
+impl<A: Actor> Network<A> {
+    /// Creates a network over `actors` with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if a matrix latency model is smaller than the node count.
+    pub fn new(actors: Vec<A>, config: NetworkConfig) -> Self {
+        if let Some(limit) = config.latency.node_limit() {
+            assert!(
+                limit >= actors.len(),
+                "latency matrix covers {limit} nodes but {} actors were given",
+                actors.len()
+            );
+        }
+        let n = actors.len();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Network {
+            actors,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            rng,
+            config,
+            crashed: vec![false; n],
+            partition: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Network accounting so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable view of an actor.
+    pub fn actor(&self, i: NodeIdx) -> &A {
+        &self.actors[i]
+    }
+
+    /// Mutable view of an actor (for test instrumentation).
+    pub fn actor_mut(&mut self, i: NodeIdx) -> &mut A {
+        &mut self.actors[i]
+    }
+
+    /// Iterates over all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Marks a node crashed: it stops receiving messages and timers.
+    pub fn crash(&mut self, node: NodeIdx) {
+        self.crashed[node] = true;
+    }
+
+    /// Recovers a crashed node (it resumes receiving; protocol-level
+    /// state recovery is the actor's business).
+    pub fn recover(&mut self, node: NodeIdx) {
+        self.crashed[node] = false;
+    }
+
+    /// True if `node` is crashed.
+    pub fn is_crashed(&self, node: NodeIdx) -> bool {
+        self.crashed[node]
+    }
+
+    /// Splits the network: messages between different groups are dropped.
+    ///
+    /// # Panics
+    /// Panics if the groups don't cover every node exactly once.
+    pub fn partition(&mut self, groups: &[Vec<NodeIdx>]) {
+        let mut assignment = vec![usize::MAX; self.actors.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                assert!(assignment[m] == usize::MAX, "node {m} in two partition groups");
+                assignment[m] = g;
+            }
+        }
+        assert!(
+            assignment.iter().all(|&g| g != usize::MAX),
+            "partition groups must cover all nodes"
+        );
+        self.partition = Some(assignment);
+    }
+
+    /// Heals any partition.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Calls every actor's `on_start`.
+    pub fn start(&mut self) {
+        for i in 0..self.actors.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let mut ctx = Context::standalone(self.time, i, self.actors.len());
+            self.actors[i].on_start(&mut ctx);
+            self.apply_effects(i, &mut ctx);
+        }
+    }
+
+    /// Injects an external message (e.g. a client request) scheduled `delay`
+    /// ticks from now, appearing to come from `from`.
+    pub fn inject(&mut self, from: NodeIdx, to: NodeIdx, msg: A::Msg, delay: SimTime) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.time + delay.max(1),
+            seq: self.seq,
+            kind: EventKind::Deliver { from, to, msg, sent_at: self.time },
+        }));
+        self.stats.msgs_sent += 1;
+    }
+
+    fn apply_effects(&mut self, origin: NodeIdx, ctx: &mut Context<A::Msg>) {
+        use crate::actor::Message as _;
+        for effect in ctx.take_effects() {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.stats.msgs_sent += 1;
+                    self.stats.bytes_sent += msg.wire_size() as u64;
+                    // Drop decisions are made at send time.
+                    let crossed_partition = match &self.partition {
+                        Some(p) => p[origin] != p[to],
+                        None => false,
+                    };
+                    let dropped = crossed_partition
+                        || (self.config.drop_rate > 0.0
+                            && self.rng.gen_bool(self.config.drop_rate));
+                    if dropped {
+                        self.stats.msgs_dropped += 1;
+                        continue;
+                    }
+                    let latency = self.config.latency.sample(origin, to, &mut self.rng);
+                    self.seq += 1;
+                    self.queue.push(Reverse(Event {
+                        at: self.time + latency,
+                        seq: self.seq,
+                        kind: EventKind::Deliver { from: origin, to, msg, sent_at: self.time },
+                    }));
+                }
+                Effect::Timer { delay, id } => {
+                    self.seq += 1;
+                    self.queue.push(Reverse(Event {
+                        at: self.time + delay.max(1),
+                        seq: self.seq,
+                        kind: EventKind::Timer { node: origin, id },
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.time, "time must be monotone");
+        self.time = event.at;
+        match event.kind {
+            EventKind::Deliver { from, to, msg, sent_at } => {
+                if self.crashed[to] {
+                    self.stats.msgs_dropped += 1;
+                    return true;
+                }
+                self.stats.msgs_delivered += 1;
+                self.stats.latency_sum += self.time - sent_at;
+                self.stats.latency_histogram.record(self.time - sent_at);
+                let mut ctx = Context::standalone(self.time, to, self.actors.len());
+                self.actors[to].on_message(from, msg, &mut ctx);
+                self.apply_effects(to, &mut ctx);
+            }
+            EventKind::Timer { node, id } => {
+                if self.crashed[node] {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                let mut ctx = Context::standalone(self.time, node, self.actors.len());
+                self.actors[node].on_timer(id, &mut ctx);
+                self.apply_effects(node, &mut ctx);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains or logical time exceeds `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until the queue is empty or `max_events` have been processed.
+    /// Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until `pred(actor)` holds for all **alive** (non-crashed)
+    /// actors, the queue drains, or `max_events` elapse. Returns `true`
+    /// if the predicate was reached. Crashed actors are excluded: they
+    /// cannot make progress by definition.
+    pub fn run_until_all(&mut self, max_events: u64, mut pred: impl FnMut(&A) -> bool) -> bool {
+        let mut n = 0;
+        loop {
+            let done = self
+                .actors
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.crashed[*i])
+                .all(|(_, a)| pred(a));
+            if done {
+                return true;
+            }
+            if n >= max_events || !self.step() {
+                return self
+                    .actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.crashed[*i])
+                    .all(|(_, a)| pred(a));
+            }
+            n += 1;
+        }
+    }
+
+    /// Number of queued, undelivered events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Message;
+
+    /// Gossip actor: floods a token once, remembers the max token seen.
+    #[derive(Default)]
+    struct Gossip {
+        best: u32,
+        spread: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token(u32);
+    impl Message for Token {}
+
+    impl Actor for Gossip {
+        type Msg = Token;
+        fn on_message(&mut self, _from: NodeIdx, msg: Token, ctx: &mut Context<Token>) {
+            if msg.0 > self.best {
+                self.best = msg.0;
+                self.spread = true;
+                ctx.broadcast(Token(msg.0));
+            }
+        }
+    }
+
+    fn gossip_net(n: usize, seed: u64) -> Network<Gossip> {
+        let actors = (0..n).map(|_| Gossip::default()).collect();
+        Network::new(actors, NetworkConfig { seed, ..Default::default() })
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let mut net = gossip_net(5, 1);
+        net.inject(0, 0, Token(9), 1);
+        net.run_to_quiescence(10_000);
+        for i in 0..5 {
+            assert_eq!(net.actor(i).best, 9, "node {i}");
+        }
+        assert!(net.stats().msgs_delivered > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_time() {
+        let run = |seed| {
+            let mut net = gossip_net(7, seed);
+            net.inject(0, 3, Token(5), 1);
+            net.run_to_quiescence(100_000);
+            (net.now(), net.stats().msgs_delivered)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut net = gossip_net(4, 2);
+        net.crash(2);
+        net.inject(0, 0, Token(9), 1);
+        net.run_to_quiescence(10_000);
+        assert_eq!(net.actor(2).best, 0);
+        assert_eq!(net.actor(1).best, 9);
+        assert!(net.stats().msgs_dropped > 0);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_flow() {
+        let mut net = gossip_net(4, 3);
+        net.partition(&[vec![0, 1], vec![2, 3]]);
+        net.inject(0, 0, Token(9), 1);
+        net.run_to_quiescence(10_000);
+        assert_eq!(net.actor(0).best, 9);
+        assert_eq!(net.actor(1).best, 9);
+        assert_eq!(net.actor(2).best, 0);
+        assert_eq!(net.actor(3).best, 0);
+    }
+
+    #[test]
+    fn heal_partition_restores_flow() {
+        let mut net = gossip_net(4, 4);
+        net.partition(&[vec![0, 1], vec![2, 3]]);
+        net.inject(0, 0, Token(9), 1);
+        net.run_to_quiescence(10_000);
+        assert_eq!(net.actor(3).best, 0);
+        net.heal_partition();
+        net.inject(0, 0, Token(10), 1);
+        net.run_to_quiescence(10_000);
+        assert_eq!(net.actor(3).best, 10);
+    }
+
+    #[test]
+    fn full_drop_rate_loses_all_protocol_traffic() {
+        let actors = (0..3).map(|_| Gossip::default()).collect();
+        let mut net = Network::new(
+            actors,
+            NetworkConfig { drop_rate: 1.0, ..Default::default() },
+        );
+        net.inject(0, 0, Token(9), 1); // injection bypasses drops
+        net.run_to_quiescence(10_000);
+        assert_eq!(net.actor(0).best, 9);
+        assert_eq!(net.actor(1).best, 0);
+        assert_eq!(net.actor(2).best, 0);
+    }
+
+    #[test]
+    fn time_is_monotone_and_latency_counted() {
+        let mut net = gossip_net(3, 5);
+        net.inject(0, 0, Token(1), 1);
+        let mut last = 0;
+        while net.step() {
+            assert!(net.now() >= last);
+            last = net.now();
+        }
+        assert!(net.stats().mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut net = gossip_net(3, 6);
+        net.inject(0, 0, Token(1), 1);
+        net.run_until(1); // nothing delivered after t=1 except the injection
+        assert!(net.now() <= 1);
+    }
+
+    #[test]
+    fn run_until_all_predicate() {
+        let mut net = gossip_net(5, 7);
+        net.inject(0, 0, Token(3), 1);
+        let ok = net.run_until_all(100_000, |a| a.best == 3);
+        assert!(ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency matrix covers")]
+    fn undersized_matrix_panics() {
+        let actors: Vec<Gossip> = (0..3).map(|_| Gossip::default()).collect();
+        let cfg = NetworkConfig {
+            latency: LatencyModel::Matrix { base: vec![vec![1; 2]; 2], jitter: 0 },
+            ..Default::default()
+        };
+        let _ = Network::new(actors, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition groups must cover")]
+    fn incomplete_partition_panics() {
+        let mut net = gossip_net(3, 8);
+        net.partition(&[vec![0, 1]]);
+    }
+}

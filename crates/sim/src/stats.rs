@@ -1,0 +1,169 @@
+//! Network-level accounting.
+
+use crate::SimTime;
+use serde::Serialize;
+
+/// Log-scale latency histogram: bucket 0 counts zero-latency deliveries
+/// and bucket `i ≥ 1` counts latencies in `[2^(i-1), 2^i)` ticks.
+///
+/// Fixed 48 buckets cover every latency the simulator produces;
+/// recording is O(1) and the percentile estimate returns the upper bound
+/// of the bucket the requested rank falls into — good enough for the
+/// tail-latency comparisons in the benches without storing every sample.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: vec![0; 48], count: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one delivery latency.
+    pub fn record(&mut self, latency: SimTime) {
+        let bucket = (64 - latency.leading_zeros()).min(47) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i - 1 (bucket 0 holds zeros).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        SimTime::MAX
+    }
+
+    /// Median latency upper bound.
+    pub fn p50(&self) -> SimTime {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency upper bound.
+    pub fn p99(&self) -> SimTime {
+        self.quantile(0.99)
+    }
+}
+
+/// Counters the simulator maintains for every run.
+///
+/// These are the raw quantities behind the paper's performance and
+/// scalability claims: message complexity, bytes on the wire, and
+/// delivery latencies.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct NetStats {
+    /// Messages handed to the network (including dropped ones).
+    pub msgs_sent: u64,
+    /// Messages actually delivered to an actor.
+    pub msgs_delivered: u64,
+    /// Messages lost to drops, partitions, or crashed receivers.
+    pub msgs_dropped: u64,
+    /// Total bytes sent (per [`crate::Message::wire_size`]).
+    pub bytes_sent: u64,
+    /// Sum of delivery latencies (for mean latency).
+    pub latency_sum: SimTime,
+    /// Delivery-latency distribution (log-scale buckets).
+    pub latency_histogram: LatencyHistogram,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+impl NetStats {
+    /// Mean delivery latency over delivered messages.
+    pub fn mean_latency(&self) -> f64 {
+        if self.msgs_delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.msgs_delivered as f64
+        }
+    }
+
+    /// Fraction of sent messages that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.msgs_sent == 0 {
+            0.0
+        } else {
+            self.msgs_dropped as f64 / self.msgs_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = NetStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.drop_rate(), 0.0);
+        assert_eq!(s.latency_histogram.p50(), 0);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = NetStats {
+            msgs_sent: 10,
+            msgs_delivered: 8,
+            msgs_dropped: 2,
+            latency_sum: 80,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_latency(), 10.0);
+        assert_eq!(s.drop_rate(), 0.2);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::default();
+        for latency in [100u64; 99] {
+            h.record(latency);
+        }
+        h.record(100_000); // one slow outlier
+        assert_eq!(h.count(), 100);
+        // p50 must bracket 100 (bucket [64, 128) → upper bound 127).
+        assert!(h.p50() >= 100 && h.p50() < 256, "p50 = {}", h.p50());
+        // p99 lands on the last regular sample's bucket; p100 on the outlier.
+        assert!(h.quantile(1.0) >= 100_000, "max = {}", h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_monotone_in_quantile() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=1000u64 {
+            h.record(i * 7);
+        }
+        let qs: Vec<u64> =
+            [0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn zero_latency_recordable() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), 0, "rank-1 sample is the zero");
+        assert!(h.quantile(1.0) >= 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cluster and WAN topologies, turned into latency matrices.
+//!
+//! The scalability techniques of §2.3.4 are topology-sensitive:
+//! ResilientDB's "topology-aware clustering" minimizes cross-region
+//! traffic, Saguaro exploits an edge→fog→cloud hierarchy, and SharPer's
+//! flattened consensus pays for distant clusters. This module builds the
+//! per-pair latency matrices those experiments run on.
+
+use crate::latency::LatencyModel;
+use crate::{NodeIdx, SimTime};
+
+/// A node placement: which cluster each node belongs to plus the pairwise
+/// base latency matrix induced by the topology.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// `cluster_of[node]` = leaf-cluster index.
+    pub cluster_of: Vec<usize>,
+    /// Pairwise base latencies.
+    pub matrix: Vec<Vec<SimTime>>,
+    /// Leaf-cluster paths in the hierarchy (empty path for flat topologies).
+    paths: Vec<Vec<usize>>,
+    /// Latency per LCA depth (hierarchical topologies; `[intra, inter]`
+    /// for flat ones).
+    pub level_latency: Vec<SimTime>,
+}
+
+impl Topology {
+    /// `n_clusters` clusters of `nodes_per` nodes each; `intra` latency
+    /// within a cluster, `inter` between clusters.
+    pub fn flat_clusters(
+        n_clusters: usize,
+        nodes_per: usize,
+        intra: SimTime,
+        inter: SimTime,
+    ) -> Topology {
+        let n = n_clusters * nodes_per;
+        let cluster_of: Vec<usize> = (0..n).map(|i| i / nodes_per).collect();
+        let mut matrix = vec![vec![0; n]; n];
+        for (i, row) in matrix.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = if cluster_of[i] == cluster_of[j] { intra } else { inter };
+            }
+        }
+        let paths = (0..n_clusters).map(|c| vec![c]).collect();
+        Topology { cluster_of, matrix, paths, level_latency: vec![intra, inter] }
+    }
+
+    /// A hierarchy of clusters (Saguaro's edge→fog→cloud WAN structure).
+    ///
+    /// `branching[l]` is the fan-out at level `l` (root first); the number
+    /// of leaf clusters is the product of all branching factors. Each leaf
+    /// cluster holds `nodes_per_leaf` nodes. `level_latency[d]` is the
+    /// one-way latency between two nodes whose lowest common ancestor sits
+    /// `d` levels above the leaves (`level_latency\[0\]` = same cluster), so
+    /// `level_latency.len() == branching.len() + 1`.
+    ///
+    /// # Panics
+    /// Panics if the latency vector length doesn't match.
+    pub fn hierarchical(
+        branching: &[usize],
+        nodes_per_leaf: usize,
+        level_latency: &[SimTime],
+    ) -> Topology {
+        assert_eq!(
+            level_latency.len(),
+            branching.len() + 1,
+            "need one latency per LCA depth (0..=levels)"
+        );
+        let n_leaves: usize = branching.iter().product();
+        // Path of each leaf cluster through the tree, root-first.
+        let mut paths = Vec::with_capacity(n_leaves);
+        for leaf in 0..n_leaves {
+            let mut path = Vec::with_capacity(branching.len());
+            let mut rem = leaf;
+            let mut stride = n_leaves;
+            for &b in branching {
+                stride /= b;
+                path.push(rem / stride);
+                rem %= stride;
+            }
+            paths.push(path);
+        }
+        let n = n_leaves * nodes_per_leaf;
+        let cluster_of: Vec<usize> = (0..n).map(|i| i / nodes_per_leaf).collect();
+        let mut matrix = vec![vec![0; n]; n];
+        for (i, row) in matrix.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let (ci, cj) = (cluster_of[i], cluster_of[j]);
+                let depth = lca_depth(&paths[ci], &paths[cj]);
+                *cell = level_latency[depth];
+            }
+        }
+        Topology { cluster_of, matrix, paths, level_latency: level_latency.to_vec() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.cluster_of.is_empty()
+    }
+
+    /// Number of leaf clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Nodes in leaf cluster `c`.
+    pub fn cluster_members(&self, c: usize) -> Vec<NodeIdx> {
+        (0..self.len()).filter(|&i| self.cluster_of[i] == c).collect()
+    }
+
+    /// How many levels above the leaves the LCA of two clusters sits
+    /// (0 = same cluster). This is Saguaro's coordinator-selection metric.
+    pub fn cluster_lca_depth(&self, a: usize, b: usize) -> usize {
+        lca_depth(&self.paths[a], &self.paths[b])
+    }
+
+    /// The lowest-common-ancestor depth over a set of clusters — Saguaro
+    /// picks the coordinator at this level.
+    pub fn clusters_lca_depth(&self, clusters: &[usize]) -> usize {
+        clusters
+            .iter()
+            .flat_map(|&a| clusters.iter().map(move |&b| self.cluster_lca_depth(a, b)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Base latency between two clusters (node-representative).
+    pub fn cluster_latency(&self, a: usize, b: usize) -> SimTime {
+        let na = self.cluster_members(a)[0];
+        let nb = self.cluster_members(b)[0];
+        self.matrix[na][nb]
+    }
+
+    /// Converts to a latency model with the given jitter.
+    pub fn latency_model(&self, jitter: SimTime) -> LatencyModel {
+        LatencyModel::Matrix { base: self.matrix.clone(), jitter }
+    }
+}
+
+/// Depth (levels above the leaves) of the lowest common ancestor of two
+/// leaf-cluster paths.
+fn lca_depth(a: &[usize], b: &[usize]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let total = a.len();
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            return total - i;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_clusters_latencies() {
+        let t = Topology::flat_clusters(3, 4, 10, 500);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.n_clusters(), 3);
+        assert_eq!(t.matrix[0][1], 10); // same cluster
+        assert_eq!(t.matrix[0][4], 500); // different clusters
+        assert_eq!(t.cluster_members(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn hierarchy_paths_and_latencies() {
+        // Root with 2 regions, each with 2 leaf clusters, 1 node per leaf.
+        let t = Topology::hierarchical(&[2, 2], 1, &[5, 100, 1000]);
+        assert_eq!(t.n_clusters(), 4);
+        assert_eq!(t.len(), 4);
+        // Same cluster (trivially, self).
+        assert_eq!(t.cluster_lca_depth(0, 0), 0);
+        // Siblings under the same region: depth 1.
+        assert_eq!(t.cluster_lca_depth(0, 1), 1);
+        assert_eq!(t.matrix[0][1], 100);
+        // Across regions: depth 2 (root).
+        assert_eq!(t.cluster_lca_depth(0, 2), 2);
+        assert_eq!(t.matrix[0][3], 1000);
+    }
+
+    #[test]
+    fn intra_cluster_latency_in_hierarchy() {
+        let t = Topology::hierarchical(&[2], 3, &[5, 777]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.matrix[0][1], 5); // same leaf cluster
+        assert_eq!(t.matrix[0][3], 777); // across the root
+    }
+
+    #[test]
+    fn group_lca_is_max_pairwise() {
+        let t = Topology::hierarchical(&[2, 2], 1, &[5, 100, 1000]);
+        assert_eq!(t.clusters_lca_depth(&[0, 1]), 1);
+        assert_eq!(t.clusters_lca_depth(&[0, 1, 2]), 2);
+        assert_eq!(t.clusters_lca_depth(&[2]), 0);
+    }
+
+    #[test]
+    fn latency_model_roundtrip() {
+        let t = Topology::flat_clusters(2, 2, 7, 70);
+        match t.latency_model(0) {
+            LatencyModel::Matrix { base, jitter } => {
+                assert_eq!(jitter, 0);
+                assert_eq!(base[0][2], 70);
+            }
+            _ => panic!("expected matrix"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need one latency per LCA depth")]
+    fn wrong_latency_vector_panics() {
+        Topology::hierarchical(&[2, 2], 1, &[5, 100]);
+    }
+
+    #[test]
+    fn cluster_latency_helper() {
+        let t = Topology::flat_clusters(2, 3, 9, 90);
+        assert_eq!(t.cluster_latency(0, 0), 9);
+        assert_eq!(t.cluster_latency(0, 1), 90);
+    }
+}

@@ -1,0 +1,26 @@
+//! Transaction-level concurrency control (§2.3.3 techniques).
+//!
+//! * [`depgraph`] — the OXII dependency graph: orderers analyse a block's
+//!   transactions for conflicts and emit a partial order so executors can
+//!   run non-conflicting transactions in parallel (ParBlockchain).
+//! * [`validate`] — XOV read-write validation: Fabric's last-step version
+//!   check that dooms stale endorsements under contention.
+//! * [`reorder`] — in-block transaction reordering: Fabric++'s
+//!   cycle-breaking reorder/early-abort and FabricSharp's refinement that
+//!   first filters transactions that can never commit and then breaks
+//!   cycles with a smaller abort set.
+//! * [`serial`] — serializability checking used by tests and benches to
+//!   prove that what a pipeline committed is equivalent to some serial
+//!   history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depgraph;
+pub mod reorder;
+pub mod serial;
+pub mod validate;
+
+pub use depgraph::DependencyGraph;
+pub use reorder::{fabric_pp_reorder, fabric_sharp_reorder, ReorderOutcome};
+pub use validate::{validate_read_set, ValidationVerdict};

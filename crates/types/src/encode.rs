@@ -1,0 +1,125 @@
+//! Canonical byte encoding for hashing and signing.
+//!
+//! A minimal, explicit, length-prefixed binary format. We avoid
+//! serialization frameworks on the hashing path so digests are stable
+//! across serde versions and cheap to compute.
+
+/// A canonical byte-stream writer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a fixed tag byte (for enum discriminants).
+    pub fn tag(&mut self, t: u8) -> &mut Self {
+        self.buf.push(t);
+        self
+    }
+
+    /// Appends a `u32` big-endian.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u64` big-endian.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends an `i64` big-endian (two's complement).
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Consumes the encoder, returning the canonical bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Types with a canonical encoding suitable for hashing/signing.
+pub trait CanonicalEncode {
+    /// Writes the canonical representation of `self` into `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: the canonical bytes of `self`.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Convenience: the SHA-256 digest of the canonical bytes.
+    fn digest(&self) -> pbc_crypto::Hash {
+        pbc_crypto::sha256(&self.canonical_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_prefixing_prevents_ambiguity() {
+        // ("ab", "c") and ("a", "bc") must encode differently.
+        let mut e1 = Encoder::new();
+        e1.str("ab").str("c");
+        let mut e2 = Encoder::new();
+        e2.str("a").str("bc");
+        assert_ne!(e1.finish(), e2.finish());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut e = Encoder::new();
+        e.u32(0x01020304);
+        assert_eq!(e.finish(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn i64_roundtrip_layout() {
+        let mut e = Encoder::new();
+        e.i64(-1);
+        assert_eq!(e.finish(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn bytes_are_length_prefixed() {
+        let mut e = Encoder::new();
+        e.bytes(b"xy");
+        let out = e.finish();
+        assert_eq!(&out[..8], &2u64.to_be_bytes());
+        assert_eq!(&out[8..], b"xy");
+    }
+}

@@ -1,0 +1,23 @@
+//! Common vocabulary types for the permissioned-blockchain workspace.
+//!
+//! * [`ids`] — newtyped identities: nodes, clients, enterprises, shards,
+//!   channels, plus protocol counters (view, height, round).
+//! * [`tx`] — the transaction model: a deterministic mini-language of
+//!   key-value operations ([`tx::Op`]) with a scope describing which
+//!   enterprises a transaction touches (§2.3.1's internal vs
+//!   cross-enterprise distinction).
+//! * [`block`] — blocks and headers for the hash-chained ledger of §2.2.
+//! * [`encode`] — the canonical byte encoding used for hashing and
+//!   signing (stable across runs and platforms).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod encode;
+pub mod ids;
+pub mod tx;
+
+pub use block::{Block, BlockHeader};
+pub use ids::{ChannelId, ClientId, EnterpriseId, Height, NodeId, Round, ShardId, TxId, View};
+pub use tx::{Key, Op, Transaction, TxScope, Value};

@@ -1,0 +1,331 @@
+//! The transaction model.
+//!
+//! Smart contracts are replaced by a deterministic mini-language of
+//! key-value operations ([`Op`]) that every execution architecture in
+//! `pbc-arch` interprets identically — the workspace's stand-in for
+//! chaincode/EVM, per `DESIGN.md` §3. Each transaction also carries a
+//! [`TxScope`] distinguishing internal, cross-enterprise, and global
+//! transactions, the load-bearing distinction of §2.3.1 (Caper, channels)
+//! and §2.3.4 (intra- vs cross-shard).
+
+use crate::encode::{CanonicalEncode, Encoder};
+use crate::ids::{ClientId, EnterpriseId, TxId};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A state key. Keys are UTF-8 strings; sharding and enterprise views
+/// partition the key space by prefix or hash.
+pub type Key = String;
+
+/// A state value: cheaply clonable bytes.
+pub type Value = Bytes;
+
+/// One deterministic key-value operation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read a key (populates the read set).
+    Get {
+        /// Key to read.
+        key: Key,
+    },
+    /// Blind write of a value.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Read-modify-write increment of an integer value (8-byte BE).
+    Incr {
+        /// Key holding the counter.
+        key: Key,
+        /// Signed delta to apply.
+        delta: i64,
+    },
+    /// Conditional balance transfer; aborts the transaction if `from`
+    /// holds less than `amount`.
+    Transfer {
+        /// Debited account key.
+        from: Key,
+        /// Credited account key.
+        to: Key,
+        /// Amount to move.
+        amount: u64,
+    },
+    /// Does nothing; used to pad workloads with configurable execution
+    /// cost (`busy_work` simulated instruction count).
+    Noop {
+        /// Simulated execution cost in abstract work units.
+        busy_work: u32,
+    },
+}
+
+impl Op {
+    /// Keys this operation reads.
+    pub fn reads(&self) -> Vec<&str> {
+        match self {
+            Op::Get { key } => vec![key],
+            Op::Put { .. } => vec![],
+            Op::Incr { key, .. } => vec![key],
+            Op::Transfer { from, to, .. } => vec![from, to],
+            Op::Noop { .. } => vec![],
+        }
+    }
+
+    /// Keys this operation writes.
+    pub fn writes(&self) -> Vec<&str> {
+        match self {
+            Op::Get { .. } => vec![],
+            Op::Put { key, .. } => vec![key],
+            Op::Incr { key, .. } => vec![key],
+            Op::Transfer { from, to, .. } => vec![from, to],
+            Op::Noop { .. } => vec![],
+        }
+    }
+}
+
+impl CanonicalEncode for Op {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Op::Get { key } => {
+                enc.tag(0).str(key);
+            }
+            Op::Put { key, value } => {
+                enc.tag(1).str(key).bytes(value);
+            }
+            Op::Incr { key, delta } => {
+                enc.tag(2).str(key).i64(*delta);
+            }
+            Op::Transfer { from, to, amount } => {
+                enc.tag(3).str(from).str(to).u64(*amount);
+            }
+            Op::Noop { busy_work } => {
+                enc.tag(4).u32(*busy_work);
+            }
+        }
+    }
+}
+
+/// Which parties a transaction involves (§2.3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxScope {
+    /// Internal transaction of a single enterprise; confidential to it.
+    Internal(EnterpriseId),
+    /// Cross-enterprise transaction among the listed enterprises; visible
+    /// to all of them (and, in Caper, to everyone).
+    CrossEnterprise(Vec<EnterpriseId>),
+    /// Ordinary transaction with no enterprise affiliation (single-domain
+    /// deployments, sharding experiments).
+    Global,
+}
+
+impl TxScope {
+    /// True for internal (single-enterprise) transactions.
+    pub fn is_internal(&self) -> bool {
+        matches!(self, TxScope::Internal(_))
+    }
+
+    /// The enterprises involved, if enterprise-scoped.
+    pub fn enterprises(&self) -> Vec<EnterpriseId> {
+        match self {
+            TxScope::Internal(e) => vec![*e],
+            TxScope::CrossEnterprise(es) => es.clone(),
+            TxScope::Global => vec![],
+        }
+    }
+}
+
+impl CanonicalEncode for TxScope {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            TxScope::Internal(e) => {
+                enc.tag(0).u32(e.0);
+            }
+            TxScope::CrossEnterprise(es) => {
+                enc.tag(1).u64(es.len() as u64);
+                for e in es {
+                    enc.u32(e.0);
+                }
+            }
+            TxScope::Global => {
+                enc.tag(2);
+            }
+        }
+    }
+}
+
+/// A client transaction: an ordered list of operations plus metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique id assigned by the submitting client/workload generator.
+    pub id: TxId,
+    /// The submitting client.
+    pub client: ClientId,
+    /// Enterprise scope.
+    pub scope: TxScope,
+    /// Operations executed in order; a failing `Transfer` aborts the whole
+    /// transaction (no partial effects).
+    pub ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Creates a global-scope transaction.
+    pub fn new(id: TxId, client: ClientId, ops: Vec<Op>) -> Self {
+        Transaction { id, client, scope: TxScope::Global, ops }
+    }
+
+    /// Creates a transaction with an explicit scope.
+    pub fn with_scope(id: TxId, client: ClientId, scope: TxScope, ops: Vec<Op>) -> Self {
+        Transaction { id, client, scope, ops }
+    }
+
+    /// The statically known read set (deduplicated, sorted).
+    pub fn read_keys(&self) -> Vec<&str> {
+        let mut ks: Vec<&str> = self.ops.iter().flat_map(|o| o.reads()).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    /// The statically known write set (deduplicated, sorted).
+    pub fn write_keys(&self) -> Vec<&str> {
+        let mut ks: Vec<&str> = self.ops.iter().flat_map(|o| o.writes()).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    /// True if the two transactions conflict: one writes a key the other
+    /// reads or writes. This static notion drives OXII dependency graphs
+    /// and XOV validation analysis.
+    pub fn conflicts_with(&self, other: &Transaction) -> bool {
+        let my_writes = self.write_keys();
+        let their_writes = other.write_keys();
+        let overlaps = |a: &[&str], b: &[&str]| {
+            // Both sorted: linear merge.
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        };
+        overlaps(&my_writes, &their_writes)
+            || overlaps(&my_writes, &other.read_keys())
+            || overlaps(&self.read_keys(), &their_writes)
+    }
+}
+
+impl CanonicalEncode for Transaction {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.id.0).u32(self.client.0);
+        self.scope.encode(enc);
+        enc.u64(self.ops.len() as u64);
+        for op in &self.ops {
+            op.encode(enc);
+        }
+    }
+}
+
+/// Helper: encodes a `u64` balance as a state value.
+pub fn balance_value(v: u64) -> Value {
+    Bytes::copy_from_slice(&v.to_be_bytes())
+}
+
+/// Helper: decodes a state value as a `u64` balance (missing/short values
+/// read as zero, matching how accounts spring into existence on credit).
+pub fn balance_of(v: Option<&Value>) -> u64 {
+    match v {
+        Some(b) if b.len() >= 8 => u64::from_be_bytes(b[..8].try_into().unwrap()),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64, ops: Vec<Op>) -> Transaction {
+        Transaction::new(TxId(id), ClientId(0), ops)
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let t = tx(
+            1,
+            vec![
+                Op::Get { key: "a".into() },
+                Op::Put { key: "b".into(), value: Bytes::from_static(b"v") },
+                Op::Incr { key: "c".into(), delta: 1 },
+                Op::Transfer { from: "x".into(), to: "y".into(), amount: 5 },
+            ],
+        );
+        assert_eq!(t.read_keys(), vec!["a", "c", "x", "y"]);
+        assert_eq!(t.write_keys(), vec!["b", "c", "x", "y"]);
+    }
+
+    #[test]
+    fn duplicate_keys_deduplicated() {
+        let t = tx(1, vec![Op::Get { key: "a".into() }, Op::Get { key: "a".into() }]);
+        assert_eq!(t.read_keys(), vec!["a"]);
+    }
+
+    #[test]
+    fn conflict_write_write() {
+        let a = tx(1, vec![Op::Put { key: "k".into(), value: Bytes::new() }]);
+        let b = tx(2, vec![Op::Put { key: "k".into(), value: Bytes::new() }]);
+        assert!(a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn conflict_read_write() {
+        let a = tx(1, vec![Op::Get { key: "k".into() }]);
+        let b = tx(2, vec![Op::Put { key: "k".into(), value: Bytes::new() }]);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn no_conflict_read_read() {
+        let a = tx(1, vec![Op::Get { key: "k".into() }]);
+        let b = tx(2, vec![Op::Get { key: "k".into() }]);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn no_conflict_disjoint() {
+        let a = tx(1, vec![Op::Put { key: "a".into(), value: Bytes::new() }]);
+        let b = tx(2, vec![Op::Put { key: "b".into(), value: Bytes::new() }]);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn digest_is_content_addressed() {
+        use crate::encode::CanonicalEncode;
+        let a = tx(1, vec![Op::Get { key: "k".into() }]);
+        let b = tx(1, vec![Op::Get { key: "k".into() }]);
+        let c = tx(2, vec![Op::Get { key: "k".into() }]);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn scope_helpers() {
+        assert!(TxScope::Internal(EnterpriseId(1)).is_internal());
+        assert!(!TxScope::Global.is_internal());
+        assert_eq!(
+            TxScope::CrossEnterprise(vec![EnterpriseId(1), EnterpriseId(2)]).enterprises(),
+            vec![EnterpriseId(1), EnterpriseId(2)]
+        );
+    }
+
+    #[test]
+    fn balance_coding() {
+        assert_eq!(balance_of(Some(&balance_value(42))), 42);
+        assert_eq!(balance_of(None), 0);
+        assert_eq!(balance_of(Some(&Bytes::from_static(b"xx"))), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Verifiability techniques for permissioned blockchains (§2.3.2).
+//!
+//! The paper contrasts two ways for mutually distrusting enterprises to
+//! verify each other's transactions without seeing each other's data:
+//!
+//! * [`zktransfer`] — **cryptographic** (Quorum/Zcash style): private
+//!   asset transfers whose validity — sender authorization, no double
+//!   spend, mass conservation, non-negative amounts — is checked by any
+//!   node via zero-knowledge proofs, with no trusted party. "Truly
+//!   decentralized … however, considerable overhead" (E7 measures it).
+//! * [`separ`] — **token-based** (Separ): a centralized trusted authority
+//!   models global regulations (e.g. FLSA's 40-hour week) as anonymous
+//!   blind tokens; platforms verify contributions by redeeming tokens,
+//!   learning nothing about the worker's identity or other platforms.
+//!   Cheap, but requires trusting the authority.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod separ;
+pub mod zktransfer;
+
+pub use separ::{SeparError, SeparSystem, WorkerWallet};
+pub use zktransfer::{NoteSecret, PrivateTransfer, TransferError, ZkLedger};

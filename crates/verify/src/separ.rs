@@ -1,0 +1,288 @@
+//! Separ (Amiri et al., WWW'21) — token-based verifiability for
+//! multi-platform crowdworking (§2.1.3, §2.3.2).
+//!
+//! A trusted authority models a global regulation — e.g. the FLSA's
+//! "at most 40 work hours per week" — as a weekly budget of **anonymous
+//! tokens** per worker, issued through the blind VOPRF of
+//! [`pbc_crypto::token`]. A worker contributing `h` hours to a task on
+//! *any* platform spends `h` tokens; platforms forward tokens to the
+//! authority for redemption and record contributions on a ledger shared
+//! across platforms. Because tokens are blind-issued, neither platforms
+//! nor the authority can link a redemption to the worker's identity or to
+//! their activity on other platforms — yet the *global* hour limit is
+//! enforced exactly: a worker holding 40 tokens cannot work 41 hours
+//! across Uber and Lyft combined.
+
+use pbc_crypto::token::{BlindingSession, Token, TokenAuthority};
+use pbc_ledger::ChainLedger;
+use pbc_types::{Block, ClientId, NodeId, Op, Transaction, TxId};
+use std::collections::HashMap;
+
+/// A crowdworking platform identifier.
+pub type PlatformId = u32;
+
+/// Separ errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeparError {
+    /// The wallet holds fewer tokens than the contribution needs.
+    InsufficientTokens {
+        /// Tokens available.
+        have: usize,
+        /// Tokens needed.
+        need: usize,
+    },
+    /// A token failed redemption (forged or already spent) — the
+    /// global-constraint violation Separ exists to catch.
+    TokenRejected,
+    /// Unknown platform.
+    UnknownPlatform(PlatformId),
+}
+
+impl std::fmt::Display for SeparError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeparError::InsufficientTokens { have, need } => {
+                write!(f, "insufficient tokens: have {have}, need {need}")
+            }
+            SeparError::TokenRejected => write!(f, "token rejected (forged or double-spent)"),
+            SeparError::UnknownPlatform(p) => write!(f, "unknown platform {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SeparError {}
+
+/// A worker's client-side token wallet. Holds unlinkable tokens; the
+/// worker identity appears only during issuance, never at spend time.
+#[derive(Debug, Default)]
+pub struct WorkerWallet {
+    tokens: Vec<Token>,
+}
+
+impl WorkerWallet {
+    /// An empty wallet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokens remaining (work hours still allowed this period).
+    pub fn remaining(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Withdraws `n` tokens for spending.
+    fn take(&mut self, n: usize) -> Result<Vec<Token>, SeparError> {
+        if self.tokens.len() < n {
+            return Err(SeparError::InsufficientTokens { have: self.tokens.len(), need: n });
+        }
+        Ok(self.tokens.split_off(self.tokens.len() - n))
+    }
+}
+
+/// One platform's record of accepted contributions.
+#[derive(Debug, Default)]
+pub struct PlatformLog {
+    /// Accepted `(task, hours)` contributions.
+    pub contributions: Vec<(String, u32)>,
+}
+
+/// The Separ deployment: authority + platforms + shared ledger.
+pub struct SeparSystem {
+    authority: TokenAuthority,
+    platforms: HashMap<PlatformId, PlatformLog>,
+    /// The blockchain ledger shared across platforms; every accepted
+    /// contribution is recorded here (hours are public; workers are not).
+    pub ledger: ChainLedger,
+    /// Per-worker token budget (the modelled regulation, e.g. 40).
+    pub budget: usize,
+    next_tx: u64,
+}
+
+impl SeparSystem {
+    /// Creates a system enforcing `budget` work hours per worker per
+    /// period across the given platforms.
+    pub fn new<R: rand::Rng + ?Sized>(
+        budget: usize,
+        platforms: &[PlatformId],
+        rng: &mut R,
+    ) -> Self {
+        SeparSystem {
+            authority: TokenAuthority::new(rng),
+            platforms: platforms.iter().map(|&p| (p, PlatformLog::default())).collect(),
+            ledger: ChainLedger::new(),
+            budget,
+            next_tx: 0,
+        }
+    }
+
+    /// Registers a worker: blind-issues a full budget of tokens into a
+    /// fresh wallet. The authority sees the issuance but (thanks to
+    /// blinding) cannot recognize the tokens when they are later spent.
+    pub fn register_worker<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) -> WorkerWallet {
+        let mut wallet = WorkerWallet::new();
+        for _ in 0..self.budget {
+            let session = BlindingSession::start(rng);
+            let (signed, proof) = self.authority.issue(session.blinded, rng);
+            let token = session
+                .finish(self.authority.public_key(), signed, &proof)
+                .expect("honest authority issuance");
+            wallet.tokens.push(token);
+        }
+        wallet
+    }
+
+    /// A worker contributes `hours` to `task` on `platform`, paying one
+    /// token per hour. The platform forwards the tokens to the authority;
+    /// any rejection (double spend across *any* platform) fails the whole
+    /// contribution.
+    pub fn contribute(
+        &mut self,
+        platform: PlatformId,
+        wallet: &mut WorkerWallet,
+        task: &str,
+        hours: u32,
+    ) -> Result<(), SeparError> {
+        if !self.platforms.contains_key(&platform) {
+            return Err(SeparError::UnknownPlatform(platform));
+        }
+        let tokens = wallet.take(hours as usize)?;
+        // Redeem all tokens; on any failure, refund the unspent ones.
+        for (i, token) in tokens.iter().enumerate() {
+            if !self.authority.redeem(token) {
+                // Refund tokens not yet redeemed (the spent ones are burned).
+                wallet.tokens.extend_from_slice(&tokens[i + 1..]);
+                return Err(SeparError::TokenRejected);
+            }
+        }
+        // Record on the shared ledger (no worker identity in the record).
+        self.next_tx += 1;
+        let tx = Transaction::new(
+            TxId(self.next_tx),
+            ClientId(platform),
+            vec![Op::Incr { key: format!("task/{task}/hours"), delta: hours as i64 }],
+        );
+        let height = self.ledger.height().next();
+        let block =
+            Block::build(height, self.ledger.head_hash(), NodeId(platform), height.0, vec![tx]);
+        self.ledger.append(block).expect("sequential build");
+        self.platforms
+            .get_mut(&platform)
+            .expect("checked above")
+            .contributions
+            .push((task.to_string(), hours));
+        Ok(())
+    }
+
+    /// A platform's accepted contributions.
+    pub fn platform(&self, p: PlatformId) -> Option<&PlatformLog> {
+        self.platforms.get(&p)
+    }
+
+    /// Total hours redeemed across all platforms (authority-side view).
+    pub fn total_redeemed_hours(&self) -> usize {
+        self.authority.redeemed_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn system(budget: usize) -> (SeparSystem, StdRng) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sys = SeparSystem::new(budget, &[0, 1], &mut rng);
+        (sys, rng)
+    }
+
+    #[test]
+    fn contribution_within_budget_accepted() {
+        let (mut sys, mut rng) = system(40);
+        let mut wallet = sys.register_worker(&mut rng);
+        sys.contribute(0, &mut wallet, "drive", 8).unwrap();
+        assert_eq!(wallet.remaining(), 32);
+        assert_eq!(sys.platform(0).unwrap().contributions, vec![("drive".to_string(), 8)]);
+    }
+
+    #[test]
+    fn global_limit_enforced_across_platforms() {
+        // The FLSA scenario: 25h on platform 0 (Uber) + 15h on platform 1
+        // (Lyft) exhausts the 40h budget; one more hour anywhere fails.
+        let (mut sys, mut rng) = system(40);
+        let mut wallet = sys.register_worker(&mut rng);
+        sys.contribute(0, &mut wallet, "drive", 25).unwrap();
+        sys.contribute(1, &mut wallet, "deliver", 15).unwrap();
+        assert_eq!(wallet.remaining(), 0);
+        assert_eq!(
+            sys.contribute(1, &mut wallet, "deliver", 1).unwrap_err(),
+            SeparError::InsufficientTokens { have: 0, need: 1 }
+        );
+        assert_eq!(sys.total_redeemed_hours(), 40);
+    }
+
+    #[test]
+    fn token_reuse_detected() {
+        let (mut sys, mut rng) = system(5);
+        let mut wallet = sys.register_worker(&mut rng);
+        // A cheating worker copies a token before spending it.
+        let stolen = wallet.tokens[4];
+        sys.contribute(0, &mut wallet, "a", 1).unwrap(); // spends tokens[4]
+        wallet.tokens.push(stolen); // sneak the copy back in
+        assert_eq!(
+            sys.contribute(1, &mut wallet, "b", 1).unwrap_err(),
+            SeparError::TokenRejected
+        );
+    }
+
+    #[test]
+    fn workers_budgets_are_independent() {
+        let (mut sys, mut rng) = system(10);
+        let mut alice = sys.register_worker(&mut rng);
+        let mut bob = sys.register_worker(&mut rng);
+        sys.contribute(0, &mut alice, "t", 10).unwrap();
+        // Alice exhausted hers; Bob is unaffected.
+        sys.contribute(0, &mut bob, "t", 10).unwrap();
+        assert_eq!(sys.total_redeemed_hours(), 20);
+    }
+
+    #[test]
+    fn ledger_records_contributions_without_identity() {
+        let (mut sys, mut rng) = system(10);
+        let mut wallet = sys.register_worker(&mut rng);
+        sys.contribute(0, &mut wallet, "drive", 3).unwrap();
+        sys.ledger.verify().unwrap();
+        assert_eq!(sys.ledger.total_txs(), 1);
+        // The recorded transaction mentions task and hours, nothing else.
+        let tx = &sys.ledger.blocks()[1].txs[0];
+        assert!(matches!(
+            &tx.ops[0],
+            Op::Incr { key, delta: 3 } if key == "task/drive/hours"
+        ));
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let (mut sys, mut rng) = system(10);
+        let mut wallet = sys.register_worker(&mut rng);
+        assert_eq!(
+            sys.contribute(9, &mut wallet, "t", 1).unwrap_err(),
+            SeparError::UnknownPlatform(9)
+        );
+        assert_eq!(wallet.remaining(), 10, "no tokens consumed on bad platform");
+    }
+
+    #[test]
+    fn failed_contribution_refunds_unspent_tokens() {
+        let (mut sys, mut rng) = system(5);
+        let mut wallet = sys.register_worker(&mut rng);
+        let stolen = wallet.tokens[4];
+        sys.contribute(0, &mut wallet, "a", 1).unwrap();
+        // Wallet: 4 real tokens + 1 spent copy first in the take order.
+        wallet.tokens.insert(0, stolen);
+        // take(5) grabs all 5; the copy fails somewhere in the middle.
+        let before = wallet.remaining();
+        let err = sys.contribute(1, &mut wallet, "b", 5).unwrap_err();
+        assert_eq!(err, SeparError::TokenRejected);
+        assert!(wallet.remaining() < before, "spent tokens are burned");
+    }
+}

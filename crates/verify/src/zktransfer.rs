@@ -1,0 +1,432 @@
+//! Quorum-style private asset transfers verified with zero-knowledge
+//! proofs (§2.3.2).
+//!
+//! Assets live in **notes**: Pedersen commitments `C = g^v · h^r` to a
+//! value `v` under blinding `r`, known only to the owner. A
+//! [`PrivateTransfer`] consumes input notes and creates output notes,
+//! revealing neither values nor linkage, while any verifier checks:
+//!
+//! 1. **authorization** — an [`OpeningProof`] per input shows the spender
+//!    knows the note's opening (only the owner does);
+//! 2. **no double spend** — each input exposes a deterministic
+//!    *nullifier* `H(r)`, recorded in a spent set; reusing a note reuses
+//!    its nullifier;
+//! 3. **mass conservation** — `Π C_in / Π C_out` must commit to zero,
+//!    proved by a discrete-log proof w.r.t. `h` (a prover who changed the
+//!    total would need `log_h g`);
+//! 4. **no negative outputs** — a bit-decomposition [`RangeProof`] per
+//!    output (otherwise "conservation" could mint value via field
+//!    wrap-around).
+//!
+//! The proof sizes and verifier work here are exactly the "considerable
+//! overhead" the paper attributes to ZKP verifiability; E7 charts them
+//! against Separ's token checks.
+
+use pbc_crypto::group::{GroupElement, Scalar};
+use pbc_crypto::pedersen::{commit, Commitment};
+use pbc_crypto::range::RangeProof;
+use pbc_crypto::schnorr::{DlogProof, OpeningProof};
+use std::collections::HashSet;
+
+/// Bit width of note values (`v < 2^VALUE_BITS`).
+pub const VALUE_BITS: u32 = 32;
+
+/// Owner-side secret for one note.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NoteSecret {
+    /// The note's value.
+    pub value: u64,
+    /// The Pedersen blinding (spending key for this note).
+    pub blinding: Scalar,
+}
+
+impl NoteSecret {
+    /// The public commitment of this note.
+    pub fn commitment(&self) -> Commitment {
+        commit(Scalar::new(self.value), self.blinding)
+    }
+
+    /// The nullifier revealed when spending: `H(blinding)`.
+    pub fn nullifier(&self) -> u64 {
+        pbc_crypto::sha256(&self.blinding.0.to_be_bytes()).prefix_u64()
+    }
+}
+
+/// One spent input inside a transfer.
+#[derive(Clone, Debug)]
+pub struct TransferInput {
+    /// The consumed note's commitment.
+    pub commitment: Commitment,
+    /// Its nullifier.
+    pub nullifier: u64,
+    /// Proof of knowledge of the note opening (authorization).
+    pub ownership: OpeningProof,
+}
+
+/// One created output inside a transfer.
+#[derive(Clone, Debug)]
+pub struct TransferOutput {
+    /// The new note's commitment.
+    pub commitment: Commitment,
+    /// Range proof that the hidden value is in `[0, 2^VALUE_BITS)`.
+    pub range: RangeProof,
+}
+
+/// A fully-shielded transfer.
+#[derive(Clone, Debug)]
+pub struct PrivateTransfer {
+    /// Consumed notes.
+    pub inputs: Vec<TransferInput>,
+    /// Created notes.
+    pub outputs: Vec<TransferOutput>,
+    /// Mass-conservation proof: `Π C_in / Π C_out = h^δ` with known `δ`.
+    pub balance: DlogProof,
+    /// Domain-separation context (binds proofs to this transfer).
+    pub context: Vec<u8>,
+}
+
+impl PrivateTransfer {
+    /// Total serialized proof size in bytes (E7's overhead metric).
+    pub fn proof_size_bytes(&self) -> usize {
+        let inputs = self.inputs.len() * (8 + 8 + 3 * 8); // commitment+nullifier+opening proof
+        let outputs: usize =
+            self.outputs.iter().map(|o| 8 + o.range.size_bytes()).sum();
+        inputs + outputs + 2 * 8
+    }
+}
+
+/// Why a transfer failed to build or verify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferError {
+    /// Inputs and outputs don't sum to the same total (prover side).
+    Unbalanced {
+        /// Total input value.
+        inputs: u64,
+        /// Total output value.
+        outputs: u64,
+    },
+    /// An output value exceeds the range bound (prover side).
+    ValueTooLarge(u64),
+    /// An input note is not in the ledger's note set.
+    UnknownNote,
+    /// An input nullifier was already spent.
+    DoubleSpend(u64),
+    /// An ownership proof failed.
+    BadOwnership,
+    /// A range proof failed.
+    BadRange,
+    /// The mass-conservation proof failed.
+    BadBalance,
+    /// Empty input or output list.
+    Empty,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::Unbalanced { inputs, outputs } => {
+                write!(f, "inputs {inputs} != outputs {outputs}")
+            }
+            TransferError::ValueTooLarge(v) => write!(f, "value {v} out of range"),
+            TransferError::UnknownNote => write!(f, "unknown input note"),
+            TransferError::DoubleSpend(n) => write!(f, "nullifier {n:x} already spent"),
+            TransferError::BadOwnership => write!(f, "ownership proof failed"),
+            TransferError::BadRange => write!(f, "range proof failed"),
+            TransferError::BadBalance => write!(f, "balance proof failed"),
+            TransferError::Empty => write!(f, "transfer needs inputs and outputs"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Builds a transfer spending `inputs` into notes of the given `values`.
+/// Returns the transfer plus the new notes' secrets (to hand to the
+/// recipients out of band).
+pub fn build_transfer<R: rand::Rng + ?Sized>(
+    inputs: &[NoteSecret],
+    values: &[u64],
+    context: &[u8],
+    rng: &mut R,
+) -> Result<(PrivateTransfer, Vec<NoteSecret>), TransferError> {
+    if inputs.is_empty() || values.is_empty() {
+        return Err(TransferError::Empty);
+    }
+    let in_total: u64 = inputs.iter().map(|n| n.value).sum();
+    let out_total: u64 = values.iter().sum();
+    if in_total != out_total {
+        return Err(TransferError::Unbalanced { inputs: in_total, outputs: out_total });
+    }
+    for &v in values {
+        if v >> VALUE_BITS != 0 {
+            return Err(TransferError::ValueTooLarge(v));
+        }
+    }
+    let out_secrets: Vec<NoteSecret> = values
+        .iter()
+        .map(|&value| NoteSecret { value, blinding: Scalar::random(rng) })
+        .collect();
+
+    let tx_inputs: Vec<TransferInput> = inputs
+        .iter()
+        .map(|n| {
+            let c = n.commitment();
+            TransferInput {
+                commitment: c,
+                nullifier: n.nullifier(),
+                ownership: OpeningProof::prove(
+                    &c,
+                    Scalar::new(n.value),
+                    n.blinding,
+                    context,
+                    rng,
+                ),
+            }
+        })
+        .collect();
+
+    let tx_outputs: Vec<TransferOutput> = out_secrets
+        .iter()
+        .map(|n| {
+            let range = RangeProof::prove(n.value, n.blinding, VALUE_BITS, context, rng)
+                .expect("range-checked above");
+            TransferOutput { commitment: n.commitment(), range }
+        })
+        .collect();
+
+    // Mass conservation: D = Π C_in / Π C_out = h^δ.
+    let delta = inputs
+        .iter()
+        .map(|n| n.blinding)
+        .fold(Scalar::ZERO, |a, b| a.add(b))
+        .sub(out_secrets.iter().map(|n| n.blinding).fold(Scalar::ZERO, |a, b| a.add(b)));
+    let d = tx_inputs
+        .iter()
+        .fold(GroupElement::ONE, |acc, i| acc.mul(i.commitment.0))
+        .div(tx_outputs.iter().fold(GroupElement::ONE, |acc, o| acc.mul(o.commitment.0)));
+    let balance = DlogProof::prove(GroupElement::generator_h(), d, delta, context, rng);
+
+    Ok((
+        PrivateTransfer { inputs: tx_inputs, outputs: tx_outputs, balance, context: context.to_vec() },
+        out_secrets,
+    ))
+}
+
+/// The shielded-pool ledger state every node replicates: live note
+/// commitments and spent nullifiers.
+#[derive(Debug, Default)]
+pub struct ZkLedger {
+    notes: HashSet<Commitment>,
+    nullifiers: HashSet<u64>,
+    /// Transfers verified and applied.
+    pub transfers_applied: u64,
+}
+
+impl ZkLedger {
+    /// An empty shielded pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trusted issuance (the permissioned analogue of a funding
+    /// transaction): mints a note of `value` and returns its secret.
+    pub fn mint<R: rand::Rng + ?Sized>(&mut self, value: u64, rng: &mut R) -> NoteSecret {
+        let secret = NoteSecret { value, blinding: Scalar::random(rng) };
+        self.notes.insert(secret.commitment());
+        secret
+    }
+
+    /// True if a note commitment is live in the pool.
+    pub fn contains_note(&self, c: &Commitment) -> bool {
+        self.notes.contains(c)
+    }
+
+    /// Number of live notes.
+    pub fn note_count(&self) -> usize {
+        self.notes.len()
+    }
+
+    /// Verifies every proof in `t` without applying it. This is the
+    /// verifier work every node performs (E7's latency metric).
+    pub fn verify(&self, t: &PrivateTransfer) -> Result<(), TransferError> {
+        if t.inputs.is_empty() || t.outputs.is_empty() {
+            return Err(TransferError::Empty);
+        }
+        for input in &t.inputs {
+            if !self.notes.contains(&input.commitment) {
+                return Err(TransferError::UnknownNote);
+            }
+            if self.nullifiers.contains(&input.nullifier) {
+                return Err(TransferError::DoubleSpend(input.nullifier));
+            }
+            if !input.ownership.verify(&input.commitment, &t.context) {
+                return Err(TransferError::BadOwnership);
+            }
+        }
+        for output in &t.outputs {
+            if !output.range.verify(&output.commitment, VALUE_BITS, &t.context) {
+                return Err(TransferError::BadRange);
+            }
+        }
+        let d = t
+            .inputs
+            .iter()
+            .fold(GroupElement::ONE, |acc, i| acc.mul(i.commitment.0))
+            .div(t.outputs.iter().fold(GroupElement::ONE, |acc, o| acc.mul(o.commitment.0)));
+        if !t.balance.verify(GroupElement::generator_h(), d, &t.context) {
+            return Err(TransferError::BadBalance);
+        }
+        Ok(())
+    }
+
+    /// Verifies and applies: consumes inputs (records nullifiers) and
+    /// adds outputs to the pool.
+    pub fn apply(&mut self, t: &PrivateTransfer) -> Result<(), TransferError> {
+        self.verify(t)?;
+        for input in &t.inputs {
+            self.notes.remove(&input.commitment);
+            self.nullifiers.insert(input.nullifier);
+        }
+        for output in &t.outputs {
+            self.notes.insert(output.commitment);
+        }
+        self.transfers_applied += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup() -> (ZkLedger, NoteSecret, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ledger = ZkLedger::new();
+        let note = ledger.mint(100, &mut rng);
+        (ledger, note, rng)
+    }
+
+    #[test]
+    fn honest_transfer_verifies_and_applies() {
+        let (mut ledger, note, mut rng) = setup();
+        let (t, outs) = build_transfer(&[note], &[60, 40], b"tx1", &mut rng).unwrap();
+        ledger.apply(&t).unwrap();
+        assert_eq!(ledger.note_count(), 2);
+        assert!(ledger.contains_note(&outs[0].commitment()));
+        assert!(ledger.contains_note(&outs[1].commitment()));
+    }
+
+    #[test]
+    fn recipients_can_spend_received_notes() {
+        let (mut ledger, note, mut rng) = setup();
+        let (t, outs) = build_transfer(&[note], &[60, 40], b"tx1", &mut rng).unwrap();
+        ledger.apply(&t).unwrap();
+        // The 60-note owner spends onward, merging nothing.
+        let (t2, _) = build_transfer(std::slice::from_ref(&outs[0]), &[60], b"tx2", &mut rng).unwrap();
+        ledger.apply(&t2).unwrap();
+        assert_eq!(ledger.transfers_applied, 2);
+    }
+
+    #[test]
+    fn multi_input_merge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ledger = ZkLedger::new();
+        let a = ledger.mint(30, &mut rng);
+        let b = ledger.mint(12, &mut rng);
+        let (t, _) = build_transfer(&[a, b], &[42], b"merge", &mut rng).unwrap();
+        ledger.apply(&t).unwrap();
+        assert_eq!(ledger.note_count(), 1);
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let (mut ledger, note, mut rng) = setup();
+        let (t1, _) = build_transfer(std::slice::from_ref(&note), &[100], b"tx1", &mut rng).unwrap();
+        ledger.apply(&t1).unwrap();
+        let (t2, _) = build_transfer(&[note], &[100], b"tx2", &mut rng).unwrap();
+        // The note is gone from the pool AND its nullifier is burned.
+        assert!(matches!(
+            ledger.apply(&t2),
+            Err(TransferError::UnknownNote | TransferError::DoubleSpend(_))
+        ));
+    }
+
+    #[test]
+    fn unbalanced_transfer_cannot_be_built() {
+        let (_, note, mut rng) = setup();
+        assert_eq!(
+            build_transfer(&[note], &[60, 60], b"tx", &mut rng).unwrap_err(),
+            TransferError::Unbalanced { inputs: 100, outputs: 120 }
+        );
+    }
+
+    #[test]
+    fn forged_balance_rejected_by_verifier() {
+        // A malicious prover tries to inflate: uses the real machinery to
+        // build an honest transfer, then swaps an output commitment for a
+        // bigger one. Every proof that binds the commitment must fail.
+        let (mut ledger, note, mut rng) = setup();
+        let (mut t, _) = build_transfer(&[note], &[100], b"tx", &mut rng).unwrap();
+        let fat = NoteSecret { value: 1_000_000, blinding: Scalar::random(&mut rng) };
+        t.outputs[0].commitment = fat.commitment();
+        assert!(matches!(
+            ledger.apply(&t),
+            Err(TransferError::BadRange | TransferError::BadBalance)
+        ));
+    }
+
+    #[test]
+    fn thief_without_opening_cannot_spend() {
+        let (mut ledger, note, mut rng) = setup();
+        // The thief sees the commitment on the ledger but not the secret:
+        // fabricates a guess secret and builds a transfer with it.
+        let guess = NoteSecret { value: 100, blinding: Scalar::random(&mut rng) };
+        let (mut t, _) = build_transfer(&[guess], &[100], b"steal", &mut rng).unwrap();
+        // Point the input at the victim's real note.
+        t.inputs[0].commitment = note.commitment();
+        assert!(matches!(
+            ledger.apply(&t),
+            Err(TransferError::BadOwnership | TransferError::BadBalance)
+        ));
+    }
+
+    #[test]
+    fn spending_nonexistent_note_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ledger = ZkLedger::new();
+        let phantom = NoteSecret { value: 50, blinding: Scalar::random(&mut rng) };
+        let (t, _) = build_transfer(&[phantom], &[50], b"tx", &mut rng).unwrap();
+        assert_eq!(ledger.apply(&t).unwrap_err(), TransferError::UnknownNote);
+    }
+
+    #[test]
+    fn commitments_hide_values() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = NoteSecret { value: 100, blinding: Scalar::random(&mut rng) };
+        let b = NoteSecret { value: 100, blinding: Scalar::random(&mut rng) };
+        assert_ne!(a.commitment(), b.commitment(), "same value, different commitments");
+    }
+
+    #[test]
+    fn proof_size_grows_with_outputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ledger = ZkLedger::new();
+        let n1 = ledger.mint(100, &mut rng);
+        let n2 = ledger.mint(100, &mut rng);
+        let (t1, _) = build_transfer(&[n1], &[100], b"a", &mut rng).unwrap();
+        let (t4, _) = build_transfer(&[n2], &[25, 25, 25, 25], b"b", &mut rng).unwrap();
+        assert!(t4.proof_size_bytes() > 3 * t1.proof_size_bytes());
+    }
+
+    #[test]
+    fn out_of_range_value_rejected_at_build() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut ledger = ZkLedger::new();
+        let big = ledger.mint(1 << 40, &mut rng);
+        assert_eq!(
+            build_transfer(&[big], &[1 << 40], b"tx", &mut rng).unwrap_err(),
+            TransferError::ValueTooLarge(1 << 40)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Crowdworking workload (§2.1.3) for the verifiability experiments (E7).
+//!
+//! Workers contribute hours to tasks across multiple platforms; the
+//! generator emits `(worker, platform, task, hours)` events whose
+//! per-worker weekly totals may or may not respect the global limit —
+//! Separ's job is to catch the violations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One contribution event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contribution {
+    /// The contributing worker.
+    pub worker: u32,
+    /// The platform receiving the contribution.
+    pub platform: u32,
+    /// Task name.
+    pub task: String,
+    /// Hours claimed.
+    pub hours: u32,
+}
+
+/// Parameters of a crowdworking workload.
+#[derive(Clone, Debug)]
+pub struct CrowdWorkload {
+    /// Number of workers.
+    pub workers: u32,
+    /// Number of platforms.
+    pub platforms: u32,
+    /// Number of distinct tasks.
+    pub tasks: u32,
+    /// Weekly hour limit each worker *should* respect.
+    pub limit: u32,
+    /// Fraction of workers who attempt to exceed the limit.
+    pub violator_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdWorkload {
+    fn default() -> Self {
+        CrowdWorkload {
+            workers: 32,
+            platforms: 3,
+            tasks: 16,
+            limit: 40,
+            violator_fraction: 0.25,
+            seed: 13,
+        }
+    }
+}
+
+impl CrowdWorkload {
+    /// Generates a week of contributions. Honest workers stay within
+    /// `limit` hours total; violators claim `limit + 1 ..= limit + 16`
+    /// hours spread over platforms. Events are interleaved by worker.
+    pub fn generate(&self) -> Vec<Contribution> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        for w in 0..self.workers {
+            let violator = rng.gen_bool(self.violator_fraction);
+            let total: u32 = if violator {
+                self.limit + rng.gen_range(1..=16)
+            } else {
+                rng.gen_range(1..=self.limit)
+            };
+            let mut remaining = total;
+            while remaining > 0 {
+                let hours = rng.gen_range(1..=remaining.min(8));
+                events.push(Contribution {
+                    worker: w,
+                    platform: rng.gen_range(0..self.platforms),
+                    task: format!("task{}", rng.gen_range(0..self.tasks)),
+                    hours,
+                });
+                remaining -= hours;
+            }
+        }
+        events
+    }
+
+    /// The set of workers whose generated total exceeds the limit.
+    pub fn violators(events: &[Contribution], limit: u32) -> Vec<u32> {
+        use std::collections::HashMap;
+        let mut totals: HashMap<u32, u32> = HashMap::new();
+        for e in events {
+            *totals.entry(e.worker).or_default() += e.hours;
+        }
+        let mut v: Vec<u32> =
+            totals.into_iter().filter(|(_, h)| *h > limit).map(|(w, _)| w).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_workers_respect_limit() {
+        let w = CrowdWorkload { violator_fraction: 0.0, ..Default::default() };
+        let events = w.generate();
+        assert!(CrowdWorkload::violators(&events, w.limit).is_empty());
+    }
+
+    #[test]
+    fn violators_exceed_limit() {
+        let w = CrowdWorkload { violator_fraction: 1.0, ..Default::default() };
+        let events = w.generate();
+        let violators = CrowdWorkload::violators(&events, w.limit);
+        assert_eq!(violators.len(), w.workers as usize);
+    }
+
+    #[test]
+    fn mixed_population() {
+        let w = CrowdWorkload { violator_fraction: 0.5, workers: 100, ..Default::default() };
+        let events = w.generate();
+        let violators = CrowdWorkload::violators(&events, w.limit);
+        assert!(!violators.is_empty());
+        assert!(violators.len() < 100);
+    }
+
+    #[test]
+    fn contributions_span_platforms() {
+        let w = CrowdWorkload::default();
+        let events = w.generate();
+        let platforms: std::collections::HashSet<u32> =
+            events.iter().map(|e| e.platform).collect();
+        assert!(platforms.len() > 1, "the multi-platform setting needs multiple platforms");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = CrowdWorkload::default();
+        assert_eq!(w.generate(), w.generate());
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic workload generators for the experiments in
+//! `EXPERIMENTS.md`.
+//!
+//! * [`zipf`] — a Zipfian sampler (the standard contention knob).
+//! * [`payments`] — account-to-account transfers with tunable skew and
+//!   simulated contract cost (E2–E4: the financial workload of §2.1).
+//! * [`supplychain`] — internal vs cross-enterprise transaction mixes
+//!   (E6: the supply-chain scenario of §2.1.1).
+//! * [`crowdwork`] — multi-platform worker contributions under an hour
+//!   budget (E7: the crowdworking scenario of §2.1.3).
+//! * [`sharded`] — cross-shard ratio sweeps over partitioned accounts
+//!   (E8/E9: the large-scale database scenario of §2.1.2).
+//! * [`smallbank`] — the SmallBank OLTP mix the Fabric++ evaluation uses
+//!   (a second contention model for E3).
+//!
+//! Every generator is a pure function of its parameters and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowdwork;
+pub mod payments;
+pub mod sharded;
+pub mod smallbank;
+pub mod supplychain;
+pub mod zipf;
+
+pub use payments::PaymentWorkload;
+pub use sharded::ShardedWorkload;
+pub use smallbank::SmallBankWorkload;
+pub use supplychain::SupplyChainWorkload;
+pub use zipf::Zipf;

@@ -1,0 +1,145 @@
+//! Zipfian payment workload — the contention knob for E2–E4.
+
+use crate::zipf::Zipf;
+use pbc_ledger::{StateStore, Version};
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, Op, Transaction, TxId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a payment workload.
+#[derive(Clone, Debug)]
+pub struct PaymentWorkload {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Zipfian skew (0 = uniform; 0.99 = YCSB-hot; higher = hotter).
+    pub theta: f64,
+    /// Initial balance per account.
+    pub initial_balance: u64,
+    /// Transfer amount per transaction.
+    pub amount: u64,
+    /// Simulated contract cost attached to each transaction
+    /// (`Op::Noop { busy_work }`); makes parallel execution measurable.
+    pub busy_work: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PaymentWorkload {
+    fn default() -> Self {
+        PaymentWorkload {
+            accounts: 1024,
+            theta: 0.0,
+            initial_balance: 1_000_000,
+            amount: 1,
+            busy_work: 0,
+            seed: 42,
+        }
+    }
+}
+
+impl PaymentWorkload {
+    /// The initial state: all accounts funded.
+    pub fn initial_state(&self) -> StateStore {
+        let mut s = StateStore::new();
+        for i in 0..self.accounts {
+            s.put(account_key(i), balance_value(self.initial_balance), Version::new(0, i as u32));
+        }
+        s
+    }
+
+    /// Generates `count` transfer transactions with ids starting at
+    /// `first_id`.
+    pub fn generate(&self, first_id: u64, count: usize) -> Vec<Transaction> {
+        let zipf = Zipf::new(self.accounts, self.theta);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ first_id);
+        (0..count)
+            .map(|i| {
+                let from = zipf.sample(&mut rng);
+                let mut to = zipf.sample(&mut rng);
+                if to == from {
+                    to = (to + 1) % self.accounts;
+                }
+                let mut ops = vec![Op::Transfer {
+                    from: account_key(from),
+                    to: account_key(to),
+                    amount: self.amount,
+                }];
+                if self.busy_work > 0 {
+                    ops.push(Op::Noop { busy_work: self.busy_work });
+                }
+                Transaction::new(
+                    TxId(first_id + i as u64),
+                    ClientId(rng.gen_range(0..64)),
+                    ops,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The key of account `i`.
+pub fn account_key(i: usize) -> String {
+    format!("acct{i:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = PaymentWorkload::default();
+        assert_eq!(w.generate(0, 50), w.generate(0, 50));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PaymentWorkload { seed: 1, ..Default::default() }.generate(0, 50);
+        let b = PaymentWorkload { seed: 2, ..Default::default() }.generate(0, 50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_self_transfers() {
+        let w = PaymentWorkload { accounts: 4, theta: 1.5, ..Default::default() };
+        for tx in w.generate(0, 200) {
+            if let Op::Transfer { from, to, .. } = &tx.ops[0] {
+                assert_ne!(from, to);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_raises_conflict_rate() {
+        let conflicts = |theta: f64| {
+            let w = PaymentWorkload { accounts: 256, theta, ..Default::default() };
+            let txs = w.generate(0, 100);
+            let mut count = 0;
+            for i in 0..txs.len() {
+                for j in i + 1..txs.len() {
+                    if txs[i].conflicts_with(&txs[j]) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        assert!(conflicts(1.2) > 2 * conflicts(0.0));
+    }
+
+    #[test]
+    fn initial_state_funds_all_accounts() {
+        let w = PaymentWorkload { accounts: 10, ..Default::default() };
+        let s = w.initial_state();
+        assert_eq!(s.len(), 10);
+        assert_eq!(pbc_types::tx::balance_of(s.get(&account_key(3))), 1_000_000);
+    }
+
+    #[test]
+    fn busy_work_attached() {
+        let w = PaymentWorkload { busy_work: 500, ..Default::default() };
+        let txs = w.generate(0, 5);
+        assert!(txs.iter().all(|t| matches!(t.ops[1], Op::Noop { busy_work: 500 })));
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-shard ratio sweeps (§2.1.2) for the scalability experiments
+//! (E8/E9).
+//!
+//! Accounts live under shard-pinned keys `s<K>/acct<i>`; the
+//! `cross_fraction` knob controls how many transfers span two shards.
+
+use pbc_types::{ClientId, Op, Transaction, TxId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a sharded transfer workload.
+#[derive(Clone, Debug)]
+pub struct ShardedWorkload {
+    /// Number of shards.
+    pub shards: u32,
+    /// Accounts per shard.
+    pub accounts_per_shard: usize,
+    /// Fraction of transactions spanning two shards (0.0–1.0).
+    pub cross_fraction: f64,
+    /// Transfer amount.
+    pub amount: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShardedWorkload {
+    fn default() -> Self {
+        ShardedWorkload {
+            shards: 4,
+            accounts_per_shard: 128,
+            cross_fraction: 0.1,
+            amount: 1,
+            seed: 11,
+        }
+    }
+}
+
+impl ShardedWorkload {
+    /// The key of account `i` on shard `k`.
+    pub fn account_key(shard: u32, i: usize) -> String {
+        format!("s{shard}/acct{i:05}")
+    }
+
+    /// All account keys (for seeding shard states).
+    pub fn all_keys(&self) -> Vec<String> {
+        (0..self.shards)
+            .flat_map(|s| {
+                (0..self.accounts_per_shard).map(move |i| Self::account_key(s, i))
+            })
+            .collect()
+    }
+
+    /// Generates `count` transactions with ids from `first_id`.
+    pub fn generate(&self, first_id: u64, count: usize) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ first_id);
+        (0..count)
+            .map(|i| {
+                let shard_a = rng.gen_range(0..self.shards);
+                let from_idx = rng.gen_range(0..self.accounts_per_shard);
+                let from = Self::account_key(shard_a, from_idx);
+                let shard_b = if rng.gen_bool(self.cross_fraction) && self.shards > 1 {
+                    let mut b = rng.gen_range(0..self.shards);
+                    if b == shard_a {
+                        b = (b + 1) % self.shards;
+                    }
+                    b
+                } else {
+                    shard_a
+                };
+                let mut to_idx = rng.gen_range(0..self.accounts_per_shard);
+                if shard_b == shard_a && to_idx == from_idx {
+                    to_idx = (to_idx + 1) % self.accounts_per_shard;
+                }
+                let to = Self::account_key(shard_b, to_idx);
+                Transaction::new(
+                    TxId(first_id + i as u64),
+                    ClientId(0),
+                    vec![Op::Transfer { from, to, amount: self.amount }],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observed_cross_fraction(w: &ShardedWorkload, count: usize) -> f64 {
+        let txs = w.generate(0, count);
+        let cross = txs
+            .iter()
+            .filter(|t| {
+                if let Op::Transfer { from, to, .. } = &t.ops[0] {
+                    from.split('/').next() != to.split('/').next()
+                } else {
+                    false
+                }
+            })
+            .count();
+        cross as f64 / count as f64
+    }
+
+    #[test]
+    fn cross_fraction_respected() {
+        for target in [0.0, 0.2, 0.8] {
+            let w = ShardedWorkload { cross_fraction: target, ..Default::default() };
+            let observed = observed_cross_fraction(&w, 3_000);
+            assert!((observed - target).abs() < 0.05, "target {target} observed {observed}");
+        }
+    }
+
+    #[test]
+    fn single_shard_never_cross() {
+        let w = ShardedWorkload { shards: 1, cross_fraction: 0.9, ..Default::default() };
+        assert_eq!(observed_cross_fraction(&w, 500), 0.0);
+    }
+
+    #[test]
+    fn keys_are_shard_pinned() {
+        assert_eq!(ShardedWorkload::account_key(3, 7), "s3/acct00007");
+        let w = ShardedWorkload::default();
+        assert_eq!(w.all_keys().len(), 4 * 128);
+    }
+
+    #[test]
+    fn no_self_transfers() {
+        let w = ShardedWorkload { accounts_per_shard: 3, ..Default::default() };
+        for tx in w.generate(0, 500) {
+            if let Op::Transfer { from, to, .. } = &tx.ops[0] {
+                assert_ne!(from, to);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = ShardedWorkload::default();
+        assert_eq!(w.generate(3, 100), w.generate(3, 100));
+    }
+}

@@ -1,0 +1,128 @@
+//! Supply-chain workload (§2.1.1) — internal vs cross-enterprise mixes
+//! for the confidentiality experiments (E6).
+//!
+//! Enterprises (supplier, manufacturer, carrier, retailer, …) mostly run
+//! *internal* process steps on their private keys (`e<N>/…`), punctuated
+//! by *cross-enterprise* handoffs on shared keys (`pub/…`). The
+//! `internal_fraction` knob sweeps the mix.
+
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, EnterpriseId, Op, Transaction, TxId, TxScope};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a supply-chain workload.
+#[derive(Clone, Debug)]
+pub struct SupplyChainWorkload {
+    /// Number of collaborating enterprises.
+    pub enterprises: u32,
+    /// Fraction of transactions that are internal (0.0–1.0).
+    pub internal_fraction: f64,
+    /// Distinct private keys per enterprise.
+    pub keys_per_enterprise: usize,
+    /// Distinct shared (public) keys.
+    pub public_keys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SupplyChainWorkload {
+    fn default() -> Self {
+        SupplyChainWorkload {
+            enterprises: 4,
+            internal_fraction: 0.9,
+            keys_per_enterprise: 64,
+            public_keys: 32,
+            seed: 7,
+        }
+    }
+}
+
+impl SupplyChainWorkload {
+    /// Generates `count` transactions with ids from `first_id`.
+    pub fn generate(&self, first_id: u64, count: usize) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ first_id);
+        (0..count)
+            .map(|i| {
+                let id = TxId(first_id + i as u64);
+                if rng.gen_bool(self.internal_fraction) {
+                    let e = EnterpriseId(rng.gen_range(0..self.enterprises));
+                    let key = format!("e{}/step{}", e.0, rng.gen_range(0..self.keys_per_enterprise));
+                    Transaction::with_scope(
+                        id,
+                        ClientId(e.0),
+                        TxScope::Internal(e),
+                        vec![Op::Put { key, value: balance_value(rng.gen_range(1..100)) }],
+                    )
+                } else {
+                    // A handoff between two distinct enterprises.
+                    let a = rng.gen_range(0..self.enterprises);
+                    let mut b = rng.gen_range(0..self.enterprises);
+                    if a == b {
+                        b = (b + 1) % self.enterprises;
+                    }
+                    let key = format!("pub/order{}", rng.gen_range(0..self.public_keys));
+                    Transaction::with_scope(
+                        id,
+                        ClientId(a),
+                        TxScope::CrossEnterprise(vec![EnterpriseId(a), EnterpriseId(b)]),
+                        vec![Op::Incr { key, delta: 1 }],
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_respected_roughly() {
+        let w = SupplyChainWorkload { internal_fraction: 0.8, ..Default::default() };
+        let txs = w.generate(0, 2_000);
+        let internal = txs.iter().filter(|t| t.scope.is_internal()).count();
+        let frac = internal as f64 / txs.len() as f64;
+        assert!((frac - 0.8).abs() < 0.05, "observed {frac}");
+    }
+
+    #[test]
+    fn internal_txs_touch_only_private_keys() {
+        let w = SupplyChainWorkload::default();
+        for tx in w.generate(0, 500) {
+            if let TxScope::Internal(e) = &tx.scope {
+                for k in tx.write_keys() {
+                    assert!(k.starts_with(&format!("e{}/", e.0)), "{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_txs_touch_only_public_keys() {
+        let w = SupplyChainWorkload { internal_fraction: 0.0, ..Default::default() };
+        for tx in w.generate(0, 200) {
+            assert!(matches!(tx.scope, TxScope::CrossEnterprise(_)));
+            for k in tx.write_keys() {
+                assert!(k.starts_with("pub/"), "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_txs_name_two_distinct_enterprises() {
+        let w = SupplyChainWorkload { internal_fraction: 0.0, enterprises: 3, ..Default::default() };
+        for tx in w.generate(0, 200) {
+            let es = tx.scope.enterprises();
+            assert_eq!(es.len(), 2);
+            assert_ne!(es[0], es[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = SupplyChainWorkload::default();
+        assert_eq!(w.generate(5, 100), w.generate(5, 100));
+    }
+}

@@ -1,0 +1,118 @@
+//! A Zipfian sampler over `0..n` with exponent `theta`.
+//!
+//! `theta = 0` is uniform; the classic YCSB-style contention knob is
+//! `theta ≈ 0.99`. Implemented by inverse-CDF over precomputed cumulative
+//! weights (O(n) setup, O(log n) per sample), which is exact and fast for
+//! the population sizes these experiments use.
+
+use rand::Rng;
+
+/// A reusable Zipfian distribution.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the population is a single element.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn histogram(theta: f64, n: usize, samples: usize) -> Vec<usize> {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = vec![0usize; n];
+        for _ in 0..samples {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let h = histogram(0.0, 10, 100_000);
+        let expected = 10_000.0;
+        for (i, &c) in h.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket {i}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let h = histogram(0.99, 100, 100_000);
+        // Rank 0 dominates and counts decay with rank.
+        assert!(h[0] > h[10]);
+        assert!(h[10] > h[50]);
+        let head: usize = h[..10].iter().sum();
+        assert!(head > 50_000, "top 10% should take the majority: {head}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 0.9);
+        let take = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(take(9), take(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn empty_population_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Atomic cross-chain swap (§2.3.1's disjoint-blockchain option).
+//!
+//! Two enterprises keep completely separate blockchains and still trade
+//! atomically using hash time-locked contracts — and we count why the
+//! paper calls this route "costly [and] complex" compared to a shared
+//! permissioned ledger.
+//!
+//! ```text
+//! cargo run --example atomic_swap
+//! ```
+
+use pbc_confidential::{CaperNetwork, HtlcChain, SwapSecret};
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, EnterpriseId, Op, Transaction, TxId, TxScope};
+
+fn main() {
+    println!("=== Atomic swap across two disjoint enterprise chains ===\n");
+
+    // Chain A belongs to a parts supplier (tracks credits),
+    // chain B to a logistics firm (tracks shipping vouchers).
+    let mut chain_a = HtlcChain::new();
+    chain_a.seed("supplier", 1_000);
+    chain_a.seed("logistics", 0);
+    let mut chain_b = HtlcChain::new();
+    chain_b.seed("logistics", 80);
+    chain_b.seed("supplier", 0);
+
+    // The supplier wants 80 vouchers for 300 credits.
+    let secret = SwapSecret::from_seed(2021);
+    const T: u64 = 1_000;
+
+    println!("1. supplier locks 300 credits on chain A (hashlock H, timelock 2T)");
+    let id_a = chain_a.lock("supplier", "logistics", 300, secret.hashlock, 2 * T).unwrap();
+
+    println!("2. logistics reads H off chain A, locks 80 vouchers on chain B (timelock T)");
+    let h = chain_a.contract(id_a).unwrap().hashlock;
+    let id_b = chain_b.lock("logistics", "supplier", 80, h, T).unwrap();
+
+    println!("3. supplier claims the vouchers on chain B, revealing the preimage");
+    chain_b.advance_time(T / 2);
+    chain_b.claim(id_b, secret.preimage).unwrap();
+
+    println!("4. logistics reads the preimage off chain B and claims the credits on A\n");
+    let revealed = chain_b.contract(id_b).unwrap().revealed.unwrap();
+    chain_a.advance_time(T);
+    chain_a.claim(id_a, revealed).unwrap();
+
+    println!("final balances:");
+    println!("  chain A: supplier={} credits, logistics={} credits",
+        chain_a.balance("supplier"), chain_a.balance("logistics"));
+    println!("  chain B: logistics={} vouchers, supplier={} vouchers",
+        chain_b.balance("logistics"), chain_b.balance("supplier"));
+    chain_a.ledger.verify().unwrap();
+    chain_b.ledger.verify().unwrap();
+
+    // The paper's cost remark, quantified against the single-ledger route.
+    let swap_blocks = (chain_a.ledger.len() - 1) + (chain_b.ledger.len() - 1);
+    let mut caper = CaperNetwork::new(2);
+    caper.seed("pub/credits-supplier", balance_value(1_000));
+    caper.seed("pub/credits-logistics", balance_value(0));
+    caper
+        .submit_cross(Transaction::with_scope(
+            TxId(1),
+            ClientId(0),
+            TxScope::CrossEnterprise(vec![EnterpriseId(0), EnterpriseId(1)]),
+            vec![Op::Transfer {
+                from: "pub/credits-supplier".into(),
+                to: "pub/credits-logistics".into(),
+                amount: 300,
+            }],
+        ))
+        .unwrap();
+
+    println!("\ncost comparison (the paper: cross-chain techniques are 'often costly, complex'):");
+    println!("  atomic swap         : {swap_blocks} blocks across 2 chains, 2 timelock periods of exposure");
+    println!(
+        "  Caper cross-enter tx: 1 global consensus round ({} global, {} local so far)",
+        caper.counters.global_rounds, caper.counters.local_rounds
+    );
+}

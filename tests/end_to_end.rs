@@ -1,0 +1,233 @@
+//! End-to-end scenario tests combining multiple technique layers, the
+//! way the paper's three applications (§2.1) would deploy them.
+
+use pbc_confidential::{CaperNetwork, ChannelNetwork, PdcChannel};
+use pbc_core::{ArchKind, ConsensusKind, NetworkBuilder};
+use pbc_shard::{AhlSystem, ResilientDb, SaguaroSystem, SharperSystem};
+use pbc_sim::Topology;
+use pbc_types::tx::{balance_of, balance_value};
+use pbc_types::{ChannelId, ClientId, EnterpriseId, Op, Transaction, TxId, TxScope};
+use pbc_verify::zktransfer::{build_transfer, ZkLedger};
+use pbc_verify::SeparSystem;
+use pbc_workload::crowdwork::CrowdWorkload;
+use pbc_workload::{PaymentWorkload, ShardedWorkload, SupplyChainWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------- application 1: supply chain (§2.1.1) ----------
+
+#[test]
+fn supply_chain_on_caper_preserves_confidentiality_at_scale() {
+    let workload =
+        SupplyChainWorkload { enterprises: 6, internal_fraction: 0.8, ..Default::default() };
+    let mut net = CaperNetwork::new(6);
+    for tx in workload.generate(0, 600) {
+        let _ = match &tx.scope {
+            TxScope::Internal(_) => net.submit_internal(tx),
+            TxScope::CrossEnterprise(_) => net.submit_cross(tx),
+            TxScope::Global => Ok(()),
+        };
+    }
+    assert!(net.confidentiality_holds());
+    assert!(net.views_consistent());
+    assert!(net.dag.verify());
+    // Internal load dominates: local rounds outnumber global ones ~4:1.
+    assert!(net.counters.local_rounds > 3 * net.counters.global_rounds);
+}
+
+#[test]
+fn supply_chain_channels_and_pdc_compose() {
+    // Two channels + a private collection inside one of them.
+    let mut channels = ChannelNetwork::new();
+    channels.create_channel(ChannelId(0), vec![EnterpriseId(0), EnterpriseId(1)]).unwrap();
+    channels.create_channel(ChannelId(1), vec![EnterpriseId(1), EnterpriseId(2)]).unwrap();
+    channels.seed(ChannelId(0), "stock", balance_value(100)).unwrap();
+    channels.seed(ChannelId(1), "stock", balance_value(0)).unwrap();
+    channels.transfer_across(ChannelId(0), ChannelId(1), "stock", "stock", 60).unwrap();
+    assert_eq!(balance_of(channels.channel(ChannelId(0)).unwrap().state().get("stock")), 40);
+    assert_eq!(balance_of(channels.channel(ChannelId(1)).unwrap().state().get("stock")), 60);
+
+    let mut pdc = PdcChannel::new();
+    pdc.define_collection("terms", vec![EnterpriseId(0), EnterpriseId(1)]).unwrap();
+    let writes = vec![("rebate".to_string(), balance_value(15))];
+    let (idx, salts) = pdc.submit_private("terms", writes.clone()).unwrap();
+    let disclosure = pdc.disclose(idx, &writes, &salts, 0).unwrap();
+    assert!(pdc.verify_disclosure(idx, &disclosure));
+    pdc.ledger.verify().unwrap();
+}
+
+// ---------- application 2: large-scale database (§2.1.2) ----------
+
+#[test]
+fn sharded_database_all_four_systems_agree_on_outcomes() {
+    let workload = ShardedWorkload {
+        shards: 4,
+        accounts_per_shard: 32,
+        cross_fraction: 0.25,
+        ..Default::default()
+    };
+    let txs = workload.generate(0, 200);
+    let keys = workload.all_keys();
+    let total_expected = keys.len() as u64 * 1_000;
+
+    // SharPer.
+    let mut sharper =
+        SharperSystem::new(4, Topology::flat_clusters(4, 4, 100, 10_000), 300);
+    // AHL.
+    let mut ahl = AhlSystem::new(4, Topology::flat_clusters(5, 4, 100, 10_000), 300);
+    // Saguaro.
+    let mut saguaro =
+        SaguaroSystem::new(Topology::hierarchical(&[2, 2], 4, &[100, 1_000, 10_000]), 300);
+    for key in &keys {
+        sharper.seed(key, balance_value(1_000));
+        ahl.seed(key, balance_value(1_000));
+        saguaro.seed(key, balance_value(1_000));
+    }
+    let r_sharper = sharper.process_batch(&txs);
+    let r_ahl = ahl.process_batch(&txs);
+    let r_saguaro = saguaro.process_batch(&txs);
+
+    // All three sharded systems commit the same transactions (the
+    // workload is conflict-free given funded accounts).
+    assert_eq!(r_sharper, r_ahl);
+    assert_eq!(r_ahl, r_saguaro);
+
+    // Conservation everywhere.
+    let refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+    assert_eq!(sharper.total_balance(&refs), total_expected);
+    assert_eq!(ahl.total_balance(&refs), total_expected);
+
+    // Decentralized coordination uses fewer phases than 2PC systems.
+    assert!(sharper.stats.coordination_phases < ahl.stats.coordination_phases);
+    // Hierarchical coordination beats the WAN reference committee on time.
+    assert!(saguaro.stats.elapsed < ahl.stats.elapsed);
+}
+
+#[test]
+fn resilientdb_replicas_converge_over_many_rounds() {
+    let mut db = ResilientDb::new(Topology::flat_clusters(3, 4, 100, 8_000), 300);
+    db.seed("a", balance_value(10_000));
+    db.seed("b", balance_value(0));
+    for round in 0..10u64 {
+        let batches = (0..3)
+            .map(|c| {
+                vec![Transaction::new(
+                    TxId(round * 10 + c),
+                    ClientId(c as u32),
+                    vec![Op::Transfer { from: "a".into(), to: "b".into(), amount: 7 }],
+                )]
+            })
+            .collect();
+        db.process_round(batches);
+    }
+    assert!(db.replicas_consistent());
+    assert_eq!(balance_of(db.replica(0).get("b")), 30 * 7);
+    assert_eq!(db.stats.cross_rounds, 10);
+}
+
+// ---------- application 3: crowdworking (§2.1.3) ----------
+
+#[test]
+fn crowdworking_full_stack_catches_every_violator() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let workload = CrowdWorkload {
+        workers: 50,
+        platforms: 3,
+        limit: 40,
+        violator_fraction: 0.4,
+        ..Default::default()
+    };
+    let events = workload.generate();
+    let violators = CrowdWorkload::violators(&events, workload.limit);
+    assert!(!violators.is_empty(), "the workload must contain violators");
+
+    let mut sys = SeparSystem::new(40, &[0, 1, 2], &mut rng);
+    let mut wallets: Vec<_> =
+        (0..workload.workers).map(|_| sys.register_worker(&mut rng)).collect();
+    let mut blocked = std::collections::BTreeSet::new();
+    for e in &events {
+        if sys.contribute(e.platform, &mut wallets[e.worker as usize], &e.task, e.hours).is_err()
+        {
+            blocked.insert(e.worker);
+        }
+    }
+    for v in &violators {
+        assert!(blocked.contains(v), "violator {v} slipped through");
+    }
+    // No honest worker lost hours they were entitled to: total redeemed
+    // never exceeds workers × limit.
+    assert!(sys.total_redeemed_hours() <= 50 * 40);
+    sys.ledger.verify().unwrap();
+}
+
+#[test]
+fn zk_payment_chain_across_many_hops() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut pool = ZkLedger::new();
+    let mut note = pool.mint(1_024, &mut rng);
+    // Pass the full balance through 8 owners; each hop splits and merges.
+    for hop in 0..8u64 {
+        let half = note.value / 2;
+        let ctx = format!("hop-{hop}");
+        let (t, outs) =
+            build_transfer(&[note], &[half, note_rest(half)], ctx.as_bytes(), &mut rng).unwrap();
+        pool.apply(&t).unwrap();
+        // Merge the two halves back into one note.
+        let ctx2 = format!("merge-{hop}");
+        let (t2, merged) = build_transfer(&outs, &[1_024], ctx2.as_bytes(), &mut rng).unwrap();
+        pool.apply(&t2).unwrap();
+        note = merged.into_iter().next().unwrap();
+    }
+    assert_eq!(pool.transfers_applied, 16);
+    assert_eq!(pool.note_count(), 1);
+
+    fn note_rest(half: u64) -> u64 {
+        1_024 - half
+    }
+}
+
+// ---------- the integrated chain under stress ----------
+
+#[test]
+fn hot_workload_all_architectures_conserve_balance() {
+    let w = PaymentWorkload { accounts: 4, theta: 0.0, amount: 3, ..Default::default() };
+    for arch in [ArchKind::Xov, ArchKind::Xox, ArchKind::XovFabricSharp, ArchKind::FastFabric] {
+        let mut chain = NetworkBuilder::new(4)
+            .consensus(ConsensusKind::HotStuff)
+            .architecture(arch)
+            .initial_state(w.initial_state())
+            .batch_size(16)
+            .build();
+        chain.submit_all(w.generate(0, 48));
+        let report = chain.run_to_completion();
+        assert!(report.consensus_complete, "{arch:?}");
+        let total: u64 = (0..4)
+            .map(|i| {
+                balance_of(chain.node_state(0).get(&pbc_workload::payments::account_key(i)))
+            })
+            .sum();
+        assert_eq!(total, 4 * 1_000_000, "{arch:?} violated conservation");
+        assert!(chain.replicas_identical(), "{arch:?}");
+    }
+}
+
+#[test]
+fn sequential_rounds_with_mid_run_crash() {
+    let w = PaymentWorkload { accounts: 64, ..Default::default() };
+    let mut chain = NetworkBuilder::new(4)
+        .consensus(ConsensusKind::Pbft)
+        .architecture(ArchKind::Oxii)
+        .initial_state(w.initial_state())
+        .batch_size(8)
+        .build();
+    chain.submit_all(w.generate(0, 16));
+    let r1 = chain.run_to_completion();
+    assert!(r1.consensus_complete);
+    // A backup dies between rounds; the system keeps going.
+    chain.crash(3);
+    chain.submit_all(w.generate(100, 16));
+    let r2 = chain.run_to_completion();
+    assert!(r2.consensus_complete);
+    assert_eq!(r1.committed + r2.committed, 32);
+    assert!(chain.replicas_identical());
+}

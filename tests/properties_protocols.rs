@@ -1,0 +1,218 @@
+//! Property-based tests over protocol-level invariants: consensus
+//! agreement under randomized crash patterns, HTLC conservation, DAG
+//! ledger structure, blind-token unlinkability mechanics.
+
+use proptest::prelude::*;
+
+use pbc_confidential::crosschain::{HtlcChain, SwapSecret};
+use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
+use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode};
+use pbc_ledger::DagLedger;
+use pbc_sim::{Network, NetworkConfig};
+use pbc_types::{ClientId, EnterpriseId, Op, Transaction, TxId, TxScope};
+
+// ---------- consensus agreement under random faults ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// PBFT with n = 7 tolerates any ≤ 2 crashed replicas: all alive
+    /// replicas deliver the same log, whatever the seed and crash set.
+    #[test]
+    fn pbft_agreement_under_random_crashes(
+        seed in 0u64..1_000,
+        crash_a in 0usize..7,
+        crash_b in 0usize..7,
+        payloads in proptest::collection::vec(1u64..1_000_000, 1..6),
+    ) {
+        let cfg = PbftConfig::new(7);
+        let actors = (0..7).map(|_| PbftReplica::new(cfg.clone())).collect();
+        let mut net: Network<PbftReplica<u64>> =
+            Network::new(actors, NetworkConfig { seed, ..Default::default() });
+        net.crash(crash_a);
+        net.crash(crash_b);
+        // Deduplicate payloads (the protocol dedups by digest anyway).
+        let mut unique = payloads.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for &p in &unique {
+            for i in 0..7 {
+                net.inject(0, i, PbftMsg::Request(p), 1);
+            }
+        }
+        let target = unique.len();
+        let ok = net.run_until_all(4_000_000, |r| r.log.len() >= target);
+        prop_assert!(ok, "liveness under ≤2 crashes");
+        let alive: Vec<usize> = (0..7).filter(|&i| !net.is_crashed(i)).collect();
+        let reference: Vec<u64> = net
+            .actor(alive[0])
+            .log
+            .delivered()
+            .iter()
+            .map(|(_, p, _)| *p)
+            .collect();
+        for &i in &alive[1..] {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            prop_assert_eq!(&log, &reference, "node {} diverged", i);
+        }
+    }
+
+    /// Raft with n = 5 and ≤ 2 crashes: all alive nodes agree on a
+    /// common prefix and eventually the full log.
+    #[test]
+    fn raft_agreement_under_random_crashes(
+        seed in 0u64..1_000,
+        crash in 0usize..5,
+        payloads in proptest::collection::vec(1u64..1_000_000, 1..5),
+    ) {
+        let cfg = RaftConfig::new(5);
+        let actors = (0..5).map(|i| RaftNode::new(cfg.clone(), i)).collect();
+        let mut net: Network<RaftNode<u64>> =
+            Network::new(actors, NetworkConfig { seed, ..Default::default() });
+        net.start();
+        net.crash(crash);
+        let mut unique = payloads.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        net.run_until(300_000); // elect
+        for &p in &unique {
+            for i in 0..5 {
+                net.inject(0, i, RaftMsg::Request(p), 1);
+            }
+        }
+        let target = unique.len();
+        let ok = net.run_until_all(4_000_000, |r| r.log.len() >= target);
+        prop_assert!(ok, "liveness under 1 crash");
+        let alive: Vec<usize> = (0..5).filter(|&i| !net.is_crashed(i)).collect();
+        let reference: Vec<u64> = net
+            .actor(alive[0])
+            .log
+            .delivered()
+            .iter()
+            .map(|(_, p, _)| *p)
+            .collect();
+        for &i in &alive[1..] {
+            let log: Vec<u64> =
+                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            prop_assert_eq!(&log, &reference, "node {} diverged", i);
+        }
+    }
+}
+
+// ---------- HTLC conservation ----------
+
+proptest! {
+    /// Whatever the interleaving of (valid) claims and refunds, no value
+    /// is created or destroyed on an HTLC chain.
+    #[test]
+    fn htlc_conserves_total_value(
+        amounts in proptest::collection::vec(1u64..100, 1..8),
+        claim_mask in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut chain = HtlcChain::new();
+        chain.seed("alice", 1_000);
+        chain.seed("bob", 0);
+        let mut ids = Vec::new();
+        for (i, &amount) in amounts.iter().enumerate() {
+            let secret = SwapSecret::from_seed(i as u64);
+            let id = chain.lock("alice", "bob", amount, secret.hashlock, 100).unwrap();
+            ids.push((id, secret));
+        }
+        // Claim some before expiry...
+        for (i, (id, secret)) in ids.iter().enumerate() {
+            if *claim_mask.get(i).unwrap_or(&false) {
+                chain.claim(*id, secret.preimage).unwrap();
+            }
+        }
+        // ...then expire and refund the rest.
+        chain.advance_time(101);
+        for (i, (id, _)) in ids.iter().enumerate() {
+            if !claim_mask.get(i).copied().unwrap_or(false) {
+                chain.refund(*id).unwrap();
+            }
+        }
+        prop_assert_eq!(chain.balance("alice") + chain.balance("bob"), 1_000);
+        prop_assert!(chain.ledger.verify().is_ok());
+    }
+}
+
+// ---------- DAG ledger structure ----------
+
+proptest! {
+    /// For any interleaving of internal/cross appends: the DAG verifies,
+    /// all views agree on the cross sequence, and each view contains
+    /// exactly its own internal transactions.
+    #[test]
+    fn dag_views_always_consistent(ops in proptest::collection::vec((0u32..3, any::<bool>()), 1..40)) {
+        let enterprises: Vec<EnterpriseId> = (0..3).map(EnterpriseId).collect();
+        let mut dag = DagLedger::new(enterprises.clone());
+        let mut internal_counts = [0usize; 3];
+        let mut cross_count = 0usize;
+        for (i, (e, is_cross)) in ops.iter().enumerate() {
+            let id = TxId(i as u64 + 1);
+            if *is_cross {
+                dag.append_cross(Transaction::with_scope(
+                    id,
+                    ClientId(0),
+                    TxScope::CrossEnterprise(enterprises.clone()),
+                    vec![Op::Get { key: format!("g{i}") }],
+                ));
+                cross_count += 1;
+            } else {
+                dag.append_internal(
+                    EnterpriseId(*e),
+                    Transaction::with_scope(
+                        id,
+                        ClientId(0),
+                        TxScope::Internal(EnterpriseId(*e)),
+                        vec![Op::Get { key: format!("k{i}") }],
+                    ),
+                );
+                internal_counts[*e as usize] += 1;
+            }
+        }
+        prop_assert!(dag.verify());
+        let seqs: Vec<_> =
+            (0..3).map(|e| dag.local_view(EnterpriseId(e)).cross_sequence()).collect();
+        prop_assert_eq!(&seqs[0], &seqs[1]);
+        prop_assert_eq!(&seqs[1], &seqs[2]);
+        prop_assert_eq!(seqs[0].len(), cross_count);
+        for (e, &expected) in internal_counts.iter().enumerate() {
+            let view = dag.local_view(EnterpriseId(e as u32));
+            prop_assert_eq!(view.internal_sequence().len(), expected);
+        }
+    }
+}
+
+// ---------- blind tokens ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Issue k tokens, redeem them in any order: all succeed once, all
+    /// fail twice, and foreign tokens never redeem.
+    #[test]
+    fn token_redemption_exactly_once(seed in any::<u64>(), k in 1usize..12) {
+        use pbc_crypto::token::{BlindingSession, TokenAuthority};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut auth = TokenAuthority::new(&mut rng);
+        let mut foreign = TokenAuthority::new(&mut rng);
+        let tokens: Vec<_> = (0..k)
+            .map(|_| {
+                let s = BlindingSession::start(&mut rng);
+                let (signed, proof) = auth.issue(s.blinded, &mut rng);
+                s.finish(auth.public_key(), signed, &proof).unwrap()
+            })
+            .collect();
+        for t in &tokens {
+            prop_assert!(!foreign.redeem(t), "foreign authority must reject");
+            prop_assert!(auth.redeem(t), "first redemption succeeds");
+        }
+        for t in &tokens {
+            prop_assert!(!auth.redeem(t), "second redemption fails");
+        }
+        prop_assert_eq!(auth.redeemed_count(), k);
+    }
+}
