@@ -94,15 +94,13 @@ impl ExecutionPipeline for FastFabricPipeline {
         // Group the block into conflict-free layers.
         let graph = DependencyGraph::build(&txs);
         let layers = graph.layers();
-        let mut outcome =
-            BlockOutcome { sequential_steps: layers.len(), ..Default::default() };
+        let mut outcome = BlockOutcome { sequential_steps: layers.len(), ..Default::default() };
         for layer in layers {
             let layer_results: Vec<&ExecResult> = layer.iter().map(|&i| &results[i]).collect();
             let verdicts = self.validate_layer_parallel(&layer_results);
             for (&i, verdict) in layer.iter().zip(verdicts) {
                 if verdict == ValidationVerdict::Valid {
-                    self.state
-                        .apply(&results[i].write_set, Version::new(height, i as u32));
+                    self.state.apply(&results[i].write_set, Version::new(height, i as u32));
                     outcome.committed.push(txs[i].id);
                 } else {
                     outcome.aborted.push(txs[i].id);

@@ -40,12 +40,10 @@ impl ExecutionPipeline for OxiiPipeline {
         // Orderer side: dependency graph over the ordered block.
         let graph = DependencyGraph::build(&txs);
         let layers = graph.layers();
-        let mut outcome =
-            BlockOutcome { sequential_steps: layers.len(), ..Default::default() };
+        let mut outcome = BlockOutcome { sequential_steps: layers.len(), ..Default::default() };
         // Executor side: parallel within a layer, barrier between layers.
         for layer in layers {
-            let layer_txs: Vec<Transaction> =
-                layer.iter().map(|&i| txs[i].clone()).collect();
+            let layer_txs: Vec<Transaction> = layer.iter().map(|&i| txs[i].clone()).collect();
             let results = execute_parallel(&layer_txs, &self.state);
             for (tx, result) in layer_txs.iter().zip(results) {
                 if result.is_success() {

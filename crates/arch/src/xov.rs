@@ -103,8 +103,7 @@ impl ExecutionPipeline for XovPipeline {
             crate::pipeline::spin(self.validation_work);
             let verdict = validate_read_set(&results[i], &self.state);
             if verdict == ValidationVerdict::Valid {
-                self.state
-                    .apply(&results[i].write_set, Version::new(height, pos as u32));
+                self.state.apply(&results[i].write_set, Version::new(height, pos as u32));
                 outcome.committed.push(txs[i].id);
             } else {
                 outcome.aborted.push(txs[i].id);
@@ -251,11 +250,8 @@ mod tests {
         let mut p = XovPipeline::with_state(initial.clone()).with_reorder(ReorderPolicy::FabricPP);
         let outcome = p.process_block(txs.clone());
         // Committed set replayed in the *reordered* commit order.
-        let committed: Vec<&Transaction> = outcome
-            .committed
-            .iter()
-            .map(|id| txs.iter().find(|t| t.id == *id).unwrap())
-            .collect();
+        let committed: Vec<&Transaction> =
+            outcome.committed.iter().map(|id| txs.iter().find(|t| t.id == *id).unwrap()).collect();
         assert!(pbc_txn::serial::equivalent_to_serial(&committed, &initial, p.state()));
     }
 

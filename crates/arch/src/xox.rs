@@ -160,8 +160,7 @@ mod tests {
             .map(|i| transfer(i, &format!("acc{}", i % 3), &format!("acc{}", (i + 1) % 3), 7))
             .collect();
         p.process_block(txs);
-        let total: u64 =
-            (0..3).map(|i| balance_of(p.state().get(&format!("acc{i}")))).sum();
+        let total: u64 = (0..3).map(|i| balance_of(p.state().get(&format!("acc{i}")))).sum();
         assert_eq!(total, 300, "transfers must conserve total balance");
     }
 }

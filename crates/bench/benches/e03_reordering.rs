@@ -16,10 +16,7 @@ const TXS: usize = 192;
 
 fn contention_levels() -> Vec<(&'static str, PaymentWorkload)> {
     vec![
-        (
-            "low (4096 accts)",
-            PaymentWorkload { accounts: 4096, theta: 0.0, ..Default::default() },
-        ),
+        ("low (4096 accts)", PaymentWorkload { accounts: 4096, theta: 0.0, ..Default::default() }),
         (
             "medium (64 accts, θ=0.9)",
             PaymentWorkload { accounts: 64, theta: 0.9, ..Default::default() },
@@ -36,7 +33,9 @@ fn variants(w: &PaymentWorkload) -> Vec<(&'static str, Box<dyn ExecutionPipeline
         ("XOV", Box::new(XovPipeline::with_state(w.initial_state()))),
         (
             "XOV+Fabric++",
-            Box::new(XovPipeline::with_state(w.initial_state()).with_reorder(ReorderPolicy::FabricPP)),
+            Box::new(
+                XovPipeline::with_state(w.initial_state()).with_reorder(ReorderPolicy::FabricPP),
+            ),
         ),
         (
             "XOV+FabricSharp",
@@ -53,7 +52,10 @@ fn series() {
         "E3: reordering and re-execution under contention",
         "Fabric++ < FabricSharp ≤ XOX in commits; all beat plain XOV under contention",
     );
-    println!("{:<26} {:>16} {:>10} {:>10} {:>12}", "contention", "variant", "committed", "aborted", "commit-rate");
+    println!(
+        "{:<26} {:>16} {:>10} {:>10} {:>12}",
+        "contention", "variant", "committed", "aborted", "commit-rate"
+    );
     for (label, w) in contention_levels() {
         let txs = w.generate(0, TXS);
         let mut rows = Vec::new();
@@ -86,7 +88,10 @@ fn smallbank_series() {
         let txs = w.generate(0, TXS);
         let mut rows = Vec::new();
         for (name, mut pipeline) in [
-            ("XOV", Box::new(XovPipeline::with_state(w.initial_state())) as Box<dyn ExecutionPipeline>),
+            (
+                "XOV",
+                Box::new(XovPipeline::with_state(w.initial_state())) as Box<dyn ExecutionPipeline>,
+            ),
             (
                 "XOV+FabricSharp",
                 Box::new(

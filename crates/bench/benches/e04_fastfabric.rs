@@ -49,7 +49,8 @@ fn series() {
     for block in [64usize, 256, 1024] {
         let (w, txs) = conflict_free(block);
         let mut xov = XovPipeline::with_state(w.initial_state()).with_validation_work(SIG_WORK);
-        let mut ff = FastFabricPipeline::with_state(w.initial_state()).with_validation_work(SIG_WORK);
+        let mut ff =
+            FastFabricPipeline::with_state(w.initial_state()).with_validation_work(SIG_WORK);
         let (xc, xa, _) = drive_pipeline(&mut xov, &txs, block);
         let (fc, _, _, ff_layers) = drive_pipeline_steps(&mut ff, &txs, block);
         // XOV verifies every transaction's endorsement signatures on the

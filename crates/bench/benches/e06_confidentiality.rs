@@ -44,11 +44,8 @@ fn pdc_cost(internal_fraction: f64) -> (u64, u64) {
     for tx in w.generate(0, TXS) {
         match &tx.scope {
             TxScope::Internal(e) => {
-                let writes: Vec<(String, pbc_types::Value)> = tx
-                    .write_keys()
-                    .iter()
-                    .map(|k| (k.to_string(), balance_value(1)))
-                    .collect();
+                let writes: Vec<(String, pbc_types::Value)> =
+                    tx.write_keys().iter().map(|k| (k.to_string(), balance_value(1))).collect();
                 ch.submit_private(&format!("ent{}", e.0), writes).unwrap();
             }
             _ => ch.submit_public(tx),

@@ -51,10 +51,7 @@ fn series() {
         "overhead ratio (zk verify / token redeem): {:.0}×",
         verify_time.as_nanos() as f64 / redeem_time.as_nanos().max(1) as f64
     );
-    assert!(
-        verify_time > redeem_time,
-        "the paper's 'considerable overhead' claim must hold"
-    );
+    assert!(verify_time > redeem_time, "the paper's 'considerable overhead' claim must hold");
 }
 
 fn bench(c: &mut Criterion) {

@@ -37,7 +37,12 @@ fn sharper_elapsed(shards: u32, cross: f64) -> u64 {
 }
 
 fn resilientdb_elapsed(clusters: u32) -> u64 {
-    let w = ShardedWorkload { shards: 1, accounts_per_shard: 256, cross_fraction: 0.0, ..Default::default() };
+    let w = ShardedWorkload {
+        shards: 1,
+        accounts_per_shard: 256,
+        cross_fraction: 0.0,
+        ..Default::default()
+    };
     let topo = Topology::flat_clusters(clusters as usize, 4, LAN, WAN);
     let mut db = ResilientDb::new(topo, INTRA);
     for key in w.all_keys() {
@@ -45,8 +50,7 @@ fn resilientdb_elapsed(clusters: u32) -> u64 {
     }
     let txs = w.generate(0, TXS);
     for chunk in txs.chunks(40) {
-        let mut batches: Vec<Vec<pbc_types::Transaction>> =
-            vec![Vec::new(); clusters as usize];
+        let mut batches: Vec<Vec<pbc_types::Transaction>> = vec![Vec::new(); clusters as usize];
         for (i, tx) in chunk.iter().enumerate() {
             batches[i % clusters as usize].push(tx.clone());
         }
@@ -62,7 +66,10 @@ fn series() {
         "sharded scales with clusters at low cross ratio, degrades with ratio; single-ledger flat",
     );
     println!("simulated elapsed time for 400 txs (lower = higher throughput)\n");
-    println!("{:<10} {:>12} {:>12} {:>12} | {:>14}", "clusters", "cross=0%", "cross=10%", "cross=30%", "resilientdb");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} | {:>14}",
+        "clusters", "cross=0%", "cross=10%", "cross=30%", "resilientdb"
+    );
     let mut scaling_at_zero = Vec::new();
     for shards in [2u32, 4, 8, 16] {
         let e0 = sharper_elapsed(shards, 0.0);

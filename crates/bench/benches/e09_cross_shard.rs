@@ -46,12 +46,8 @@ fn one_tx_cost(system: &str, wan: u64) -> (u64, u64) {
             } else {
                 CrossChannelMode::AtomicCommit
             };
-            let mut sys = ChannelShardedSystem::new(
-                4,
-                Topology::flat_clusters(5, 4, LAN, wan),
-                INTRA,
-                mode,
-            );
+            let mut sys =
+                ChannelShardedSystem::new(4, Topology::flat_clusters(5, 4, LAN, wan), INTRA, mode);
             for i in 0..4 {
                 sys.seed(&format!("s{i}/x"), balance_value(1_000));
             }
@@ -59,8 +55,7 @@ fn one_tx_cost(system: &str, wan: u64) -> (u64, u64) {
             (sys.stats.coordination_phases, sys.stats.elapsed)
         }
         "sharper" => {
-            let mut sys =
-                SharperSystem::new(4, Topology::flat_clusters(4, 4, LAN, wan), INTRA);
+            let mut sys = SharperSystem::new(4, Topology::flat_clusters(4, 4, LAN, wan), INTRA);
             for i in 0..4 {
                 sys.seed(&format!("s{i}/x"), balance_value(1_000));
             }
@@ -86,7 +81,10 @@ fn series() {
         "E9: cross-shard coordination, one tx between clusters 0 and 1",
         "AHL most phases; SharPer fewest but distance-bound; Saguaro cheap when clusters share a region",
     );
-    println!("{:<12} {:>10} {:>14} {:>14} {:>14}", "system", "phases", "wan=2ms", "wan=20ms", "wan=100ms");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>14}",
+        "system", "phases", "wan=2ms", "wan=20ms", "wan=100ms"
+    );
     for system in ["ahl", "chan-trusted", "chan-2pc", "sharper", "saguaro"] {
         let (phases, t2) = one_tx_cost(system, 2_000);
         let (_, t20) = one_tx_cost(system, 20_000);

@@ -34,8 +34,7 @@ fn hybrid_decides(u: usize, r: usize) -> (usize, u64) {
     let cfg = PbftConfig::hybrid(u, r);
     let n = cfg.n;
     let actors = (0..n).map(|_| PbftReplica::new(cfg.clone())).collect();
-    let mut net: Network<PbftReplica<u64>> =
-        Network::new(actors, NetworkConfig::default());
+    let mut net: Network<PbftReplica<u64>> = Network::new(actors, NetworkConfig::default());
     for p in 1..=8u64 {
         for i in 0..n {
             net.inject(0, i, PbftMsg::Request(p), 1);
@@ -58,10 +57,7 @@ fn series() {
     for batch in [4usize, 16, 64, 128] {
         let r = run_with_batch(batch, LatencyModel::lan());
         msgs_seen.push(r.msgs_sent);
-        println!(
-            "{batch:<8} {:>8} {:>12} {:>16.0}",
-            r.batches, r.msgs_sent, r.mean_decide_latency
-        );
+        println!("{batch:<8} {:>8} {:>12} {:>16.0}", r.batches, r.msgs_sent, r.mean_decide_latency);
     }
     assert!(
         msgs_seen.windows(2).all(|w| w[1] <= w[0]),

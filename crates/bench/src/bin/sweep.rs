@@ -26,23 +26,42 @@ fn main() {
                 if !ok {
                     println!("LIVENESS fail seed={seed} crashes=({ca},{cb})");
                     for i in 0..7 {
-                        if net.is_crashed(i) { continue; }
-                        println!("  node {i}: log={:?} view={} pending={}",
-                            net.actor(i).log.delivered().iter().map(|(s,p,_)|(*s,*p)).collect::<Vec<_>>(),
-                            net.actor(i).view(), net.actor(i).pending_len());
+                        if net.is_crashed(i) {
+                            continue;
+                        }
+                        println!(
+                            "  node {i}: log={:?} view={} pending={}",
+                            net.actor(i)
+                                .log
+                                .delivered()
+                                .iter()
+                                .map(|(s, p, _)| (*s, *p))
+                                .collect::<Vec<_>>(),
+                            net.actor(i).view(),
+                            net.actor(i).pending_len()
+                        );
                     }
                     failures += 1;
-                    if failures > 2 { break 'outer; }
+                    if failures > 2 {
+                        break 'outer;
+                    }
                     continue;
                 }
                 let alive: Vec<usize> = (0..7).filter(|&i| !net.is_crashed(i)).collect();
-                let reference: Vec<u64> = net.actor(alive[0]).log.delivered().iter().map(|(_,p,_)| *p).collect();
+                let reference: Vec<u64> =
+                    net.actor(alive[0]).log.delivered().iter().map(|(_, p, _)| *p).collect();
                 for &i in &alive[1..] {
-                    let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_,p,_)| *p).collect();
+                    let log: Vec<u64> =
+                        net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
                     if log != reference {
-                        println!("DIVERGENCE seed={seed} crashes=({ca},{cb}) node{i}: {:?} vs {:?}", log, reference);
+                        println!(
+                            "DIVERGENCE seed={seed} crashes=({ca},{cb}) node{i}: {:?} vs {:?}",
+                            log, reference
+                        );
                         failures += 1;
-                        if failures > 2 { break 'outer; }
+                        if failures > 2 {
+                            break 'outer;
+                        }
                     }
                 }
             }

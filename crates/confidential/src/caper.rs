@@ -127,7 +127,14 @@ impl CaperNetwork {
         let nodes = enterprises
             .iter()
             .map(|&e| {
-                (e, EnterpriseNode { enterprise: e, state: StateStore::new(), next_internal_seq: 1 })
+                (
+                    e,
+                    EnterpriseNode {
+                        enterprise: e,
+                        state: StateStore::new(),
+                        next_internal_seq: 1,
+                    },
+                )
             })
             .collect();
         CaperNetwork {
@@ -294,8 +301,7 @@ impl CaperNetwork {
             pub_entries.sort_by(|a, b| a.0.cmp(b.0));
             pub_digests.push(format!("{pub_entries:?}"));
         }
-        cross_seqs.windows(2).all(|w| w[0] == w[1])
-            && pub_digests.windows(2).all(|w| w[0] == w[1])
+        cross_seqs.windows(2).all(|w| w[0] == w[1]) && pub_digests.windows(2).all(|w| w[0] == w[1])
     }
 }
 
@@ -480,8 +486,7 @@ mod tests {
         let run = |mode| {
             let mut net = CaperNetwork::new(3).with_global_mode(mode);
             net.seed("pub/x", pbc_types::tx::balance_value(100));
-            net.submit_cross(cross(1, vec![Op::Incr { key: "pub/x".into(), delta: 5 }]))
-                .unwrap();
+            net.submit_cross(cross(1, vec![Op::Incr { key: "pub/x".into(), delta: 5 }])).unwrap();
             net.submit_internal(internal(2, 0, vec![put("e0/y", 1)])).unwrap();
             assert!(net.views_consistent());
             pbc_types::tx::balance_of(net.node(EnterpriseId(1)).unwrap().state.get("pub/x"))

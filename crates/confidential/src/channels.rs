@@ -210,8 +210,7 @@ impl ChannelNetwork {
                 value: balance_value(available - amount),
             }],
         );
-        let credit_balance =
-            balance_of(self.channels[&to_ch].state().get(to_key)) + amount;
+        let credit_balance = balance_of(self.channels[&to_ch].state().get(to_key)) + amount;
         let credit = Transaction::new(
             pbc_types::TxId(1),
             pbc_types::ClientId(0),
@@ -256,7 +255,11 @@ mod tests {
     }
 
     fn put_tx(id: u64, key: &str, v: u64) -> Transaction {
-        Transaction::new(TxId(id), ClientId(0), vec![Op::Put { key: key.into(), value: balance_value(v) }])
+        Transaction::new(
+            TxId(id),
+            ClientId(0),
+            vec![Op::Put { key: key.into(), value: balance_value(v) }],
+        )
     }
 
     #[test]
@@ -265,10 +268,7 @@ mod tests {
         net.submit(ch(0), vec![put_tx(1, "contract", 9)]).unwrap();
         assert_eq!(balance_of(net.read(e(0), ch(0), "contract").unwrap()), 9);
         assert_eq!(balance_of(net.read(e(1), ch(0), "contract").unwrap()), 9);
-        assert!(matches!(
-            net.read(e(2), ch(0), "contract"),
-            Err(ChannelError::NotAMember { .. })
-        ));
+        assert!(matches!(net.read(e(2), ch(0), "contract"), Err(ChannelError::NotAMember { .. })));
     }
 
     #[test]
@@ -319,8 +319,7 @@ mod tests {
         let mut net = two_channel_net();
         net.seed(ch(0), "acct-src", balance_value(10)).unwrap();
         net.seed(ch(1), "acct-dst", balance_value(0)).unwrap();
-        let err =
-            net.transfer_across(ch(0), ch(1), "acct-src", "acct-dst", 40).unwrap_err();
+        let err = net.transfer_across(ch(0), ch(1), "acct-src", "acct-dst", 40).unwrap_err();
         assert!(matches!(err, ChannelError::AtomicAbort { .. }));
         assert_eq!(balance_of(net.channel(ch(0)).unwrap().state().get("acct-src")), 10);
         assert_eq!(balance_of(net.channel(ch(1)).unwrap().state().get("acct-dst")), 0);
@@ -346,9 +345,6 @@ mod tests {
     #[test]
     fn unknown_channel_errors() {
         let mut net = ChannelNetwork::new();
-        assert!(matches!(
-            net.submit(ch(9), vec![]),
-            Err(ChannelError::UnknownChannel(_))
-        ));
+        assert!(matches!(net.submit(ch(9), vec![]), Err(ChannelError::UnknownChannel(_))));
     }
 }

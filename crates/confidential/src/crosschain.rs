@@ -146,14 +146,10 @@ impl HtlcChain {
         let tx = Transaction::new(
             TxId(self.next_id * 4 + self.ledger.len() as u64),
             ClientId(0),
-            vec![Op::Put {
-                key: format!("htlc/{id}/{label}"),
-                value: balance_value(self.now),
-            }],
+            vec![Op::Put { key: format!("htlc/{id}/{label}"), value: balance_value(self.now) }],
         );
         let height = self.ledger.height().next();
-        let block =
-            Block::build(height, self.ledger.head_hash(), NodeId(0), self.now, vec![tx]);
+        let block = Block::build(height, self.ledger.head_hash(), NodeId(0), self.now, vec![tx]);
         self.ledger.append(block).expect("sequential build");
     }
 
@@ -343,10 +339,7 @@ mod tests {
         let (mut chain_a, _) = two_chains();
         let secret = SwapSecret::from_seed(4);
         let id = chain_a.lock("alice", "bob", 40, secret.hashlock, 100).unwrap();
-        assert_eq!(
-            chain_a.claim(id, [0u8; 32]).unwrap_err(),
-            HtlcError::WrongPreimage
-        );
+        assert_eq!(chain_a.claim(id, [0u8; 32]).unwrap_err(), HtlcError::WrongPreimage);
         assert_eq!(chain_a.balance("bob"), 0);
     }
 

@@ -30,13 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod caper;
-pub mod crosschain;
 pub mod channels;
 pub mod cost;
+pub mod crosschain;
 pub mod pdc;
 
 pub use caper::{CaperNetwork, GlobalConsensusMode};
-pub use crosschain::{HtlcChain, SwapSecret};
 pub use channels::ChannelNetwork;
 pub use cost::CostModel;
+pub use crosschain::{HtlcChain, SwapSecret};
 pub use pdc::PdcChannel;

@@ -180,11 +180,8 @@ impl PdcChannel {
                 pbc_crypto::sha256(&self.salt_seq.to_be_bytes()).prefix_u64()
             })
             .collect();
-        let leaves: Vec<Vec<u8>> = writes
-            .iter()
-            .zip(&salts)
-            .map(|((k, v), &s)| leaf_bytes(k, v, s))
-            .collect();
+        let leaves: Vec<Vec<u8>> =
+            writes.iter().zip(&salts).map(|((k, v), &s)| leaf_bytes(k, v, s)).collect();
         let tree = MerkleTree::build(&leaves);
         let root = tree.root();
 
@@ -244,11 +241,8 @@ impl PdcChannel {
         salts: &[u64],
         index: usize,
     ) -> Option<Disclosure> {
-        let leaves: Vec<Vec<u8>> = writes
-            .iter()
-            .zip(salts)
-            .map(|((k, v), &s)| leaf_bytes(k, v, s))
-            .collect();
+        let leaves: Vec<Vec<u8>> =
+            writes.iter().zip(salts).map(|((k, v), &s)| leaf_bytes(k, v, s)).collect();
         let tree = MerkleTree::build(&leaves);
         if tree.root() != self.evidence.get(evidence_idx)?.root {
             return None;
@@ -325,10 +319,8 @@ mod tests {
     #[test]
     fn disclosure_roundtrip() {
         let mut ch = channel_with_collection();
-        let writes = vec![
-            ("price".to_string(), balance_value(99)),
-            ("qty".to_string(), balance_value(7)),
-        ];
+        let writes =
+            vec![("price".to_string(), balance_value(99)), ("qty".to_string(), balance_value(7))];
         let (idx, salts) = ch.submit_private("deal", writes.clone()).unwrap();
         let d = ch.disclose(idx, &writes, &salts, 1).unwrap();
         assert!(ch.verify_disclosure(idx, &d));

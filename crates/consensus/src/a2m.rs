@@ -65,6 +65,15 @@ impl Usig {
         Usig { key: module_key(seed, node), counter: 0, node }
     }
 
+    /// Re-provisions the module after a host crash: the counter lives in
+    /// the module's tamper-proof non-volatile memory, so it resumes from
+    /// where it was — **never** from zero. (A rewound counter would let a
+    /// recovered primary re-attest old positions, which is exactly the
+    /// equivocation the hardware exists to prevent.)
+    pub fn resume(seed: u64, node: usize, counter: u64) -> Self {
+        Usig { key: module_key(seed, node), counter, node }
+    }
+
     /// Attests `digest` with the next counter value.
     pub fn attest(&mut self, digest: u64) -> Attestation {
         self.counter += 1;
@@ -76,11 +85,16 @@ impl Usig {
     pub fn counter(&self) -> u64 {
         self.counter
     }
+
+    /// The node this module is provisioned for.
+    pub fn node(&self) -> usize {
+        self.node
+    }
 }
 
 /// Verifier-side registry: knows every module's key (trusted setup) and
 /// tracks used counters per node to reject replays/equivocation.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct A2mVerifier {
     keys: HashMap<usize, [u8; 32]>,
     used: HashMap<usize, HashSet<u64>>,
@@ -96,9 +110,7 @@ impl A2mVerifier {
     /// Verifies the MAC only (no freshness tracking).
     pub fn mac_valid(&self, att: &Attestation) -> bool {
         match self.keys.get(&att.node) {
-            Some(key) => {
-                hmac_sha256(key, &mac_input(att.node, att.counter, att.digest)) == att.mac
-            }
+            Some(key) => hmac_sha256(key, &mac_input(att.node, att.counter, att.digest)) == att.mac,
             None => false,
         }
     }
@@ -133,6 +145,19 @@ mod tests {
         let a2 = usig.attest(2);
         assert_eq!(a1.counter, 1);
         assert_eq!(a2.counter, 2);
+    }
+
+    #[test]
+    fn resume_continues_counter_monotonically() {
+        let mut usig = Usig::new(9, 1);
+        let a = usig.attest(5);
+        // Host crashes; the module's NVRAM keeps the counter.
+        let mut resumed = Usig::resume(9, 1, usig.counter());
+        let b = resumed.attest(6);
+        assert_eq!(b.counter, a.counter + 1, "no rewind across crash");
+        let mut v = A2mVerifier::new(9, 4);
+        assert!(v.verify_fresh(&a));
+        assert!(v.verify_fresh(&b), "resumed module still produces valid MACs");
     }
 
     #[test]

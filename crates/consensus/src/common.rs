@@ -15,6 +15,15 @@ pub trait Payload: Clone + PartialEq + std::fmt::Debug {
     fn wire_size(&self) -> usize {
         256
     }
+
+    /// A *conflicting* payload (different digest) an equivocating
+    /// proposer could substitute, or `None` if this payload type cannot
+    /// fabricate one. Drives [`pbc_sim::Message::equivocate`] for
+    /// proposal messages, letting the generic [`pbc_sim::Adversary`]
+    /// fork proposals without protocol knowledge.
+    fn forked(&self) -> Option<Self> {
+        None
+    }
 }
 
 impl Payload for u64 {
@@ -28,6 +37,10 @@ impl Payload for u64 {
 
     fn wire_size(&self) -> usize {
         8
+    }
+
+    fn forked(&self) -> Option<Self> {
+        Some(self.wrapping_add(1))
     }
 }
 
@@ -91,6 +104,24 @@ impl<P: Clone> DecidedLog<P> {
     /// Next expected sequence number.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Every known decision — the delivered prefix plus buffered
+    /// out-of-order decisions — for checkpointing to stable storage.
+    pub fn snapshot(&self) -> Vec<(u64, P, SimTime)> {
+        let mut all = self.delivered.clone();
+        all.extend(self.buffer.iter().map(|(s, (p, t))| (*s, p.clone(), *t)));
+        all
+    }
+
+    /// Rebuilds a log (first expected sequence `first_seq`) from a
+    /// [`DecidedLog::snapshot`].
+    pub fn from_snapshot(first_seq: u64, entries: Vec<(u64, P, SimTime)>) -> Self {
+        let mut log = DecidedLog::starting_at(first_seq);
+        for (seq, payload, time) in entries {
+            log.decide(seq, payload, time);
+        }
+        log
     }
 }
 
@@ -160,6 +191,19 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.decide(9, 9, 0); // below the floor: ignored
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_buffered_decisions() {
+        let mut log: DecidedLog<u64> = DecidedLog::default();
+        log.decide(0, 10, 1);
+        log.decide(2, 30, 5); // buffered: gap at seq 1
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        let mut restored = DecidedLog::from_snapshot(0, snap);
+        assert_eq!(restored.payloads(), vec![&10]);
+        restored.decide(1, 20, 9);
+        assert_eq!(restored.payloads(), vec![&10, &20, &30]);
     }
 
     #[test]

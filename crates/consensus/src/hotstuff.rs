@@ -158,10 +158,7 @@ impl<P: Payload> HotStuffReplica<P> {
     /// Creates a replica.
     pub fn new(cfg: HotStuffConfig) -> Self {
         let mut blocks = HashMap::new();
-        blocks.insert(
-            GENESIS,
-            BlockRec { parent: GENESIS, payload: None, committed: true },
-        );
+        blocks.insert(GENESIS, BlockRec { parent: GENESIS, payload: None, committed: true });
         HotStuffReplica {
             cfg,
             view: 1,
@@ -256,7 +253,17 @@ impl<P: Payload> HotStuffReplica<P> {
         // Commit the block and any uncommitted ancestors, oldest first.
         let mut chain = Vec::new();
         let mut cur = digest;
-        while let Some(b) = self.blocks.get(&cur) {
+        loop {
+            if cur == GENESIS {
+                break;
+            }
+            let Some(b) = self.blocks.get(&cur) else {
+                // A gap in the ancestry: we were unreachable when this
+                // ancestor was proposed. Committing the tip now would
+                // assign it the wrong local sequence number and diverge
+                // from the quorum's log — stay behind (safe) instead.
+                return;
+            };
             if b.committed {
                 break;
             }
@@ -438,8 +445,7 @@ mod tests {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i}");
         }
     }
@@ -480,8 +486,7 @@ mod tests {
         submit(&mut net, 7);
         run_until_delivered(&mut net, 1, 20_000_000);
         for i in [0usize, 2, 3] {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![7], "node {i}");
             assert!(net.actor(i).timeouts >= 1, "node {i} must have timed out");
         }

@@ -13,7 +13,7 @@
 
 use crate::a2m::{A2mVerifier, Attestation, Usig};
 use crate::common::{DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// MinBFT wire messages.
@@ -57,6 +57,16 @@ pub enum MinBftMsg<P> {
         /// Attestation over the new-view digest.
         att: Attestation,
     },
+    /// State transfer for a replica that missed decided slots: the
+    /// sender's decided log, attested as a batch by the sender's USIG.
+    /// A receiver installs an entry only once `f + 1` distinct senders
+    /// vouch the same `(seq, digest)` — one of them must be honest.
+    CatchUp {
+        /// Decided `(seq, payload)` entries.
+        entries: Vec<(u64, P)>,
+        /// Attestation over the batch digest.
+        att: Attestation,
+    },
 }
 
 impl<P: Payload> Message for MinBftMsg<P> {
@@ -70,6 +80,9 @@ impl<P: Payload> Message for MinBftMsg<P> {
             }
             MinBftMsg::NewView { proposals, .. } => {
                 88 + proposals.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+            MinBftMsg::CatchUp { entries, .. } => {
+                88 + entries.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
             }
         }
     }
@@ -117,7 +130,7 @@ fn prepare_digest(view: u64, seq: u64, payload_digest: u64) -> u64 {
     z ^ (z >> 27)
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SlotState<P> {
     payload: Option<P>,
     digest: u64,
@@ -144,6 +157,11 @@ pub struct MinBftReplica<P> {
     assigned: HashMap<u64, u64>,
     next_assign: u64,
     vc_votes: HashMap<u64, HashMap<NodeIdx, Vec<(u64, P)>>>,
+    /// Catch-up vouchers: `(seq, digest)` → senders who attested it as
+    /// decided. Volatile bookkeeping; rebuilt from scratch after a crash.
+    catchup_votes: HashMap<(u64, u64), HashSet<NodeIdx>>,
+    /// Payloads carried by catch-up vouchers, keyed by digest.
+    catchup_payloads: HashMap<u64, P>,
     /// The in-order decided log.
     pub log: DecidedLog<P>,
     /// View changes entered (observability).
@@ -165,6 +183,8 @@ impl<P: Payload> MinBftReplica<P> {
             assigned: HashMap::new(),
             next_assign: 0,
             vc_votes: HashMap::new(),
+            catchup_votes: HashMap::new(),
+            catchup_payloads: HashMap::new(),
             log: DecidedLog::default(),
             view_changes: 0,
             cfg,
@@ -290,12 +310,8 @@ impl<P: Payload> MinBftReplica<P> {
             max_seq = max_seq.max(seq + 1);
         }
         let covered: HashSet<u64> = proposals.values().map(|p| p.digest_u64()).collect();
-        let uncovered: Vec<P> = self
-            .pending
-            .values()
-            .filter(|p| !covered.contains(&p.digest_u64()))
-            .cloned()
-            .collect();
+        let uncovered: Vec<P> =
+            self.pending.values().filter(|p| !covered.contains(&p.digest_u64())).cloned().collect();
         for p in uncovered {
             proposals.insert(max_seq, p);
             max_seq += 1;
@@ -307,6 +323,25 @@ impl<P: Payload> MinBftReplica<P> {
             .fold(new_view, |acc, (s, p)| acc ^ prepare_digest(new_view, *s, p.digest_u64()));
         let att = self.usig.attest(digest);
         ctx.broadcast(MinBftMsg::NewView { view: new_view, proposals: list, att });
+    }
+
+    /// Order-independent digest of a catch-up batch. The `u64::MAX`
+    /// pseudo-view keeps it disjoint from any real prepare digest.
+    fn catchup_batch_digest(entries: &[(u64, P)]) -> u64 {
+        entries
+            .iter()
+            .fold(0xCA7C_4B01, |acc, (s, p)| acc ^ prepare_digest(u64::MAX, *s, p.digest_u64()))
+    }
+
+    /// Vouches our decided log to a replica that appears stalled.
+    fn send_catchup(&mut self, to: NodeIdx, ctx: &mut Context<MinBftMsg<P>>) {
+        let entries: Vec<(u64, P)> =
+            self.log.snapshot().into_iter().map(|(s, p, _)| (s, p)).collect();
+        if entries.is_empty() {
+            return;
+        }
+        let att = self.usig.attest(Self::catchup_batch_digest(&entries));
+        ctx.send(to, MinBftMsg::CatchUp { entries, att });
     }
 }
 
@@ -341,6 +376,14 @@ impl<P: Payload> Actor for MinBftReplica<P> {
             MinBftMsg::ReqViewChange { new_view, accepted } => {
                 if new_view < self.view {
                     return;
+                }
+                // A replica with nothing in flight won't join the view
+                // change — but the requester is usually stalled on slots
+                // we already decided (it missed a prepare or the
+                // commits). Vouch our decided log so it can catch up;
+                // it installs a slot only once f+1 senders agree.
+                if new_view > self.view && self.pending.is_empty() {
+                    self.send_catchup(from, ctx);
                 }
                 self.vc_votes.entry(new_view).or_default().insert(from, accepted);
                 if new_view > self.view && self.vc_votes[&new_view].len() >= self.cfg.quorum() {
@@ -385,6 +428,38 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                 }
                 self.arm_timer(ctx);
             }
+            MinBftMsg::CatchUp { entries, att } => {
+                if att.node != from
+                    || att.digest != Self::catchup_batch_digest(&entries)
+                    || !self.verifier.verify_fresh(&att)
+                {
+                    return;
+                }
+                let q = self.cfg.quorum();
+                for (seq, payload) in entries {
+                    let pd = payload.digest_u64();
+                    if self.delivered_digests.contains(&pd)
+                        || self.slots.get(&seq).is_some_and(|s| s.decided)
+                    {
+                        continue;
+                    }
+                    self.catchup_payloads.entry(pd).or_insert(payload);
+                    let votes = self.catchup_votes.entry((seq, pd)).or_default();
+                    votes.insert(from);
+                    if votes.len() >= q {
+                        // f+1 vouchers intersect every commit quorum in
+                        // at least one honest replica: install as decided.
+                        let payload = self.catchup_payloads[&pd].clone();
+                        let slot = self.slots.entry(seq).or_default();
+                        slot.payload = Some(payload.clone());
+                        slot.digest = pd;
+                        slot.decided = true;
+                        self.pending.remove(&pd);
+                        self.delivered_digests.insert(pd);
+                        self.log.decide(seq, payload, ctx.now);
+                    }
+                }
+            }
         }
     }
 
@@ -396,11 +471,57 @@ impl<P: Payload> Actor for MinBftReplica<P> {
         self.view = new_view;
         self.view_changes += 1;
         self.assigned.clear();
-        ctx.broadcast(MinBftMsg::ReqViewChange {
-            new_view,
-            accepted: self.accepted_undecided(),
-        });
+        ctx.broadcast(MinBftMsg::ReqViewChange { new_view, accepted: self.accepted_undecided() });
         self.arm_timer(ctx);
+    }
+}
+
+/// MinBFT's stable state (opaque). Two distinct kinds of durability are
+/// bundled here: the replica's *disk* (view, accepted slots, decisions,
+/// the verifier's used-counter sets) and the USIG's *tamper-proof
+/// counter*, which by the hardware model can never rewind — a crash
+/// that forgot it would re-enable the equivocation the module exists to
+/// prevent.
+#[derive(Clone, Debug)]
+pub struct MinBftStable<P> {
+    view: u64,
+    usig_counter: u64,
+    verifier: A2mVerifier,
+    slots: BTreeMap<u64, SlotState<P>>,
+    delivered_digests: HashSet<u64>,
+    decided: Vec<(u64, P, SimTime)>,
+}
+
+impl<P: Payload> Durable for MinBftReplica<P> {
+    type Stable = MinBftStable<P>;
+
+    fn checkpoint(&self) -> MinBftStable<P> {
+        MinBftStable {
+            view: self.view,
+            usig_counter: self.usig.counter(),
+            verifier: self.verifier.clone(),
+            slots: self.slots.clone(),
+            delivered_digests: self.delivered_digests.clone(),
+            decided: self.log.snapshot(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: MinBftStable<P>) -> Self {
+        let id = crashed.usig.node();
+        let mut r = MinBftReplica::new(crashed.cfg.clone(), id);
+        r.view = stable.view;
+        r.usig = Usig::resume(crashed.cfg.a2m_seed, id, stable.usig_counter);
+        r.verifier = stable.verifier;
+        r.slots = stable.slots;
+        r.delivered_digests = stable.delivered_digests;
+        r.log = DecidedLog::from_snapshot(0, stable.decided);
+        for (seq, slot) in &r.slots {
+            if slot.payload.is_some() {
+                r.assigned.insert(slot.digest, *seq);
+            }
+            r.next_assign = r.next_assign.max(seq + 1);
+        }
+        r
     }
 }
 
@@ -430,8 +551,7 @@ mod tests {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i}");
         }
     }
@@ -463,8 +583,7 @@ mod tests {
             submit(&mut net, p);
         }
         net.run_to_quiescence(2_000_000);
-        let log0: Vec<u64> =
-            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let log0: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log0.len(), 5);
     }
 
@@ -475,8 +594,7 @@ mod tests {
         submit(&mut net, 7);
         net.run_to_quiescence(10_000_000);
         for i in 1..3 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![7], "node {i}");
             assert!(net.actor(i).view() >= 1);
         }
@@ -501,10 +619,7 @@ mod tests {
         }
         pbft.run_to_quiescence(1_000_000);
         let pbft_msgs = pbft.stats().msgs_sent;
-        assert!(
-            minbft_msgs < pbft_msgs / 2,
-            "minbft {minbft_msgs} vs pbft {pbft_msgs}"
-        );
+        assert!(minbft_msgs < pbft_msgs / 2, "minbft {minbft_msgs} vs pbft {pbft_msgs}");
     }
 
     /// A Byzantine primary that replays one attestation for two payloads.
@@ -535,10 +650,7 @@ mod tests {
                                 usig.attest(prepare_digest(0, 0, Payload::digest_u64(&1000u64)));
                             for to in 0..ctx.n {
                                 let payload = if to % 2 == 0 { 1000u64 } else { 1001 };
-                                ctx.send(
-                                    to,
-                                    MinBftMsg::Prepare { view: 0, seq: 0, payload, att },
-                                );
+                                ctx.send(to, MinBftMsg::Prepare { view: 0, seq: 0, payload, att });
                             }
                         }
                     }

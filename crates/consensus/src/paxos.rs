@@ -203,11 +203,8 @@ impl<P: Payload> Actor for PaxosNode<P> {
                     if self.leading && ballot > self.ballot {
                         self.leading = false;
                     }
-                    let accepted: Vec<(u64, u64, P)> = self
-                        .accepted
-                        .iter()
-                        .map(|(s, (b, v))| (*s, *b, v.clone()))
-                        .collect();
+                    let accepted: Vec<(u64, u64, P)> =
+                        self.accepted.iter().map(|(s, (b, v))| (*s, *b, v.clone())).collect();
                     ctx.send(from, PaxosMsg::Promise { ballot, accepted });
                 }
             }
@@ -309,8 +306,7 @@ mod tests {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i}");
         }
     }
@@ -346,8 +342,7 @@ mod tests {
         submit(&mut net, 2);
         net.run_to_quiescence(10_000_000);
         for i in 1..3 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![1, 2], "node {i}");
             assert!(net.actor(i).takeovers <= 3);
         }

@@ -19,7 +19,7 @@
 //! are decided one at a time.
 
 use crate::common::{quorum, DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Who proposes.
@@ -178,6 +178,17 @@ impl<P: Payload> Message for PbftMsg<P> {
                 64 + proposals.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
             }
             PbftMsg::Decided { payload, .. } => 32 + payload.wire_size(),
+        }
+    }
+
+    /// The only PBFT message a Byzantine sender can usefully fork is the
+    /// proposal: same `(view, seq)`, conflicting payload.
+    fn equivocate(&self) -> Option<Self> {
+        match self {
+            PbftMsg::PrePrepare { view, seq, payload } => {
+                payload.forked().map(|p| PbftMsg::PrePrepare { view: *view, seq: *seq, payload: p })
+            }
+            _ => None,
         }
     }
 }
@@ -358,14 +369,12 @@ impl<P: Payload> PbftReplica<P> {
         let Some((view, digest, payload)) = slot.accepted.clone() else {
             return;
         };
-        let prepared =
-            slot.prepares.get(&(view, digest)).is_some_and(|s| s.len() >= q);
+        let prepared = slot.prepares.get(&(view, digest)).is_some_and(|s| s.len() >= q);
         if prepared && !slot.sent_commit {
             slot.sent_commit = true;
             ctx.broadcast(PbftMsg::Commit { view, seq, digest });
         }
-        let committed =
-            slot.commits.get(&(view, digest)).is_some_and(|s| s.len() >= q);
+        let committed = slot.commits.get(&(view, digest)).is_some_and(|s| s.len() >= q);
         if committed {
             slot.decided = true;
             self.pending.remove(&digest);
@@ -442,14 +451,9 @@ impl<P: Payload> PbftReplica<P> {
             max_seq = max_seq.max(seq + 1);
         }
         // Re-propose pending requests not covered by prepared slots.
-        let covered: HashSet<u64> =
-            proposals.values().map(|p| p.digest_u64()).collect();
-        let uncovered: Vec<P> = self
-            .pending
-            .values()
-            .filter(|p| !covered.contains(&p.digest_u64()))
-            .cloned()
-            .collect();
+        let covered: HashSet<u64> = proposals.values().map(|p| p.digest_u64()).collect();
+        let uncovered: Vec<P> =
+            self.pending.values().filter(|p| !covered.contains(&p.digest_u64())).cloned().collect();
         match self.cfg.policy {
             LeaderPolicy::FixedPerView => {
                 for p in uncovered {
@@ -480,8 +484,7 @@ impl<P: Payload> Actor for PbftReplica<P> {
         match msg {
             PbftMsg::Request(p) => {
                 let digest = p.digest_u64();
-                if self.delivered_digests.contains(&digest) || self.pending.contains_key(&digest)
-                {
+                if self.delivered_digests.contains(&digest) || self.pending.contains_key(&digest) {
                     return;
                 }
                 self.pending.insert(digest, p);
@@ -519,9 +522,7 @@ impl<P: Payload> Actor for PbftReplica<P> {
                 self.vc_votes.entry(new_view).or_default().insert(from, prepared);
                 // f+1 view changes: join even without timing out ourselves.
                 let join_threshold = self.cfg.f() + 1;
-                if new_view > self.view
-                    && self.vc_votes[&new_view].len() >= join_threshold
-                {
+                if new_view > self.view && self.vc_votes[&new_view].len() >= join_threshold {
                     self.view = new_view;
                     self.view_changes += 1;
                     self.assigned.clear();
@@ -578,6 +579,50 @@ impl<P: Payload> Actor for PbftReplica<P> {
     }
 }
 
+/// PBFT's stable-storage checkpoint (opaque): the current view plus the
+/// message log — accepted proposals with their prepare/commit
+/// certificates — and every decision, per Castro–Liskov's requirement
+/// that protocol messages hit stable storage before being acted on.
+/// Client-request buffers and view-change tallies are volatile (clients
+/// retransmit; view changes re-run).
+#[derive(Clone, Debug)]
+pub struct PbftStable<P> {
+    view: u64,
+    slots: BTreeMap<u64, Slot<P>>,
+    delivered_digests: HashSet<u64>,
+    decided: Vec<(u64, P, SimTime)>,
+}
+
+impl<P: Payload> Durable for PbftReplica<P> {
+    type Stable = PbftStable<P>;
+
+    fn checkpoint(&self) -> PbftStable<P> {
+        PbftStable {
+            view: self.view,
+            slots: self.slots.clone(),
+            delivered_digests: self.delivered_digests.clone(),
+            decided: self.log.snapshot(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: PbftStable<P>) -> Self {
+        let mut r = PbftReplica::new(crashed.cfg.clone());
+        r.view = stable.view;
+        r.slots = stable.slots;
+        r.delivered_digests = stable.delivered_digests;
+        r.log = DecidedLog::from_snapshot(0, stable.decided);
+        // Rebuild the assignment index from the persisted slots so a
+        // recovered primary never re-assigns a sequence number.
+        for (seq, slot) in &r.slots {
+            if let Some((_, digest, _)) = &slot.accepted {
+                r.assigned.insert(*digest, *seq);
+            }
+            r.next_assign = r.next_assign.max(seq + 1);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,20 +643,13 @@ mod tests {
     }
 
     fn assert_agreement(net: &Network<PbftReplica<u64>>, expected: usize) {
-        let reference: Vec<u64> = net
-            .actor(0)
-            .log
-            .delivered()
-            .iter()
-            .map(|(_, p, _)| *p)
-            .collect();
+        let reference: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(reference.len(), expected, "node 0 delivered count");
         for i in 1..net.len() {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i} diverged");
         }
     }
@@ -655,8 +693,7 @@ mod tests {
             submit(&mut net, p);
         }
         net.run_to_quiescence(1_000_000);
-        let log0: Vec<u64> =
-            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let log0: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log0.len(), 5);
     }
 
@@ -668,8 +705,7 @@ mod tests {
         // Allow timers to fire and the new view to decide.
         net.run_to_quiescence(5_000_000);
         for i in 1..4 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![7], "node {i}");
             assert!(net.actor(i).view() >= 1, "node {i} must have changed view");
         }
@@ -684,8 +720,7 @@ mod tests {
             submit(&mut net, p);
         }
         net.run_to_quiescence(2_000_000);
-        let log0: Vec<u64> =
-            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let log0: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log0.len(), 10);
     }
 
@@ -712,10 +747,7 @@ mod tests {
         let m4 = count(4);
         let m8 = count(8);
         let ratio = m8 / m4;
-        assert!(
-            ratio > 2.5,
-            "expected superlinear growth, got {m4} → {m8} (ratio {ratio:.2})"
-        );
+        assert!(ratio > 2.5, "expected superlinear growth, got {m4} → {m8} (ratio {ratio:.2})");
     }
 
     /// A Byzantine primary that equivocates: different payloads to
@@ -728,7 +760,12 @@ mod tests {
 
     impl Actor for TestNode {
         type Msg = PbftMsg<u64>;
-        fn on_message(&mut self, from: NodeIdx, msg: PbftMsg<u64>, ctx: &mut Context<PbftMsg<u64>>) {
+        fn on_message(
+            &mut self,
+            from: NodeIdx,
+            msg: PbftMsg<u64>,
+            ctx: &mut Context<PbftMsg<u64>>,
+        ) {
             match self {
                 TestNode::Honest(r) => r.on_message(from, msg, ctx),
                 TestNode::EquivocatingPrimary { proposed } => {
@@ -738,10 +775,7 @@ mod tests {
                             // Send conflicting proposals for seq 0.
                             for to in 0..ctx.n {
                                 let payload = 1000 + (to % 2) as u64;
-                                ctx.send(
-                                    to,
-                                    PbftMsg::PrePrepare { view: 0, seq: 0, payload },
-                                );
+                                ctx.send(to, PbftMsg::PrePrepare { view: 0, seq: 0, payload });
                             }
                         }
                     }
@@ -799,8 +833,7 @@ mod tests {
         submit(&mut net, 5);
         net.run_to_quiescence(5_000_000);
         for i in 1..4 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![5], "node {i}");
         }
     }
@@ -834,12 +867,10 @@ mod tests {
             }
         }
         net.run_to_quiescence(2_000_000);
-        let log0: Vec<u64> =
-            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let log0: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log0.len(), 6);
         for i in 1..4 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, log0, "node {i}");
         }
     }

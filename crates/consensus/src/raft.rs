@@ -9,7 +9,7 @@
 //! the CFT-vs-BFT gap experiment E5 quantifies exactly that.
 
 use crate::common::{quorum, DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -83,8 +83,15 @@ pub enum Role {
     Leader,
 }
 
+// Timer ids carry the kind in the low byte and an epoch in the upper
+// bits: the simulator cannot cancel timers, so re-arming the election
+// timer (which happens on every heartbeat) bumps the epoch and lets
+// every previously-armed timer die silently when it fires. Without
+// this, stale timers accumulate one per heartbeat and each re-arms
+// itself forever — a quadratic event storm.
 const TIMER_ELECTION: u64 = 1;
 const TIMER_HEARTBEAT: u64 = 2;
+const TIMER_KIND_MASK: u64 = 0xFF;
 
 /// Static Raft configuration.
 #[derive(Clone, Debug)]
@@ -126,6 +133,7 @@ pub struct RaftNode<P> {
     /// Requests waiting for a leader.
     pending: Vec<P>,
     last_heartbeat: SimTime,
+    election_epoch: u64,
     rng: StdRng,
     /// The in-order decided log.
     pub log: DecidedLog<P>,
@@ -151,6 +159,7 @@ impl<P: Payload> RaftNode<P> {
             votes: HashSet::new(),
             pending: Vec::new(),
             last_heartbeat: 0,
+            election_epoch: 0,
             rng,
             log: DecidedLog::starting_at(0),
             elections_started: 0,
@@ -185,9 +194,9 @@ impl<P: Payload> RaftNode<P> {
     }
 
     fn arm_election_timer(&mut self, ctx: &mut Context<RaftMsg<P>>) {
-        let d = self.cfg.election_timeout
-            + self.rng.gen_range(0..self.cfg.election_timeout);
-        ctx.set_timer(d, TIMER_ELECTION);
+        let d = self.cfg.election_timeout + self.rng.gen_range(0..self.cfg.election_timeout);
+        self.election_epoch += 1;
+        ctx.set_timer(d, TIMER_ELECTION | (self.election_epoch << 8));
     }
 
     fn become_follower(&mut self, term: u64, ctx: &mut Context<RaftMsg<P>>) {
@@ -249,12 +258,8 @@ impl<P: Payload> RaftNode<P> {
             let next = self.next_index[peer];
             let prev_index = next - 1;
             let prev_term = self.term_at(prev_index);
-            let entries: Vec<(u64, P)> = self
-                .log_entries
-                .iter()
-                .skip(prev_index as usize)
-                .cloned()
-                .collect();
+            let entries: Vec<(u64, P)> =
+                self.log_entries.iter().skip(prev_index as usize).cloned().collect();
             ctx.send(
                 peer,
                 RaftMsg::AppendEntries {
@@ -411,9 +416,9 @@ impl<P: Payload> Actor for RaftNode<P> {
     }
 
     fn on_timer(&mut self, id: u64, ctx: &mut Context<RaftMsg<P>>) {
-        match id {
+        match id & TIMER_KIND_MASK {
             TIMER_ELECTION => {
-                if self.role == Role::Leader {
+                if id >> 8 != self.election_epoch || self.role == Role::Leader {
                     return;
                 }
                 let elapsed = ctx.now.saturating_sub(self.last_heartbeat);
@@ -423,13 +428,93 @@ impl<P: Payload> Actor for RaftNode<P> {
                     self.arm_election_timer(ctx);
                 }
             }
-            TIMER_HEARTBEAT
-                if self.role == Role::Leader => {
-                    self.replicate_all(ctx);
-                    ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
-                }
+            TIMER_HEARTBEAT if self.role == Role::Leader => {
+                self.replicate_all(ctx);
+                ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+            }
             _ => {}
         }
+    }
+}
+
+/// Raft's persistent state, exactly the three fields the paper requires
+/// on stable storage before any RPC response: `currentTerm`, `votedFor`
+/// and the log.
+#[derive(Clone, Debug)]
+pub struct RaftStable<P> {
+    /// `currentTerm`.
+    pub term: u64,
+    /// `votedFor` in the current term.
+    pub voted_for: Option<NodeIdx>,
+    /// The full log (`(term, payload)`, 1-indexed externally).
+    pub log_entries: Vec<(u64, P)>,
+}
+
+impl<P: Payload> Durable for RaftNode<P> {
+    type Stable = RaftStable<P>;
+
+    fn checkpoint(&self) -> RaftStable<P> {
+        RaftStable {
+            term: self.term,
+            voted_for: self.voted_for,
+            log_entries: self.log_entries.clone(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: RaftStable<P>) -> Self {
+        let mut node = RaftNode::new(crashed.cfg.clone(), crashed.id);
+        node.term = stable.term;
+        node.voted_for = stable.voted_for;
+        node.log_digests = stable.log_entries.iter().map(|(_, p)| p.digest_u64()).collect();
+        node.log_entries = stable.log_entries;
+        // commit_index/last_applied restart at 0 (volatile, per the
+        // paper); the next AppendEntries re-teaches the commit point and
+        // the decided log re-fills identically from the same entries.
+        node
+    }
+}
+
+/// A **deliberately broken** Raft variant that persists *nothing* across
+/// an amnesia crash — it rejoins with term 0, no vote memory, and an
+/// empty log. Exists to demonstrate, in the chaos tests, that Raft's
+/// stable-storage rules are load-bearing: two such nodes crashing and
+/// re-forming a quorum can re-elect at a stale term and overwrite
+/// committed entries, which [`pbc_sim::InvariantChecker`] flags as a
+/// safety violation. Never use outside fault-injection experiments.
+#[derive(Debug)]
+pub struct VolatileRaft<P>(pub RaftNode<P>);
+
+impl<P: Payload> VolatileRaft<P> {
+    /// Wraps a fresh node.
+    pub fn new(cfg: RaftConfig, id: NodeIdx) -> Self {
+        VolatileRaft(RaftNode::new(cfg, id))
+    }
+}
+
+impl<P: Payload> Actor for VolatileRaft<P> {
+    type Msg = RaftMsg<P>;
+
+    fn on_start(&mut self, ctx: &mut Context<RaftMsg<P>>) {
+        self.0.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeIdx, msg: RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
+        self.0.on_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<RaftMsg<P>>) {
+        self.0.on_timer(id, ctx);
+    }
+}
+
+impl<P: Payload> Durable for VolatileRaft<P> {
+    /// Nothing survives — the point of the exercise.
+    type Stable = ();
+
+    fn checkpoint(&self) {}
+
+    fn restore(crashed: &Self, _stable: ()) -> Self {
+        VolatileRaft(RaftNode::new(crashed.0.cfg.clone(), crashed.0.id))
     }
 }
 
@@ -477,10 +562,13 @@ mod tests {
     fn elects_exactly_one_leader() {
         let mut net = cluster(5, 1);
         net.run_until(200_000);
-        let leaders: Vec<_> = (0..5)
-            .filter(|&i| net.actor(i).role() == Role::Leader)
-            .collect();
-        assert_eq!(leaders.len(), 1, "roles: {:?}", (0..5).map(|i| net.actor(i).role()).collect::<Vec<_>>());
+        let leaders: Vec<_> = (0..5).filter(|&i| net.actor(i).role() == Role::Leader).collect();
+        assert_eq!(
+            leaders.len(),
+            1,
+            "roles: {:?}",
+            (0..5).map(|i| net.actor(i).role()).collect::<Vec<_>>()
+        );
         // All on the same term as the leader.
         let lt = net.actor(leaders[0]).term();
         for i in 0..5 {
@@ -497,12 +585,10 @@ mod tests {
             submit(&mut net, p);
         }
         run_until_delivered(&mut net, 10, 5_000_000);
-        let reference: Vec<u64> =
-            net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let reference: Vec<u64> = net.actor(0).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(reference.len(), 10);
         for i in 1..3 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i}");
         }
     }
@@ -523,8 +609,7 @@ mod tests {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![1, 2], "node {i}");
         }
     }
@@ -543,8 +628,7 @@ mod tests {
             submit(&mut net, p);
         }
         run_until_delivered(&mut net, 5, 5_000_000);
-        let log: Vec<u64> =
-            net.actor(l).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        let log: Vec<u64> = net.actor(l).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log.len(), 5);
     }
 
@@ -573,10 +657,42 @@ mod tests {
         // Give duplicates a chance to (incorrectly) appear.
         net.run_until(net.now() + 100_000);
         for i in 0..3 {
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![42], "node {i}");
         }
+    }
+
+    #[test]
+    fn durable_restore_preserves_term_and_log() {
+        let mut net = cluster(3, 11);
+        net.run_until(200_000);
+        submit(&mut net, 1);
+        run_until_delivered(&mut net, 1, 2_000_000);
+        let victim = (0..3).find(|&i| net.actor(i).role() != Role::Leader).unwrap();
+        let term_before = net.actor(victim).term();
+        net.crash_and_lose_memory(victim);
+        assert_eq!(net.actor(victim).term(), term_before, "term persisted");
+        assert_eq!(net.actor(victim).log.len(), 0, "applied log is volatile");
+        net.restart(victim);
+        submit(&mut net, 2);
+        run_until_delivered(&mut net, 2, 20_000_000);
+        let log: Vec<u64> = net.actor(victim).log.delivered().iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(log, vec![1, 2], "restored node recommits the persisted entry");
+    }
+
+    #[test]
+    fn volatile_variant_forgets_everything() {
+        let cfg = RaftConfig::new(3);
+        let actors = (0..3).map(|i| VolatileRaft::<u64>::new(cfg.clone(), i)).collect();
+        let mut net: Network<VolatileRaft<u64>> =
+            Network::new(actors, NetworkConfig { seed: 12, ..Default::default() });
+        net.start();
+        net.run_until(200_000);
+        let l = (0..3).find(|&i| net.actor(i).0.role() == Role::Leader).unwrap();
+        assert!(net.actor(l).0.term() > 0);
+        net.crash_and_lose_memory(l);
+        assert_eq!(net.actor(l).0.term(), 0, "nothing persisted");
+        assert_eq!(net.actor(l).0.role(), Role::Follower);
     }
 
     #[test]

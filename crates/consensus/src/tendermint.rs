@@ -383,11 +383,7 @@ impl<P: Payload> Actor for TendermintNode<P> {
         let key = self.key();
         if !self.sent_precommit.contains(&key) {
             self.sent_precommit.insert(key);
-            ctx.broadcast(TmMsg::Precommit {
-                height: key.height,
-                round: key.round,
-                digest: None,
-            });
+            ctx.broadcast(TmMsg::Precommit { height: key.height, round: key.round, digest: None });
         }
         self.advance_round(ctx);
     }
@@ -433,8 +429,7 @@ mod tests {
             if net.is_crashed(i) {
                 continue;
             }
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, reference, "node {i}");
         }
     }
@@ -509,8 +504,7 @@ mod tests {
                 continue;
             }
             assert!(net.actor(i).extra_rounds >= 1, "node {i} must have advanced rounds");
-            let log: Vec<u64> =
-                net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
+            let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
             assert_eq!(log, vec![9]);
         }
     }

@@ -196,9 +196,8 @@ impl Driver {
         let n = self.len();
         let mut events = 0;
         loop {
-            let done = (0..n)
-                .filter(|&i| !self.is_crashed(i))
-                .all(|i| self.decided_len(i) >= target);
+            let done =
+                (0..n).filter(|&i| !self.is_crashed(i)).all(|i| self.decided_len(i) >= target);
             if done {
                 return true;
             }
@@ -325,8 +324,7 @@ impl NetworkBuilder {
                 Driver::MinBft(net)
             }
         };
-        let pipelines =
-            (0..self.n).map(|_| self.arch.make(self.initial_state.clone())).collect();
+        let pipelines = (0..self.n).map(|_| self.arch.make(self.initial_state.clone())).collect();
         BlockchainNetwork {
             driver,
             pipelines,
@@ -469,8 +467,7 @@ impl BlockchainNetwork {
     /// True when all alive nodes hold identical ledgers and states —
     /// the consistency property Figure 1 illustrates.
     pub fn replicas_identical(&self) -> bool {
-        let alive: Vec<usize> =
-            (0..self.len()).filter(|&i| !self.driver.is_crashed(i)).collect();
+        let alive: Vec<usize> = (0..self.len()).filter(|&i| !self.driver.is_crashed(i)).collect();
         let Some(&first) = alive.first() else {
             return true;
         };
@@ -503,7 +500,12 @@ mod tests {
     use super::*;
     use pbc_workload::PaymentWorkload;
 
-    fn run(consensus: ConsensusKind, arch: ArchKind, n: usize, txs: usize) -> (BlockchainNetwork, RunReport) {
+    fn run(
+        consensus: ConsensusKind,
+        arch: ArchKind,
+        n: usize,
+        txs: usize,
+    ) -> (BlockchainNetwork, RunReport) {
         let w = PaymentWorkload { accounts: 64, ..Default::default() };
         let mut chain = NetworkBuilder::new(n)
             .consensus(consensus)

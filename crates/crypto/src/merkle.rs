@@ -78,11 +78,7 @@ impl MerkleTree {
 
     /// Root of the tree. The empty tree's root is `Hash::ZERO`.
     pub fn root(&self) -> Hash {
-        self.levels
-            .last()
-            .and_then(|l| l.first())
-            .copied()
-            .unwrap_or(Hash::ZERO)
+        self.levels.last().and_then(|l| l.first()).copied().unwrap_or(Hash::ZERO)
     }
 
     /// Number of leaves.

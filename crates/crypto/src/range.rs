@@ -247,8 +247,14 @@ mod tests {
     fn range_proof_bad_widths_rejected() {
         let mut rng = StdRng::seed_from_u64(24);
         let (_, o) = commit_random(Scalar::new(1), &mut rng);
-        assert_eq!(RangeProof::prove(1, o.blinding, 0, b"tx", &mut rng), Err(RangeError::BadBitWidth));
-        assert_eq!(RangeProof::prove(1, o.blinding, 64, b"tx", &mut rng), Err(RangeError::BadBitWidth));
+        assert_eq!(
+            RangeProof::prove(1, o.blinding, 0, b"tx", &mut rng),
+            Err(RangeError::BadBitWidth)
+        );
+        assert_eq!(
+            RangeProof::prove(1, o.blinding, 64, b"tx", &mut rng),
+            Err(RangeError::BadBitWidth)
+        );
     }
 
     #[test]

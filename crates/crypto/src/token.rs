@@ -57,7 +57,8 @@ impl DleqProof {
         let t = Scalar::random(rng);
         let a1 = GroupElement::g_pow(t);
         let a2 = blinded.pow(t);
-        let c = challenge(b"dleq", &[GroupElement::generator(), public_key, blinded, signed, a1, a2]);
+        let c =
+            challenge(b"dleq", &[GroupElement::generator(), public_key, blinded, signed, a1, a2]);
         DleqProof { a1, a2, z: t.add(c.mul(k)) }
     }
 
@@ -221,7 +222,13 @@ mod tests {
         // Authority signs with a different key than committed.
         let rogue_key = Scalar::new(0xBAD);
         let signed = session.blinded.pow(rogue_key);
-        let proof = DleqProof::prove(rogue_key, GroupElement::g_pow(rogue_key), session.blinded, signed, &mut rng);
+        let proof = DleqProof::prove(
+            rogue_key,
+            GroupElement::g_pow(rogue_key),
+            session.blinded,
+            signed,
+            &mut rng,
+        );
         assert!(session.finish(auth.public_key(), signed, &proof).is_none());
     }
 

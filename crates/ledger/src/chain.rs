@@ -100,7 +100,10 @@ impl ChainLedger {
     pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
         let expected_height = self.height().next();
         if block.header.height != expected_height {
-            return Err(ChainError::WrongHeight { expected: expected_height, got: block.header.height });
+            return Err(ChainError::WrongHeight {
+                expected: expected_height,
+                got: block.header.height,
+            });
         }
         let expected_prev = self.head_hash();
         if block.header.prev != expected_prev {

@@ -69,7 +69,10 @@ impl DagLedger {
         let genesis_tx = Transaction::new(pbc_types::TxId(0), pbc_types::ClientId(0), vec![]);
         let gid = node_id(&genesis_tx, &[]);
         let mut nodes = HashMap::new();
-        nodes.insert(gid, DagNode { id: gid, tx: genesis_tx, kind: DagNodeKind::Genesis, parents: vec![] });
+        nodes.insert(
+            gid,
+            DagNode { id: gid, tx: genesis_tx, kind: DagNodeKind::Genesis, parents: vec![] },
+        );
         let tips = enterprises.iter().map(|&e| (e, gid)).collect();
         DagLedger { nodes, order: vec![gid], tips, enterprises, genesis: gid }
     }
@@ -183,11 +186,7 @@ impl LocalView {
     /// The ids of cross-enterprise transactions in order — the sequence
     /// all views must agree on (global consensus safety).
     pub fn cross_sequence(&self) -> Vec<Hash> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind == DagNodeKind::Cross)
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.kind == DagNodeKind::Cross).map(|n| n.id).collect()
     }
 
     /// The ids of this enterprise's internal transactions in order.
@@ -303,8 +302,7 @@ mod tests {
         dag.append_cross(ctx_tx(2));
         dag.append_internal(e(1), itx(3, 1));
         dag.append_cross(ctx_tx(4));
-        let seqs: Vec<Vec<Hash>> =
-            (0..3).map(|i| dag.local_view(e(i)).cross_sequence()).collect();
+        let seqs: Vec<Vec<Hash>> = (0..3).map(|i| dag.local_view(e(i)).cross_sequence()).collect();
         assert_eq!(seqs[0], seqs[1]);
         assert_eq!(seqs[1], seqs[2]);
         assert_eq!(seqs[0].len(), 2);

@@ -147,7 +147,13 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
         }
     }
 
-    ExecResult { tx_id: tx.id, read_set, write_set: final_writes, status: ExecStatus::Success, work }
+    ExecResult {
+        tx_id: tx.id,
+        read_set,
+        write_set: final_writes,
+        status: ExecStatus::Success,
+        work,
+    }
 }
 
 /// Executes `tx` and applies its writes to `state` at `version` if it

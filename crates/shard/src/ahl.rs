@@ -26,7 +26,12 @@ pub mod committee {
     /// Probability that a randomly sampled committee of `n` nodes drawn
     /// from an infinite pool with faulty fraction `rho` contains at least
     /// `threshold_num/threshold_den` faulty members (binomial tail).
-    pub fn failure_probability(n: usize, rho: f64, threshold_num: usize, threshold_den: usize) -> f64 {
+    pub fn failure_probability(
+        n: usize,
+        rho: f64,
+        threshold_num: usize,
+        threshold_den: usize,
+    ) -> f64 {
         // Committee fails when faulty count k ≥ ceil(n * num / den).
         let k_fail = (n * threshold_num).div_ceil(threshold_den);
         let mut prob = 0.0f64;
@@ -301,7 +306,9 @@ mod tests {
             sys.seed(&format!("s{i}/acct"), balance_value(100));
         }
         let txs: Vec<Transaction> = (0..6)
-            .map(|i| transfer(i, &format!("s{}/acct", i % 4), &format!("s{}/acct", (i + 1) % 4), 10))
+            .map(|i| {
+                transfer(i, &format!("s{}/acct", i % 4), &format!("s{}/acct", (i + 1) % 4), 10)
+            })
             .collect();
         sys.process_batch(&txs);
         let keys: Vec<String> = (0..4).map(|i| format!("s{i}/acct")).collect();
@@ -352,10 +359,8 @@ mod tests {
         let mut sys = system(2);
         sys.seed("s0/a", balance_value(100));
         sys.seed("s1/b", balance_value(0));
-        let ok = sys.process_batch(&[
-            transfer(1, "s0/a", "s1/b", 10),
-            transfer(2, "s0/a", "s1/b", 10),
-        ]);
+        let ok =
+            sys.process_batch(&[transfer(1, "s0/a", "s1/b", 10), transfer(2, "s0/a", "s1/b", 10)]);
         assert_eq!(ok, vec![true, true]);
         assert_eq!(sys.stats.cross_committed, 2);
         assert_eq!(balance_of(sys.cluster(ShardId(1)).state.get("s1/b")), 20);

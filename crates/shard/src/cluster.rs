@@ -37,12 +37,8 @@ impl Partitioner {
 
     /// The set of shards a transaction touches, sorted.
     pub fn shards_of(&self, tx: &Transaction) -> Vec<ShardId> {
-        let mut shards: Vec<ShardId> = tx
-            .read_keys()
-            .iter()
-            .chain(tx.write_keys().iter())
-            .map(|k| self.shard_of(k))
-            .collect();
+        let mut shards: Vec<ShardId> =
+            tx.read_keys().iter().chain(tx.write_keys().iter()).map(|k| self.shard_of(k)).collect();
         shards.sort_unstable();
         shards.dedup();
         shards
@@ -130,14 +126,14 @@ impl Cluster {
         // negative increment is a debit half of a split transfer.
         for op in ops {
             match op {
-                Op::Transfer { from, amount, .. }
-                    if balance_of(self.state.get(from)) < *amount => {
-                        return false;
-                    }
-                Op::Incr { key, delta } if *delta < 0
-                    && balance_of(self.state.get(key)) < delta.unsigned_abs() => {
-                        return false;
-                    }
+                Op::Transfer { from, amount, .. } if balance_of(self.state.get(from)) < *amount => {
+                    return false;
+                }
+                Op::Incr { key, delta }
+                    if *delta < 0 && balance_of(self.state.get(key)) < delta.unsigned_abs() =>
+                {
+                    return false;
+                }
                 _ => {}
             }
         }
@@ -192,8 +188,7 @@ impl Cluster {
 
     fn append_block(&mut self, txs: Vec<Transaction>) {
         let height = self.ledger.height().next();
-        let block =
-            Block::build(height, self.ledger.head_hash(), NodeId(self.id.0), height.0, txs);
+        let block = Block::build(height, self.ledger.head_hash(), NodeId(self.id.0), height.0, txs);
         self.ledger.append(block).expect("sequential build");
     }
 }
@@ -283,8 +278,7 @@ mod tests {
     #[test]
     fn hashed_keys_are_stable_and_spread() {
         let p = p4();
-        let shards: HashSet<ShardId> =
-            (0..50).map(|i| p.shard_of(&format!("key{i}"))).collect();
+        let shards: HashSet<ShardId> = (0..50).map(|i| p.shard_of(&format!("key{i}"))).collect();
         assert!(shards.len() > 1, "hashing must spread keys");
         assert_eq!(p.shard_of("abc"), p.shard_of("abc"));
     }
@@ -316,12 +310,8 @@ mod tests {
             vec![Op::Transfer { from: "s0/a".into(), to: "s1/b".into(), amount: 10 }],
         );
         let split = split_by_shard(&tx, &p);
-        assert!(split[&ShardId(0)]
-            .iter()
-            .any(|o| matches!(o, Op::Incr { delta: -10, .. })));
-        assert!(split[&ShardId(1)]
-            .iter()
-            .any(|o| matches!(o, Op::Incr { delta: 10, .. })));
+        assert!(split[&ShardId(0)].iter().any(|o| matches!(o, Op::Incr { delta: -10, .. })));
+        assert!(split[&ShardId(1)].iter().any(|o| matches!(o, Op::Incr { delta: 10, .. })));
     }
 
     #[test]
@@ -349,11 +339,8 @@ mod tests {
         // A second transaction on the same key must be refused.
         assert!(!c.prepare(2, &ops));
         // Local transactions also blocked by the lock.
-        let local = Transaction::new(
-            TxId(3),
-            ClientId(0),
-            vec![Op::Incr { key: "s0/a".into(), delta: 1 }],
-        );
+        let local =
+            Transaction::new(TxId(3), ClientId(0), vec![Op::Incr { key: "s0/a".into(), delta: 1 }]);
         assert!(!c.execute_local(&local));
         // Abort releases.
         c.release(1);

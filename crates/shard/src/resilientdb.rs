@@ -159,12 +159,7 @@ mod tests {
     fn every_round_pays_global_multicast() {
         let mut db = system(4);
         for r in 0..5 {
-            db.process_round(vec![
-                vec![transfer(r, "a", "b", 1)],
-                vec![],
-                vec![],
-                vec![],
-            ]);
+            db.process_round(vec![vec![transfer(r, "a", "b", 1)], vec![], vec![], vec![]]);
         }
         assert_eq!(db.stats.cross_rounds, 5, "one global exchange per round");
         // Each round: intra (300) + WAN multicast (5000).

@@ -197,8 +197,12 @@ mod tests {
         near.process_batch(&[transfer(1, "s0/a", "s1/a", 5)]);
         let mut far = seeded_system();
         far.process_batch(&[transfer(1, "s0/a", "s2/a", 5)]);
-        assert!(near.stats.elapsed * 5 < far.stats.elapsed,
-            "near {} vs far {}", near.stats.elapsed, far.stats.elapsed);
+        assert!(
+            near.stats.elapsed * 5 < far.stats.elapsed,
+            "near {} vs far {}",
+            near.stats.elapsed,
+            far.stats.elapsed
+        );
         assert_eq!(near.stats.cross_committed, 1);
         assert_eq!(far.stats.cross_committed, 1);
     }
@@ -237,10 +241,8 @@ mod tests {
     #[test]
     fn disjoint_cross_shard_parallelizes() {
         let mut sys = seeded_system();
-        let ok = sys.process_batch(&[
-            transfer(1, "s0/a", "s1/a", 5),
-            transfer(2, "s2/a", "s3/a", 5),
-        ]);
+        let ok =
+            sys.process_batch(&[transfer(1, "s0/a", "s1/a", 5), transfer(2, "s2/a", "s3/a", 5)]);
         assert_eq!(ok, vec![true, true]);
         assert_eq!(sys.stats.steps, 1);
     }

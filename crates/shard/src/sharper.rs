@@ -31,10 +31,7 @@ pub struct SharperSystem {
 impl SharperSystem {
     /// Creates a SharPer system with `n_shards` clusters over `topology`.
     pub fn new(n_shards: u32, topology: Topology, intra_round: u64) -> Self {
-        assert!(
-            topology.n_clusters() >= n_shards as usize,
-            "topology must cover all clusters"
-        );
+        assert!(topology.n_clusters() >= n_shards as usize, "topology must cover all clusters");
         SharperSystem {
             clusters: (0..n_shards).map(|i| Cluster::new(ShardId(i))).collect(),
             partitioner: Partitioner::new(n_shards),
@@ -146,7 +143,7 @@ impl SharperSystem {
         // clusters (counted once) — that's the "fewer phases" advantage.
         self.stats.cross_rounds += 1;
         self.stats.coordination_phases += 2; // propose + accept, flattened
-        // Validity (funds) still has to hold on every involved shard.
+                                             // Validity (funds) still has to hold on every involved shard.
         let mut all_ok = true;
         for s in shards {
             let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
@@ -217,10 +214,8 @@ mod tests {
         for i in 0..4 {
             sys.seed(&format!("s{i}/a"), balance_value(100));
         }
-        let ok = sys.process_batch(&[
-            transfer(1, "s0/a", "s1/a", 10),
-            transfer(2, "s2/a", "s3/a", 10),
-        ]);
+        let ok =
+            sys.process_batch(&[transfer(1, "s0/a", "s1/a", 10), transfer(2, "s2/a", "s3/a", 10)]);
         assert_eq!(ok, vec![true, true]);
         assert_eq!(sys.stats.steps, 1, "disjoint cluster sets share a step");
     }
@@ -232,10 +227,8 @@ mod tests {
             sys.seed(&format!("s{i}/a"), balance_value(100));
         }
         // Both involve cluster 1.
-        let ok = sys.process_batch(&[
-            transfer(1, "s0/a", "s1/a", 10),
-            transfer(2, "s1/a", "s2/a", 10),
-        ]);
+        let ok =
+            sys.process_batch(&[transfer(1, "s0/a", "s1/a", 10), transfer(2, "s1/a", "s2/a", 10)]);
         assert_eq!(ok, vec![true, true]);
         assert_eq!(sys.stats.steps, 2, "overlapping sets need separate steps");
     }

@@ -11,6 +11,19 @@ pub trait Message: Clone {
     fn wire_size(&self) -> usize {
         64
     }
+
+    /// Returns a *conflicting* variant of this message if it is a
+    /// proposal an equivocating (Byzantine) sender could fork, `None`
+    /// otherwise. Protocol message types opt in by overriding this;
+    /// [`crate::Adversary`] uses it to send contradictory proposals to
+    /// disjoint halves of the cluster without the adversary knowing
+    /// anything about the protocol.
+    fn equivocate(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// A deterministic protocol state machine.
@@ -31,6 +44,32 @@ pub trait Actor {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _timer_id: u64, _ctx: &mut Context<Self::Msg>) {}
+}
+
+/// An actor that can checkpoint protocol-critical state to simulated
+/// stable storage, surviving crash-recovery *with amnesia*.
+///
+/// The model: every state transition is synchronously persisted (the
+/// network calls [`Durable::checkpoint`] at crash time, which is
+/// equivalent as long as actors are deterministic), RAM is lost in the
+/// crash, and recovery rebuilds the actor from the checkpoint alone.
+/// What the implementation chooses to include in [`Durable::Stable`] is
+/// precisely its durability claim — Raft must persist `term`,
+/// `votedFor` and the log; MinBFT's trusted counter survives because it
+/// is hardware. A variant that omits required state will demonstrably
+/// violate safety under [`crate::Network::crash_and_lose_memory`].
+pub trait Durable: Actor + Sized {
+    /// The checkpointed stable state.
+    type Stable;
+
+    /// Reads the durable portion of the current state.
+    fn checkpoint(&self) -> Self::Stable;
+
+    /// Rebuilds a post-crash actor from `stable`. `crashed` is the
+    /// pre-crash instance, provided **only** for immutable configuration
+    /// (cluster size, own id, seeds); volatile protocol state must not
+    /// be copied from it — that is the amnesia being modelled.
+    fn restore(crashed: &Self, stable: Self::Stable) -> Self;
 }
 
 /// An effect emitted by an actor.

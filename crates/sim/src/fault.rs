@@ -1,0 +1,178 @@
+//! Link-level fault model: per-link (and asymmetric) drop, duplication,
+//! delay spikes, and reordering.
+//!
+//! The paper's system model (§2.2) assumes an asynchronous, unreliable
+//! network: messages may be lost, repeated, delayed arbitrarily, or
+//! arrive out of order — and real failures are rarely uniform. A single
+//! flaky NIC produces a *one-way* lossy link; a congested uplink delays
+//! traffic in one direction only. [`FaultModel`] expresses these as
+//! per-directed-link [`LinkFault`]s over a default, while the legacy
+//! `NetworkConfig::drop_rate` keeps working as a uniform default drop
+//! probability (the compat path).
+
+use crate::{NodeIdx, SimTime};
+use std::collections::HashMap;
+
+/// Fault rates for one directed link (`from → to`).
+///
+/// All probabilities are evaluated independently at send time. A value
+/// of `0.0` means the corresponding draw is skipped entirely, so a
+/// default (all-zero) fault leaves the simulator's RNG stream — and
+/// therefore every seeded run — byte-for-byte identical to the
+/// pre-fault-model behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Probability the message is silently lost.
+    pub drop: f64,
+    /// Probability the message is delivered twice (the copy takes an
+    /// independently sampled latency).
+    pub duplicate: f64,
+    /// Probability the message is delayed by an extra [`Self::spike`].
+    pub delay_spike: f64,
+    /// Extra latency added when a delay spike fires.
+    pub spike: SimTime,
+    /// Probability the message is scheduled with up to double its
+    /// sampled latency, letting later sends overtake it.
+    pub reorder: f64,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault { drop: 0.0, duplicate: 0.0, delay_spike: 0.0, spike: 0, reorder: 0.0 }
+    }
+}
+
+impl LinkFault {
+    /// A link that only loses messages, with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        LinkFault { drop: p, ..Default::default() }
+    }
+
+    /// A link that never misbehaves.
+    pub fn healthy() -> Self {
+        LinkFault::default()
+    }
+
+    /// A link that duplicates messages with probability `p`.
+    pub fn duplicating(p: f64) -> Self {
+        LinkFault { duplicate: p, ..Default::default() }
+    }
+
+    /// A link whose messages suffer an extra `spike` ticks of latency
+    /// with probability `p`.
+    pub fn spiky(p: f64, spike: SimTime) -> Self {
+        LinkFault { delay_spike: p, spike, ..Default::default() }
+    }
+
+    /// A link that reorders messages with probability `p`.
+    pub fn reordering(p: f64) -> Self {
+        LinkFault { reorder: p, ..Default::default() }
+    }
+
+    /// True if every fault probability is zero.
+    pub fn is_healthy(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.delay_spike == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// Per-link fault assignment with a uniform default.
+///
+/// Links are directed: `set_link(a, b, ..)` affects only `a → b`
+/// traffic, which is how one-way link failures are expressed. Use
+/// [`FaultModel::set_symmetric`] for classic bidirectional flakiness.
+#[derive(Clone, Debug, Default)]
+pub struct FaultModel {
+    default: LinkFault,
+    links: HashMap<(NodeIdx, NodeIdx), LinkFault>,
+}
+
+impl FaultModel {
+    /// A model where every link is healthy.
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// A model applying `fault` to every link.
+    pub fn uniform(fault: LinkFault) -> Self {
+        FaultModel { default: fault, links: HashMap::new() }
+    }
+
+    /// Compat path for the legacy global `drop_rate` knob.
+    pub fn uniform_drop(p: f64) -> Self {
+        FaultModel::uniform(LinkFault::lossy(p))
+    }
+
+    /// Sets the fault for the directed link `from → to`.
+    pub fn set_link(&mut self, from: NodeIdx, to: NodeIdx, fault: LinkFault) -> &mut Self {
+        self.links.insert((from, to), fault);
+        self
+    }
+
+    /// Sets the fault for both directions between `a` and `b`.
+    pub fn set_symmetric(&mut self, a: NodeIdx, b: NodeIdx, fault: LinkFault) -> &mut Self {
+        self.links.insert((a, b), fault);
+        self.links.insert((b, a), fault);
+        self
+    }
+
+    /// Removes all per-link overrides and resets the default to healthy.
+    pub fn heal_all(&mut self) {
+        self.default = LinkFault::healthy();
+        self.links.clear();
+    }
+
+    /// The fault in effect on the directed link `from → to`.
+    pub fn link(&self, from: NodeIdx, to: NodeIdx) -> &LinkFault {
+        self.links.get(&(from, to)).unwrap_or(&self.default)
+    }
+
+    /// True if no link anywhere can misbehave.
+    pub fn is_healthy(&self) -> bool {
+        self.default.is_healthy() && self.links.values().all(LinkFault::is_healthy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_healthy() {
+        let m = FaultModel::none();
+        assert!(m.is_healthy());
+        assert!(m.link(0, 1).is_healthy());
+    }
+
+    #[test]
+    fn asymmetric_links_are_directed() {
+        let mut m = FaultModel::none();
+        m.set_link(0, 1, LinkFault::lossy(1.0));
+        assert_eq!(m.link(0, 1).drop, 1.0);
+        assert!(m.link(1, 0).is_healthy(), "reverse direction unaffected");
+        assert!(!m.is_healthy());
+    }
+
+    #[test]
+    fn symmetric_helper_covers_both_directions() {
+        let mut m = FaultModel::none();
+        m.set_symmetric(2, 3, LinkFault::duplicating(0.5));
+        assert_eq!(m.link(2, 3).duplicate, 0.5);
+        assert_eq!(m.link(3, 2).duplicate, 0.5);
+    }
+
+    #[test]
+    fn uniform_default_with_override() {
+        let mut m = FaultModel::uniform_drop(0.1);
+        m.set_link(0, 1, LinkFault::healthy());
+        assert_eq!(m.link(4, 5).drop, 0.1);
+        assert!(m.link(0, 1).is_healthy());
+    }
+
+    #[test]
+    fn heal_all_resets() {
+        let mut m = FaultModel::uniform_drop(0.9);
+        m.set_link(0, 1, LinkFault::reordering(0.4));
+        m.heal_all();
+        assert!(m.is_healthy());
+    }
+}

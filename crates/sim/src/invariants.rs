@@ -1,0 +1,248 @@
+//! Safety invariants checked continuously during chaos runs.
+//!
+//! Consensus safety is a statement about *decided* values: once any
+//! correct node decides a value for a slot, no correct node ever decides
+//! differently, and a node never un-decides or rewrites its own history.
+//! The checkers here operate on protocol-agnostic views — each node
+//! reports its decided log as `(sequence, digest)` pairs — so the same
+//! [`InvariantChecker`] drives PBFT, Raft, MinBFT, HotStuff, Tendermint,
+//! Paxos, and anything written later, without this crate depending on
+//! any protocol.
+
+use crate::NodeIdx;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One decided slot as reported by a node: `(sequence, payload digest)`.
+pub type DecidedEntry = (u64, u64);
+
+/// A safety-invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A node changed the value it had already decided for a slot —
+    /// the signature of amnesia: un-persisted state lost in a crash.
+    Rewrite {
+        /// The offending node.
+        node: NodeIdx,
+        /// The rewritten sequence number.
+        seq: u64,
+        /// Digest the node decided first.
+        was: u64,
+        /// Digest the node reports now.
+        now: u64,
+    },
+    /// Two nodes decided different values for the same slot.
+    Disagreement {
+        /// The contested sequence number.
+        seq: u64,
+        /// First node and its digest.
+        node_a: NodeIdx,
+        /// Digest decided by `node_a`.
+        digest_a: u64,
+        /// Second node and its digest.
+        node_b: NodeIdx,
+        /// Digest decided by `node_b`.
+        digest_b: u64,
+    },
+    /// The cluster failed to make expected progress while a quorum was
+    /// healthy.
+    NoProgress {
+        /// Decisions required.
+        expected_at_least: usize,
+        /// Decisions observed.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Rewrite { node, seq, was, now } => {
+                write!(f, "node {node} rewrote decided slot {seq}: {was:#018x} -> {now:#018x}")
+            }
+            Violation::Disagreement { seq, node_a, digest_a, node_b, digest_b } => write!(
+                f,
+                "slot {seq} decided divergently: node {node_a} has {digest_a:#018x}, \
+                 node {node_b} has {digest_b:#018x}"
+            ),
+            Violation::NoProgress { expected_at_least, got } => {
+                write!(f, "liveness: expected at least {expected_at_least} decisions, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks that every pair of views agrees on every slot both decided.
+/// Stateless — for one-shot assertions at the end of a run.
+pub fn pairwise_agreement(views: &[Vec<DecidedEntry>]) -> Result<(), Violation> {
+    let mut decided: BTreeMap<u64, (NodeIdx, u64)> = BTreeMap::new();
+    for (node, view) in views.iter().enumerate() {
+        for &(seq, digest) in view {
+            match decided.get(&seq) {
+                Some(&(first_node, first_digest)) if first_digest != digest => {
+                    return Err(Violation::Disagreement {
+                        seq,
+                        node_a: first_node,
+                        digest_a: first_digest,
+                        node_b: node,
+                        digest_b: digest,
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    decided.insert(seq, (node, digest));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stateful safety checker observing node views after every fault step.
+///
+/// Tracks each node's decided history across observations, so it
+/// catches both cross-node disagreement *and* single-node history
+/// rewrites (a node that lost un-persisted decisions to an amnesia
+/// crash and re-decided differently). Views may shrink after an amnesia
+/// crash — that alone is not a violation; deciding *differently* is.
+#[derive(Clone, Debug)]
+pub struct InvariantChecker {
+    /// Per-node accumulated decided history: seq → digest.
+    history: Vec<BTreeMap<u64, u64>>,
+}
+
+impl InvariantChecker {
+    /// A checker for `n` nodes with empty histories.
+    pub fn new(n: usize) -> Self {
+        InvariantChecker { history: vec![BTreeMap::new(); n] }
+    }
+
+    /// Feeds one observation of every node's decided view; returns the
+    /// first violation found, if any.
+    ///
+    /// # Panics
+    /// Panics if `views.len()` differs from the checker's node count.
+    pub fn observe(&mut self, views: &[Vec<DecidedEntry>]) -> Result<(), Violation> {
+        assert_eq!(views.len(), self.history.len(), "one view per node");
+        // Per-node rewrite check, then fold into history.
+        for (node, view) in views.iter().enumerate() {
+            for &(seq, digest) in view {
+                match self.history[node].get(&seq) {
+                    Some(&was) if was != digest => {
+                        return Err(Violation::Rewrite { node, seq, was, now: digest });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.history[node].insert(seq, digest);
+                    }
+                }
+            }
+        }
+        // Cross-node agreement over the full accumulated histories, so a
+        // disagreement is caught even if the nodes never report the
+        // conflicting slot in the same observation.
+        let mut decided: BTreeMap<u64, (NodeIdx, u64)> = BTreeMap::new();
+        for (node, hist) in self.history.iter().enumerate() {
+            for (&seq, &digest) in hist {
+                match decided.get(&seq) {
+                    Some(&(first_node, first_digest)) if first_digest != digest => {
+                        return Err(Violation::Disagreement {
+                            seq,
+                            node_a: first_node,
+                            digest_a: first_digest,
+                            node_b: node,
+                            digest_b: digest,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        decided.insert(seq, (node, digest));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of distinct slots decided anywhere in the cluster.
+    pub fn total_decided(&self) -> usize {
+        let mut seqs: Vec<u64> = self.history.iter().flat_map(|h| h.keys().copied()).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        seqs.len()
+    }
+
+    /// Asserts the cluster decided at least `expected` distinct slots.
+    pub fn check_progress(&self, expected: usize) -> Result<(), Violation> {
+        let got = self.total_decided();
+        if got < expected {
+            return Err(Violation::NoProgress { expected_at_least: expected, got });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_holds_on_consistent_views() {
+        let views = vec![vec![(0, 10), (1, 20)], vec![(0, 10)], vec![(1, 20), (0, 10)]];
+        assert!(pairwise_agreement(&views).is_ok());
+    }
+
+    #[test]
+    fn agreement_catches_divergence() {
+        let views = vec![vec![(0, 10)], vec![(0, 99)]];
+        let err = pairwise_agreement(&views).unwrap_err();
+        assert!(matches!(err, Violation::Disagreement { seq: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn checker_catches_rewrite_across_observations() {
+        let mut c = InvariantChecker::new(2);
+        c.observe(&[vec![(0, 10)], vec![]]).unwrap();
+        // Node 0 "forgets" slot 0 and re-decides differently later.
+        let err = c.observe(&[vec![(0, 11)], vec![]]).unwrap_err();
+        assert!(matches!(err, Violation::Rewrite { node: 0, seq: 0, was: 10, now: 11 }), "{err}");
+    }
+
+    #[test]
+    fn checker_catches_cross_observation_disagreement() {
+        let mut c = InvariantChecker::new(2);
+        c.observe(&[vec![(3, 7)], vec![]]).unwrap();
+        let err = c.observe(&[vec![], vec![(3, 8)]]).unwrap_err();
+        assert!(matches!(err, Violation::Disagreement { seq: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn shrinking_view_alone_is_not_a_violation() {
+        let mut c = InvariantChecker::new(1);
+        c.observe(&[vec![(0, 1), (1, 2)]]).unwrap();
+        // Amnesia: the node now reports nothing — fine until it decides
+        // something *different*.
+        c.observe(&[vec![]]).unwrap();
+        c.observe(&[vec![(0, 1)]]).unwrap();
+        assert_eq!(c.total_decided(), 2);
+    }
+
+    #[test]
+    fn progress_check() {
+        let mut c = InvariantChecker::new(2);
+        c.observe(&[vec![(0, 1)], vec![(1, 5)]]).unwrap();
+        assert!(c.check_progress(2).is_ok());
+        let err = c.check_progress(3).unwrap_err();
+        assert!(matches!(err, Violation::NoProgress { expected_at_least: 3, got: 2 }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::Rewrite { node: 1, seq: 4, was: 1, now: 2 };
+        assert!(v.to_string().contains("rewrote"));
+        let d = Violation::Disagreement { seq: 0, node_a: 0, digest_a: 1, node_b: 1, digest_b: 2 };
+        assert!(d.to_string().contains("divergently"));
+    }
+}

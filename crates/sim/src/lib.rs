@@ -9,8 +9,11 @@
 //! * a **logical clock** (monotone `SimTime`, abstract microseconds),
 //! * pluggable **latency models** ([`LatencyModel`]) including full
 //!   per-pair distance matrices for WAN/hierarchical topologies,
-//! * **fault injection**: crashes, link drops, network partitions
-//!   (Byzantine behaviour lives in the actor implementations themselves),
+//! * **fault injection**: crash-stop and crash-recovery *with amnesia*
+//!   ([`Durable`]), per-link asymmetric drop/duplicate/delay/reorder
+//!   faults ([`FaultModel`]), network partitions, generic Byzantine
+//!   wrappers ([`Adversary`]), and seeded randomized fault timelines
+//!   ([`Nemesis`]) checked by safety invariants ([`InvariantChecker`]),
 //! * exact **accounting** of messages, bytes and delivery latency
 //!   ([`NetStats`]) — the quantities every latency/throughput claim in
 //!   the paper's Discussion paragraphs is about.
@@ -23,13 +26,21 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod adversary;
+pub mod fault;
+pub mod invariants;
 pub mod latency;
+pub mod nemesis;
 pub mod network;
 pub mod stats;
 pub mod topology;
 
-pub use actor::{Actor, Context, Message};
+pub use actor::{Actor, Context, Durable, Message};
+pub use adversary::{Adversary, Attack};
+pub use fault::{FaultModel, LinkFault};
+pub use invariants::{InvariantChecker, Violation};
 pub use latency::LatencyModel;
+pub use nemesis::{Nemesis, NemesisConfig, NemesisOp};
 pub use network::{Network, NetworkConfig};
 pub use stats::NetStats;
 pub use topology::Topology;

@@ -1,0 +1,518 @@
+//! Seeded chaos schedules: randomized fault timelines with a quorum
+//! guard, in the style of Jepsen's nemesis process.
+//!
+//! A [`Nemesis`] deterministically expands a seed into a sequence of
+//! [`NemesisOp`]s — partitions, crashes (with or without amnesia),
+//! recoveries, link degradations — that never take more than
+//! `max_down` nodes out of service at once, so a correct protocol is
+//! *expected* to keep its safety invariants throughout and to make
+//! progress once the schedule's final heal restores the cluster.
+//! Re-running the same seed reproduces the same timeline exactly, which
+//! turns any invariant violation into a one-line reproduction recipe.
+
+use crate::actor::{Actor, Durable};
+use crate::fault::LinkFault;
+use crate::invariants::{DecidedEntry, InvariantChecker, Violation};
+use crate::network::Network;
+use crate::{NodeIdx, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step in a chaos timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NemesisOp {
+    /// Split the cluster into the given groups (cross-group traffic
+    /// drops).
+    Partition {
+        /// Disjoint groups covering every node.
+        groups: Vec<Vec<NodeIdx>>,
+    },
+    /// Remove any active partition.
+    HealPartition,
+    /// Crash-stop a node (RAM intact; resume via [`NemesisOp::Recover`]).
+    Crash {
+        /// The node to stop.
+        node: NodeIdx,
+    },
+    /// Resume a node crashed with its memory intact.
+    Recover {
+        /// The node to resume.
+        node: NodeIdx,
+    },
+    /// Crash a node **losing all volatile state**; it must be brought
+    /// back with [`NemesisOp::Restart`]. Requires a [`Durable`] actor.
+    CrashAmnesia {
+        /// The node to crash.
+        node: NodeIdx,
+    },
+    /// Restart a node rebuilt from stable storage (re-runs `on_start`).
+    Restart {
+        /// The node to restart.
+        node: NodeIdx,
+    },
+    /// Degrade one directed link with the given fault.
+    DegradeLink {
+        /// Sending side of the link.
+        from: NodeIdx,
+        /// Receiving side of the link.
+        to: NodeIdx,
+        /// The fault to install.
+        fault: LinkFault,
+    },
+    /// Restore every link to the model's default behaviour.
+    HealLinks,
+}
+
+impl NemesisOp {
+    /// Applies this op to a network of plain actors.
+    ///
+    /// # Panics
+    /// Panics on [`NemesisOp::CrashAmnesia`] — amnesia crashes need a
+    /// [`Durable`] actor; use [`NemesisOp::apply_durable`] (schedules
+    /// generated with `amnesia: false` never contain them).
+    pub fn apply<A: Actor>(&self, net: &mut Network<A>) {
+        match self {
+            NemesisOp::Partition { groups } => net.partition(groups),
+            NemesisOp::HealPartition => net.heal_partition(),
+            NemesisOp::Crash { node } => net.crash(*node),
+            NemesisOp::Recover { node } => net.recover(*node),
+            NemesisOp::CrashAmnesia { .. } => {
+                panic!("CrashAmnesia requires a Durable actor; use apply_durable")
+            }
+            NemesisOp::Restart { node } => net.restart(*node),
+            NemesisOp::DegradeLink { from, to, fault } => {
+                net.fault_model_mut().set_link(*from, *to, *fault);
+            }
+            NemesisOp::HealLinks => net.fault_model_mut().heal_all(),
+        }
+    }
+
+    /// Applies this op to a network of [`Durable`] actors (all ops
+    /// supported, including amnesia crashes).
+    pub fn apply_durable<A: Durable>(&self, net: &mut Network<A>) {
+        match self {
+            NemesisOp::CrashAmnesia { node } => net.crash_and_lose_memory(*node),
+            other => other.apply(net),
+        }
+    }
+}
+
+/// Parameters of a chaos timeline.
+#[derive(Clone, Debug)]
+pub struct NemesisConfig {
+    /// Seed expanding deterministically into the op sequence.
+    pub seed: u64,
+    /// Number of randomized fault steps (healing steps are appended on
+    /// top so the schedule always ends with a whole cluster).
+    pub steps: usize,
+    /// Maximum nodes simultaneously unavailable (crashed or isolated in
+    /// a minority partition group). Set to the protocol's fault budget
+    /// `f` to keep safety *and* eventual progress expectations valid.
+    pub max_down: usize,
+    /// Allow [`NemesisOp::CrashAmnesia`] (requires [`Durable`] actors).
+    pub amnesia: bool,
+    /// Allow per-link degradations (loss, duplication, delay spikes,
+    /// reordering).
+    pub link_faults: bool,
+    /// Allow network partitions.
+    pub partitions: bool,
+}
+
+impl NemesisConfig {
+    /// A default chaos mix: 12 steps, partitions and link faults on,
+    /// amnesia off, at most one node down at a time.
+    pub fn new(seed: u64) -> Self {
+        NemesisConfig {
+            seed,
+            steps: 12,
+            max_down: 1,
+            amnesia: false,
+            link_faults: true,
+            partitions: true,
+        }
+    }
+
+    /// Enables amnesia crashes (schedule becomes `Durable`-only).
+    pub fn with_amnesia(mut self) -> Self {
+        self.amnesia = true;
+        self
+    }
+
+    /// Sets the fault budget.
+    pub fn with_max_down(mut self, max_down: usize) -> Self {
+        self.max_down = max_down;
+        self
+    }
+
+    /// Sets the number of randomized steps.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+}
+
+/// Which way a node is currently down, for matching the recovery op.
+#[derive(Clone, Copy, PartialEq)]
+enum Down {
+    Stop,
+    Amnesia,
+}
+
+/// A deterministic chaos timeline.
+#[derive(Clone, Debug)]
+pub struct Nemesis {
+    ops: Vec<NemesisOp>,
+}
+
+impl Nemesis {
+    /// Expands `config.seed` into a timeline for an `n`-node cluster.
+    ///
+    /// Invariants of the generated schedule:
+    /// * at every point, crashed nodes plus the smallest partition
+    ///   group's healthy members number at most `config.max_down`;
+    /// * crashes and partitions are never active at the same time (their
+    ///   combined unavailability would be hard to budget);
+    /// * every `CrashAmnesia` is eventually matched by a `Restart`,
+    ///   every `Crash` by a `Recover`;
+    /// * the schedule ends fully healed: no partition, no link faults,
+    ///   all nodes up.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `config.max_down == 0`.
+    pub fn generate(n: usize, config: &NemesisConfig) -> Self {
+        assert!(n >= 2, "nemesis needs at least two nodes");
+        assert!(config.max_down >= 1, "max_down must be at least 1");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x004e_454d_4553_4953); // "NEMESIS"
+        let mut ops = Vec::new();
+        let mut down: Vec<(NodeIdx, Down)> = Vec::new();
+        let mut partitioned = false;
+        let mut degraded = false;
+
+        // Candidate op kinds, re-evaluated each step against the current
+        // fault state so the budget is respected by construction.
+        #[derive(Clone, Copy)]
+        enum Kind {
+            Crash,
+            CrashAmnesia,
+            Bring, // recover or restart, matching how the node went down
+            Part,
+            HealPart,
+            Degrade,
+            HealLinks,
+        }
+
+        for _ in 0..config.steps {
+            let mut kinds: Vec<Kind> = Vec::new();
+            if !partitioned && down.len() < config.max_down {
+                kinds.push(Kind::Crash);
+                if config.amnesia {
+                    kinds.push(Kind::CrashAmnesia);
+                }
+            }
+            if !down.is_empty() {
+                kinds.push(Kind::Bring);
+            }
+            if config.partitions && !partitioned && down.is_empty() && config.max_down >= 1 {
+                kinds.push(Kind::Part);
+            }
+            if partitioned {
+                kinds.push(Kind::HealPart);
+            }
+            if config.link_faults {
+                kinds.push(Kind::Degrade);
+            }
+            if degraded {
+                kinds.push(Kind::HealLinks);
+            }
+            if kinds.is_empty() {
+                continue;
+            }
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            match kind {
+                Kind::Crash | Kind::CrashAmnesia => {
+                    let up: Vec<NodeIdx> =
+                        (0..n).filter(|i| down.iter().all(|(d, _)| d != i)).collect();
+                    let node = up[rng.gen_range(0..up.len())];
+                    match kind {
+                        Kind::Crash => {
+                            down.push((node, Down::Stop));
+                            ops.push(NemesisOp::Crash { node });
+                        }
+                        _ => {
+                            down.push((node, Down::Amnesia));
+                            ops.push(NemesisOp::CrashAmnesia { node });
+                        }
+                    }
+                }
+                Kind::Bring => {
+                    let idx = rng.gen_range(0..down.len());
+                    let (node, how) = down.swap_remove(idx);
+                    ops.push(match how {
+                        Down::Stop => NemesisOp::Recover { node },
+                        Down::Amnesia => NemesisOp::Restart { node },
+                    });
+                }
+                Kind::Part => {
+                    // Isolate a minority of at most `max_down` nodes.
+                    let m = rng.gen_range(1..=config.max_down.min(n - 1));
+                    let mut pool: Vec<NodeIdx> = (0..n).collect();
+                    for i in 0..m {
+                        let j = rng.gen_range(i..pool.len());
+                        pool.swap(i, j);
+                    }
+                    let mut minority = pool[..m].to_vec();
+                    minority.sort_unstable();
+                    let majority: Vec<NodeIdx> = (0..n).filter(|i| !minority.contains(i)).collect();
+                    partitioned = true;
+                    ops.push(NemesisOp::Partition { groups: vec![majority, minority] });
+                }
+                Kind::HealPart => {
+                    partitioned = false;
+                    ops.push(NemesisOp::HealPartition);
+                }
+                Kind::Degrade => {
+                    let from = rng.gen_range(0..n);
+                    let mut to = rng.gen_range(0..n - 1);
+                    if to >= from {
+                        to += 1;
+                    }
+                    let fault = match rng.gen_range(0..4u32) {
+                        0 => LinkFault::lossy(rng.gen_range(0.1..0.5)),
+                        1 => LinkFault::duplicating(rng.gen_range(0.1..0.5)),
+                        2 => LinkFault::spiky(rng.gen_range(0.1..0.5), 5_000),
+                        _ => LinkFault::reordering(rng.gen_range(0.1..0.5)),
+                    };
+                    degraded = true;
+                    ops.push(NemesisOp::DegradeLink { from, to, fault });
+                }
+                Kind::HealLinks => {
+                    degraded = false;
+                    ops.push(NemesisOp::HealLinks);
+                }
+            }
+        }
+
+        // Final heal: the timeline always hands back a whole cluster.
+        if partitioned {
+            ops.push(NemesisOp::HealPartition);
+        }
+        if degraded {
+            ops.push(NemesisOp::HealLinks);
+        }
+        for (node, how) in down.drain(..) {
+            ops.push(match how {
+                Down::Stop => NemesisOp::Recover { node },
+                Down::Amnesia => NemesisOp::Restart { node },
+            });
+        }
+        Nemesis { ops }
+    }
+
+    /// The full timeline, in execution order.
+    pub fn ops(&self) -> &[NemesisOp] {
+        &self.ops
+    }
+
+    /// Drives a network of plain actors through the timeline: apply an
+    /// op, run `op_gap` ticks of simulation, snapshot every node's
+    /// decided view via `views`, feed it to the checker; stop at the
+    /// first violation. A final settling window of `4 * op_gap` runs
+    /// after the last (healing) op before the last observation.
+    ///
+    /// # Panics
+    /// Panics if the schedule contains amnesia crashes — use
+    /// [`Nemesis::drive_durable`] for those.
+    pub fn drive<A, F>(
+        &self,
+        net: &mut Network<A>,
+        op_gap: SimTime,
+        checker: &mut InvariantChecker,
+        mut views: F,
+    ) -> Result<(), Violation>
+    where
+        A: Actor,
+        F: FnMut(&Network<A>) -> Vec<Vec<DecidedEntry>>,
+    {
+        for op in &self.ops {
+            op.apply(net);
+            let deadline = net.now() + op_gap;
+            net.run_until(deadline);
+            checker.observe(&views(net))?;
+        }
+        let deadline = net.now() + 4 * op_gap;
+        net.run_until(deadline);
+        checker.observe(&views(net))
+    }
+
+    /// [`Nemesis::drive`] for [`Durable`] actors: additionally supports
+    /// amnesia crashes.
+    pub fn drive_durable<A, F>(
+        &self,
+        net: &mut Network<A>,
+        op_gap: SimTime,
+        checker: &mut InvariantChecker,
+        mut views: F,
+    ) -> Result<(), Violation>
+    where
+        A: Durable,
+        F: FnMut(&Network<A>) -> Vec<Vec<DecidedEntry>>,
+    {
+        for op in &self.ops {
+            op.apply_durable(net);
+            let deadline = net.now() + op_gap;
+            net.run_until(deadline);
+            checker.observe(&views(net))?;
+        }
+        let deadline = net.now() + 4 * op_gap;
+        net.run_until(deadline);
+        checker.observe(&views(net))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_cfg(seed: u64) -> NemesisConfig {
+        NemesisConfig::new(seed).with_amnesia().with_steps(40).with_max_down(2)
+    }
+
+    /// Replays a schedule against a model of cluster availability,
+    /// returning the worst-case simultaneous unavailability.
+    fn max_unavailable(n: usize, ops: &[NemesisOp]) -> usize {
+        let mut down: Vec<NodeIdx> = Vec::new();
+        let mut minority: Vec<NodeIdx> = Vec::new();
+        let mut worst = 0;
+        for op in ops {
+            match op {
+                NemesisOp::Crash { node } | NemesisOp::CrashAmnesia { node } => down.push(*node),
+                NemesisOp::Recover { node } | NemesisOp::Restart { node } => {
+                    down.retain(|d| d != node)
+                }
+                NemesisOp::Partition { groups } => {
+                    minority = groups.iter().min_by_key(|g| g.len()).cloned().unwrap_or_default();
+                }
+                NemesisOp::HealPartition => minority.clear(),
+                _ => {}
+            }
+            let mut unavailable: Vec<NodeIdx> = down.clone();
+            for m in &minority {
+                if !unavailable.contains(m) {
+                    unavailable.push(*m);
+                }
+            }
+            worst = worst.max(unavailable.len());
+            assert!(down.len() <= n);
+        }
+        worst
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Nemesis::generate(5, &chaos_cfg(7));
+        let b = Nemesis::generate(5, &chaos_cfg(7));
+        assert_eq!(a.ops(), b.ops());
+        assert!(!a.ops().is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = Nemesis::generate(5, &chaos_cfg(1));
+        let b = Nemesis::generate(5, &chaos_cfg(2));
+        assert_ne!(a.ops(), b.ops());
+    }
+
+    #[test]
+    fn quorum_guard_holds_across_seeds() {
+        for seed in 0..50 {
+            let cfg = chaos_cfg(seed);
+            let nemesis = Nemesis::generate(7, &cfg);
+            let worst = max_unavailable(7, nemesis.ops());
+            assert!(
+                worst <= cfg.max_down,
+                "seed {seed}: {worst} nodes unavailable at once (budget {})",
+                cfg.max_down
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_ends_fully_healed() {
+        for seed in 0..50 {
+            let nemesis = Nemesis::generate(5, &chaos_cfg(seed));
+            let mut down: Vec<NodeIdx> = Vec::new();
+            let mut partitioned = false;
+            let mut degraded = false;
+            for op in nemesis.ops() {
+                match op {
+                    NemesisOp::Crash { node } | NemesisOp::CrashAmnesia { node } => {
+                        down.push(*node)
+                    }
+                    NemesisOp::Recover { node } | NemesisOp::Restart { node } => {
+                        down.retain(|d| d != node)
+                    }
+                    NemesisOp::Partition { .. } => partitioned = true,
+                    NemesisOp::HealPartition => partitioned = false,
+                    NemesisOp::DegradeLink { .. } => degraded = true,
+                    NemesisOp::HealLinks => degraded = false,
+                }
+            }
+            assert!(down.is_empty(), "seed {seed}: nodes left down: {down:?}");
+            assert!(!partitioned, "seed {seed}: partition left active");
+            assert!(!degraded, "seed {seed}: links left degraded");
+        }
+    }
+
+    #[test]
+    fn recovery_matches_crash_kind() {
+        for seed in 0..50 {
+            let nemesis = Nemesis::generate(5, &chaos_cfg(seed));
+            let mut how = std::collections::HashMap::new();
+            for op in nemesis.ops() {
+                match op {
+                    NemesisOp::Crash { node } => {
+                        how.insert(*node, "stop");
+                    }
+                    NemesisOp::CrashAmnesia { node } => {
+                        how.insert(*node, "amnesia");
+                    }
+                    NemesisOp::Recover { node } => {
+                        assert_eq!(how.remove(node), Some("stop"), "seed {seed}");
+                    }
+                    NemesisOp::Restart { node } => {
+                        assert_eq!(how.remove(node), Some("amnesia"), "seed {seed}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_amnesia_ops_unless_enabled() {
+        for seed in 0..20 {
+            let cfg = NemesisConfig::new(seed).with_steps(30);
+            let nemesis = Nemesis::generate(5, &cfg);
+            assert!(
+                !nemesis.ops().iter().any(|op| matches!(op, NemesisOp::CrashAmnesia { .. })),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_respect_budget() {
+        for seed in 0..30 {
+            let cfg = chaos_cfg(seed);
+            let nemesis = Nemesis::generate(7, &cfg);
+            for op in nemesis.ops() {
+                if let NemesisOp::Partition { groups } = op {
+                    let all: usize = groups.iter().map(|g| g.len()).sum();
+                    assert_eq!(all, 7, "groups must cover the cluster");
+                    let smallest = groups.iter().map(|g| g.len()).min().unwrap();
+                    assert!(smallest <= cfg.max_down, "seed {seed}");
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The event loop: queue, delivery, fault injection.
 
-use crate::actor::{Actor, Context, Effect};
+use crate::actor::{Actor, Context, Durable, Effect};
+use crate::fault::FaultModel;
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 use crate::{NodeIdx, SimTime};
@@ -28,7 +29,10 @@ impl Default for NetworkConfig {
 
 enum EventKind<M> {
     Deliver { from: NodeIdx, to: NodeIdx, msg: M, sent_at: SimTime },
-    Timer { node: NodeIdx, id: u64 },
+    // `incarnation` invalidates timers armed before a node lost its
+    // memory: a rebuilt actor must not observe the ghost of a timer its
+    // previous life set.
+    Timer { node: NodeIdx, id: u64, incarnation: u32 },
 }
 
 struct Event<M> {
@@ -64,8 +68,12 @@ pub struct Network<A: Actor> {
     rng: StdRng,
     config: NetworkConfig,
     crashed: Vec<bool>,
+    /// Bumped by `crash_and_lose_memory`; timers from older incarnations
+    /// are discarded at fire time.
+    incarnation: Vec<u32>,
     /// `partition[i]` = group of node i; messages across groups drop.
     partition: Option<Vec<usize>>,
+    faults: FaultModel,
     stats: NetStats,
 }
 
@@ -84,6 +92,9 @@ impl<A: Actor> Network<A> {
         }
         let n = actors.len();
         let rng = StdRng::seed_from_u64(config.seed);
+        // Compat path: the legacy scalar `drop_rate` becomes the uniform
+        // default of the link-level fault model.
+        let faults = FaultModel::uniform_drop(config.drop_rate);
         Network {
             actors,
             queue: BinaryHeap::new(),
@@ -92,9 +103,26 @@ impl<A: Actor> Network<A> {
             rng,
             config,
             crashed: vec![false; n],
+            incarnation: vec![0; n],
             partition: None,
+            faults,
             stats: NetStats::default(),
         }
+    }
+
+    /// Replaces the link-level fault model wholesale.
+    pub fn set_fault_model(&mut self, faults: FaultModel) {
+        self.faults = faults;
+    }
+
+    /// The link-level fault model currently in effect.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    /// Mutable access to the fault model (degrade or heal links mid-run).
+    pub fn fault_model_mut(&mut self) -> &mut FaultModel {
+        &mut self.faults
     }
 
     /// Number of nodes.
@@ -148,6 +176,33 @@ impl<A: Actor> Network<A> {
         self.crashed[node]
     }
 
+    /// Crashes `node` **losing all volatile state**: the actor is
+    /// checkpointed to its simulated stable store ([`Durable`]) and
+    /// immediately replaced by an amnesiac rebuilt from that checkpoint
+    /// alone. Timers armed by the previous incarnation will never fire.
+    /// Call [`Network::restart`] to bring the node back.
+    pub fn crash_and_lose_memory(&mut self, node: NodeIdx)
+    where
+        A: Durable,
+    {
+        let stable = self.actors[node].checkpoint();
+        let amnesiac = A::restore(&self.actors[node], stable);
+        self.actors[node] = amnesiac;
+        self.crashed[node] = true;
+        self.incarnation[node] += 1;
+    }
+
+    /// Recovers a crashed node and re-runs its `on_start` so the (possibly
+    /// rebuilt) actor can re-arm timers and re-announce itself. This is
+    /// the recovery path matching [`Network::crash_and_lose_memory`];
+    /// plain [`Network::recover`] resumes with RAM intact and no restart.
+    pub fn restart(&mut self, node: NodeIdx) {
+        self.crashed[node] = false;
+        let mut ctx = Context::standalone(self.time, node, self.actors.len());
+        self.actors[node].on_start(&mut ctx);
+        self.apply_effects(node, &mut ctx);
+    }
+
     /// Splits the network: messages between different groups are dropped.
     ///
     /// # Panics
@@ -186,6 +241,13 @@ impl<A: Actor> Network<A> {
 
     /// Injects an external message (e.g. a client request) scheduled `delay`
     /// ticks from now, appearing to come from `from`.
+    ///
+    /// Injection is an *out-of-band* channel: it models a client with a
+    /// reliable connection to the node, so it deliberately bypasses link
+    /// faults, partitions, and latency sampling. Injected messages are
+    /// counted in [`NetStats::msgs_injected`], not `msgs_sent`, so the
+    /// drop/delivery ratios describe protocol traffic only. (Delivery to
+    /// a *crashed* node still fails, like any delivery.)
     pub fn inject(&mut self, from: NodeIdx, to: NodeIdx, msg: A::Msg, delay: SimTime) {
         self.seq += 1;
         self.queue.push(Reverse(Event {
@@ -193,7 +255,7 @@ impl<A: Actor> Network<A> {
             seq: self.seq,
             kind: EventKind::Deliver { from, to, msg, sent_at: self.time },
         }));
-        self.stats.msgs_sent += 1;
+        self.stats.msgs_injected += 1;
     }
 
     fn apply_effects(&mut self, origin: NodeIdx, ctx: &mut Context<A::Msg>) {
@@ -203,19 +265,48 @@ impl<A: Actor> Network<A> {
                 Effect::Send { to, msg } => {
                     self.stats.msgs_sent += 1;
                     self.stats.bytes_sent += msg.wire_size() as u64;
-                    // Drop decisions are made at send time.
+                    // Fault decisions are made at send time, per directed
+                    // link. Every probability draw is guarded by `> 0.0`
+                    // so an all-healthy model consumes no randomness and
+                    // seeded runs replay exactly as before.
+                    let fault = *self.faults.link(origin, to);
                     let crossed_partition = match &self.partition {
                         Some(p) => p[origin] != p[to],
                         None => false,
                     };
-                    let dropped = crossed_partition
-                        || (self.config.drop_rate > 0.0
-                            && self.rng.gen_bool(self.config.drop_rate));
+                    let dropped =
+                        crossed_partition || (fault.drop > 0.0 && self.rng.gen_bool(fault.drop));
                     if dropped {
                         self.stats.msgs_dropped += 1;
                         continue;
                     }
-                    let latency = self.config.latency.sample(origin, to, &mut self.rng);
+                    let mut latency = self.config.latency.sample(origin, to, &mut self.rng);
+                    if fault.delay_spike > 0.0 && self.rng.gen_bool(fault.delay_spike) {
+                        latency += fault.spike;
+                        self.stats.delay_spikes += 1;
+                    }
+                    if fault.reorder > 0.0 && self.rng.gen_bool(fault.reorder) {
+                        // Up to double the sampled latency: later sends on
+                        // the same link can now overtake this message.
+                        latency += self.rng.gen_range(0..=latency);
+                        self.stats.msgs_reordered += 1;
+                    }
+                    if fault.duplicate > 0.0 && self.rng.gen_bool(fault.duplicate) {
+                        let dup_latency =
+                            self.config.latency.sample(origin, to, &mut self.rng).max(1);
+                        self.seq += 1;
+                        self.queue.push(Reverse(Event {
+                            at: self.time + dup_latency,
+                            seq: self.seq,
+                            kind: EventKind::Deliver {
+                                from: origin,
+                                to,
+                                msg: msg.clone(),
+                                sent_at: self.time,
+                            },
+                        }));
+                        self.stats.msgs_duplicated += 1;
+                    }
                     self.seq += 1;
                     self.queue.push(Reverse(Event {
                         at: self.time + latency,
@@ -228,7 +319,11 @@ impl<A: Actor> Network<A> {
                     self.queue.push(Reverse(Event {
                         at: self.time + delay.max(1),
                         seq: self.seq,
-                        kind: EventKind::Timer { node: origin, id },
+                        kind: EventKind::Timer {
+                            node: origin,
+                            id,
+                            incarnation: self.incarnation[origin],
+                        },
                     }));
                 }
             }
@@ -255,8 +350,8 @@ impl<A: Actor> Network<A> {
                 self.actors[to].on_message(from, msg, &mut ctx);
                 self.apply_effects(to, &mut ctx);
             }
-            EventKind::Timer { node, id } => {
-                if self.crashed[node] {
+            EventKind::Timer { node, id, incarnation } => {
+                if self.crashed[node] || incarnation != self.incarnation[node] {
                     return true;
                 }
                 self.stats.timers_fired += 1;
@@ -419,10 +514,7 @@ mod tests {
     #[test]
     fn full_drop_rate_loses_all_protocol_traffic() {
         let actors = (0..3).map(|_| Gossip::default()).collect();
-        let mut net = Network::new(
-            actors,
-            NetworkConfig { drop_rate: 1.0, ..Default::default() },
-        );
+        let mut net = Network::new(actors, NetworkConfig { drop_rate: 1.0, ..Default::default() });
         net.inject(0, 0, Token(9), 1); // injection bypasses drops
         net.run_to_quiescence(10_000);
         assert_eq!(net.actor(0).best, 9);

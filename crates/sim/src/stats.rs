@@ -85,6 +85,16 @@ pub struct NetStats {
     pub latency_histogram: LatencyHistogram,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Messages injected out-of-band via `Network::inject` (client
+    /// traffic; excluded from `msgs_sent` so protocol ratios stay
+    /// meaningful).
+    pub msgs_injected: u64,
+    /// Extra copies created by link duplication faults.
+    pub msgs_duplicated: u64,
+    /// Messages hit by a link delay spike.
+    pub delay_spikes: u64,
+    /// Messages intentionally rescheduled out of order by link faults.
+    pub msgs_reordered: u64,
 }
 
 impl NetStats {
@@ -152,8 +162,7 @@ mod tests {
         for i in 1..=1000u64 {
             h.record(i * 7);
         }
-        let qs: Vec<u64> =
-            [0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        let qs: Vec<u64> = [0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
         assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 

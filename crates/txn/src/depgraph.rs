@@ -41,10 +41,10 @@ impl DependencyGraph {
         let mut keys: HashMap<&str, KeyState> = HashMap::new();
         // Dedup edges per (i, j): track the latest predecessor recorded for j.
         let add_edge = |succ: &mut Vec<Vec<usize>>,
-                            indegree: &mut Vec<usize>,
-                            edge_count: &mut usize,
-                            from: usize,
-                            to: usize| {
+                        indegree: &mut Vec<usize>,
+                        edge_count: &mut usize,
+                        from: usize,
+                        to: usize| {
             debug_assert!(from < to);
             if !succ[from].contains(&to) {
                 succ[from].push(to);
@@ -57,7 +57,8 @@ impl DependencyGraph {
             let reads = tx.read_keys();
             let writes = tx.write_keys();
             for k in &reads {
-                let st = keys.entry(k).or_insert(KeyState { last_writer: None, readers_since: vec![] });
+                let st =
+                    keys.entry(k).or_insert(KeyState { last_writer: None, readers_since: vec![] });
                 if let Some(w) = st.last_writer {
                     if w != j {
                         add_edge(&mut succ, &mut indegree, &mut edge_count, w, j);
@@ -66,7 +67,8 @@ impl DependencyGraph {
                 st.readers_since.push(j);
             }
             for k in &writes {
-                let st = keys.entry(k).or_insert(KeyState { last_writer: None, readers_since: vec![] });
+                let st =
+                    keys.entry(k).or_insert(KeyState { last_writer: None, readers_since: vec![] });
                 if let Some(w) = st.last_writer {
                     if w != j {
                         add_edge(&mut succ, &mut indegree, &mut edge_count, w, j);

@@ -150,10 +150,8 @@ impl Graph {
                 }
             }
         }
-        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..self.n)
-            .filter(|&i| alive[i] && indeg[i] == 0)
-            .map(std::cmp::Reverse)
-            .collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            (0..self.n).filter(|&i| alive[i] && indeg[i] == 0).map(std::cmp::Reverse).collect();
         let alive_count = alive.iter().filter(|&&a| a).count();
         let mut out = Vec::with_capacity(alive_count);
         while let Some(std::cmp::Reverse(u)) = ready.pop() {
@@ -215,8 +213,7 @@ fn add_read_before_write_edges(g: &mut Graph, results: &[ExecResult]) {
 fn break_cycles_greedy(g: &Graph, alive: &mut [bool]) -> Vec<usize> {
     let mut aborted = Vec::new();
     loop {
-        let cyclic: Vec<Vec<usize>> =
-            g.sccs(alive).into_iter().filter(|c| c.len() > 1).collect();
+        let cyclic: Vec<Vec<usize>> = g.sccs(alive).into_iter().filter(|c| c.len() > 1).collect();
         if cyclic.is_empty() {
             return aborted;
         }
@@ -246,8 +243,7 @@ pub fn fabric_pp_reorder(results: &[ExecResult]) -> ReorderOutcome {
         }
     }
     let mut alive: Vec<bool> = results.iter().map(|r| r.is_success()).collect();
-    let mut aborted: Vec<usize> =
-        (0..n).filter(|&i| !results[i].is_success()).collect();
+    let mut aborted: Vec<usize> = (0..n).filter(|&i| !results[i].is_success()).collect();
     aborted.extend(break_cycles_greedy(&g, &mut alive));
     let order = g.topo(&alive).expect("graph is acyclic after cycle breaking");
     aborted.sort_unstable();
@@ -264,8 +260,7 @@ pub fn fabric_sharp_reorder(results: &[ExecResult], state: &StateStore) -> Reord
     let mut aborted = Vec::new();
     // Filter: execution failures and reads stale w.r.t. committed state.
     for (i, r) in results.iter().enumerate() {
-        let doomed = !r.is_success()
-            || r.read_set.iter().any(|(k, v)| state.version(k) != *v);
+        let doomed = !r.is_success() || r.read_set.iter().any(|(k, v)| state.version(k) != *v);
         if doomed {
             alive[i] = false;
             aborted.push(i);
@@ -306,14 +301,14 @@ mod tests {
     }
 
     /// Applies the outcome through real validation and counts commits.
-    fn committed_count(outcome: &ReorderOutcome, results: &[ExecResult], state: &StateStore) -> usize {
+    fn committed_count(
+        outcome: &ReorderOutcome,
+        results: &[ExecResult],
+        state: &StateStore,
+    ) -> usize {
         let mut s = state.clone();
-        let ordered: Vec<ExecResult> =
-            outcome.order.iter().map(|&i| results[i].clone()).collect();
-        crate::validate::validate_block(&ordered, &mut s, 2)
-            .iter()
-            .filter(|v| v.is_valid())
-            .count()
+        let ordered: Vec<ExecResult> = outcome.order.iter().map(|&i| results[i].clone()).collect();
+        crate::validate::validate_block(&ordered, &mut s, 2).iter().filter(|v| v.is_valid()).count()
     }
 
     #[test]

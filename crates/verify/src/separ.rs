@@ -228,10 +228,7 @@ mod tests {
         let stolen = wallet.tokens[4];
         sys.contribute(0, &mut wallet, "a", 1).unwrap(); // spends tokens[4]
         wallet.tokens.push(stolen); // sneak the copy back in
-        assert_eq!(
-            sys.contribute(1, &mut wallet, "b", 1).unwrap_err(),
-            SeparError::TokenRejected
-        );
+        assert_eq!(sys.contribute(1, &mut wallet, "b", 1).unwrap_err(), SeparError::TokenRejected);
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl PrivateTransfer {
     /// Total serialized proof size in bytes (E7's overhead metric).
     pub fn proof_size_bytes(&self) -> usize {
         let inputs = self.inputs.len() * (8 + 8 + 3 * 8); // commitment+nullifier+opening proof
-        let outputs: usize =
-            self.outputs.iter().map(|o| 8 + o.range.size_bytes()).sum();
+        let outputs: usize = self.outputs.iter().map(|o| 8 + o.range.size_bytes()).sum();
         inputs + outputs + 2 * 8
     }
 }
@@ -162,10 +161,8 @@ pub fn build_transfer<R: rand::Rng + ?Sized>(
             return Err(TransferError::ValueTooLarge(v));
         }
     }
-    let out_secrets: Vec<NoteSecret> = values
-        .iter()
-        .map(|&value| NoteSecret { value, blinding: Scalar::random(rng) })
-        .collect();
+    let out_secrets: Vec<NoteSecret> =
+        values.iter().map(|&value| NoteSecret { value, blinding: Scalar::random(rng) }).collect();
 
     let tx_inputs: Vec<TransferInput> = inputs
         .iter()
@@ -174,13 +171,7 @@ pub fn build_transfer<R: rand::Rng + ?Sized>(
             TransferInput {
                 commitment: c,
                 nullifier: n.nullifier(),
-                ownership: OpeningProof::prove(
-                    &c,
-                    Scalar::new(n.value),
-                    n.blinding,
-                    context,
-                    rng,
-                ),
+                ownership: OpeningProof::prove(&c, Scalar::new(n.value), n.blinding, context, rng),
             }
         })
         .collect();
@@ -207,7 +198,12 @@ pub fn build_transfer<R: rand::Rng + ?Sized>(
     let balance = DlogProof::prove(GroupElement::generator_h(), d, delta, context, rng);
 
     Ok((
-        PrivateTransfer { inputs: tx_inputs, outputs: tx_outputs, balance, context: context.to_vec() },
+        PrivateTransfer {
+            inputs: tx_inputs,
+            outputs: tx_outputs,
+            balance,
+            context: context.to_vec(),
+        },
         out_secrets,
     ))
 }
@@ -323,7 +319,8 @@ mod tests {
         let (t, outs) = build_transfer(&[note], &[60, 40], b"tx1", &mut rng).unwrap();
         ledger.apply(&t).unwrap();
         // The 60-note owner spends onward, merging nothing.
-        let (t2, _) = build_transfer(std::slice::from_ref(&outs[0]), &[60], b"tx2", &mut rng).unwrap();
+        let (t2, _) =
+            build_transfer(std::slice::from_ref(&outs[0]), &[60], b"tx2", &mut rng).unwrap();
         ledger.apply(&t2).unwrap();
         assert_eq!(ledger.transfers_applied, 2);
     }
@@ -342,7 +339,8 @@ mod tests {
     #[test]
     fn double_spend_rejected() {
         let (mut ledger, note, mut rng) = setup();
-        let (t1, _) = build_transfer(std::slice::from_ref(&note), &[100], b"tx1", &mut rng).unwrap();
+        let (t1, _) =
+            build_transfer(std::slice::from_ref(&note), &[100], b"tx1", &mut rng).unwrap();
         ledger.apply(&t1).unwrap();
         let (t2, _) = build_transfer(&[note], &[100], b"tx2", &mut rng).unwrap();
         // The note is gone from the pool AND its nullifier is burned.

@@ -61,7 +61,7 @@ impl CrowdWorkload {
         for w in 0..self.workers {
             let violator = rng.gen_bool(self.violator_fraction);
             let total: u32 = if violator {
-                self.limit + rng.gen_range(1..=16)
+                self.limit + rng.gen_range(1u32..=16)
             } else {
                 rng.gen_range(1..=self.limit)
             };
@@ -126,8 +126,7 @@ mod tests {
     fn contributions_span_platforms() {
         let w = CrowdWorkload::default();
         let events = w.generate();
-        let platforms: std::collections::HashSet<u32> =
-            events.iter().map(|e| e.platform).collect();
+        let platforms: std::collections::HashSet<u32> = events.iter().map(|e| e.platform).collect();
         assert!(platforms.len() > 1, "the multi-platform setting needs multiple platforms");
     }
 

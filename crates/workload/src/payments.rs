@@ -68,11 +68,7 @@ impl PaymentWorkload {
                 if self.busy_work > 0 {
                     ops.push(Op::Noop { busy_work: self.busy_work });
                 }
-                Transaction::new(
-                    TxId(first_id + i as u64),
-                    ClientId(rng.gen_range(0..64)),
-                    ops,
-                )
+                Transaction::new(TxId(first_id + i as u64), ClientId(rng.gen_range(0..64)), ops)
             })
             .collect()
     }

@@ -44,9 +44,7 @@ impl ShardedWorkload {
     /// All account keys (for seeding shard states).
     pub fn all_keys(&self) -> Vec<String> {
         (0..self.shards)
-            .flat_map(|s| {
-                (0..self.accounts_per_shard).map(move |i| Self::account_key(s, i))
-            })
+            .flat_map(|s| (0..self.accounts_per_shard).map(move |i| Self::account_key(s, i)))
             .collect()
     }
 

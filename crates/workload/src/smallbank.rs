@@ -146,9 +146,9 @@ mod tests {
         let txs = w.generate(0, 600);
         // Detect profiles structurally by op shapes.
         let has_transfer = txs.iter().any(|t| matches!(t.ops[0], Op::Transfer { .. }));
-        let has_two_gets = txs
-            .iter()
-            .any(|t| t.ops.len() == 2 && matches!((&t.ops[0], &t.ops[1]), (Op::Get { .. }, Op::Get { .. })));
+        let has_two_gets = txs.iter().any(|t| {
+            t.ops.len() == 2 && matches!((&t.ops[0], &t.ops[1]), (Op::Get { .. }, Op::Get { .. }))
+        });
         let has_amalgamate = txs.iter().any(|t| t.ops.len() == 3);
         assert!(has_transfer && has_two_gets && has_amalgamate);
     }

@@ -47,7 +47,8 @@ impl SupplyChainWorkload {
                 let id = TxId(first_id + i as u64);
                 if rng.gen_bool(self.internal_fraction) {
                     let e = EnterpriseId(rng.gen_range(0..self.enterprises));
-                    let key = format!("e{}/step{}", e.0, rng.gen_range(0..self.keys_per_enterprise));
+                    let key =
+                        format!("e{}/step{}", e.0, rng.gen_range(0..self.keys_per_enterprise));
                     Transaction::with_scope(
                         id,
                         ClientId(e.0),
@@ -112,7 +113,8 @@ mod tests {
 
     #[test]
     fn cross_txs_name_two_distinct_enterprises() {
-        let w = SupplyChainWorkload { internal_fraction: 0.0, enterprises: 3, ..Default::default() };
+        let w =
+            SupplyChainWorkload { internal_fraction: 0.0, enterprises: 3, ..Default::default() };
         for tx in w.generate(0, 200) {
             let es = tx.scope.enterprises();
             assert_eq!(es.len(), 2);

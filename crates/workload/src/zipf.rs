@@ -74,10 +74,7 @@ mod tests {
         let h = histogram(0.0, 10, 100_000);
         let expected = 10_000.0;
         for (i, &c) in h.iter().enumerate() {
-            assert!(
-                (c as f64 - expected).abs() < expected * 0.1,
-                "bucket {i}: {c}"
-            );
+            assert!((c as f64 - expected).abs() < expected * 0.1, "bucket {i}: {c}");
         }
     }
 

@@ -46,10 +46,16 @@ fn main() {
     chain_a.claim(id_a, revealed).unwrap();
 
     println!("final balances:");
-    println!("  chain A: supplier={} credits, logistics={} credits",
-        chain_a.balance("supplier"), chain_a.balance("logistics"));
-    println!("  chain B: logistics={} vouchers, supplier={} vouchers",
-        chain_b.balance("logistics"), chain_b.balance("supplier"));
+    println!(
+        "  chain A: supplier={} credits, logistics={} credits",
+        chain_a.balance("supplier"),
+        chain_a.balance("logistics")
+    );
+    println!(
+        "  chain B: logistics={} vouchers, supplier={} vouchers",
+        chain_b.balance("logistics"),
+        chain_b.balance("supplier")
+    );
     chain_a.ledger.verify().unwrap();
     chain_b.ledger.verify().unwrap();
 

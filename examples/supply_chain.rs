@@ -19,11 +19,8 @@ const NAMES: [&str; 4] = ["supplier", "manufacturer", "carrier", "retailer"];
 
 fn main() {
     println!("=== Supply chain management across 4 enterprises ===\n");
-    let workload = SupplyChainWorkload {
-        enterprises: 4,
-        internal_fraction: 0.85,
-        ..Default::default()
-    };
+    let workload =
+        SupplyChainWorkload { enterprises: 4, internal_fraction: 0.85, ..Default::default() };
     let txs = workload.generate(0, 400);
     let internal = txs.iter().filter(|t| t.scope.is_internal()).count();
     println!(

@@ -1,0 +1,438 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! seeded random-case runner: the `proptest!` macro, `prop_assert*`,
+//! integer/float range strategies, `any::<T>()`, tuple strategies,
+//! `proptest::collection::vec`, and a regex-lite string strategy
+//! (character classes with `{m,n}` quantifiers). Cases are generated
+//! deterministically from the test's module path and case index, so
+//! failures reproduce exactly. Differences from upstream: no shrinking
+//! (the failing inputs are printed instead) and a smaller default case
+//! count (32) to keep `cargo test` fast.
+
+#![forbid(unsafe_code)]
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+// ---------------------------------------------------------------- config
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Builds the deterministic rng for one test case.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h.wrapping_add((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Prints which case failed when a test body panics (no shrinking —
+/// the case index plus the deterministic seed reproduce the input).
+#[doc(hidden)]
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    #[doc(hidden)]
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard { name, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {} (deterministic; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------- strategy
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical unconstrained strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+// A string literal is a regex-lite strategy producing matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex_lite(self, rng)
+    }
+}
+
+/// Generates a string matching a small regex subset: literal
+/// characters, `\`-escapes, `[a-z0-9_]`-style classes (ranges and
+/// singletons), and quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+/// (unbounded repeats cap at 8).
+fn regex_lite(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a single (possibly escaped) char.
+        let atom: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in regex-lite pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi): (usize, usize) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut lo = 0usize;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        lo = lo * 10 + chars[i].to_digit(10).unwrap() as usize;
+                        i += 1;
+                    }
+                    let hi = if i < chars.len() && chars[i] == ',' {
+                        i += 1;
+                        let mut hi = 0usize;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            hi = hi * 10 + chars[i].to_digit(10).unwrap() as usize;
+                            i += 1;
+                        }
+                        hi
+                    } else {
+                        lo
+                    };
+                    assert!(
+                        i < chars.len() && chars[i] == '}',
+                        "unterminated quantifier in {pattern:?}"
+                    );
+                    i += 1;
+                    (lo, hi)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!atom.is_empty(), "empty class in {pattern:?}");
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(atom[rng.gen_range(0..atom.len())]);
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- collection
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// A length specification: exact, `lo..hi`, or `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` body
+/// runs for `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let __guard = $crate::CaseGuard::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let mut __rng = $crate::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    $body
+                    ::core::mem::drop(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn regex_lite_matches_pattern_shape() {
+        let mut rng = crate::case_rng("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"k[a-z]{1,6}", &mut rng);
+            assert!(s.starts_with('k'));
+            assert!((2..=7).contains(&s.len()), "{s}");
+            assert!(s[1..].chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::case_rng("vec", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u64..10, 1..6), &mut rng);
+            assert!((1..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let fixed = Strategy::generate(&crate::collection::vec(any::<bool>(), 8), &mut rng);
+            assert_eq!(fixed.len(), 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro binds multiple strategies, tuples included.
+        #[test]
+        fn macro_end_to_end(
+            x in 0u64..100,
+            (a, b) in (0usize..4, 1u64..=3),
+            flag in any::<bool>(),
+            items in crate::collection::vec(0u32..7, 0..5),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4 && (1..=3).contains(&b));
+            prop_assert_eq!(flag as u8 <= 1, true);
+            prop_assert!(items.len() < 5);
+        }
+    }
+}

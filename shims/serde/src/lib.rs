@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates wire-facing types with
+//! `#[derive(Serialize, Deserialize)]` to mark intended serialization
+//! boundaries, but nothing actually serializes (no `serde_json`, no
+//! bincode). This shim provides the trait names and re-exports no-op
+//! derive macros from `serde_derive`, keeping every annotation compiling
+//! with zero generated code. If real serialization is ever needed, swap
+//! the workspace path dependency back to upstream serde — the call sites
+//! are already annotated.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

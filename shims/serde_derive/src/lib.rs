@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim. Each derive
+//! expands to nothing: the annotations document serialization intent
+//! without generating code (nothing in the workspace consumes the
+//! trait impls). `attributes(serde)` keeps any field-level
+//! `#[serde(...)]` attributes legal.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -71,8 +71,7 @@ fn sharded_database_all_four_systems_agree_on_outcomes() {
     let total_expected = keys.len() as u64 * 1_000;
 
     // SharPer.
-    let mut sharper =
-        SharperSystem::new(4, Topology::flat_clusters(4, 4, 100, 10_000), 300);
+    let mut sharper = SharperSystem::new(4, Topology::flat_clusters(4, 4, 100, 10_000), 300);
     // AHL.
     let mut ahl = AhlSystem::new(4, Topology::flat_clusters(5, 4, 100, 10_000), 300);
     // Saguaro.
@@ -146,8 +145,7 @@ fn crowdworking_full_stack_catches_every_violator() {
         (0..workload.workers).map(|_| sys.register_worker(&mut rng)).collect();
     let mut blocked = std::collections::BTreeSet::new();
     for e in &events {
-        if sys.contribute(e.platform, &mut wallets[e.worker as usize], &e.task, e.hours).is_err()
-        {
+        if sys.contribute(e.platform, &mut wallets[e.worker as usize], &e.task, e.hours).is_err() {
             blocked.insert(e.worker);
         }
     }
@@ -202,9 +200,7 @@ fn hot_workload_all_architectures_conserve_balance() {
         let report = chain.run_to_completion();
         assert!(report.consensus_complete, "{arch:?}");
         let total: u64 = (0..4)
-            .map(|i| {
-                balance_of(chain.node_state(0).get(&pbc_workload::payments::account_key(i)))
-            })
+            .map(|i| balance_of(chain.node_state(0).get(&pbc_workload::payments::account_key(i))))
             .sum();
         assert_eq!(total, 4 * 1_000_000, "{arch:?} violated conservation");
         assert!(chain.replicas_identical(), "{arch:?}");

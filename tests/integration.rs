@@ -59,18 +59,14 @@ fn full_matrix_replicas_identical() {
     let w = PaymentWorkload { accounts: 64, theta: 0.4, ..Default::default() };
     for consensus in ALL_CONSENSUS {
         for arch in ALL_ARCH {
-            let (chain, report) =
-                run_chain(consensus, arch, w.generate(0, 16), w.initial_state());
+            let (chain, report) = run_chain(consensus, arch, w.generate(0, 16), w.initial_state());
             assert!(report.consensus_complete, "{consensus:?}/{arch:?} stalled");
             assert_eq!(
                 report.committed + report.aborted,
                 16,
                 "{consensus:?}/{arch:?} lost transactions"
             );
-            assert!(
-                chain.replicas_identical(),
-                "{consensus:?}/{arch:?} replicas diverged"
-            );
+            assert!(chain.replicas_identical(), "{consensus:?}/{arch:?} replicas diverged");
             for node in 0..chain.len() {
                 chain.node_ledger(node).verify().unwrap();
             }
@@ -105,7 +101,8 @@ fn ox_never_aborts_under_total_contention() {
     // The paper's claim: pessimistic OX handles contention without
     // concurrency aborts.
     let w = PaymentWorkload { accounts: 2, theta: 0.0, ..Default::default() };
-    let (_, report) = run_chain(ConsensusKind::Pbft, ArchKind::Ox, w.generate(0, 24), w.initial_state());
+    let (_, report) =
+        run_chain(ConsensusKind::Pbft, ArchKind::Ox, w.generate(0, 24), w.initial_state());
     assert_eq!(report.committed, 24);
     assert_eq!(report.aborted, 0);
 }
@@ -130,8 +127,10 @@ fn xov_aborts_under_contention_and_xox_recovers() {
     // §2.3.3 Discussion: XOV disregards conflicting transactions; XOX's
     // post-order step re-executes them.
     let w = PaymentWorkload { accounts: 2, theta: 0.0, ..Default::default() };
-    let (_, xov) = run_chain(ConsensusKind::Pbft, ArchKind::Xov, w.generate(0, 24), w.initial_state());
-    let (_, xox) = run_chain(ConsensusKind::Pbft, ArchKind::Xox, w.generate(0, 24), w.initial_state());
+    let (_, xov) =
+        run_chain(ConsensusKind::Pbft, ArchKind::Xov, w.generate(0, 24), w.initial_state());
+    let (_, xox) =
+        run_chain(ConsensusKind::Pbft, ArchKind::Xox, w.generate(0, 24), w.initial_state());
     assert!(xov.aborted > 0, "hot-key workload must abort under plain XOV");
     assert!(xox.committed > xov.committed, "XOX must salvage invalidated txs");
     assert_eq!(xox.aborted, 0, "funded hot-key transfers all commit under XOX");
@@ -140,9 +139,14 @@ fn xov_aborts_under_contention_and_xox_recovers() {
 #[test]
 fn reordering_reduces_xov_aborts() {
     let w = PaymentWorkload { accounts: 6, theta: 1.1, seed: 3, ..Default::default() };
-    let (_, plain) = run_chain(ConsensusKind::Pbft, ArchKind::Xov, w.generate(0, 48), w.initial_state());
-    let (_, sharp) =
-        run_chain(ConsensusKind::Pbft, ArchKind::XovFabricSharp, w.generate(0, 48), w.initial_state());
+    let (_, plain) =
+        run_chain(ConsensusKind::Pbft, ArchKind::Xov, w.generate(0, 48), w.initial_state());
+    let (_, sharp) = run_chain(
+        ConsensusKind::Pbft,
+        ArchKind::XovFabricSharp,
+        w.generate(0, 48),
+        w.initial_state(),
+    );
     assert!(
         sharp.committed >= plain.committed,
         "FabricSharp ({}) must commit at least plain XOV ({})",
@@ -154,8 +158,10 @@ fn reordering_reduces_xov_aborts() {
 #[test]
 fn bft_consensus_sends_more_bytes_than_cft() {
     let w = PaymentWorkload { accounts: 32, ..Default::default() };
-    let (_, pbft) = run_chain(ConsensusKind::Pbft, ArchKind::Ox, w.generate(0, 8), w.initial_state());
-    let (_, raft) = run_chain(ConsensusKind::Raft, ArchKind::Ox, w.generate(0, 8), w.initial_state());
+    let (_, pbft) =
+        run_chain(ConsensusKind::Pbft, ArchKind::Ox, w.generate(0, 8), w.initial_state());
+    let (_, raft) =
+        run_chain(ConsensusKind::Raft, ArchKind::Ox, w.generate(0, 8), w.initial_state());
     assert!(
         pbft.msgs_sent > raft.msgs_sent,
         "PBFT {} should out-message Raft {}",
