@@ -16,7 +16,7 @@
 //! key and checked against the policy; only policy-satisfying
 //! transactions proceed to ordering and validation.
 
-use crate::pipeline::{seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_crypto::sig::{KeyDirectory, Signature};
 use pbc_ledger::{ExecResult, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
@@ -162,7 +162,7 @@ impl EndorsingPipeline {
 }
 
 impl ExecutionPipeline for EndorsingPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
         // Execute/endorse phase with policy checking.
         let mut endorsed: Vec<Option<ExecResult>> = Vec::with_capacity(txs.len());
         for tx in &txs {
@@ -176,7 +176,7 @@ impl ExecutionPipeline for EndorsingPipeline {
             }
         }
         // Order + validate (plain Fabric semantics).
-        let height = seal_block(&mut self.ledger, txs.clone());
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         let mut outcome = BlockOutcome { sequential_steps: 1, ..Default::default() };
         for (i, (tx, result)) in txs.iter().zip(endorsed).enumerate() {
             match result {

@@ -11,7 +11,7 @@
 //! in one parallel step (E4); under contention it degrades gracefully to
 //! Fabric's serial behaviour and identical verdicts (tested below).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{ChainLedger, ExecResult, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_txn::DependencyGraph;
@@ -87,10 +87,10 @@ impl FastFabricPipeline {
 }
 
 impl ExecutionPipeline for FastFabricPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
         // Endorse in parallel (same as XOV).
         let results = execute_parallel(&txs, &self.state);
-        let height = seal_block(&mut self.ledger, txs.clone());
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         // Group the block into conflict-free layers.
         let graph = DependencyGraph::build(&txs);
         let layers = graph.layers();

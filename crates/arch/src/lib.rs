@@ -43,6 +43,6 @@ pub use endorsement::{EndorsementPolicy, EndorsingPipeline};
 pub use fastfabric::FastFabricPipeline;
 pub use ox::OxPipeline;
 pub use oxii::OxiiPipeline;
-pub use pipeline::{BlockOutcome, ExecutionPipeline};
+pub use pipeline::{BlockOutcome, BlockSeal, ExecutionPipeline};
 pub use xov::{ReorderPolicy, XovPipeline};
 pub use xox::XoxPipeline;

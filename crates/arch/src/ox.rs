@@ -8,7 +8,7 @@
 //! aborts for concurrency reasons — at the price of zero execution
 //! parallelism, the weakness E2 measures.
 
-use crate::pipeline::{seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{execute_and_apply, ChainLedger, StateStore, Version};
 use pbc_types::Transaction;
 
@@ -32,8 +32,8 @@ impl OxPipeline {
 }
 
 impl ExecutionPipeline for OxPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
-        let height = seal_block(&mut self.ledger, txs.clone());
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         let mut outcome = BlockOutcome { sequential_steps: txs.len(), ..Default::default() };
         for (i, tx) in txs.iter().enumerate() {
             let r = execute_and_apply(tx, &mut self.state, Version::new(height, i as u32));

@@ -10,7 +10,7 @@
 //! blocks still extract whatever parallelism the conflict structure
 //! allows — the paper's "supports contentious workloads" claim (E2).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{ChainLedger, StateStore, Version};
 use pbc_txn::DependencyGraph;
 use pbc_types::Transaction;
@@ -35,8 +35,8 @@ impl OxiiPipeline {
 }
 
 impl ExecutionPipeline for OxiiPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
-        let height = seal_block(&mut self.ledger, txs.clone());
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         // Orderer side: dependency graph over the ordered block.
         let graph = DependencyGraph::build(&txs);
         let layers = graph.layers();

@@ -29,11 +29,41 @@ impl BlockOutcome {
     }
 }
 
+/// Metadata the consensus layer binds into a sealed block's header: who
+/// proposed the batch and when it was decided. Every replica must use
+/// the *same* seal for the same sequence number, or their head hashes
+/// diverge even though they executed identical transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSeal {
+    /// The node that proposed/led the batch's decision.
+    pub proposer: NodeId,
+    /// The decision timestamp (logical simulation ticks).
+    pub time: u64,
+}
+
+impl BlockSeal {
+    /// The seal standalone (consensus-less) pipeline runs use: proposer 0
+    /// and the block height as the timestamp — deterministic without any
+    /// consensus context.
+    pub fn standalone(height: u64) -> BlockSeal {
+        BlockSeal { proposer: NodeId(0), time: height }
+    }
+}
+
 /// A transaction-processing architecture: consumes ordered client
 /// batches, commits blocks to a ledger, maintains the state.
 pub trait ExecutionPipeline {
-    /// Processes one block's worth of transactions.
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome;
+    /// Processes one block's worth of transactions, sealing the block
+    /// with consensus-provided metadata.
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome;
+
+    /// Processes one block with a [`BlockSeal::standalone`] seal —
+    /// the path for benchmarks and single-node pipeline tests that run
+    /// without a consensus layer.
+    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
+        let seal = BlockSeal::standalone(self.ledger().height().next().0);
+        self.process_block_sealed(txs, seal)
+    }
 
     /// The committed state.
     fn state(&self) -> &StateStore;
@@ -93,10 +123,12 @@ pub fn spin(work: u32) {
     std::hint::black_box(x);
 }
 
-/// Appends a block of `txs` to `ledger` (helper shared by pipelines).
-pub fn seal_block(ledger: &mut ChainLedger, txs: Vec<Transaction>) -> u64 {
+/// Appends a block of `txs` to `ledger` under `seal` (helper shared by
+/// pipelines). The seal's proposer and timestamp are hashed into the
+/// header, so replicas must agree on the seal to agree on the chain.
+pub fn seal_block(ledger: &mut ChainLedger, seal: BlockSeal, txs: Vec<Transaction>) -> u64 {
     let height = ledger.height().next();
-    let block = Block::build(height, ledger.head_hash(), NodeId(0), height.0, txs);
+    let block = Block::build(height, ledger.head_hash(), seal.proposer, seal.time, txs);
     ledger.append(block).expect("pipeline-built blocks are always valid");
     height.0
 }
@@ -149,11 +181,39 @@ mod tests {
     #[test]
     fn seal_block_chains() {
         let mut ledger = ChainLedger::new();
-        let h1 = seal_block(&mut ledger, vec![get_tx(1, "a")]);
-        let h2 = seal_block(&mut ledger, vec![get_tx(2, "b")]);
+        let h1 = seal_block(&mut ledger, BlockSeal::standalone(1), vec![get_tx(1, "a")]);
+        let h2 = seal_block(&mut ledger, BlockSeal::standalone(2), vec![get_tx(2, "b")]);
         assert_eq!(h1, 1);
         assert_eq!(h2, 2);
         ledger.verify().unwrap();
+    }
+
+    #[test]
+    fn seal_metadata_lands_in_header_and_hash() {
+        let mut a = ChainLedger::new();
+        let mut b = ChainLedger::new();
+        seal_block(&mut a, BlockSeal { proposer: NodeId(3), time: 777 }, vec![get_tx(1, "a")]);
+        seal_block(&mut b, BlockSeal { proposer: NodeId(4), time: 777 }, vec![get_tx(1, "a")]);
+        let ha = a.block_at(pbc_types::Height(1)).unwrap().header.clone();
+        assert_eq!(ha.proposer, NodeId(3));
+        assert_eq!(ha.time, 777);
+        assert_ne!(a.head_hash(), b.head_hash(), "the proposer must be covered by the block hash");
+    }
+
+    #[test]
+    fn parallel_lower_bound_more_workers_than_keys() {
+        // Just past the inline threshold, with fewer distinct keys than
+        // worker threads: the chunking math must still cover every slot
+        // exactly once and preserve order.
+        let state = seeded(2);
+        let txs: Vec<Transaction> = (0..5).map(|i| get_tx(i, &format!("k{}", i % 2))).collect();
+        let par = execute_parallel(&txs, &state);
+        let seq: Vec<_> = txs.iter().map(|t| pbc_ledger::execute(t, &state)).collect();
+        assert_eq!(par.len(), 5);
+        assert_eq!(par, seq);
+        for (i, r) in par.iter().enumerate() {
+            assert_eq!(r.tx_id, TxId(i as u64));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`ReorderPolicy`] interposes Fabric++ or FabricSharp in-block
 //! reordering between steps 2 and 3 (E3).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{ChainLedger, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_txn::{fabric_pp_reorder, fabric_sharp_reorder};
@@ -75,11 +75,11 @@ impl XovPipeline {
 }
 
 impl ExecutionPipeline for XovPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
         // 1. Execute/endorse in parallel against the committed snapshot.
         let results = execute_parallel(&txs, &self.state);
         // 2. Order: seal the block in batch order.
-        let height = seal_block(&mut self.ledger, txs.clone());
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         let mut outcome = BlockOutcome { sequential_steps: 1, ..Default::default() };
 
         // 2.5 Optional reordering.

@@ -8,7 +8,7 @@
 //! commits with fresh reads (unless it fails intrinsically, e.g.
 //! insufficient funds).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, ExecutionPipeline};
+use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{execute_and_apply, ChainLedger, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_types::Transaction;
@@ -33,10 +33,10 @@ impl XoxPipeline {
 }
 
 impl ExecutionPipeline for XoxPipeline {
-    fn process_block(&mut self, txs: Vec<Transaction>) -> BlockOutcome {
+    fn process_block_sealed(&mut self, txs: Vec<Transaction>, seal: BlockSeal) -> BlockOutcome {
         // Pre-order execution (endorsement).
         let results = execute_parallel(&txs, &self.state);
-        let height = seal_block(&mut self.ledger, txs.clone());
+        let height = seal_block(&mut self.ledger, seal, txs.clone());
         let mut outcome = BlockOutcome { sequential_steps: 1, ..Default::default() };
 
         // Validate; collect invalidated transactions for re-execution.

@@ -1,0 +1,87 @@
+//! E12 — simulator core throughput.
+//!
+//! Measures the event loop itself rather than any protocol property:
+//! consensus event streams (PBFT / HotStuff / Raft at n ∈ {4, 16, 64}),
+//! pure broadcast fan-out, and the timer-heavy chaos workload from the
+//! nemesis suite. These are the paths the PR 2 scheduler overhaul
+//! (timer wheel + zero-copy broadcast) optimizes; `sweep --baseline`
+//! snapshots the same workloads into `BENCH_PR2.json` for regression.
+//!
+//! Set `E12_SMOKE=1` to run every workload once with a minimal budget
+//! (the CI bench-smoke job): catches scheduler regressions that crash,
+//! hang, or break determinism without burning CI minutes on timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto};
+use pbc_bench::{fmt_u64, header};
+
+fn smoke() -> bool {
+    std::env::var("E12_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    header(
+        "E12a: consensus event streams",
+        "events/sec and rounds/sec are scheduler-bound, not protocol-bound",
+    );
+    let (requests, samples) = if smoke() { (5, 1) } else { (30, 10) };
+    let mut g = c.benchmark_group("e12_consensus");
+    g.sample_size(samples);
+    for proto in [Proto::Pbft, Proto::HotStuff, Proto::Raft] {
+        for n in [4usize, 16, 64] {
+            let stats = consensus_run(proto, n, 0xBA5E, requests);
+            assert_eq!(stats.decided, requests, "{} n={n} must decide", proto.name());
+            println!(
+                "   {}/n{n}: {} events, {} timers set, {} cancelled",
+                proto.name(),
+                fmt_u64(stats.events),
+                fmt_u64(stats.net.timers_set),
+                fmt_u64(stats.net.timers_cancelled)
+            );
+            g.bench_with_input(BenchmarkId::new(proto.name(), n), &n, |b, &n| {
+                b.iter(|| consensus_run(proto, n, 0xBA5E, requests))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    header("E12b: broadcast fan-out", "one allocation per broadcast regardless of n");
+    let mut g = c.benchmark_group("e12_broadcast");
+    g.sample_size(if smoke() { 1 } else { 10 });
+    for n in [4usize, 16, 64] {
+        let rounds = if smoke() { 100 } else { (400_000 / n as u64).max(2_000) };
+        g.bench_with_input(BenchmarkId::new("flood", n), &n, |b, &n| {
+            b.iter(|| broadcast_flood(n, 0xBA5E, rounds))
+        });
+    }
+    g.finish();
+}
+
+fn bench_storm(c: &mut Criterion) {
+    header(
+        "E12c: chaos storm (megaqueue regime)",
+        "delay spikes hold ~1M events in flight; wheel pop stays O(1) where the heap paid O(log n)",
+    );
+    let rounds = if smoke() { 50 } else { 3_000 };
+    let mut g = c.benchmark_group("e12_chaos_storm");
+    g.sample_size(if smoke() { 1 } else { 10 });
+    g.bench_function("n64", |b| b.iter(|| chaos_storm(64, 0xBA5E, rounds)));
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    header(
+        "E12d: leader churn (raft partition windows)",
+        "the timer-heavy election churn of the nemesis suite",
+    );
+    let windows = if smoke() { 1 } else { 8 };
+    let mut g = c.benchmark_group("e12_leader_churn");
+    g.sample_size(if smoke() { 1 } else { 10 });
+    g.bench_function("raft_n5", |b| b.iter(|| chaos_run(5, 0xBA5E, windows)));
+    g.finish();
+}
+
+criterion_group!(e12, bench_consensus, bench_broadcast, bench_storm, bench_churn);
+criterion_main!(e12);

@@ -1,12 +1,164 @@
 //! Exhaustive crash-pair sweep for PBFT (n = 7, f = 2): checks
 //! liveness and agreement for every (seed, crash-pair) combination.
 //! Run with `cargo run --release -p pbc-bench --bin sweep`.
+//!
+//! `sweep --baseline [out.json]` instead snapshots simulator-core
+//! throughput (events/sec, broadcasts/sec, consensus rounds/sec for
+//! PBFT/HotStuff/Raft at n ∈ {4, 16, 64}, plus the chaos workload) into
+//! a JSON file — `BENCH_PR2.json` by default — so later PRs can regress
+//! against it.
 
+use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto, RunStats};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use pbc_sim::{Network, NetworkConfig};
+use std::time::Instant;
+
+/// Times `f`, best of `reps` (deterministic work, so best-of filters
+/// scheduler noise). Returns (stats, seconds).
+fn timed(reps: u32, f: impl Fn() -> RunStats) -> (RunStats, f64) {
+    let mut best: Option<(RunStats, f64)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let stats = f();
+        let secs = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((stats, secs));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn baseline(out_path: &str) {
+    const SIZES: [usize; 3] = [4, 16, 64];
+    const REQUESTS: u64 = 30;
+    const SEED: u64 = 0xBA5E;
+    let reps = 2;
+
+    let mut consensus_rows = Vec::new();
+    for proto in [Proto::Pbft, Proto::HotStuff, Proto::Raft] {
+        for n in SIZES {
+            let (stats, secs) = timed(reps, || consensus_run(proto, n, SEED, REQUESTS));
+            assert!(
+                stats.decided >= REQUESTS,
+                "{} n={n} decided only {}/{REQUESTS} slots",
+                proto.name(),
+                stats.decided
+            );
+            let eps = stats.events as f64 / secs;
+            let rps = stats.decided as f64 / secs;
+            println!(
+                "consensus {:>8} n={n:<2} events={:>9} decided={:>3} {:>12.0} events/s {:>8.1} rounds/s \
+                 (timers set/fired/cancelled {}/{}/{})",
+                proto.name(),
+                stats.events,
+                stats.decided,
+                eps,
+                rps,
+                stats.net.timers_set,
+                stats.net.timers_fired,
+                stats.net.timers_cancelled,
+            );
+            consensus_rows.push(format!(
+                "    {{\"proto\": \"{}\", \"n\": {n}, \"events\": {}, \"decided\": {}, \
+                 \"secs\": {:.6}, \"events_per_sec\": {:.0}, \"rounds_per_sec\": {:.2}}}",
+                proto.name(),
+                stats.events,
+                stats.decided,
+                secs,
+                eps,
+                rps
+            ));
+        }
+    }
+
+    let mut flood_rows = Vec::new();
+    for n in SIZES {
+        let rounds = (400_000 / n as u64).max(2_000);
+        let (stats, secs) = timed(reps, || broadcast_flood(n, SEED, rounds));
+        let bps = stats.decided as f64 / secs;
+        let eps = stats.events as f64 / secs;
+        println!(
+            "broadcast flood n={n:<2} rounds={rounds:>7} events={:>9} {:>12.0} events/s {:>10.0} broadcasts/s",
+            stats.events, eps, bps
+        );
+        flood_rows.push(format!(
+            "    {{\"n\": {n}, \"rounds\": {rounds}, \"events\": {}, \"secs\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"broadcasts_per_sec\": {:.0}}}",
+            stats.events, secs, eps, bps
+        ));
+    }
+
+    // The headline: a storm with millions of events in flight, the
+    // regime where the scheduler itself is the profile.
+    let (storm, storm_secs) = timed(reps, || chaos_storm(64, SEED, 3_000));
+    let storm_eps = storm.events as f64 / storm_secs;
+    println!(
+        "chaos storm n=64 rounds=3000 events={} {:.0} events/s \
+         (dropped {} duplicated {} spiked {}; timers set/fired/cancelled {}/{}/{})",
+        storm.events,
+        storm_eps,
+        storm.net.msgs_dropped,
+        storm.net.msgs_duplicated,
+        storm.net.delay_spikes,
+        storm.net.timers_set,
+        storm.net.timers_fired,
+        storm.net.timers_cancelled,
+    );
+
+    let (churn, churn_secs) = timed(reps, || chaos_run(5, SEED, 8));
+    let churn_eps = churn.events as f64 / churn_secs;
+    println!(
+        "leader churn raft n=5 windows=8 events={} {:.0} events/s \
+         (timers set/fired/cancelled {}/{}/{})",
+        churn.events,
+        churn_eps,
+        churn.net.timers_set,
+        churn.net.timers_fired,
+        churn.net.timers_cancelled,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"pbc-simcore-baseline-v1\",\n  \"seed\": {SEED},\n  \
+         \"requests_per_consensus_run\": {REQUESTS},\n  \"consensus\": [\n{}\n  ],\n  \
+         \"broadcast_flood\": [\n{}\n  ],\n  \"chaos_storm\": {{\"n\": 64, \
+         \"rounds\": 3000, \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}, \
+         \"timers_set\": {}, \"timers_fired\": {}, \"timers_cancelled\": {}}},\n  \
+         \"leader_churn\": {{\"proto\": \"raft\", \"n\": 5, \
+         \"windows\": 8, \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}, \
+         \"timers_set\": {}, \"timers_fired\": {}, \"timers_cancelled\": {}}}\n}}\n",
+        consensus_rows.join(",\n"),
+        flood_rows.join(",\n"),
+        storm.events,
+        storm_secs,
+        storm_eps,
+        storm.net.timers_set,
+        storm.net.timers_fired,
+        storm.net.timers_cancelled,
+        churn.events,
+        churn_secs,
+        churn_eps,
+        churn.net.timers_set,
+        churn.net.timers_fired,
+        churn.net.timers_cancelled,
+    );
+    std::fs::write(out_path, json).expect("write baseline json");
+    println!("baseline written to {out_path}");
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--baseline") {
+        let out = args
+            .iter()
+            .skip_while(|a| *a != "--baseline")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        baseline(&out);
+        return;
+    }
     let mut failures = 0;
+    let (mut timers_set, mut timers_fired, mut timers_cancelled) = (0u64, 0u64, 0u64);
     'outer: for seed in 0..40u64 {
         for ca in 0..7usize {
             for cb in 0..7usize {
@@ -23,6 +175,9 @@ fn main() {
                     }
                 }
                 let ok = net.run_until_all(3_000_000, |r| r.log.len() >= 3);
+                timers_set += net.stats().timers_set;
+                timers_fired += net.stats().timers_fired;
+                timers_cancelled += net.stats().timers_cancelled;
                 if !ok {
                     println!("LIVENESS fail seed={seed} crashes=({ca},{cb})");
                     for i in 0..7 {
@@ -67,5 +222,8 @@ fn main() {
             }
         }
     }
-    println!("done, failures={failures}");
+    println!(
+        "done, failures={failures} \
+         (timers set/fired/cancelled across all runs: {timers_set}/{timers_fired}/{timers_cancelled})"
+    );
 }

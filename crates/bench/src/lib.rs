@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod simcore;
+
 use pbc_arch::{BlockOutcome, ExecutionPipeline};
 use pbc_types::Transaction;
 

@@ -1,0 +1,286 @@
+//! Simulator-core workloads shared by the `e12_simcore` bench and the
+//! `sweep --baseline` snapshot.
+//!
+//! Four workloads exercise the hot paths of the event loop:
+//!
+//! * **consensus** — PBFT / HotStuff / Raft deciding a fixed request
+//!   load at n ∈ {4, 16, 64}: the mixed Deliver/Timer stream every
+//!   experiment in the repo generates;
+//! * **broadcast flood** — a single node broadcasting on a tick timer:
+//!   isolates the fan-out path (one send expanding to n deliveries);
+//! * **chaos storm** — every node broadcasting under lossy, duplicating,
+//!   delay-spiking, reordering links with partition flips: delay spikes
+//!   keep *millions* of events in flight, reproducing the queue
+//!   population PR 1's nemesis runs grew to millions of entries — the
+//!   regime where the scheduler itself dominates the profile;
+//! * **leader churn** — Raft through repeated leader-isolating partition
+//!   windows: the timer-heavy election churn of the nemesis suite.
+//!
+//! Every workload is seeded and returns event counts, so the same call
+//! measured before and after a scheduler change compares like with
+//! like; wall-clock timing is the caller's business.
+
+use pbc_consensus::hotstuff::{HotStuffConfig, HotStuffReplica, HsMsg};
+use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
+use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode, Role};
+use pbc_sim::{
+    Actor, Context, FaultModel, LinkFault, Message, NetStats, Network, NetworkConfig, NodeIdx,
+};
+
+/// Which consensus protocol a [`consensus_run`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// Classic PBFT (fixed leader per view).
+    Pbft,
+    /// Chained HotStuff.
+    HotStuff,
+    /// Raft.
+    Raft,
+}
+
+impl Proto {
+    /// Display name used in bench labels and the JSON snapshot.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Proto::Pbft => "pbft",
+            Proto::HotStuff => "hotstuff",
+            Proto::Raft => "raft",
+        }
+    }
+}
+
+/// What one workload run processed (the "work" side of events/sec).
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Events the loop processed (deliveries + timer fires + skips).
+    pub events: u64,
+    /// Consensus slots decided by every alive node (0 for non-consensus
+    /// workloads).
+    pub decided: u64,
+    /// Final logical time.
+    pub sim_now: u64,
+    /// Network counters at the end of the run.
+    pub net: NetStats,
+}
+
+/// Event budget for consensus runs — generous enough that every
+/// protocol finishes deciding [`consensus_run`]'s request load first.
+const CONSENSUS_EVENT_CAP: u64 = 20_000_000;
+
+/// Drives `proto` at cluster size `n` until `requests` slots are
+/// decided everywhere (or the event cap trips), returning the work done.
+pub fn consensus_run(proto: Proto, n: usize, seed: u64, requests: u64) -> RunStats {
+    match proto {
+        Proto::Pbft => {
+            let cfg = PbftConfig::new(n);
+            let actors = (0..n).map(|_| PbftReplica::<u64>::new(cfg.clone())).collect();
+            let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+            net.start();
+            for i in 0..requests {
+                for node in 0..n {
+                    net.inject(0, node, PbftMsg::Request(1000 + i), 1 + i);
+                }
+            }
+            drive(&mut net, requests, |net| {
+                (0..net.len()).map(|i| net.actor(i).log.len() as u64).min().unwrap_or(0)
+            })
+        }
+        Proto::HotStuff => {
+            let cfg = HotStuffConfig::new(n);
+            let actors = (0..n).map(|_| HotStuffReplica::<u64>::new(cfg.clone())).collect();
+            let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+            net.start();
+            for i in 0..requests {
+                for node in 0..n {
+                    net.inject(0, node, HsMsg::Request(1000 + i), 1 + i);
+                }
+            }
+            drive(&mut net, requests, |net| {
+                (0..net.len()).map(|i| net.actor(i).log.len() as u64).min().unwrap_or(0)
+            })
+        }
+        Proto::Raft => {
+            let cfg = RaftConfig::new(n);
+            let actors = (0..n).map(|i| RaftNode::<u64>::new(cfg.clone(), i)).collect();
+            let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+            net.start();
+            for i in 0..requests {
+                // Stagger past the first election so requests find a leader.
+                for node in 0..n {
+                    net.inject(0, node, RaftMsg::Request(1000 + i), 1 + i * 97);
+                }
+            }
+            drive(&mut net, requests, |net| {
+                (0..net.len()).map(|i| net.actor(i).log.len() as u64).min().unwrap_or(0)
+            })
+        }
+    }
+}
+
+fn drive<A: Actor>(
+    net: &mut Network<A>,
+    target: u64,
+    progress: impl Fn(&Network<A>) -> u64,
+) -> RunStats {
+    let mut events = 0u64;
+    while events < CONSENSUS_EVENT_CAP && progress(net) < target {
+        if !net.step() {
+            break;
+        }
+        events += 1;
+    }
+    RunStats { events, decided: progress(net), sim_now: net.now(), net: net.stats().clone() }
+}
+
+/// A node that broadcasts a token every tick, `rounds` times; everyone
+/// else just counts. Isolates broadcast fan-out from protocol logic.
+pub struct Flooder {
+    rounds_left: u64,
+    /// Tokens this node has received (all nodes).
+    pub received: u64,
+}
+
+impl Flooder {
+    /// A flooder that will broadcast `rounds` times if it is node 0.
+    pub fn new(rounds: u64) -> Self {
+        Flooder { rounds_left: rounds, received: 0 }
+    }
+}
+
+/// 64-byte-ish broadcast payload (default `wire_size`).
+#[derive(Clone, Debug)]
+pub struct Token(pub u64);
+impl Message for Token {}
+
+impl Actor for Flooder {
+    type Msg = Token;
+
+    fn on_start(&mut self, ctx: &mut Context<Token>) {
+        if ctx.self_id == 0 {
+            ctx.set_timer(1, 0);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeIdx, _msg: &Token, _ctx: &mut Context<Token>) {
+        self.received += 1;
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut Context<Token>) {
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        ctx.broadcast(Token(self.rounds_left));
+        if self.rounds_left > 0 {
+            ctx.set_timer(1, 0);
+        }
+    }
+}
+
+/// Floods `rounds` n-recipient broadcasts through an n-node cluster.
+pub fn broadcast_flood(n: usize, seed: u64, rounds: u64) -> RunStats {
+    let actors = (0..n).map(|_| Flooder::new(rounds)).collect();
+    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    net.start();
+    let events = net.run_to_quiescence(u64::MAX);
+    RunStats { events, decided: rounds, sim_now: net.now(), net: net.stats().clone() }
+}
+
+/// The chaos-storm workload: all `n` nodes broadcast `rounds` tokens
+/// each on staggered tick timers while every link drops, duplicates,
+/// delay-spikes and reorders traffic, with two partition flips mid-run.
+///
+/// The delay spikes are the point: ~30% of deliveries land 60k ticks
+/// out, so the standing event population reaches `rate × spike` — on
+/// the baseline shape (n = 64, 3000 rounds, ~12M events total) several
+/// million in-flight entries. That is the regime PR 1's nemesis runs
+/// hit (~12M timer events through the old global heap), where
+/// `O(log n)` pops over a cache-hostile megaheap dominate the loop; a
+/// calendar queue stays `O(1)` regardless of population.
+pub fn chaos_storm(n: usize, seed: u64, rounds: u64) -> RunStats {
+    let actors = (0..n).map(|_| StormNode::new(rounds)).collect();
+    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    net.set_fault_model(FaultModel::uniform(LinkFault {
+        drop: 0.02,
+        duplicate: 0.05,
+        delay_spike: 0.3,
+        spike: 60_000,
+        reorder: 0.2,
+    }));
+    net.start();
+    // Two partition flips while the storm rages: half the fleet cut off,
+    // then healed (chaos schedules always mix partitions with link
+    // faults).
+    let half: Vec<usize> = (0..n / 2).collect();
+    let rest: Vec<usize> = (n / 2..n).collect();
+    let mut events = net.run_until(2_000);
+    net.partition(&[half, rest]);
+    events += net.run_until(4_000);
+    net.heal_partition();
+    events += net.run_to_quiescence(u64::MAX);
+    let decided = (0..n).map(|i| net.actor(i).received).sum();
+    RunStats { events, decided, sim_now: net.now(), net: net.stats().clone() }
+}
+
+/// A chaos-storm participant: broadcasts every 4 ticks (staggered by
+/// node id) until its round budget is spent; counts everything received.
+pub struct StormNode {
+    rounds_left: u64,
+    /// Tokens this node has received.
+    pub received: u64,
+}
+
+impl StormNode {
+    /// A storm node with a budget of `rounds` broadcasts.
+    pub fn new(rounds: u64) -> Self {
+        StormNode { rounds_left: rounds, received: 0 }
+    }
+}
+
+impl Actor for StormNode {
+    type Msg = Token;
+
+    fn on_start(&mut self, ctx: &mut Context<Token>) {
+        ctx.set_timer(1 + (ctx.self_id as u64 & 3), 0);
+    }
+
+    fn on_message(&mut self, _from: NodeIdx, _msg: &Token, _ctx: &mut Context<Token>) {
+        self.received += 1;
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut Context<Token>) {
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        ctx.broadcast(Token(self.rounds_left));
+        if self.rounds_left > 0 {
+            ctx.set_timer(4, 0);
+        }
+    }
+}
+
+/// The leader-churn workload from PR 1's nemesis runs, distilled: a
+/// Raft cluster repeatedly loses its leader behind a partition, so the
+/// minority churns elections (timer pile-up) while the majority
+/// re-elects and keeps deciding.
+pub fn chaos_run(n: usize, seed: u64, windows: u32) -> RunStats {
+    let cfg = RaftConfig::new(n);
+    let actors = (0..n).map(|i| RaftNode::<u64>::new(cfg.clone(), i)).collect();
+    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    net.start();
+    for i in 0..20u64 {
+        net.inject(0, (i % n as u64) as usize, RaftMsg::Request(7000 + i), 1 + i * 31);
+    }
+    let mut events = net.run_until(60_000);
+    for _ in 0..windows {
+        let leader = (0..n).find(|&i| net.actor(i).role() == Role::Leader).unwrap_or(0);
+        let rest: Vec<usize> = (0..n).filter(|&i| i != leader).collect();
+        net.partition(&[vec![leader], rest]);
+        events += net.run_until(net.now() + 150_000);
+        net.heal_partition();
+        events += net.run_until(net.now() + 150_000);
+    }
+    let decided = (0..n).map(|i| net.actor(i).log.len() as u64).max().unwrap_or(0);
+    RunStats { events, decided, sim_now: net.now(), net: net.stats().clone() }
+}

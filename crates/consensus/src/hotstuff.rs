@@ -299,72 +299,76 @@ impl<P: Payload> Actor for HotStuffReplica<P> {
         );
     }
 
-    fn on_message(&mut self, from: NodeIdx, msg: HsMsg<P>, ctx: &mut Context<HsMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &HsMsg<P>, ctx: &mut Context<HsMsg<P>>) {
         match msg {
             HsMsg::Request(p) => {
                 let d = p.digest_u64();
                 if self.delivered_digests.contains(&d) || self.pending.contains_key(&d) {
                     return;
                 }
-                self.pending.insert(d, p);
+                self.pending.insert(d, p.clone());
                 self.arm_timer(ctx);
                 self.try_propose(ctx);
             }
             HsMsg::NewView { view, justify } => {
-                if view < self.view {
+                if *view < self.view {
                     return;
                 }
                 let entry = self
                     .new_views
-                    .entry(view)
+                    .entry(*view)
                     .or_insert((HashSet::new(), Qc { view: 0, digest: GENESIS }));
                 entry.0.insert(from);
                 if justify.view > entry.1.view {
-                    entry.1 = justify;
+                    entry.1 = *justify;
                 }
-                if view == self.view {
+                if *view == self.view {
                     self.try_propose(ctx);
                 }
             }
             HsMsg::Propose { view, digest, parent, justify, payload } => {
-                if self.cfg.leader(view) != from || view < self.view {
+                if self.cfg.leader(*view) != from || *view < self.view {
                     return;
                 }
                 if self.delivered_digests.contains(&payload.digest_u64()) {
                     return;
                 }
-                self.blocks.entry(digest).or_insert(BlockRec {
-                    parent,
-                    payload: Some(payload),
+                self.blocks.entry(*digest).or_insert(BlockRec {
+                    parent: *parent,
+                    payload: Some(payload.clone()),
                     committed: false,
                 });
-                if view > self.view {
+                if *view > self.view {
                     // Catch up to the network's view.
-                    self.view = view;
+                    self.view = *view;
                     self.arm_timer(ctx);
                 }
                 // SafeNode rule.
-                let safe = self.extends(parent, self.locked_qc.digest)
+                let safe = self.extends(*parent, self.locked_qc.digest)
                     || justify.view > self.locked_qc.view;
                 if safe {
-                    ctx.send(from, HsMsg::Vote { phase: Phase::Prepare, view, digest });
+                    ctx.send(
+                        from,
+                        HsMsg::Vote { phase: Phase::Prepare, view: *view, digest: *digest },
+                    );
                 }
             }
             HsMsg::Vote { phase, view, digest } => {
                 // Only the view's leader tallies.
-                if self.cfg.leader(view) != ctx.self_id {
+                if self.cfg.leader(*view) != ctx.self_id {
                     return;
                 }
-                let voters = self.votes.entry((phase, view, digest)).or_default();
+                let voters = self.votes.entry((*phase, *view, *digest)).or_default();
                 voters.insert(from);
                 if voters.len() == self.cfg.quorum() {
-                    ctx.broadcast(HsMsg::PhaseQc { phase, view, digest });
+                    ctx.broadcast(HsMsg::PhaseQc { phase: *phase, view: *view, digest: *digest });
                 }
             }
             HsMsg::PhaseQc { phase, view, digest } => {
-                if self.cfg.leader(view) != from || view < self.view {
+                if self.cfg.leader(*view) != from || *view < self.view {
                     return;
                 }
+                let (view, digest) = (*view, *digest);
                 match phase {
                     Phase::Prepare => {
                         let qc = Qc { view, digest };

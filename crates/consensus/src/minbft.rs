@@ -348,33 +348,33 @@ impl<P: Payload> MinBftReplica<P> {
 impl<P: Payload> Actor for MinBftReplica<P> {
     type Msg = MinBftMsg<P>;
 
-    fn on_message(&mut self, from: NodeIdx, msg: MinBftMsg<P>, ctx: &mut Context<MinBftMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &MinBftMsg<P>, ctx: &mut Context<MinBftMsg<P>>) {
         match msg {
             MinBftMsg::Request(p) => {
                 let d = p.digest_u64();
                 if self.delivered_digests.contains(&d) || self.pending.contains_key(&d) {
                     return;
                 }
-                self.pending.insert(d, p);
+                self.pending.insert(d, p.clone());
                 self.arm_timer(ctx);
                 self.try_propose(ctx);
             }
             MinBftMsg::Prepare { view, seq, payload, att } => {
-                self.accept_prepare(from, view, seq, payload, &att, ctx);
+                self.accept_prepare(from, *view, *seq, payload.clone(), att, ctx);
             }
             MinBftMsg::Commit { view, seq, digest } => {
-                if view != self.view {
+                if *view != self.view {
                     return;
                 }
-                let slot = self.slots.entry(seq).or_default();
-                if slot.payload.is_some() && slot.digest != digest {
+                let slot = self.slots.entry(*seq).or_default();
+                if slot.payload.is_some() && slot.digest != *digest {
                     return; // conflicting commit for another payload
                 }
                 slot.commits.insert(from);
-                self.check_decide(seq, ctx.now);
+                self.check_decide(*seq, ctx.now);
             }
             MinBftMsg::ReqViewChange { new_view, accepted } => {
-                if new_view < self.view {
+                if *new_view < self.view {
                     return;
                 }
                 // A replica with nothing in flight won't join the view
@@ -382,33 +382,33 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                 // we already decided (it missed a prepare or the
                 // commits). Vouch our decided log so it can catch up;
                 // it installs a slot only once f+1 senders agree.
-                if new_view > self.view && self.pending.is_empty() {
+                if *new_view > self.view && self.pending.is_empty() {
                     self.send_catchup(from, ctx);
                 }
-                self.vc_votes.entry(new_view).or_default().insert(from, accepted);
-                if new_view > self.view && self.vc_votes[&new_view].len() >= self.cfg.quorum() {
-                    self.view = new_view;
+                self.vc_votes.entry(*new_view).or_default().insert(from, accepted.clone());
+                if *new_view > self.view && self.vc_votes[new_view].len() >= self.cfg.quorum() {
+                    self.view = *new_view;
                     self.view_changes += 1;
                     self.assigned.clear();
                     ctx.broadcast(MinBftMsg::ReqViewChange {
-                        new_view,
+                        new_view: *new_view,
                         accepted: self.accepted_undecided(),
                     });
                     self.arm_timer(ctx);
                 }
-                self.maybe_new_view(new_view, ctx);
+                self.maybe_new_view(*new_view, ctx);
             }
             MinBftMsg::NewView { view, proposals, att } => {
-                if view < self.view || self.cfg.primary(view) != from || att.node != from {
+                if *view < self.view || self.cfg.primary(*view) != from || att.node != from {
                     return;
                 }
                 let digest = proposals
                     .iter()
-                    .fold(view, |acc, (s, p)| acc ^ prepare_digest(view, *s, p.digest_u64()));
-                if att.digest != digest || !self.verifier.verify_fresh(&att) {
+                    .fold(*view, |acc, (s, p)| acc ^ prepare_digest(*view, *s, p.digest_u64()));
+                if att.digest != digest || !self.verifier.verify_fresh(att) {
                     return;
                 }
-                self.view = view;
+                self.view = *view;
                 for (seq, payload) in proposals {
                     // Treat as prepares: accept and commit-vote. (Attested
                     // collectively by the NewView attestation.)
@@ -416,22 +416,22 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                     if self.delivered_digests.contains(&pd) {
                         continue;
                     }
-                    let slot = self.slots.entry(seq).or_default();
+                    let slot = self.slots.entry(*seq).or_default();
                     if slot.decided || slot.payload.is_some() {
                         continue;
                     }
-                    slot.payload = Some(payload);
+                    slot.payload = Some(payload.clone());
                     slot.digest = pd;
-                    self.assigned.insert(pd, seq);
-                    ctx.broadcast(MinBftMsg::Commit { view, seq, digest: pd });
-                    self.check_decide(seq, ctx.now);
+                    self.assigned.insert(pd, *seq);
+                    ctx.broadcast(MinBftMsg::Commit { view: *view, seq: *seq, digest: pd });
+                    self.check_decide(*seq, ctx.now);
                 }
                 self.arm_timer(ctx);
             }
             MinBftMsg::CatchUp { entries, att } => {
                 if att.node != from
-                    || att.digest != Self::catchup_batch_digest(&entries)
-                    || !self.verifier.verify_fresh(&att)
+                    || att.digest != Self::catchup_batch_digest(entries)
+                    || !self.verifier.verify_fresh(att)
                 {
                     return;
                 }
@@ -439,24 +439,24 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                 for (seq, payload) in entries {
                     let pd = payload.digest_u64();
                     if self.delivered_digests.contains(&pd)
-                        || self.slots.get(&seq).is_some_and(|s| s.decided)
+                        || self.slots.get(seq).is_some_and(|s| s.decided)
                     {
                         continue;
                     }
-                    self.catchup_payloads.entry(pd).or_insert(payload);
-                    let votes = self.catchup_votes.entry((seq, pd)).or_default();
+                    self.catchup_payloads.entry(pd).or_insert_with(|| payload.clone());
+                    let votes = self.catchup_votes.entry((*seq, pd)).or_default();
                     votes.insert(from);
                     if votes.len() >= q {
                         // f+1 vouchers intersect every commit quorum in
                         // at least one honest replica: install as decided.
                         let payload = self.catchup_payloads[&pd].clone();
-                        let slot = self.slots.entry(seq).or_default();
+                        let slot = self.slots.entry(*seq).or_default();
                         slot.payload = Some(payload.clone());
                         slot.digest = pd;
                         slot.decided = true;
                         self.pending.remove(&pd);
                         self.delivered_digests.insert(pd);
-                        self.log.decide(seq, payload, ctx.now);
+                        self.log.decide(*seq, payload, ctx.now);
                     }
                 }
             }
@@ -634,7 +634,7 @@ mod tests {
         fn on_message(
             &mut self,
             from: NodeIdx,
-            msg: MinBftMsg<u64>,
+            msg: &MinBftMsg<u64>,
             ctx: &mut Context<MinBftMsg<u64>>,
         ) {
             match self {

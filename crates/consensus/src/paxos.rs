@@ -186,33 +186,33 @@ impl<P: Payload> Actor for PaxosNode<P> {
         }
     }
 
-    fn on_message(&mut self, from: NodeIdx, msg: PaxosMsg<P>, ctx: &mut Context<PaxosMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &PaxosMsg<P>, ctx: &mut Context<PaxosMsg<P>>) {
         match msg {
             PaxosMsg::Request(p) => {
                 let d = p.digest_u64();
                 if self.delivered_digests.contains(&d) || self.pending.contains_key(&d) {
                     return;
                 }
-                self.pending.insert(d, p);
+                self.pending.insert(d, p.clone());
                 self.arm_timer(ctx);
                 self.propose_pending(ctx);
             }
             PaxosMsg::Prepare { ballot } => {
-                if ballot >= self.promised {
-                    self.promised = ballot;
-                    if self.leading && ballot > self.ballot {
+                if *ballot >= self.promised {
+                    self.promised = *ballot;
+                    if self.leading && *ballot > self.ballot {
                         self.leading = false;
                     }
                     let accepted: Vec<(u64, u64, P)> =
                         self.accepted.iter().map(|(s, (b, v))| (*s, *b, v.clone())).collect();
-                    ctx.send(from, PaxosMsg::Promise { ballot, accepted });
+                    ctx.send(from, PaxosMsg::Promise { ballot: *ballot, accepted });
                 }
             }
             PaxosMsg::Promise { ballot, accepted } => {
-                if ballot != self.ballot || self.leading {
+                if *ballot != self.ballot || self.leading {
                     return;
                 }
-                self.promises.insert(from, accepted);
+                self.promises.insert(from, accepted.clone());
                 if self.promises.len() >= quorum::majority(self.cfg.n) {
                     self.leading = true;
                     self.proposed.clear();
@@ -240,26 +240,26 @@ impl<P: Payload> Actor for PaxosNode<P> {
                 }
             }
             PaxosMsg::Accept { ballot, slot, value } => {
-                if ballot >= self.promised {
-                    self.promised = ballot;
-                    self.accepted.insert(slot, (ballot, value.clone()));
+                if *ballot >= self.promised {
+                    self.promised = *ballot;
+                    self.accepted.insert(*slot, (*ballot, value.clone()));
                     ctx.broadcast(PaxosMsg::Accepted {
-                        ballot,
-                        slot,
+                        ballot: *ballot,
+                        slot: *slot,
                         digest: value.digest_u64(),
-                        value,
+                        value: value.clone(),
                     });
                 }
             }
             PaxosMsg::Accepted { ballot: _, slot, digest, value } => {
-                let votes = self.learn_votes.entry((slot, digest)).or_default();
+                let votes = self.learn_votes.entry((*slot, *digest)).or_default();
                 votes.insert(from);
                 if votes.len() >= quorum::majority(self.cfg.n)
-                    && !self.delivered_digests.contains(&digest)
+                    && !self.delivered_digests.contains(digest)
                 {
-                    self.delivered_digests.insert(digest);
-                    self.pending.remove(&digest);
-                    self.log.decide(slot, value, ctx.now);
+                    self.delivered_digests.insert(*digest);
+                    self.pending.remove(digest);
+                    self.log.decide(*slot, value.clone(), ctx.now);
                     self.propose_pending(ctx);
                     self.arm_timer(ctx);
                 }

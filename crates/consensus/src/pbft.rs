@@ -480,90 +480,90 @@ impl<P: Payload> PbftReplica<P> {
 impl<P: Payload> Actor for PbftReplica<P> {
     type Msg = PbftMsg<P>;
 
-    fn on_message(&mut self, from: NodeIdx, msg: PbftMsg<P>, ctx: &mut Context<PbftMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &PbftMsg<P>, ctx: &mut Context<PbftMsg<P>>) {
         match msg {
             PbftMsg::Request(p) => {
                 let digest = p.digest_u64();
                 if self.delivered_digests.contains(&digest) || self.pending.contains_key(&digest) {
                     return;
                 }
-                self.pending.insert(digest, p);
+                self.pending.insert(digest, p.clone());
                 self.arm_timer_if_pending(ctx);
                 self.try_propose(ctx);
             }
             PbftMsg::PrePrepare { view, seq, payload } => {
-                self.accept_preprepare(from, view, seq, payload, ctx);
+                self.accept_preprepare(from, *view, *seq, payload.clone(), ctx);
             }
             PbftMsg::Prepare { view, seq, digest } => {
-                let slot = self.slots.entry(seq).or_default();
-                slot.prepares.entry((view, digest)).or_default().insert(from);
-                self.check_progress(seq, ctx);
+                let slot = self.slots.entry(*seq).or_default();
+                slot.prepares.entry((*view, *digest)).or_default().insert(from);
+                self.check_progress(*seq, ctx);
             }
             PbftMsg::Commit { view, seq, digest } => {
-                let slot = self.slots.entry(seq).or_default();
-                slot.commits.entry((view, digest)).or_default().insert(from);
-                self.check_progress(seq, ctx);
+                let slot = self.slots.entry(*seq).or_default();
+                slot.commits.entry((*view, *digest)).or_default().insert(from);
+                self.check_progress(*seq, ctx);
             }
             PbftMsg::ViewChange { new_view, prepared, delivered } => {
                 // A view change from a peer that is behind our delivered
                 // watermark signals a straggler: assist with our decided
                 // slots (PBFT's checkpoint/state transfer, simplified to
                 // f+1 matching assertions).
-                if delivered < self.log.next_seq() {
+                if *delivered < self.log.next_seq() {
                     for (seq, payload, _) in self.log.delivered().to_vec() {
-                        if seq >= delivered {
+                        if seq >= *delivered {
                             ctx.send(from, PbftMsg::Decided { seq, payload });
                         }
                     }
                 }
-                if new_view < self.view {
+                if *new_view < self.view {
                     return;
                 }
-                self.vc_votes.entry(new_view).or_default().insert(from, prepared);
+                self.vc_votes.entry(*new_view).or_default().insert(from, prepared.clone());
                 // f+1 view changes: join even without timing out ourselves.
                 let join_threshold = self.cfg.f() + 1;
-                if new_view > self.view && self.vc_votes[&new_view].len() >= join_threshold {
-                    self.view = new_view;
+                if *new_view > self.view && self.vc_votes[new_view].len() >= join_threshold {
+                    self.view = *new_view;
                     self.view_changes += 1;
                     self.assigned.clear();
                     ctx.broadcast(PbftMsg::ViewChange {
-                        new_view,
+                        new_view: *new_view,
                         prepared: self.prepared_undecided(),
                         delivered: self.log.next_seq(),
                     });
                     self.arm_timer_if_pending(ctx);
                 }
-                self.maybe_new_view(new_view, ctx);
+                self.maybe_new_view(*new_view, ctx);
             }
             PbftMsg::Decided { seq, payload } => {
                 let digest = payload.digest_u64();
                 if self.delivered_digests.contains(&digest) {
                     return;
                 }
-                let voters = self.decided_certs.entry((seq, digest)).or_default();
+                let voters = self.decided_certs.entry((*seq, digest)).or_default();
                 voters.insert(from);
                 if voters.len() > self.cfg.f() {
                     // f+1 assertions ⇒ at least one honest decider.
                     self.pending.remove(&digest);
                     self.delivered_digests.insert(digest);
-                    self.slots.entry(seq).or_default().decided = true;
-                    self.log.decide(seq, payload, ctx.now);
+                    self.slots.entry(*seq).or_default().decided = true;
+                    self.log.decide(*seq, payload.clone(), ctx.now);
                     self.arm_timer_if_pending(ctx);
                 }
             }
             PbftMsg::NewView { view, proposals } => {
-                if view < self.view {
+                if *view < self.view {
                     return;
                 }
                 // Only accept from the legitimate new primary.
-                if self.cfg.proposer(view, self.log.next_seq()) != from
+                if self.cfg.proposer(*view, self.log.next_seq()) != from
                     && self.cfg.policy == LeaderPolicy::FixedPerView
                 {
                     return;
                 }
-                self.view = view;
+                self.view = *view;
                 for (seq, payload) in proposals {
-                    self.accept_preprepare(from, view, seq, payload, ctx);
+                    self.accept_preprepare(from, *view, *seq, payload.clone(), ctx);
                 }
                 self.arm_timer_if_pending(ctx);
             }
@@ -763,7 +763,7 @@ mod tests {
         fn on_message(
             &mut self,
             from: NodeIdx,
-            msg: PbftMsg<u64>,
+            msg: &PbftMsg<u64>,
             ctx: &mut Context<PbftMsg<u64>>,
         ) {
             match self {

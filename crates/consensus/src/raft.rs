@@ -304,25 +304,25 @@ impl<P: Payload> Actor for RaftNode<P> {
         self.arm_election_timer(ctx);
     }
 
-    fn on_message(&mut self, from: NodeIdx, msg: RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
         match msg {
             RaftMsg::Request(p) => {
                 if self.role == Role::Leader {
-                    self.append_if_new(p);
+                    self.append_if_new(p.clone());
                     self.replicate_all(ctx);
                 } else if !self.log_digests.contains(&p.digest_u64())
                     && !self.pending.iter().any(|q| q.digest_u64() == p.digest_u64())
                 {
-                    self.pending.push(p);
+                    self.pending.push(p.clone());
                 }
             }
             RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
-                if term > self.term {
-                    self.become_follower(term, ctx);
+                if *term > self.term {
+                    self.become_follower(*term, ctx);
                 }
-                let up_to_date = (last_log_term, last_log_index)
+                let up_to_date = (*last_log_term, *last_log_index)
                     >= (self.last_log_term(), self.last_log_index());
-                let granted = term == self.term
+                let granted = *term == self.term
                     && up_to_date
                     && (self.voted_for.is_none() || self.voted_for == Some(from));
                 if granted {
@@ -333,11 +333,11 @@ impl<P: Payload> Actor for RaftNode<P> {
                 ctx.send(from, RaftMsg::Vote { term: self.term, granted });
             }
             RaftMsg::Vote { term, granted } => {
-                if term > self.term {
-                    self.become_follower(term, ctx);
+                if *term > self.term {
+                    self.become_follower(*term, ctx);
                     return;
                 }
-                if self.role == Role::Candidate && granted && term == self.term {
+                if self.role == Role::Candidate && *granted && *term == self.term {
                     self.votes.insert(from);
                     if self.votes.len() >= quorum::majority(self.cfg.n) {
                         self.become_leader(ctx);
@@ -345,17 +345,17 @@ impl<P: Payload> Actor for RaftNode<P> {
                 }
             }
             RaftMsg::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
-                if term < self.term {
+                if *term < self.term {
                     ctx.send(
                         from,
                         RaftMsg::AppendReply { term: self.term, success: false, match_index: 0 },
                     );
                     return;
                 }
-                self.become_follower(term, ctx);
+                self.become_follower(*term, ctx);
                 self.last_heartbeat = ctx.now;
                 // Consistency check.
-                if prev_index > self.last_log_index() || self.term_at(prev_index) != prev_term {
+                if *prev_index > self.last_log_index() || self.term_at(*prev_index) != *prev_term {
                     ctx.send(
                         from,
                         RaftMsg::AppendReply {
@@ -367,24 +367,24 @@ impl<P: Payload> Actor for RaftNode<P> {
                     return;
                 }
                 // Truncate conflicts, append new entries.
-                let mut idx = prev_index;
+                let mut idx = *prev_index;
                 for (eterm, payload) in entries {
                     idx += 1;
                     if idx <= self.last_log_index() {
-                        if self.term_at(idx) != eterm {
+                        if self.term_at(idx) != *eterm {
                             for (_, p) in self.log_entries.drain(idx as usize - 1..) {
                                 self.log_digests.remove(&p.digest_u64());
                             }
                             self.log_digests.insert(payload.digest_u64());
-                            self.log_entries.push((eterm, payload));
+                            self.log_entries.push((*eterm, payload.clone()));
                         }
                     } else {
                         self.log_digests.insert(payload.digest_u64());
-                        self.log_entries.push((eterm, payload));
+                        self.log_entries.push((*eterm, payload.clone()));
                     }
                 }
-                if leader_commit > self.commit_index {
-                    self.commit_index = leader_commit.min(self.last_log_index());
+                if *leader_commit > self.commit_index {
+                    self.commit_index = (*leader_commit).min(self.last_log_index());
                     self.apply_committed(ctx.now);
                 }
                 ctx.send(
@@ -392,20 +392,20 @@ impl<P: Payload> Actor for RaftNode<P> {
                     RaftMsg::AppendReply {
                         term: self.term,
                         success: true,
-                        match_index: idx.max(self.last_log_index().min(prev_index)),
+                        match_index: idx.max(self.last_log_index().min(*prev_index)),
                     },
                 );
             }
             RaftMsg::AppendReply { term, success, match_index } => {
-                if term > self.term {
-                    self.become_follower(term, ctx);
+                if *term > self.term {
+                    self.become_follower(*term, ctx);
                     return;
                 }
-                if self.role != Role::Leader || term != self.term {
+                if self.role != Role::Leader || *term != self.term {
                     return;
                 }
-                if success {
-                    self.match_index[from] = self.match_index[from].max(match_index);
+                if *success {
+                    self.match_index[from] = self.match_index[from].max(*match_index);
                     self.next_index[from] = self.match_index[from] + 1;
                     self.advance_commit(ctx);
                 } else {
@@ -498,7 +498,7 @@ impl<P: Payload> Actor for VolatileRaft<P> {
         self.0.on_start(ctx);
     }
 
-    fn on_message(&mut self, from: NodeIdx, msg: RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &RaftMsg<P>, ctx: &mut Context<RaftMsg<P>>) {
         self.0.on_message(from, msg, ctx);
     }
 

@@ -311,7 +311,7 @@ impl<P: Payload> TendermintNode<P> {
 impl<P: Payload> Actor for TendermintNode<P> {
     type Msg = TmMsg<P>;
 
-    fn on_message(&mut self, from: NodeIdx, msg: TmMsg<P>, ctx: &mut Context<TmMsg<P>>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &TmMsg<P>, ctx: &mut Context<TmMsg<P>>) {
         match msg {
             TmMsg::Request(p) => {
                 let d = p.digest_u64();
@@ -319,14 +319,14 @@ impl<P: Payload> Actor for TendermintNode<P> {
                     return;
                 }
                 self.pending.insert(d, p.clone());
-                self.by_digest.insert(d, p);
+                self.by_digest.insert(d, p.clone());
                 self.arm_timer(ctx);
                 self.try_propose(ctx);
             }
             TmMsg::Proposal { height, round, payload } => {
-                let key = RoundKey { height, round };
-                if height != self.height
-                    || self.proposer_of(height, round) != from
+                let key = RoundKey { height: *height, round: *round };
+                if *height != self.height
+                    || self.proposer_of(*height, *round) != from
                     || self.proposals.contains_key(&key)
                 {
                     return;
@@ -335,31 +335,31 @@ impl<P: Payload> Actor for TendermintNode<P> {
                     return;
                 }
                 self.by_digest.insert(payload.digest_u64(), payload.clone());
-                self.proposals.insert(key, payload);
-                if round == self.round {
+                self.proposals.insert(key, payload.clone());
+                if *round == self.round {
                     self.maybe_prevote(ctx);
                 }
             }
             TmMsg::Prevote { height, round, digest } => {
-                if height != self.height {
+                if *height != self.height {
                     return;
                 }
-                let key = RoundKey { height, round };
+                let key = RoundKey { height: *height, round: *round };
                 let power = self.power_of(from);
-                let weight = self.prevotes.entry(key).or_default().add(from, power, digest);
+                let weight = self.prevotes.entry(key).or_default().add(from, power, *digest);
                 if self.cfg.is_quorum(weight) {
-                    self.on_polka(key, digest, ctx);
+                    self.on_polka(key, *digest, ctx);
                 }
             }
             TmMsg::Precommit { height, round, digest } => {
-                if height != self.height {
+                if *height != self.height {
                     return;
                 }
-                let key = RoundKey { height, round };
+                let key = RoundKey { height: *height, round: *round };
                 let power = self.power_of(from);
-                let weight = self.precommits.entry(key).or_default().add(from, power, digest);
+                let weight = self.precommits.entry(key).or_default().add(from, power, *digest);
                 if self.cfg.is_quorum(weight) {
-                    match digest {
+                    match *digest {
                         Some(d) => self.decide(d, ctx),
                         None => {
                             // > 2/3 nil precommits: the round is dead.

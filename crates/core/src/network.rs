@@ -2,8 +2,8 @@
 
 use crate::batch::Batch;
 use pbc_arch::{
-    EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline, OxPipeline,
-    OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
+    BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline,
+    OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
 };
 use pbc_consensus::hotstuff::{HotStuffConfig, HotStuffReplica, HsMsg};
 use pbc_consensus::minbft::{MinBftConfig, MinBftMsg, MinBftReplica};
@@ -437,7 +437,29 @@ impl BlockchainNetwork {
         let Some(reference) = reference else {
             return report;
         };
-        let decided = self.driver.decided(reference);
+        // Seal each decided batch with consensus-level metadata taken
+        // from the *reference* replica: the proposer responsible for the
+        // sequence number (rotating protocols rotate it, fixed-leader
+        // protocols pin it to node 0) and the decision time. Every alive
+        // node seals seq k identically, so head hashes stay convergent;
+        // a node that has decided further ahead than the reference defers
+        // those batches until the reference catches up and their seals
+        // are known.
+        let n = self.len();
+        let rotating = matches!(
+            self.consensus,
+            ConsensusKind::Ibft | ConsensusKind::HotStuff | ConsensusKind::Tendermint
+        );
+        let seals: std::collections::HashMap<u64, BlockSeal> = self
+            .driver
+            .decided(reference)
+            .iter()
+            .map(|(seq, _, t)| {
+                let proposer = if rotating { (*seq as usize % n) as u32 } else { 0 };
+                (*seq, BlockSeal { proposer: pbc_types::NodeId(proposer), time: *t })
+            })
+            .collect();
+        let decided_len = self.driver.decided(reference).len();
         let mut latency_sum = 0u64;
         let mut latency_n = 0u64;
         for (node, pipeline) in self.pipelines.iter_mut().enumerate() {
@@ -446,18 +468,20 @@ impl BlockchainNetwork {
             }
             let node_decided = self.driver.decided(node);
             for (seq, batch, t) in node_decided.iter().skip(self.batches_decided) {
-                let outcome = pipeline.process_block(batch.txs.clone());
+                let Some(&seal) = seals.get(seq) else {
+                    break; // ahead of the reference: seal unknown yet
+                };
+                let outcome = pipeline.process_block_sealed(batch.txs.clone(), seal);
                 if node == reference {
                     report.committed += outcome.committed.len();
                     report.aborted += outcome.aborted.len();
                     report.batches += 1;
                     latency_sum += t;
                     latency_n += 1;
-                    let _ = seq;
                 }
             }
         }
-        self.batches_decided = decided.len();
+        self.batches_decided = decided_len;
         if latency_n > 0 {
             report.mean_decide_latency = latency_sum as f64 / latency_n as f64;
         }

@@ -5,9 +5,9 @@
 //! compares the versions read at endorsement time against current
 //! versions at validation time; this store provides both operations.
 
+use fxhash::FxHashMap;
 use pbc_types::{Key, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The version a key's current value was written at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -29,9 +29,13 @@ impl Version {
 }
 
 /// A versioned key-value store.
+///
+/// Keyed with the deterministic Fx hasher: `get`/`put` sit on the
+/// validation hot path (XOV re-checks every read-set key), and SipHash
+/// dominates the profile there for short keys.
 #[derive(Clone, Debug, Default)]
 pub struct StateStore {
-    current: HashMap<Key, (Value, Version)>,
+    current: FxHashMap<Key, (Value, Version)>,
     writes_applied: u64,
 }
 
@@ -67,11 +71,20 @@ impl StateStore {
         self.writes_applied += 1;
     }
 
-    /// Applies a whole write set at a version.
+    /// Applies a whole write set at a version, reserving capacity for
+    /// the new keys up front instead of growing the table write by write.
     pub fn apply(&mut self, writes: &[(Key, Value)], version: Version) {
+        self.current.reserve(writes.len());
         for (k, v) in writes {
             self.put(k.clone(), v.clone(), version);
         }
+    }
+
+    /// Pre-sizes the store for at least `additional` more keys. Bulk
+    /// loaders (genesis population, replay) call this once instead of
+    /// paying incremental rehashes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.current.reserve(additional);
     }
 
     /// Number of distinct keys present.

@@ -40,7 +40,11 @@ pub trait Actor {
     fn on_start(&mut self, _ctx: &mut Context<Self::Msg>) {}
 
     /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, from: NodeIdx, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+    ///
+    /// The message arrives by reference: a broadcast is allocated once
+    /// and every recipient sees the same underlying value, so an actor
+    /// that wants to keep (part of) the payload clones what it stores.
+    fn on_message(&mut self, from: NodeIdx, msg: &Self::Msg, ctx: &mut Context<Self::Msg>);
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _timer_id: u64, _ctx: &mut Context<Self::Msg>) {}
@@ -82,11 +86,26 @@ pub enum Effect<M> {
         /// Payload.
         msg: M,
     },
+    /// Send `msg` to every node: each non-self recipient in index order,
+    /// then self last. The network shares one allocation across all
+    /// recipients instead of cloning per recipient.
+    Broadcast {
+        /// Payload, allocated once for the whole fan-out.
+        msg: M,
+    },
     /// Arm a timer that fires `delay` ticks from now with id `id`.
     Timer {
         /// Delay from the current time.
         delay: SimTime,
         /// Actor-chosen timer identity (delivered back in `on_timer`).
+        id: u64,
+    },
+    /// Cancel every currently-armed timer with id `id` on this node, in
+    /// O(1) — cancelled timers are skipped when they surface instead of
+    /// reaching `on_timer`. Timers armed *after* the cancellation (even
+    /// in the same callback) are unaffected.
+    CancelTimer {
+        /// The timer identity to cancel.
         id: u64,
     },
 }
@@ -117,15 +136,11 @@ impl<M: Message> Context<M> {
         self.outbox.push(Effect::Send { to, msg });
     }
 
-    /// Sends `msg` to every node (including self).
+    /// Sends `msg` to every node (including self, delivered last). One
+    /// allocation regardless of cluster size: the network fans the
+    /// single payload out behind a shared pointer.
     pub fn broadcast(&mut self, msg: M) {
-        for to in 0..self.n {
-            if to != self.self_id {
-                self.outbox.push(Effect::Send { to, msg: msg.clone() });
-            }
-        }
-        // Self-delivery last, same payload.
-        self.outbox.push(Effect::Send { to: self.self_id, msg });
+        self.outbox.push(Effect::Broadcast { msg });
     }
 
     /// Sends `msg` to each node in `to`.
@@ -138,6 +153,21 @@ impl<M: Message> Context<M> {
     /// Arms a timer firing `delay` ticks from now.
     pub fn set_timer(&mut self, delay: SimTime, id: u64) {
         self.outbox.push(Effect::Timer { delay, id });
+    }
+
+    /// Cancels every currently-armed timer with id `id` (O(1); the
+    /// network skips them at fire time without calling `on_timer`).
+    pub fn cancel_timer(&mut self, id: u64) {
+        self.outbox.push(Effect::CancelTimer { id });
+    }
+
+    /// Re-arms timer `id`: cancels any armed instance and sets a fresh
+    /// one `delay` ticks from now. The idiom for protocols that push a
+    /// deadline forward on every message (heartbeat-reset elections)
+    /// without leaving a trail of stale timers to fire and filter.
+    pub fn set_timer_replacing(&mut self, delay: SimTime, id: u64) {
+        self.cancel_timer(id);
+        self.set_timer(delay, id);
     }
 
     /// Drains the collected effects (used by the network and by tests).
@@ -155,19 +185,23 @@ mod tests {
     impl Message for Ping {}
 
     #[test]
-    fn broadcast_reaches_everyone_including_self() {
+    fn broadcast_is_a_single_effect() {
         let mut ctx: Context<Ping> = Context::standalone(0, 1, 4);
         ctx.broadcast(Ping(7));
-        let effects = ctx.take_effects();
-        let mut dests: Vec<NodeIdx> = effects
-            .iter()
-            .map(|e| match e {
-                Effect::Send { to, .. } => *to,
-                _ => panic!("unexpected"),
-            })
-            .collect();
-        dests.sort_unstable();
-        assert_eq!(dests, vec![0, 1, 2, 3]);
+        match &ctx.take_effects()[..] {
+            [Effect::Broadcast { msg: Ping(7) }] => {}
+            other => panic!("unexpected effects: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replacing_timer_cancels_then_arms() {
+        let mut ctx: Context<Ping> = Context::standalone(0, 0, 3);
+        ctx.set_timer_replacing(25, 4);
+        match &ctx.take_effects()[..] {
+            [Effect::CancelTimer { id: 4 }, Effect::Timer { delay: 25, id: 4 }] => {}
+            other => panic!("unexpected effects: {other:?}"),
+        }
     }
 
     #[test]

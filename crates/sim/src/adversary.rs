@@ -102,13 +102,42 @@ impl<A: Actor> Adversary<A> {
         })
     }
 
+    /// Applies the attack pipeline to one outbound message.
+    fn corrupt_one(
+        &mut self,
+        to: NodeIdx,
+        msg: A::Msg,
+        n: usize,
+        held_any: &mut bool,
+    ) -> Option<(NodeIdx, A::Msg)> {
+        if self.has(Attack::Mute) {
+            return None;
+        }
+        let msg = if self.has(Attack::Equivocate) && to >= n.div_ceil(2) {
+            // The far half of the cluster sees the forked
+            // variant of any equivocable proposal.
+            msg.equivocate().unwrap_or(msg)
+        } else {
+            msg
+        };
+        if self.has(Attack::Replay) {
+            if self.history.len() == REPLAY_WINDOW {
+                self.history.remove(0);
+            }
+            self.history.push((to, msg.clone()));
+        }
+        if self.delay().is_some() {
+            self.held.push((to, msg));
+            *held_any = true;
+            return None;
+        }
+        Some((to, msg))
+    }
+
     /// Routes the inner actor's effects through the active attacks into
     /// the real context.
     fn relay(&mut self, effects: Vec<Effect<A::Msg>>, ctx: &mut Context<A::Msg>) {
-        let mute = self.has(Attack::Mute);
-        let equivocate = self.has(Attack::Equivocate);
-        let replay = self.has(Attack::Replay);
-        let delay = self.delay();
+        let attacking = !self.attacks.is_empty();
         let mut held_any = false;
         for effect in effects {
             match effect {
@@ -116,35 +145,37 @@ impl<A: Actor> Adversary<A> {
                     debug_assert!(id & ADV_TIMER == 0, "protocol timer id collides with ADV_TIMER");
                     ctx.set_timer(delay, id);
                 }
-                Effect::Send { to, msg } => {
-                    if mute {
+                Effect::CancelTimer { id } => {
+                    debug_assert!(id & ADV_TIMER == 0, "protocol timer id collides with ADV_TIMER");
+                    ctx.cancel_timer(id);
+                }
+                Effect::Broadcast { msg } => {
+                    if !attacking {
+                        // Honest wrappers keep the zero-copy fan-out.
+                        ctx.broadcast(msg);
                         continue;
                     }
-                    let msg = if equivocate && to >= ctx.n.div_ceil(2) {
-                        // The far half of the cluster sees the forked
-                        // variant of any equivocable proposal.
-                        msg.equivocate().unwrap_or(msg)
-                    } else {
-                        msg
-                    };
-                    if replay {
-                        if self.history.len() == REPLAY_WINDOW {
-                            self.history.remove(0);
+                    // Attacks act per recipient, so expand the broadcast
+                    // in the network's fan-out order (everyone else by
+                    // index, then self).
+                    let n = ctx.n;
+                    let self_id = ctx.self_id;
+                    for to in (0..n).filter(|&t| t != self_id).chain([self_id]) {
+                        if let Some((to, msg)) = self.corrupt_one(to, msg.clone(), n, &mut held_any)
+                        {
+                            ctx.send(to, msg);
                         }
-                        self.history.push((to, msg.clone()));
                     }
-                    match delay {
-                        Some(_) => {
-                            self.held.push((to, msg));
-                            held_any = true;
-                        }
-                        None => ctx.send(to, msg),
+                }
+                Effect::Send { to, msg } => {
+                    if let Some((to, msg)) = self.corrupt_one(to, msg, ctx.n, &mut held_any) {
+                        ctx.send(to, msg);
                     }
                 }
             }
         }
         if held_any {
-            ctx.set_timer(delay.expect("held implies delay"), ADV_TIMER);
+            ctx.set_timer(self.delay().expect("held implies delay"), ADV_TIMER);
         }
     }
 }
@@ -159,7 +190,7 @@ impl<A: Actor> Actor for Adversary<A> {
         self.relay(effects, ctx);
     }
 
-    fn on_message(&mut self, from: NodeIdx, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+    fn on_message(&mut self, from: NodeIdx, msg: &Self::Msg, ctx: &mut Context<Self::Msg>) {
         let mut inner_ctx = Context::standalone(ctx.now, ctx.self_id, ctx.n);
         self.inner.on_message(from, msg, &mut inner_ctx);
         let effects = inner_ctx.take_effects();
@@ -213,10 +244,10 @@ mod tests {
 
     impl Actor for Echo {
         type Msg = Val;
-        fn on_message(&mut self, _from: NodeIdx, msg: Val, ctx: &mut Context<Val>) {
+        fn on_message(&mut self, _from: NodeIdx, msg: &Val, ctx: &mut Context<Val>) {
             self.seen.push(msg.0);
             if self.seen.len() == 1 {
-                ctx.broadcast(msg);
+                ctx.broadcast(msg.clone());
             }
         }
     }
@@ -235,7 +266,7 @@ mod tests {
     fn mute_suppresses_all_sends() {
         let mut adv = Adversary::new(Echo { seen: vec![] }, vec![Attack::Mute]);
         let mut ctx = Context::standalone(0, 0, 4);
-        adv.on_message(1, Val(7), &mut ctx);
+        adv.on_message(1, &Val(7), &mut ctx);
         assert!(sends(&ctx.take_effects()).is_empty());
         assert_eq!(adv.inner().seen, vec![7], "inner still processes input");
     }
@@ -244,7 +275,7 @@ mod tests {
     fn equivocate_forks_the_far_half() {
         let mut adv = Adversary::new(Echo { seen: vec![] }, vec![Attack::Equivocate]);
         let mut ctx = Context::standalone(0, 0, 4);
-        adv.on_message(1, Val(7), &mut ctx);
+        adv.on_message(1, &Val(7), &mut ctx);
         let out = sends(&ctx.take_effects());
         let near: Vec<u32> = out.iter().filter(|(to, _)| *to < 2).map(|(_, v)| *v).collect();
         let far: Vec<u32> = out.iter().filter(|(to, _)| *to >= 2).map(|(_, v)| *v).collect();
@@ -257,7 +288,7 @@ mod tests {
     fn equivocate_passes_non_proposals_through() {
         let mut adv = Adversary::new(Echo { seen: vec![] }, vec![Attack::Equivocate]);
         let mut ctx = Context::standalone(0, 0, 4);
-        adv.on_message(1, Val(6), &mut ctx); // even: not equivocable
+        adv.on_message(1, &Val(6), &mut ctx); // even: not equivocable
         let out = sends(&ctx.take_effects());
         assert!(out.iter().all(|(_, v)| *v == 6));
     }
@@ -266,7 +297,7 @@ mod tests {
     fn delay_holds_then_flushes() {
         let mut adv = Adversary::new(Echo { seen: vec![] }, vec![Attack::Delay(50)]);
         let mut ctx = Context::standalone(0, 0, 3);
-        adv.on_message(1, Val(3), &mut ctx);
+        adv.on_message(1, &Val(3), &mut ctx);
         let effects = ctx.take_effects();
         assert!(sends(&effects).is_empty(), "sends held back");
         let timer_id = effects
@@ -288,7 +319,7 @@ mod tests {
         let mut total = 0;
         for i in 0..6 {
             let mut ctx = Context::standalone(i, 0, 3);
-            adv.on_message(1, Val(9), &mut ctx);
+            adv.on_message(1, &Val(9), &mut ctx);
             total += sends(&ctx.take_effects()).len();
         }
         // Honest echo sends one broadcast (3 msgs); replay adds extras.
@@ -299,7 +330,11 @@ mod tests {
     fn honest_wrapper_is_transparent() {
         let mut adv = Adversary::honest(Echo { seen: vec![] });
         let mut ctx = Context::standalone(0, 0, 4);
-        adv.on_message(1, Val(5), &mut ctx);
-        assert_eq!(sends(&ctx.take_effects()).len(), 4);
+        adv.on_message(1, &Val(5), &mut ctx);
+        // Honest wrappers preserve the zero-copy broadcast effect.
+        match &ctx.take_effects()[..] {
+            [Effect::Broadcast { msg: Val(5) }] => {}
+            other => panic!("unexpected effects: {other:?}"),
+        }
     }
 }

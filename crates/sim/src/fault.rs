@@ -11,7 +11,7 @@
 //! probability (the compat path).
 
 use crate::{NodeIdx, SimTime};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Fault rates for one directed link (`from → to`).
 ///
@@ -83,7 +83,8 @@ impl LinkFault {
 #[derive(Clone, Debug, Default)]
 pub struct FaultModel {
     default: LinkFault,
-    links: HashMap<(NodeIdx, NodeIdx), LinkFault>,
+    // Fx-hashed: probed once per unicast in the simulator's send path.
+    links: FxHashMap<(NodeIdx, NodeIdx), LinkFault>,
 }
 
 impl FaultModel {
@@ -94,7 +95,7 @@ impl FaultModel {
 
     /// A model applying `fault` to every link.
     pub fn uniform(fault: LinkFault) -> Self {
-        FaultModel { default: fault, links: HashMap::new() }
+        FaultModel { default: fault, links: FxHashMap::default() }
     }
 
     /// Compat path for the legacy global `drop_rate` knob.

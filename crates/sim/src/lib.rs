@@ -32,6 +32,7 @@ pub mod invariants;
 pub mod latency;
 pub mod nemesis;
 pub mod network;
+pub mod sched;
 pub mod stats;
 pub mod topology;
 

@@ -1,14 +1,15 @@
 //! The event loop: queue, delivery, fault injection.
 
-use crate::actor::{Actor, Context, Durable, Effect};
+use crate::actor::{Actor, Context, Durable, Effect, Message};
 use crate::fault::FaultModel;
 use crate::latency::LatencyModel;
+use crate::sched::EventQueue;
 use crate::stats::NetStats;
 use crate::{NodeIdx, SimTime};
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -27,42 +28,47 @@ impl Default for NetworkConfig {
     }
 }
 
+/// An in-flight message body. Unicasts carry the value directly;
+/// broadcasts allocate once and every recipient's event shares the same
+/// allocation — the zero-copy fan-out path.
+enum Payload<M> {
+    Owned(M),
+    Shared(Arc<M>),
+}
+
+impl<M> Payload<M> {
+    #[inline]
+    fn get(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+}
+
+impl<M: Clone> Clone for Payload<M> {
+    fn clone(&self) -> Self {
+        match self {
+            // A duplicated unicast re-clones the value (rare: link
+            // duplication faults only).
+            Payload::Owned(m) => Payload::Owned(m.clone()),
+            Payload::Shared(a) => Payload::Shared(Arc::clone(a)),
+        }
+    }
+}
+
 enum EventKind<M> {
-    Deliver { from: NodeIdx, to: NodeIdx, msg: M, sent_at: SimTime },
+    Deliver { from: NodeIdx, to: NodeIdx, msg: Payload<M>, sent_at: SimTime },
     // `incarnation` invalidates timers armed before a node lost its
     // memory: a rebuilt actor must not observe the ghost of a timer its
     // previous life set.
     Timer { node: NodeIdx, id: u64, incarnation: u32 },
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-// Ordering solely by (at, seq): deterministic FIFO tie-breaking.
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The simulated network driving a set of actors.
 pub struct Network<A: Actor> {
     actors: Vec<A>,
-    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    queue: EventQueue<EventKind<A::Msg>>,
     time: SimTime,
     seq: u64,
     rng: StdRng,
@@ -75,6 +81,29 @@ pub struct Network<A: Actor> {
     partition: Option<Vec<usize>>,
     faults: FaultModel,
     stats: NetStats,
+    /// Running digest over the delivery trace `(at, seq, from, to)`.
+    trace: u64,
+    /// Cancellation watermarks: `(node, timer id) → seq` such that any
+    /// armed timer with an event seq ≤ the watermark is dead. Arming
+    /// stays O(1) (this map is only written on cancel); cancelled timers
+    /// are skipped when they surface.
+    cancelled: FxHashMap<(NodeIdx, u64), u64>,
+    /// Reused effect buffer: actors fill it via their `Context`, the
+    /// network drains it — one allocation for the whole run instead of
+    /// one per event.
+    scratch: Vec<Effect<A::Msg>>,
+}
+
+/// Folds one delivery record into a running trace digest. The exact
+/// mixing function is part of the determinism contract: the golden-trace
+/// tests commit digests produced by this fold, so it must never change
+/// silently.
+fn fold_trace(h: u64, at: SimTime, seq: u64, from: NodeIdx, to: NodeIdx) -> u64 {
+    let mut z =
+        at ^ seq.rotate_left(17) ^ (from as u64).rotate_left(34) ^ (to as u64).rotate_left(51);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h.rotate_left(5) ^ (z ^ (z >> 31))
 }
 
 impl<A: Actor> Network<A> {
@@ -97,7 +126,7 @@ impl<A: Actor> Network<A> {
         let faults = FaultModel::uniform_drop(config.drop_rate);
         Network {
             actors,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             time: 0,
             seq: 0,
             rng,
@@ -107,6 +136,9 @@ impl<A: Actor> Network<A> {
             partition: None,
             faults,
             stats: NetStats::default(),
+            trace: 0x9e3779b97f4a7c15,
+            cancelled: FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -143,6 +175,15 @@ impl<A: Actor> Network<A> {
     /// Network accounting so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Digest of the full delivery trace so far: every delivered message
+    /// folds its `(at, seq, from, to)` tuple into this value in delivery
+    /// order. Two runs with the same seed and inputs produce the same
+    /// digest bit-for-bit — the determinism guarantee the golden-trace
+    /// tests pin across scheduler rewrites.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace
     }
 
     /// Immutable view of an actor.
@@ -198,7 +239,7 @@ impl<A: Actor> Network<A> {
     /// plain [`Network::recover`] resumes with RAM intact and no restart.
     pub fn restart(&mut self, node: NodeIdx) {
         self.crashed[node] = false;
-        let mut ctx = Context::standalone(self.time, node, self.actors.len());
+        let mut ctx = self.context_for(node);
         self.actors[node].on_start(&mut ctx);
         self.apply_effects(node, &mut ctx);
     }
@@ -233,7 +274,7 @@ impl<A: Actor> Network<A> {
             if self.crashed[i] {
                 continue;
             }
-            let mut ctx = Context::standalone(self.time, i, self.actors.len());
+            let mut ctx = self.context_for(i);
             self.actors[i].on_start(&mut ctx);
             self.apply_effects(i, &mut ctx);
         }
@@ -250,94 +291,131 @@ impl<A: Actor> Network<A> {
     /// a *crashed* node still fails, like any delivery.)
     pub fn inject(&mut self, from: NodeIdx, to: NodeIdx, msg: A::Msg, delay: SimTime) {
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            at: self.time + delay.max(1),
-            seq: self.seq,
-            kind: EventKind::Deliver { from, to, msg, sent_at: self.time },
-        }));
+        self.queue.push(
+            self.time + delay.max(1),
+            self.seq,
+            EventKind::Deliver { from, to, msg: Payload::Owned(msg), sent_at: self.time },
+        );
         self.stats.msgs_injected += 1;
     }
 
+    /// Routes one message over the `origin → to` link: fault draws,
+    /// latency sampling, scheduling. Identical decision order for
+    /// unicasts and each recipient of a broadcast, so seeded runs replay
+    /// bit-for-bit regardless of how the payload is carried.
+    fn route(&mut self, origin: NodeIdx, to: NodeIdx, msg: Payload<A::Msg>, wire: usize) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += wire as u64;
+        // Fault decisions are made at send time, per directed
+        // link. Every probability draw is guarded by `> 0.0`
+        // so an all-healthy model consumes no randomness and
+        // seeded runs replay exactly as before.
+        let fault = *self.faults.link(origin, to);
+        let crossed_partition = match &self.partition {
+            Some(p) => p[origin] != p[to],
+            None => false,
+        };
+        let dropped = crossed_partition || (fault.drop > 0.0 && self.rng.gen_bool(fault.drop));
+        if dropped {
+            self.stats.msgs_dropped += 1;
+            return;
+        }
+        let mut latency = self.config.latency.sample(origin, to, &mut self.rng);
+        if fault.delay_spike > 0.0 && self.rng.gen_bool(fault.delay_spike) {
+            latency += fault.spike;
+            self.stats.delay_spikes += 1;
+        }
+        if fault.reorder > 0.0 && self.rng.gen_bool(fault.reorder) {
+            // Up to double the sampled latency: later sends on
+            // the same link can now overtake this message.
+            latency += self.rng.gen_range(0..=latency);
+            self.stats.msgs_reordered += 1;
+        }
+        if fault.duplicate > 0.0 && self.rng.gen_bool(fault.duplicate) {
+            let dup_latency = self.config.latency.sample(origin, to, &mut self.rng).max(1);
+            // Duplicates the *handle*: for broadcast payloads this is an
+            // `Arc` refcount bump, not a message allocation.
+            let dup = Payload::clone(&msg);
+            self.seq += 1;
+            self.queue.push(
+                self.time + dup_latency,
+                self.seq,
+                EventKind::Deliver { from: origin, to, msg: dup, sent_at: self.time },
+            );
+            self.stats.msgs_duplicated += 1;
+        }
+        self.seq += 1;
+        self.queue.push(
+            self.time + latency,
+            self.seq,
+            EventKind::Deliver { from: origin, to, msg, sent_at: self.time },
+        );
+    }
+
     fn apply_effects(&mut self, origin: NodeIdx, ctx: &mut Context<A::Msg>) {
-        use crate::actor::Message as _;
-        for effect in ctx.take_effects() {
+        let mut effects = std::mem::take(&mut ctx.outbox);
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
-                    self.stats.msgs_sent += 1;
-                    self.stats.bytes_sent += msg.wire_size() as u64;
-                    // Fault decisions are made at send time, per directed
-                    // link. Every probability draw is guarded by `> 0.0`
-                    // so an all-healthy model consumes no randomness and
-                    // seeded runs replay exactly as before.
-                    let fault = *self.faults.link(origin, to);
-                    let crossed_partition = match &self.partition {
-                        Some(p) => p[origin] != p[to],
-                        None => false,
-                    };
-                    let dropped =
-                        crossed_partition || (fault.drop > 0.0 && self.rng.gen_bool(fault.drop));
-                    if dropped {
-                        self.stats.msgs_dropped += 1;
-                        continue;
+                    let wire = msg.wire_size();
+                    self.route(origin, to, Payload::Owned(msg), wire);
+                }
+                Effect::Broadcast { msg } => {
+                    // One allocation for the whole fan-out. Recipient
+                    // order (every other node by index, then self) and
+                    // per-recipient accounting and fault draws are
+                    // identical to n unicasts of the same payload.
+                    let wire = msg.wire_size();
+                    let shared = Arc::new(msg);
+                    for to in 0..self.actors.len() {
+                        if to != origin {
+                            self.route(origin, to, Payload::Shared(Arc::clone(&shared)), wire);
+                        }
                     }
-                    let mut latency = self.config.latency.sample(origin, to, &mut self.rng);
-                    if fault.delay_spike > 0.0 && self.rng.gen_bool(fault.delay_spike) {
-                        latency += fault.spike;
-                        self.stats.delay_spikes += 1;
-                    }
-                    if fault.reorder > 0.0 && self.rng.gen_bool(fault.reorder) {
-                        // Up to double the sampled latency: later sends on
-                        // the same link can now overtake this message.
-                        latency += self.rng.gen_range(0..=latency);
-                        self.stats.msgs_reordered += 1;
-                    }
-                    if fault.duplicate > 0.0 && self.rng.gen_bool(fault.duplicate) {
-                        let dup_latency =
-                            self.config.latency.sample(origin, to, &mut self.rng).max(1);
-                        self.seq += 1;
-                        self.queue.push(Reverse(Event {
-                            at: self.time + dup_latency,
-                            seq: self.seq,
-                            kind: EventKind::Deliver {
-                                from: origin,
-                                to,
-                                msg: msg.clone(),
-                                sent_at: self.time,
-                            },
-                        }));
-                        self.stats.msgs_duplicated += 1;
-                    }
-                    self.seq += 1;
-                    self.queue.push(Reverse(Event {
-                        at: self.time + latency,
-                        seq: self.seq,
-                        kind: EventKind::Deliver { from: origin, to, msg, sent_at: self.time },
-                    }));
+                    self.route(origin, origin, Payload::Shared(shared), wire);
                 }
                 Effect::Timer { delay, id } => {
+                    self.stats.timers_set += 1;
                     self.seq += 1;
-                    self.queue.push(Reverse(Event {
-                        at: self.time + delay.max(1),
-                        seq: self.seq,
-                        kind: EventKind::Timer {
+                    self.queue.push(
+                        self.time + delay.max(1),
+                        self.seq,
+                        EventKind::Timer {
                             node: origin,
                             id,
                             incarnation: self.incarnation[origin],
                         },
-                    }));
+                    );
+                }
+                Effect::CancelTimer { id } => {
+                    // Watermark: every timer armed so far (seq ≤ current)
+                    // with this id is dead. O(1) for both cancel and arm.
+                    self.cancelled.insert((origin, id), self.seq);
                 }
             }
+        }
+        // Hand the (now empty) buffer back for the next callback.
+        self.scratch = effects;
+    }
+
+    /// A context whose outbox reuses the network's scratch buffer.
+    fn context_for(&mut self, node: NodeIdx) -> Context<A::Msg> {
+        Context {
+            now: self.time,
+            self_id: node,
+            n: self.actors.len(),
+            outbox: std::mem::take(&mut self.scratch),
         }
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         debug_assert!(event.at >= self.time, "time must be monotone");
         self.time = event.at;
-        match event.kind {
+        match event.item {
             EventKind::Deliver { from, to, msg, sent_at } => {
                 if self.crashed[to] {
                     self.stats.msgs_dropped += 1;
@@ -346,16 +424,26 @@ impl<A: Actor> Network<A> {
                 self.stats.msgs_delivered += 1;
                 self.stats.latency_sum += self.time - sent_at;
                 self.stats.latency_histogram.record(self.time - sent_at);
-                let mut ctx = Context::standalone(self.time, to, self.actors.len());
-                self.actors[to].on_message(from, msg, &mut ctx);
+                self.trace = fold_trace(self.trace, event.at, event.seq, from, to);
+                let mut ctx = self.context_for(to);
+                self.actors[to].on_message(from, msg.get(), &mut ctx);
                 self.apply_effects(to, &mut ctx);
             }
             EventKind::Timer { node, id, incarnation } => {
-                if self.crashed[node] || incarnation != self.incarnation[node] {
+                if incarnation != self.incarnation[node] {
+                    self.stats.timers_cancelled += 1;
+                    return true;
+                }
+                if self.cancelled.get(&(node, id)).is_some_and(|&watermark| event.seq <= watermark)
+                {
+                    self.stats.timers_cancelled += 1;
+                    return true;
+                }
+                if self.crashed[node] {
                     return true;
                 }
                 self.stats.timers_fired += 1;
-                let mut ctx = Context::standalone(self.time, node, self.actors.len());
+                let mut ctx = self.context_for(node);
                 self.actors[node].on_timer(id, &mut ctx);
                 self.apply_effects(node, &mut ctx);
             }
@@ -367,8 +455,8 @@ impl<A: Actor> Network<A> {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -439,7 +527,7 @@ mod tests {
 
     impl Actor for Gossip {
         type Msg = Token;
-        fn on_message(&mut self, _from: NodeIdx, msg: Token, ctx: &mut Context<Token>) {
+        fn on_message(&mut self, _from: NodeIdx, msg: &Token, ctx: &mut Context<Token>) {
             if msg.0 > self.best {
                 self.best = msg.0;
                 self.spread = true;

@@ -1,0 +1,459 @@
+//! The event scheduler: a hierarchical timer wheel with a near-future
+//! calendar level and a far-future overflow heap.
+//!
+//! The simulator's previous scheduler was a single global `BinaryHeap`:
+//! every push and pop paid `O(log n)` comparisons over a heap that the
+//! chaos workloads grow to millions of entries, and the popped minimum
+//! wanders the heap's backing array with no cache locality. This wheel
+//! exploits what a discrete-event simulator knows about its events:
+//! almost everything scheduled is *near* (LAN latencies of ~100 ticks,
+//! heartbeats of a few thousand), time never goes backwards, and every
+//! push is strictly in the future (`at > now`, because the minimum
+//! latency/delay everywhere is one tick).
+//!
+//! Layout — `SLOTS` = 4096 slots per level, one tick per L0 slot:
+//!
+//! * **L0 (calendar)** — events within the current 4096-tick window,
+//!   indexed by `at & 4095`. Pop scans a 64-word occupancy bitmap for
+//!   the first set bit: O(1) with a tiny constant.
+//! * **L1** — events within the next 4095 windows (≈16.8M ticks),
+//!   indexed by `window(at) & 4095`. When L0 drains, the nearest
+//!   occupied L1 slot cascades into L0.
+//! * **Overflow** — a `BinaryHeap` for anything ≥ 4096 windows out.
+//!   Drained into L0/L1 whenever the window advances near it. Rarely
+//!   touched: nothing in the repo schedules 16M ticks ahead.
+//!
+//! Ordering contract: events pop in exactly `(at, seq)` order — the
+//! same total order the `BinaryHeap` produced, which the golden-trace
+//! tests pin bit-for-bit. Two mechanisms make that exact:
+//!
+//! * a slot's events are sorted by `seq` when the slot is *consumed*
+//!   (not on insert), because overflow drains can interleave lower
+//!   seqs into a slot after higher ones arrived directly;
+//! * the window pointer only advances inside [`EventQueue::pop`],
+//!   never in [`EventQueue::next_at`]: a peek must stay
+//!   non-destructive because callers may inject new, earlier events
+//!   between peeking and popping.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Slots per wheel level (and ticks per L0 window).
+const SLOTS: u64 = 4096;
+/// Bit width of a level's index.
+const SHIFT: u32 = 12;
+/// Index mask within a level.
+const MASK: u64 = SLOTS - 1;
+/// Words in an occupancy bitmap.
+const WORDS: usize = (SLOTS / 64) as usize;
+
+/// One scheduled event: its delivery time, its global sequence number
+/// (the deterministic FIFO tie-breaker), and the caller's payload.
+#[derive(Debug)]
+pub struct Entry<T> {
+    /// Absolute delivery time.
+    pub at: SimTime,
+    /// Global sequence number; unique, monotone in push order.
+    pub seq: u64,
+    /// The scheduled payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A fixed-size two-level occupancy bitmap over one wheel level: 64
+/// words of slot bits plus one summary word with bit `w` set iff word
+/// `w` is non-zero. Lookups are two `trailing_zeros`, never a scan —
+/// this matters in sparse phases (idle consensus clusters between
+/// timer firings), where a linear 64-word scan per pop/peek would cost
+/// more than the old heap's `O(log n)`.
+struct Bitmap {
+    words: [u64; WORDS],
+    summary: u64,
+}
+
+impl Bitmap {
+    fn new() -> Self {
+        Bitmap { words: [0; WORDS], summary: 0 }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1 << (i & 63);
+        self.summary |= 1 << (i >> 6);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        let w = i >> 6;
+        self.words[w] &= !(1 << (i & 63));
+        if self.words[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    /// First set bit at or after `from`, scanning forward only.
+    #[inline]
+    fn first_from(&self, from: usize) -> Option<usize> {
+        let word = from >> 6;
+        if word >= WORDS {
+            return None;
+        }
+        // The first word is special: bits below `from` are masked off.
+        let cur = self.words[word] & (!0u64 << (from & 63));
+        if cur != 0 {
+            return Some((word << 6) + cur.trailing_zeros() as usize);
+        }
+        // Later words via the summary: first non-empty word directly.
+        let rest = if word + 1 >= WORDS { 0 } else { self.summary & (!0u64 << (word + 1)) };
+        if rest == 0 {
+            return None;
+        }
+        let w = rest.trailing_zeros() as usize;
+        Some((w << 6) + self.words[w].trailing_zeros() as usize)
+    }
+
+    /// First set bit scanning circularly from `from` (exclusive) all the
+    /// way around to `from` (exclusive again); `None` if empty.
+    fn first_circular_after(&self, from: usize) -> Option<(usize, u64)> {
+        // Forward part: (from, SLOTS).
+        if let Some(i) = self.first_from(from + 1) {
+            return Some((i, (i - from) as u64));
+        }
+        // Wrapped part: [0, from].
+        if let Some(i) = self.first_from(0) {
+            if i <= from {
+                return Some((i, (SLOTS as usize - from + i) as u64));
+            }
+        }
+        None
+    }
+}
+
+/// A hierarchical timer-wheel event queue delivering entries in exact
+/// `(at, seq)` order.
+pub struct EventQueue<T> {
+    /// Current-window calendar: slot `at & MASK`, one tick per slot.
+    l0: Vec<Vec<Entry<T>>>,
+    l0_occ: Bitmap,
+    /// Next-4095-windows level: slot `(at >> SHIFT) & MASK`.
+    l1: Vec<Vec<Entry<T>>>,
+    l1_occ: Bitmap,
+    /// Everything ≥ `SLOTS` windows ahead of `window`.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    /// The tick currently being drained, sorted by seq **descending**
+    /// (pop from the back).
+    current: Vec<Entry<T>>,
+    /// The window (`at >> SHIFT`) that L0 currently represents.
+    window: u64,
+    len: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue starting at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            l0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l0_occ: Bitmap::new(),
+            l1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l1_occ: Bitmap::new(),
+            overflow: BinaryHeap::new(),
+            current: Vec::new(),
+            window: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules an entry. `at` must not precede the last popped entry's
+    /// time (the simulator guarantees this: all delays are ≥ 1 tick).
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        self.len += 1;
+        self.file(Entry { at, seq, item });
+    }
+
+    /// Files an entry into the right level for the current window.
+    #[inline]
+    fn file(&mut self, e: Entry<T>) {
+        let w = e.at >> SHIFT;
+        debug_assert!(w >= self.window, "push into a past window");
+        if w == self.window {
+            let slot = (e.at & MASK) as usize;
+            self.l0_occ.set(slot);
+            self.l0[slot].push(e);
+        } else if w - self.window < SLOTS {
+            let slot = (w & MASK) as usize;
+            self.l1_occ.set(slot);
+            self.l1[slot].push(e);
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Moves overflow entries that now fit the wheel into L0/L1. Called
+    /// after every window advance.
+    fn drain_overflow(&mut self) {
+        let horizon = (self.window + SLOTS) << SHIFT;
+        while self.overflow.peek().is_some_and(|Reverse(e)| e.at < horizon) {
+            let Reverse(e) = self.overflow.pop().expect("peeked");
+            self.file(e);
+        }
+    }
+
+    /// Delivery time of the next entry without removing it (and without
+    /// advancing the wheel — injections between a peek and the next pop
+    /// may legally schedule *earlier* events).
+    pub fn next_at(&self) -> Option<SimTime> {
+        if let Some(e) = self.current.last() {
+            return Some(e.at);
+        }
+        if let Some(slot) = self.l0_occ.first_from(0) {
+            return Some((self.window << SHIFT) | slot as u64);
+        }
+        if let Some((slot, _)) = self.l1_occ.first_circular_after((self.window & MASK) as usize) {
+            // All entries in an L1 slot share one window; the earliest
+            // tick within it needs a scan.
+            return self.l1[slot].iter().map(|e| e.at).min();
+        }
+        self.overflow.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the earliest entry in `(at, seq)` order.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        loop {
+            if let Some(e) = self.current.pop() {
+                self.len -= 1;
+                return Some(e);
+            }
+            // Refill from the first occupied L0 slot. Slots before the
+            // last drained tick are necessarily empty (pushes are
+            // strictly future), so scanning from bit 0 finds the
+            // minimum.
+            if let Some(slot) = self.l0_occ.first_from(0) {
+                self.l0_occ.clear(slot);
+                let mut v = std::mem::take(&mut self.l0[slot]);
+                // Seq-descending so `pop()` drains ascending. Sorted at
+                // consumption time: overflow drains can interleave
+                // lower seqs after higher ones.
+                v.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                self.current = v;
+                continue;
+            }
+            // L0 empty: cascade the nearest occupied L1 slot. The
+            // circular scan order from the current window's own slot is
+            // exactly window order, and the own slot itself cannot be
+            // occupied (a window-difference of SLOTS files to overflow).
+            if let Some((slot, offset)) =
+                self.l1_occ.first_circular_after((self.window & MASK) as usize)
+            {
+                debug_assert!(offset < SLOTS);
+                self.window += offset;
+                self.l1_occ.clear(slot);
+                let v = std::mem::take(&mut self.l1[slot]);
+                debug_assert!(v.iter().all(|e| e.at >> SHIFT == self.window));
+                for e in v {
+                    self.file(e);
+                }
+                self.drain_overflow();
+                continue;
+            }
+            // Wheels empty: jump the window to the overflow minimum.
+            if let Some(Reverse(e)) = self.overflow.pop() {
+                self.window = e.at >> SHIFT;
+                self.file(e);
+                self.drain_overflow();
+                continue;
+            }
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Pops everything, asserting exact (at, seq) order.
+    fn drain_ordered(q: &mut EventQueue<u32>) -> Vec<(SimTime, u64)> {
+        let mut out = Vec::new();
+        let mut last = (0, 0);
+        while let Some(e) = q.pop() {
+            let key = (e.at, e.seq);
+            assert!(key > last || out.is_empty(), "order violated: {key:?} after {last:?}");
+            last = key;
+            out.push(key);
+        }
+        assert_eq!(q.len(), 0);
+        out
+    }
+
+    #[test]
+    fn pops_in_at_seq_order_across_levels() {
+        let mut q = EventQueue::new();
+        // L0 (near), L1 (mid), overflow (far) — pushed out of order.
+        let times = [5u64, 1, 4096 * 3 + 17, 4096 * 4096 * 2, 100, 4095, 4096, 70_000];
+        for (seq, &at) in times.iter().enumerate() {
+            q.push(at, seq as u64, 0);
+        }
+        let popped = drain_ordered(&mut q);
+        let mut expect: Vec<(SimTime, u64)> =
+            times.iter().enumerate().map(|(s, &t)| (t, s as u64)).collect();
+        expect.sort_unstable();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn same_tick_breaks_ties_by_seq() {
+        let mut q = EventQueue::new();
+        for seq in [5u64, 1, 9, 3] {
+            q.push(42, seq, 0);
+        }
+        assert_eq!(drain_ordered(&mut q), vec![(42, 1), (42, 3), (42, 5), (42, 9)]);
+    }
+
+    #[test]
+    fn interleaves_pushes_with_pops() {
+        // The simulator's real pattern: handle an event, schedule more.
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        q.push(1, seq, 0);
+        let mut now = 0;
+        let mut popped = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.at >= now, "time went backwards");
+            now = e.at;
+            popped += 1;
+            if popped < 3000 {
+                for delta in [1u64, 120, 2000, 5000, 20_000] {
+                    seq += 1;
+                    q.push(now + delta, seq, 0);
+                }
+            }
+        }
+        assert!(popped > 3000);
+    }
+
+    #[test]
+    fn matches_binary_heap_reference() {
+        // Randomized equivalence against the old scheduler, including
+        // pushes interleaved mid-drain (always strictly future).
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<Entry<u32>>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let push = |q: &mut EventQueue<u32>,
+                    heap: &mut BinaryHeap<Reverse<Entry<u32>>>,
+                    now: u64,
+                    seq: &mut u64,
+                    rng: &mut StdRng| {
+            let delta: u64 = match rng.gen_range(0..4) {
+                0 => rng.gen_range(1..100),           // same window
+                1 => rng.gen_range(100..10_000),      // L0/L1 boundary
+                2 => rng.gen_range(10_000..1 << 22),  // deep L1
+                _ => rng.gen_range(1 << 22..1 << 28), // overflow
+            };
+            *seq += 1;
+            q.push(now + delta, *seq, 7);
+            heap.push(Reverse(Entry { at: now + delta, seq: *seq, item: 7 }));
+        };
+        for _ in 0..500 {
+            push(&mut q, &mut heap, now, &mut seq, &mut rng);
+        }
+        while let Some(e) = q.pop() {
+            let Reverse(r) = heap.pop().expect("heap in sync");
+            assert_eq!((e.at, e.seq), (r.at, r.seq));
+            now = e.at;
+            if rng.gen_bool(0.3) && seq < 5_000 {
+                for _ in 0..rng.gen_range(1..5) {
+                    push(&mut q, &mut heap, now, &mut seq, &mut rng);
+                }
+            }
+        }
+        assert!(heap.is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_at_is_nondestructive_and_correct() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_at(), None);
+        q.push(1 << 26, 1, 0); // overflow
+        assert_eq!(q.next_at(), Some(1 << 26));
+        q.push(9000, 2, 0); // L1
+        assert_eq!(q.next_at(), Some(9000));
+        q.push(3, 3, 0); // L0
+        assert_eq!(q.next_at(), Some(3));
+        // Peeking repeatedly must not advance anything.
+        assert_eq!(q.next_at(), Some(3));
+        assert_eq!(q.pop().map(|e| e.at), Some(3));
+        assert_eq!(q.next_at(), Some(9000));
+        // An injection *earlier* than the peeked minimum must win.
+        q.push(10, 4, 0);
+        assert_eq!(q.next_at(), Some(10));
+        assert_eq!(q.pop().map(|e| e.at), Some(10));
+        assert_eq!(q.pop().map(|e| e.at), Some(9000));
+        assert_eq!(q.pop().map(|e| e.at), Some(1 << 26));
+        assert_eq!(q.pop().map(|e| e.at), None);
+    }
+
+    #[test]
+    fn overflow_drain_interleaves_seqs_within_a_tick() {
+        // A far event (low seq) and a near-ish event (high seq) on the
+        // same tick: the far one reaches the slot *later* (via overflow
+        // drain) but must still pop *first* by seq.
+        let far_tick = (SLOTS * SLOTS + 5) << SHIFT | 9;
+        let mut q = EventQueue::new();
+        q.push(far_tick, 1, 0); // overflow at push time
+        q.push(500, 2, 0);
+        assert_eq!(q.pop().map(|e| (e.at, e.seq)), Some((500, 2)));
+        // Window has advanced; schedule the same far tick directly.
+        q.push(far_tick, 3, 0);
+        assert_eq!(q.pop().map(|e| (e.at, e.seq)), Some((far_tick, 1)));
+        assert_eq!(q.pop().map(|e| (e.at, e.seq)), Some((far_tick, 3)));
+    }
+
+    #[test]
+    fn window_boundary_exact() {
+        let mut q = EventQueue::new();
+        // Last tick of window 0, first tick of window 1, and the tick
+        // exactly SLOTS windows out (must overflow, then cascade back).
+        q.push(MASK, 1, 0);
+        q.push(SLOTS, 2, 0);
+        q.push(SLOTS * SLOTS, 3, 0);
+        assert_eq!(drain_ordered(&mut q), vec![(MASK, 1), (SLOTS, 2), (SLOTS * SLOTS, 3)]);
+    }
+}

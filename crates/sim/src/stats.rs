@@ -83,8 +83,16 @@ pub struct NetStats {
     pub latency_sum: SimTime,
     /// Delivery-latency distribution (log-scale buckets).
     pub latency_histogram: LatencyHistogram,
+    /// Timers armed via [`crate::Context::set_timer`] (and the replacing
+    /// variant).
+    pub timers_set: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Timers skipped at fire time because they were cancelled (via
+    /// [`crate::Context::cancel_timer`] or a replacing re-arm) after
+    /// being armed. Incarnation-filtered ghosts of pre-amnesia lives are
+    /// counted here too.
+    pub timers_cancelled: u64,
     /// Messages injected out-of-band via `Network::inject` (client
     /// traffic; excluded from `msgs_sent` so protocol ratios stay
     /// meaningful).

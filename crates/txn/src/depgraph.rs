@@ -6,8 +6,8 @@
 //! by construction and gives executors a partial order: transactions in
 //! the same topological layer can run in parallel.
 
+use fxhash::FxHashMap;
 use pbc_types::Transaction;
-use std::collections::HashMap;
 
 /// A dependency DAG over one block's transactions.
 #[derive(Clone, Debug)]
@@ -38,7 +38,9 @@ impl DependencyGraph {
             last_writer: Option<usize>,
             readers_since: Vec<usize>,
         }
-        let mut keys: HashMap<&str, KeyState> = HashMap::new();
+        // Fx-hashed: this map is rebuilt per block and probed once per
+        // key operation, so hashing cost is the dominant term.
+        let mut keys: FxHashMap<&str, KeyState> = FxHashMap::default();
         // Dedup edges per (i, j): track the latest predecessor recorded for j.
         let add_edge = |succ: &mut Vec<Vec<usize>>,
                         indegree: &mut Vec<usize>,
