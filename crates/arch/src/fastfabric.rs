@@ -11,7 +11,9 @@
 //! in one parallel step (E4); under contention it degrades gracefully to
 //! Fabric's serial behaviour and identical verdicts (tested below).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
+use crate::pipeline::{
+    execute_parallel, seal_block, trace_stage, BlockOutcome, BlockSeal, ExecutionPipeline,
+};
 use pbc_ledger::{ChainLedger, ExecResult, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_txn::DependencyGraph;
@@ -107,6 +109,7 @@ impl ExecutionPipeline for FastFabricPipeline {
                 }
             }
         }
+        trace_stage("fastfabric", "validate-layers", seal, height, outcome.sequential_steps);
         outcome
     }
 

@@ -8,7 +8,7 @@
 //! aborts for concurrency reasons — at the price of zero execution
 //! parallelism, the weakness E2 measures.
 
-use crate::pipeline::{seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
+use crate::pipeline::{seal_block, trace_stage, BlockOutcome, BlockSeal, ExecutionPipeline};
 use pbc_ledger::{execute_and_apply, ChainLedger, StateStore, Version};
 use pbc_types::Transaction;
 
@@ -45,6 +45,7 @@ impl ExecutionPipeline for OxPipeline {
                 outcome.aborted.push(tx.id);
             }
         }
+        trace_stage("ox", "execute-sequential", seal, height, outcome.sequential_steps);
         outcome
     }
 

@@ -10,7 +10,9 @@
 //! blocks still extract whatever parallelism the conflict structure
 //! allows — the paper's "supports contentious workloads" claim (E2).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
+use crate::pipeline::{
+    execute_parallel, seal_block, trace_stage, BlockOutcome, BlockSeal, ExecutionPipeline,
+};
 use pbc_ledger::{ChainLedger, StateStore, Version};
 use pbc_txn::DependencyGraph;
 use pbc_types::Transaction;
@@ -56,6 +58,7 @@ impl ExecutionPipeline for OxiiPipeline {
                 }
             }
         }
+        trace_stage("oxii", "execute-layers", seal, height, outcome.sequential_steps);
         outcome
     }
 

@@ -75,6 +75,27 @@ pub trait ExecutionPipeline {
     fn name(&self) -> &'static str;
 }
 
+/// Records a completed pipeline stage in the trace layer (a no-op unless
+/// a [`pbc_trace`] sink is installed). The event is stamped with the
+/// block's seal time — the consensus decision tick in integrated runs,
+/// the height in standalone runs — so Chrome-trace exports line stages up
+/// against the consensus events that produced them.
+#[inline]
+pub fn trace_stage(
+    pipeline: &'static str,
+    stage: &'static str,
+    seal: BlockSeal,
+    height: u64,
+    steps: usize,
+) {
+    pbc_trace::emit(seal.time, || pbc_trace::TraceEvent::Stage {
+        pipeline,
+        stage,
+        height,
+        steps: steps as u64,
+    });
+}
+
 /// Executes `txs` in parallel against a shared read-only state snapshot,
 /// preserving input order in the results. Falls back to inline execution
 /// for small batches where thread spawn costs dominate.

@@ -14,7 +14,9 @@
 //! [`ReorderPolicy`] interposes Fabric++ or FabricSharp in-block
 //! reordering between steps 2 and 3 (E3).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
+use crate::pipeline::{
+    execute_parallel, seal_block, trace_stage, BlockOutcome, BlockSeal, ExecutionPipeline,
+};
 use pbc_ledger::{ChainLedger, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_txn::{fabric_pp_reorder, fabric_sharp_reorder};
@@ -109,6 +111,7 @@ impl ExecutionPipeline for XovPipeline {
                 outcome.aborted.push(txs[i].id);
             }
         }
+        trace_stage("xov", "validate-serial", seal, height, order.len());
         outcome
     }
 

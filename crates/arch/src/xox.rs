@@ -8,7 +8,9 @@
 //! commits with fresh reads (unless it fails intrinsically, e.g.
 //! insufficient funds).
 
-use crate::pipeline::{execute_parallel, seal_block, BlockOutcome, BlockSeal, ExecutionPipeline};
+use crate::pipeline::{
+    execute_parallel, seal_block, trace_stage, BlockOutcome, BlockSeal, ExecutionPipeline,
+};
 use pbc_ledger::{execute_and_apply, ChainLedger, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
 use pbc_types::Transaction;
@@ -67,6 +69,7 @@ impl ExecutionPipeline for XoxPipeline {
                 outcome.aborted.push(txs[i].id);
             }
         }
+        trace_stage("xox", "validate-reexecute", seal, height, outcome.sequential_steps);
         outcome
     }
 

@@ -7,6 +7,15 @@
 //! PBFT/HotStuff/Raft at n ∈ {4, 16, 64}, plus the chaos workload) into
 //! a JSON file — `BENCH_PR2.json` by default — so later PRs can regress
 //! against it.
+//!
+//! `sweep --metrics` runs one healthy consensus round per protocol with a
+//! [`pbc_trace`] sink installed and prints the per-protocol metrics
+//! registry: commit counts, view changes, and commit/round latency
+//! histograms.
+//!
+//! `sweep --storm-overhead` times the chaos-storm workload with the
+//! trace sink absent and installed, printing both rates — the
+//! observability layer's cost on the simulator's hottest path.
 
 use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto, RunStats};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
@@ -145,8 +154,79 @@ fn baseline(out_path: &str) {
     println!("baseline written to {out_path}");
 }
 
+fn metrics() {
+    const SEED: u64 = 0xBA5E;
+    const REQUESTS: u64 = 30;
+    const N: usize = 16;
+    for proto in [Proto::Pbft, Proto::HotStuff, Proto::Raft] {
+        // Fresh sink per protocol so delivery counts (and therefore
+        // msgs-per-commit) aren't polluted by the previous run.
+        pbc_trace::install(pbc_trace::TraceSink::new(64 * 1024));
+        let stats = consensus_run(proto, N, SEED, REQUESTS);
+        let sink = pbc_trace::uninstall().expect("sink installed above");
+        let reg = sink.metrics();
+        println!("=== {} n={N} seed={SEED:#x} requests={REQUESTS} ===", proto.name());
+        println!(
+            "decided={} events={} trace_records={} (ring kept {})",
+            stats.decided,
+            stats.events,
+            sink.total(),
+            sink.records().len()
+        );
+        for label in reg.protocols() {
+            let pm = reg.proto(label).expect("label from registry");
+            println!(
+                "  [{label}] commits={} view_changes={} elections={} leaders={} phases={} \
+                 msgs/commit={:.1}",
+                pm.commits,
+                pm.view_changes,
+                pm.elections,
+                pm.leaders_elected,
+                pm.phases,
+                reg.msgs_per_commit(label),
+            );
+            println!("    commit latency {}", pm.commit_latency.summary());
+            println!("    round  latency {}", pm.round_latency.summary());
+        }
+        println!();
+    }
+}
+
+fn storm_overhead() {
+    const SEED: u64 = 0xBA5E;
+    let reps = 3;
+    let (off, off_secs) = timed(reps, || chaos_storm(64, SEED, 3_000));
+    let off_eps = off.events as f64 / off_secs;
+    println!(
+        "chaos storm n=64 rounds=3000 sink-off: events={} {:.0} events/s",
+        off.events, off_eps
+    );
+    let (on, on_secs) = timed(reps, || {
+        pbc_trace::install(pbc_trace::TraceSink::new(64 * 1024));
+        let stats = chaos_storm(64, SEED, 3_000);
+        let _ = pbc_trace::uninstall();
+        stats
+    });
+    let on_eps = on.events as f64 / on_secs;
+    assert_eq!(on.events, off.events, "the sink must not perturb the schedule");
+    println!(
+        "chaos storm n=64 rounds=3000 sink-on : events={} {:.0} events/s ({:.1}% of sink-off)",
+        on.events,
+        on_eps,
+        100.0 * on_eps / off_eps
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--metrics") {
+        metrics();
+        return;
+    }
+    if args.iter().any(|a| a == "--storm-overhead") {
+        storm_overhead();
+        return;
+    }
     if args.iter().any(|a| a == "--baseline") {
         let out = args
             .iter()

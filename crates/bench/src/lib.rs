@@ -1,9 +1,13 @@
-//! Shared helpers for the experiment benches (E1–E10).
+//! Shared helpers for the experiment benches (E1–E13).
 //!
 //! Each bench target under `benches/` corresponds to one experiment in
-//! the repository's `EXPERIMENTS.md`. Besides Criterion timings, every
-//! bench prints the experiment's series (the "rows" a paper table would
-//! hold) so `cargo bench` output doubles as the reproduction record.
+//! the repository's `EXPERIMENTS.md`, and each experiment backs a
+//! quantitative claim from the paper — the Figure 1 workload breakdown
+//! (§1), the architecture comparisons of §2.3.3, the sharding and
+//! cross-shard coordination costs of §2.3.4. Besides Criterion timings,
+//! every bench prints the experiment's series (the "rows" a paper table
+//! would hold) so `cargo bench` output doubles as the reproduction
+//! record.
 
 #![forbid(unsafe_code)]
 

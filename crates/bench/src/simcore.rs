@@ -19,6 +19,26 @@
 //! Every workload is seeded and returns event counts, so the same call
 //! measured before and after a scheduler change compares like with
 //! like; wall-clock timing is the caller's business.
+//!
+//! # Example
+//!
+//! The `sweep --metrics` mode is this, per protocol: install a trace
+//! sink, run a workload, read the per-protocol metrics registry back out
+//! of the sink.
+//!
+//! ```
+//! use pbc_bench::simcore::{consensus_run, Proto};
+//!
+//! pbc_trace::install(pbc_trace::TraceSink::new(4096));
+//! let stats = consensus_run(Proto::Pbft, 4, 0xBA5E, 5);
+//! let sink = pbc_trace::uninstall().expect("installed above");
+//!
+//! assert_eq!(stats.decided, 5);
+//! let metrics = sink.metrics();
+//! let pbft = metrics.proto("pbft").expect("pbft commits were traced");
+//! assert!(pbft.commits >= 5 * 4, "every replica commits every slot");
+//! println!("commit latency {}", pbft.commit_latency.summary());
+//! ```
 
 use pbc_consensus::hotstuff::{HotStuffConfig, HotStuffReplica, HsMsg};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};

@@ -125,6 +125,51 @@ impl<P: Clone> DecidedLog<P> {
     }
 }
 
+/// Trace hooks shared by every protocol implementation.
+///
+/// Thin wrappers over [`pbc_trace::emit`] so protocol code states *what*
+/// happened (a phase entry, a view change, a commit) and the emission
+/// mechanics — the enabled check, the closure guard, the event shape —
+/// live in one place. All hooks are free when tracing is disabled: the
+/// `#[inline]` enabled check in `pbc_trace` short-circuits before any
+/// argument is packed into an event.
+pub mod hooks {
+    use pbc_sim::{NodeIdx, SimTime};
+    use pbc_trace::TraceEvent;
+
+    /// A replica entered `phase` of `view` (PBFT pre-prepared/prepared,
+    /// HotStuff locked, Tendermint prevote/precommit, ...).
+    #[inline]
+    pub fn phase(proto: &'static str, node: NodeIdx, now: SimTime, view: u64, phase: &'static str) {
+        pbc_trace::emit(now, || TraceEvent::Phase { proto, node, view, phase });
+    }
+
+    /// A replica started or joined a view change targeting `view`.
+    #[inline]
+    pub fn view_change(proto: &'static str, node: NodeIdx, now: SimTime, view: u64) {
+        pbc_trace::emit(now, || TraceEvent::ViewChange { proto, node, view });
+    }
+
+    /// A node became a candidate for `term` (Raft-style elections).
+    #[inline]
+    pub fn election(proto: &'static str, node: NodeIdx, now: SimTime, term: u64) {
+        pbc_trace::emit(now, || TraceEvent::Election { proto, node, term });
+    }
+
+    /// A node won leadership of `term`/view.
+    #[inline]
+    pub fn leader(proto: &'static str, node: NodeIdx, now: SimTime, term: u64) {
+        pbc_trace::emit(now, || TraceEvent::LeaderElected { proto, node, term });
+    }
+
+    /// A replica decided log slot `seq` (call next to
+    /// [`super::DecidedLog::decide`]).
+    #[inline]
+    pub fn commit(proto: &'static str, node: NodeIdx, now: SimTime, seq: u64, digest: u64) {
+        pbc_trace::emit(now, || TraceEvent::Commit { proto, node, seq, digest });
+    }
+}
+
 /// Quorum sizes for the standard fault models.
 pub mod quorum {
     /// Max Byzantine faults tolerable with `n` replicas (`⌊(n-1)/3⌋`).

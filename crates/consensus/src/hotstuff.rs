@@ -13,7 +13,7 @@
 //! QC and only vote for proposals that extend their locked block or carry
 //! a newer justify QC.
 
-use crate::common::{quorum, DecidedLog, Payload};
+use crate::common::{hooks, quorum, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -230,6 +230,7 @@ impl<P: Payload> HotStuffReplica<P> {
         let parent = justify.digest;
         let digest = self.block_digest(v, parent, &payload);
         self.proposed_in_view.insert(v);
+        hooks::leader("hotstuff", ctx.self_id, ctx.now, v);
         ctx.broadcast(HsMsg::Propose { view: v, digest, parent, justify, payload });
     }
 
@@ -249,7 +250,7 @@ impl<P: Payload> HotStuffReplica<P> {
         }
     }
 
-    fn commit_block(&mut self, digest: u64, now: SimTime) {
+    fn commit_block(&mut self, digest: u64, node: NodeIdx, now: SimTime) {
         // Commit the block and any uncommitted ancestors, oldest first.
         let mut chain = Vec::new();
         let mut cur = digest;
@@ -280,6 +281,7 @@ impl<P: Payload> HotStuffReplica<P> {
                 let pd = p.digest_u64();
                 if self.delivered_digests.insert(pd) {
                     self.pending.remove(&pd);
+                    hooks::commit("hotstuff", node, now, self.next_commit_seq, pd);
                     self.log.decide(self.next_commit_seq, p, now);
                     self.next_commit_seq += 1;
                 }
@@ -374,6 +376,7 @@ impl<P: Payload> Actor for HotStuffReplica<P> {
                         let qc = Qc { view, digest };
                         if qc.view > self.prepare_qc.view {
                             self.prepare_qc = qc;
+                            hooks::phase("hotstuff", ctx.self_id, ctx.now, view, "prepared");
                         }
                         ctx.send(from, HsMsg::Vote { phase: Phase::PreCommit, view, digest });
                     }
@@ -381,12 +384,13 @@ impl<P: Payload> Actor for HotStuffReplica<P> {
                         let qc = Qc { view, digest };
                         if qc.view > self.locked_qc.view {
                             self.locked_qc = qc;
+                            hooks::phase("hotstuff", ctx.self_id, ctx.now, view, "locked");
                         }
                         ctx.send(from, HsMsg::Vote { phase: Phase::Commit, view, digest });
                     }
                     Phase::Commit => {
                         // Decide.
-                        self.commit_block(digest, ctx.now);
+                        self.commit_block(digest, ctx.self_id, ctx.now);
                         self.enter_view(view + 1, ctx);
                     }
                 }
@@ -401,6 +405,7 @@ impl<P: Payload> Actor for HotStuffReplica<P> {
         self.timeouts += 1;
         let next = self.view + 1;
         self.view = next;
+        hooks::view_change("hotstuff", ctx.self_id, ctx.now, next);
         ctx.send(self.cfg.leader(next), HsMsg::NewView { view: next, justify: self.prepare_qc });
         self.arm_timer(ctx);
         self.try_propose(ctx);

@@ -12,7 +12,7 @@
 //! E10's subject).
 
 use crate::a2m::{A2mVerifier, Attestation, Usig};
-use crate::common::{DecidedLog, Payload};
+use crate::common::{hooks, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -206,6 +206,9 @@ impl<P: Payload> MinBftReplica<P> {
             .filter(|(d, _)| !self.assigned.contains_key(d))
             .map(|(d, p)| (*d, p.clone()))
             .collect();
+        if !unassigned.is_empty() {
+            hooks::leader("minbft", ctx.self_id, ctx.now, self.view);
+        }
         for (digest, payload) in unassigned {
             let seq = self.next_assign;
             self.next_assign += 1;
@@ -247,10 +250,10 @@ impl<P: Payload> MinBftReplica<P> {
         slot.digest = pd;
         self.assigned.insert(pd, seq);
         ctx.broadcast(MinBftMsg::Commit { view, seq, digest: pd });
-        self.check_decide(seq, ctx.now);
+        self.check_decide(seq, ctx.self_id, ctx.now);
     }
 
-    fn check_decide(&mut self, seq: u64, now: SimTime) {
+    fn check_decide(&mut self, seq: u64, node: NodeIdx, now: SimTime) {
         let q = self.cfg.quorum();
         let Some(slot) = self.slots.get_mut(&seq) else {
             return;
@@ -264,6 +267,7 @@ impl<P: Payload> MinBftReplica<P> {
             let pd = slot.digest;
             self.pending.remove(&pd);
             self.delivered_digests.insert(pd);
+            hooks::commit("minbft", node, now, seq, pd);
             self.log.decide(seq, payload, now);
         }
     }
@@ -371,7 +375,7 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                     return; // conflicting commit for another payload
                 }
                 slot.commits.insert(from);
-                self.check_decide(*seq, ctx.now);
+                self.check_decide(*seq, ctx.self_id, ctx.now);
             }
             MinBftMsg::ReqViewChange { new_view, accepted } => {
                 if *new_view < self.view {
@@ -389,6 +393,7 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                 if *new_view > self.view && self.vc_votes[new_view].len() >= self.cfg.quorum() {
                     self.view = *new_view;
                     self.view_changes += 1;
+                    hooks::view_change("minbft", ctx.self_id, ctx.now, *new_view);
                     self.assigned.clear();
                     ctx.broadcast(MinBftMsg::ReqViewChange {
                         new_view: *new_view,
@@ -424,7 +429,7 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                     slot.digest = pd;
                     self.assigned.insert(pd, *seq);
                     ctx.broadcast(MinBftMsg::Commit { view: *view, seq: *seq, digest: pd });
-                    self.check_decide(*seq, ctx.now);
+                    self.check_decide(*seq, ctx.self_id, ctx.now);
                 }
                 self.arm_timer(ctx);
             }
@@ -456,6 +461,7 @@ impl<P: Payload> Actor for MinBftReplica<P> {
                         slot.decided = true;
                         self.pending.remove(&pd);
                         self.delivered_digests.insert(pd);
+                        hooks::commit("minbft", ctx.self_id, ctx.now, *seq, pd);
                         self.log.decide(*seq, payload, ctx.now);
                     }
                 }
@@ -470,6 +476,7 @@ impl<P: Payload> Actor for MinBftReplica<P> {
         let new_view = self.view + 1;
         self.view = new_view;
         self.view_changes += 1;
+        hooks::view_change("minbft", ctx.self_id, ctx.now, new_view);
         self.assigned.clear();
         ctx.broadcast(MinBftMsg::ReqViewChange { new_view, accepted: self.accepted_undecided() });
         self.arm_timer(ctx);

@@ -8,7 +8,7 @@
 //! same value. Failover: a node holding undecided requests past its
 //! timeout claims leadership with a higher ballot.
 
-use crate::common::{quorum, DecidedLog, Payload};
+use crate::common::{hooks, quorum, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -146,6 +146,7 @@ impl<P: Payload> PaxosNode<P> {
         self.leading = false;
         self.promises.clear();
         self.takeovers += 1;
+        hooks::election("paxos", ctx.self_id, ctx.now, self.ballot);
         ctx.broadcast(PaxosMsg::Prepare { ballot: self.ballot });
         self.arm_timer(ctx);
     }
@@ -215,6 +216,7 @@ impl<P: Payload> Actor for PaxosNode<P> {
                 self.promises.insert(from, accepted.clone());
                 if self.promises.len() >= quorum::majority(self.cfg.n) {
                     self.leading = true;
+                    hooks::leader("paxos", ctx.self_id, ctx.now, self.ballot);
                     self.proposed.clear();
                     // Re-propose the highest-ballot accepted value per slot.
                     let mut per_slot: BTreeMap<u64, (u64, P)> = BTreeMap::new();
@@ -243,6 +245,7 @@ impl<P: Payload> Actor for PaxosNode<P> {
                 if *ballot >= self.promised {
                     self.promised = *ballot;
                     self.accepted.insert(*slot, (*ballot, value.clone()));
+                    hooks::phase("paxos", ctx.self_id, ctx.now, *ballot, "accepted");
                     ctx.broadcast(PaxosMsg::Accepted {
                         ballot: *ballot,
                         slot: *slot,
@@ -259,6 +262,7 @@ impl<P: Payload> Actor for PaxosNode<P> {
                 {
                     self.delivered_digests.insert(*digest);
                     self.pending.remove(digest);
+                    hooks::commit("paxos", ctx.self_id, ctx.now, *slot, *digest);
                     self.log.decide(*slot, value.clone(), ctx.now);
                     self.propose_pending(ctx);
                     self.arm_timer(ctx);

@@ -18,7 +18,7 @@
 //! protocol: the proposer of height `h` is `(h + view) mod n` and heights
 //! are decided one at a time.
 
-use crate::common::{quorum, DecidedLog, Payload};
+use crate::common::{hooks, quorum, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -354,6 +354,7 @@ impl<P: Payload> PbftReplica<P> {
         slot.accepted = Some((view, digest, payload));
         slot.sent_commit = false;
         self.assigned.insert(digest, seq);
+        hooks::phase("pbft", ctx.self_id, ctx.now, view, "pre-prepared");
         ctx.broadcast(PbftMsg::Prepare { view, seq, digest });
         self.check_progress(seq, ctx);
     }
@@ -372,6 +373,7 @@ impl<P: Payload> PbftReplica<P> {
         let prepared = slot.prepares.get(&(view, digest)).is_some_and(|s| s.len() >= q);
         if prepared && !slot.sent_commit {
             slot.sent_commit = true;
+            hooks::phase("pbft", ctx.self_id, ctx.now, view, "prepared");
             ctx.broadcast(PbftMsg::Commit { view, seq, digest });
         }
         let committed = slot.commits.get(&(view, digest)).is_some_and(|s| s.len() >= q);
@@ -379,6 +381,7 @@ impl<P: Payload> PbftReplica<P> {
             slot.decided = true;
             self.pending.remove(&digest);
             self.delivered_digests.insert(digest);
+            hooks::commit("pbft", ctx.self_id, ctx.now, seq, digest);
             self.log.decide(seq, payload, ctx.now);
             // Rotate mode: the next height's proposer may now act.
             self.try_propose(ctx);
@@ -413,6 +416,7 @@ impl<P: Payload> PbftReplica<P> {
         self.view += 1;
         self.view_changes += 1;
         self.assigned.clear();
+        hooks::view_change("pbft", ctx.self_id, ctx.now, self.view);
         ctx.broadcast(PbftMsg::ViewChange {
             new_view: self.view,
             prepared: self.prepared_undecided(),
@@ -473,6 +477,7 @@ impl<P: Payload> PbftReplica<P> {
         }
         self.next_assign = max_seq;
         let list: Vec<(u64, P)> = proposals.into_iter().collect();
+        hooks::leader("pbft", ctx.self_id, ctx.now, self.view);
         ctx.broadcast(PbftMsg::NewView { view: self.view, proposals: list });
     }
 }
@@ -526,6 +531,7 @@ impl<P: Payload> Actor for PbftReplica<P> {
                     self.view = *new_view;
                     self.view_changes += 1;
                     self.assigned.clear();
+                    hooks::view_change("pbft", ctx.self_id, ctx.now, *new_view);
                     ctx.broadcast(PbftMsg::ViewChange {
                         new_view: *new_view,
                         prepared: self.prepared_undecided(),
@@ -547,6 +553,7 @@ impl<P: Payload> Actor for PbftReplica<P> {
                     self.pending.remove(&digest);
                     self.delivered_digests.insert(digest);
                     self.slots.entry(*seq).or_default().decided = true;
+                    hooks::commit("pbft", ctx.self_id, ctx.now, *seq, digest);
                     self.log.decide(*seq, payload.clone(), ctx.now);
                     self.arm_timer_if_pending(ctx);
                 }

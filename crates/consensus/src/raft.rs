@@ -8,7 +8,7 @@
 //! in this crate, Raft needs fewer phases and no all-to-all exchange —
 //! the CFT-vs-BFT gap experiment E5 quantifies exactly that.
 
-use crate::common::{quorum, DecidedLog, Payload};
+use crate::common::{hooks, quorum, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -220,6 +220,7 @@ impl<P: Payload> RaftNode<P> {
         self.votes.clear();
         self.votes.insert(self.id);
         self.elections_started += 1;
+        hooks::election("raft", self.id, ctx.now, self.term);
         ctx.broadcast(RaftMsg::RequestVote {
             term: self.term,
             last_log_index: self.last_log_index(),
@@ -230,6 +231,7 @@ impl<P: Payload> RaftNode<P> {
 
     fn become_leader(&mut self, ctx: &mut Context<RaftMsg<P>>) {
         self.role = Role::Leader;
+        hooks::leader("raft", self.id, ctx.now, self.term);
         self.next_index = vec![self.last_log_index() + 1; self.cfg.n];
         self.match_index = vec![0; self.cfg.n];
         self.match_index[self.id] = self.last_log_index();
@@ -292,6 +294,7 @@ impl<P: Payload> RaftNode<P> {
         while self.last_applied < self.commit_index {
             self.last_applied += 1;
             let (_, p) = &self.log_entries[self.last_applied as usize - 1];
+            hooks::commit("raft", self.id, now, self.last_applied - 1, p.digest_u64());
             self.log.decide(self.last_applied - 1, p.clone(), now);
         }
     }

@@ -13,7 +13,7 @@
 //!    Precommit rounds, with value **locking** on a polka (> ⅔ prevotes)
 //!    for safety across rounds.
 
-use crate::common::{DecidedLog, Payload};
+use crate::common::{hooks, DecidedLog, Payload};
 use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -235,6 +235,7 @@ impl<P: Payload> TendermintNode<P> {
             return;
         };
         self.proposed.insert(key);
+        hooks::leader("tendermint", ctx.self_id, ctx.now, key.round);
         ctx.broadcast(TmMsg::Proposal { height: key.height, round: key.round, payload });
     }
 
@@ -253,6 +254,7 @@ impl<P: Payload> TendermintNode<P> {
             _ => Some(digest),
         };
         self.sent_prevote.insert(key);
+        hooks::phase("tendermint", ctx.self_id, ctx.now, key.round, "prevote");
         ctx.broadcast(TmMsg::Prevote { height: key.height, round: key.round, digest: vote });
     }
 
@@ -267,6 +269,7 @@ impl<P: Payload> TendermintNode<P> {
         }
         if key == self.key() && !self.sent_precommit.contains(&key) {
             self.sent_precommit.insert(key);
+            hooks::phase("tendermint", ctx.self_id, ctx.now, key.round, "precommit");
             ctx.broadcast(TmMsg::Precommit { height: key.height, round: key.round, digest });
         }
     }
@@ -274,6 +277,7 @@ impl<P: Payload> TendermintNode<P> {
     fn advance_round(&mut self, ctx: &mut Context<TmMsg<P>>) {
         self.round += 1;
         self.extra_rounds += 1;
+        hooks::view_change("tendermint", ctx.self_id, ctx.now, self.round);
         self.arm_timer(ctx);
         self.try_propose(ctx);
         self.maybe_prevote(ctx);
@@ -287,6 +291,7 @@ impl<P: Payload> TendermintNode<P> {
             return;
         }
         self.pending.remove(&digest);
+        hooks::commit("tendermint", ctx.self_id, ctx.now, self.height - 1, digest);
         self.log.decide(self.height - 1, payload, ctx.now);
         self.height += 1;
         self.round = 0;

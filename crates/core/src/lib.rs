@@ -34,7 +34,7 @@
 //! [`pbc_shard`] (§2.3.4), and [`pbc_workload`] generators.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod network;
@@ -53,3 +53,9 @@ pub use pbc_txn as txn;
 pub use pbc_types as types;
 pub use pbc_verify as verify;
 pub use pbc_workload as workload;
+
+/// Compile-checks (and runs) every Rust code block in the repository
+/// README as a doctest, so the quickstart can never drift from the API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+struct ReadmeDoctests;

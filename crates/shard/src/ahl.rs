@@ -205,6 +205,11 @@ impl AhlSystem {
             let vote = self.clusters[s.0 as usize].prepare(serial, ops);
             self.stats.local_rounds += 1;
             all_yes &= vote;
+            pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                from_shard: refpos,
+                to_shard: s.0 as usize,
+                phase: "prepare",
+            });
         }
         // Phase 2: decision consensus at the committee, then commit/abort
         // messages out and cluster consensus to apply, acks back.
@@ -216,12 +221,22 @@ impl AhlSystem {
                 let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
                 self.clusters[s.0 as usize].commit(serial, ops);
                 self.stats.local_rounds += 1;
+                pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                    from_shard: refpos,
+                    to_shard: s.0 as usize,
+                    phase: "commit",
+                });
             }
             self.stats.cross_committed += 1;
             true
         } else {
             for s in &shards {
                 self.clusters[s.0 as usize].release(serial);
+                pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                    from_shard: refpos,
+                    to_shard: s.0 as usize,
+                    phase: "abort",
+                });
             }
             self.stats.aborted += 1;
             false

@@ -145,20 +145,38 @@ impl SharperSystem {
         self.stats.coordination_phases += 2; // propose + accept, flattened
                                              // Validity (funds) still has to hold on every involved shard.
         let mut all_ok = true;
+        // No coordinator in the flattened protocol: the lowest involved
+        // shard stands in as the round's origin in trace events.
+        let origin = shards.first().map_or(0, |s| s.0 as usize);
         for s in shards {
             let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
             all_ok &= self.clusters[s.0 as usize].prepare(serial, ops);
+            pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                from_shard: origin,
+                to_shard: s.0 as usize,
+                phase: "prepare",
+            });
         }
         if all_ok {
             for s in shards {
                 let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
                 self.clusters[s.0 as usize].commit(serial, ops);
+                pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                    from_shard: origin,
+                    to_shard: s.0 as usize,
+                    phase: "commit",
+                });
             }
             self.stats.cross_committed += 1;
             true
         } else {
             for s in shards {
                 self.clusters[s.0 as usize].release(serial);
+                pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
+                    from_shard: origin,
+                    to_shard: s.0 as usize,
+                    phase: "abort",
+                });
             }
             self.stats.aborted += 1;
             false

@@ -22,6 +22,7 @@
 
 use crate::actor::{Actor, Context, Effect, Message};
 use crate::{NodeIdx, SimTime};
+use pbc_trace::TraceEvent;
 
 /// Timer-id namespace bit reserved for the adversary's internal timers.
 /// Protocol timer ids must stay below this (all in-repo protocols use
@@ -102,21 +103,35 @@ impl<A: Actor> Adversary<A> {
         })
     }
 
-    /// Applies the attack pipeline to one outbound message.
+    /// Applies the attack pipeline to one outbound message. `now` and
+    /// `node` identify the emission point for the mutation trace.
     fn corrupt_one(
         &mut self,
         to: NodeIdx,
         msg: A::Msg,
         n: usize,
         held_any: &mut bool,
+        now: SimTime,
+        node: NodeIdx,
     ) -> Option<(NodeIdx, A::Msg)> {
         if self.has(Attack::Mute) {
+            pbc_trace::emit(now, || TraceEvent::AdversaryMutate { node, kind: "mute", to });
             return None;
         }
         let msg = if self.has(Attack::Equivocate) && to >= n.div_ceil(2) {
             // The far half of the cluster sees the forked
             // variant of any equivocable proposal.
-            msg.equivocate().unwrap_or(msg)
+            match msg.equivocate() {
+                Some(forked) => {
+                    pbc_trace::emit(now, || TraceEvent::AdversaryMutate {
+                        node,
+                        kind: "equivocate",
+                        to,
+                    });
+                    forked
+                }
+                None => msg,
+            }
         } else {
             msg
         };
@@ -129,6 +144,7 @@ impl<A: Actor> Adversary<A> {
         if self.delay().is_some() {
             self.held.push((to, msg));
             *held_any = true;
+            pbc_trace::emit(now, || TraceEvent::AdversaryMutate { node, kind: "hold", to });
             return None;
         }
         Some((to, msg))
@@ -160,15 +176,19 @@ impl<A: Actor> Adversary<A> {
                     // index, then self).
                     let n = ctx.n;
                     let self_id = ctx.self_id;
+                    let now = ctx.now;
                     for to in (0..n).filter(|&t| t != self_id).chain([self_id]) {
-                        if let Some((to, msg)) = self.corrupt_one(to, msg.clone(), n, &mut held_any)
+                        if let Some((to, msg)) =
+                            self.corrupt_one(to, msg.clone(), n, &mut held_any, now, self_id)
                         {
                             ctx.send(to, msg);
                         }
                     }
                 }
                 Effect::Send { to, msg } => {
-                    if let Some((to, msg)) = self.corrupt_one(to, msg, ctx.n, &mut held_any) {
+                    if let Some((to, msg)) =
+                        self.corrupt_one(to, msg, ctx.n, &mut held_any, ctx.now, ctx.self_id)
+                    {
                         ctx.send(to, msg);
                     }
                 }
@@ -203,6 +223,11 @@ impl<A: Actor> Actor for Adversary<A> {
             // Re-send a stale recorded message to its original target.
             let (to, stale) = self.history[self.replay_cursor % self.history.len()].clone();
             self.replay_cursor = self.replay_cursor.wrapping_add(1);
+            pbc_trace::emit(ctx.now, || TraceEvent::AdversaryMutate {
+                node: ctx.self_id,
+                kind: "replay",
+                to,
+            });
             ctx.send(to, stale);
         }
     }
@@ -212,6 +237,11 @@ impl<A: Actor> Actor for Adversary<A> {
             // Flush delayed traffic directly — it already went through
             // the attack pipeline when it was held.
             for (to, msg) in std::mem::take(&mut self.held) {
+                pbc_trace::emit(ctx.now, || TraceEvent::AdversaryMutate {
+                    node: ctx.self_id,
+                    kind: "flush",
+                    to,
+                });
                 ctx.send(to, msg);
             }
             return;

@@ -41,7 +41,7 @@ pub use adversary::{Adversary, Attack};
 pub use fault::{FaultModel, LinkFault};
 pub use invariants::{InvariantChecker, Violation};
 pub use latency::LatencyModel;
-pub use nemesis::{Nemesis, NemesisConfig, NemesisOp};
+pub use nemesis::{violation_report, Nemesis, NemesisConfig, NemesisOp};
 pub use network::{Network, NetworkConfig};
 pub use stats::NetStats;
 pub use topology::Topology;

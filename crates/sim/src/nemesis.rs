@@ -9,12 +9,40 @@
 //! progress once the schedule's final heal restores the cluster.
 //! Re-running the same seed reproduces the same timeline exactly, which
 //! turns any invariant violation into a one-line reproduction recipe.
+//!
+//! # Example
+//!
+//! Expanding a seed into a schedule is pure — no network required — so
+//! a failing seed can be inspected before it is replayed:
+//!
+//! ```
+//! use pbc_sim::{Nemesis, NemesisConfig};
+//!
+//! let mut cfg = NemesisConfig::new(1234).with_steps(8);
+//! cfg.amnesia = true; // allow crash-with-memory-loss ops
+//! let nemesis = Nemesis::generate(5, &cfg);
+//!
+//! // The same seed always expands to the same timeline.
+//! assert_eq!(nemesis.ops(), Nemesis::generate(5, &cfg).ops());
+//! // The quorum guard holds: the schedule ends fully healed.
+//! assert!(!nemesis.ops().is_empty());
+//! for op in nemesis.ops() {
+//!     println!("{op:?}");
+//! }
+//! ```
+//!
+//! Driving a network through the schedule (`Nemesis::drive`, or
+//! [`drive_durable`](Nemesis::drive_durable) when amnesia is on) checks
+//! the supplied invariants after every op; on a violation,
+//! [`violation_report`] renders the last trace events into a post-mortem
+//! string when a [`pbc_trace`] sink is installed.
 
 use crate::actor::{Actor, Durable};
 use crate::fault::LinkFault;
 use crate::invariants::{DecidedEntry, InvariantChecker, Violation};
 use crate::network::Network;
 use crate::{NodeIdx, SimTime};
+use pbc_trace::TraceEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,6 +92,32 @@ pub enum NemesisOp {
 }
 
 impl NemesisOp {
+    /// Short label for trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NemesisOp::Partition { .. } => "partition",
+            NemesisOp::HealPartition => "heal_partition",
+            NemesisOp::Crash { .. } => "crash",
+            NemesisOp::Recover { .. } => "recover",
+            NemesisOp::CrashAmnesia { .. } => "crash_amnesia",
+            NemesisOp::Restart { .. } => "restart",
+            NemesisOp::DegradeLink { .. } => "degrade_link",
+            NemesisOp::HealLinks => "heal_links",
+        }
+    }
+
+    /// The node the op acts on, or `usize::MAX` for cluster-wide ops.
+    fn primary_node(&self) -> NodeIdx {
+        match self {
+            NemesisOp::Crash { node }
+            | NemesisOp::Recover { node }
+            | NemesisOp::CrashAmnesia { node }
+            | NemesisOp::Restart { node } => *node,
+            NemesisOp::DegradeLink { from, .. } => *from,
+            _ => usize::MAX,
+        }
+    }
+
     /// Applies this op to a network of plain actors.
     ///
     /// # Panics
@@ -71,6 +125,10 @@ impl NemesisOp {
     /// [`Durable`] actor; use [`NemesisOp::apply_durable`] (schedules
     /// generated with `amnesia: false` never contain them).
     pub fn apply<A: Actor>(&self, net: &mut Network<A>) {
+        pbc_trace::emit(net.now(), || TraceEvent::NemesisOp {
+            op: self.label(),
+            node: self.primary_node(),
+        });
         match self {
             NemesisOp::Partition { groups } => net.partition(groups),
             NemesisOp::HealPartition => net.heal_partition(),
@@ -91,7 +149,13 @@ impl NemesisOp {
     /// supported, including amnesia crashes).
     pub fn apply_durable<A: Durable>(&self, net: &mut Network<A>) {
         match self {
-            NemesisOp::CrashAmnesia { node } => net.crash_and_lose_memory(*node),
+            NemesisOp::CrashAmnesia { node } => {
+                pbc_trace::emit(net.now(), || TraceEvent::NemesisOp {
+                    op: self.label(),
+                    node: *node,
+                });
+                net.crash_and_lose_memory(*node);
+            }
             other => other.apply(net),
         }
     }
@@ -149,6 +213,19 @@ impl NemesisConfig {
         self.steps = steps;
         self
     }
+}
+
+/// Renders a violation report embedding the most recent `window` trace
+/// events (oldest first) from the installed [`pbc_trace`] sink. With
+/// tracing disabled the report degrades to the bare violation message —
+/// install a sink (`pbc_trace::install`) before driving the nemesis to
+/// get the causal timeline.
+pub fn violation_report(violation: &Violation, window: usize) -> String {
+    let recent = pbc_trace::recent(window);
+    if recent.is_empty() {
+        return format!("invariant violated: {violation}\n(no trace sink installed)");
+    }
+    pbc_trace::postmortem::render(&format!("invariant violated: {violation}"), &recent)
 }
 
 /// Which way a node is currently down, for matching the recovery op.

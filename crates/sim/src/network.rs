@@ -7,6 +7,7 @@ use crate::sched::EventQueue;
 use crate::stats::NetStats;
 use crate::{NodeIdx, SimTime};
 use fxhash::FxHashMap;
+use pbc_trace::TraceEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -204,12 +205,14 @@ impl<A: Actor> Network<A> {
     /// Marks a node crashed: it stops receiving messages and timers.
     pub fn crash(&mut self, node: NodeIdx) {
         self.crashed[node] = true;
+        pbc_trace::emit(self.time, || TraceEvent::Crash { node });
     }
 
     /// Recovers a crashed node (it resumes receiving; protocol-level
     /// state recovery is the actor's business).
     pub fn recover(&mut self, node: NodeIdx) {
         self.crashed[node] = false;
+        pbc_trace::emit(self.time, || TraceEvent::Recover { node });
     }
 
     /// True if `node` is crashed.
@@ -231,6 +234,7 @@ impl<A: Actor> Network<A> {
         self.actors[node] = amnesiac;
         self.crashed[node] = true;
         self.incarnation[node] += 1;
+        pbc_trace::emit(self.time, || TraceEvent::CrashAmnesia { node });
     }
 
     /// Recovers a crashed node and re-runs its `on_start` so the (possibly
@@ -239,6 +243,7 @@ impl<A: Actor> Network<A> {
     /// plain [`Network::recover`] resumes with RAM intact and no restart.
     pub fn restart(&mut self, node: NodeIdx) {
         self.crashed[node] = false;
+        pbc_trace::emit(self.time, || TraceEvent::Restart { node });
         let mut ctx = self.context_for(node);
         self.actors[node].on_start(&mut ctx);
         self.apply_effects(node, &mut ctx);
@@ -261,11 +266,13 @@ impl<A: Actor> Network<A> {
             "partition groups must cover all nodes"
         );
         self.partition = Some(assignment);
+        pbc_trace::emit(self.time, || TraceEvent::PartitionSet { groups: groups.len() });
     }
 
     /// Heals any partition.
     pub fn heal_partition(&mut self) {
         self.partition = None;
+        pbc_trace::emit(self.time, || TraceEvent::PartitionHeal);
     }
 
     /// Calls every actor's `on_start`.
@@ -297,6 +304,8 @@ impl<A: Actor> Network<A> {
             EventKind::Deliver { from, to, msg: Payload::Owned(msg), sent_at: self.time },
         );
         self.stats.msgs_injected += 1;
+        self.stats.msgs_in_flight += 1;
+        pbc_trace::emit(self.time, || TraceEvent::Inject { from, to });
     }
 
     /// Routes one message over the `origin → to` link: fault draws,
@@ -318,18 +327,29 @@ impl<A: Actor> Network<A> {
         let dropped = crossed_partition || (fault.drop > 0.0 && self.rng.gen_bool(fault.drop));
         if dropped {
             self.stats.msgs_dropped += 1;
+            pbc_trace::emit(self.time, || TraceEvent::DropLink {
+                from: origin,
+                to,
+                partition: crossed_partition,
+            });
             return;
         }
         let mut latency = self.config.latency.sample(origin, to, &mut self.rng);
         if fault.delay_spike > 0.0 && self.rng.gen_bool(fault.delay_spike) {
             latency += fault.spike;
             self.stats.delay_spikes += 1;
+            pbc_trace::emit(self.time, || TraceEvent::DelaySpike {
+                from: origin,
+                to,
+                spike: fault.spike,
+            });
         }
         if fault.reorder > 0.0 && self.rng.gen_bool(fault.reorder) {
             // Up to double the sampled latency: later sends on
             // the same link can now overtake this message.
             latency += self.rng.gen_range(0..=latency);
             self.stats.msgs_reordered += 1;
+            pbc_trace::emit(self.time, || TraceEvent::Reorder { from: origin, to });
         }
         if fault.duplicate > 0.0 && self.rng.gen_bool(fault.duplicate) {
             let dup_latency = self.config.latency.sample(origin, to, &mut self.rng).max(1);
@@ -343,6 +363,8 @@ impl<A: Actor> Network<A> {
                 EventKind::Deliver { from: origin, to, msg: dup, sent_at: self.time },
             );
             self.stats.msgs_duplicated += 1;
+            self.stats.msgs_in_flight += 1;
+            pbc_trace::emit(self.time, || TraceEvent::Duplicate { from: origin, to });
         }
         self.seq += 1;
         self.queue.push(
@@ -350,6 +372,7 @@ impl<A: Actor> Network<A> {
             self.seq,
             EventKind::Deliver { from: origin, to, msg, sent_at: self.time },
         );
+        self.stats.msgs_in_flight += 1;
     }
 
     fn apply_effects(&mut self, origin: NodeIdx, ctx: &mut Context<A::Msg>) {
@@ -386,11 +409,17 @@ impl<A: Actor> Network<A> {
                             incarnation: self.incarnation[origin],
                         },
                     );
+                    pbc_trace::emit(self.time, || TraceEvent::TimerSet {
+                        node: origin,
+                        id,
+                        fire_at: self.time + delay.max(1),
+                    });
                 }
                 Effect::CancelTimer { id } => {
                     // Watermark: every timer armed so far (seq ≤ current)
                     // with this id is dead. O(1) for both cancel and arm.
                     self.cancelled.insert((origin, id), self.seq);
+                    pbc_trace::emit(self.time, || TraceEvent::TimerCancel { node: origin, id });
                 }
             }
         }
@@ -417,14 +446,22 @@ impl<A: Actor> Network<A> {
         self.time = event.at;
         match event.item {
             EventKind::Deliver { from, to, msg, sent_at } => {
+                self.stats.msgs_in_flight -= 1;
                 if self.crashed[to] {
                     self.stats.msgs_dropped += 1;
+                    pbc_trace::emit(self.time, || TraceEvent::DropCrashed { from, to });
                     return true;
                 }
                 self.stats.msgs_delivered += 1;
                 self.stats.latency_sum += self.time - sent_at;
                 self.stats.latency_histogram.record(self.time - sent_at);
                 self.trace = fold_trace(self.trace, event.at, event.seq, from, to);
+                pbc_trace::emit(self.time, || TraceEvent::Deliver {
+                    from,
+                    to,
+                    seq: event.seq,
+                    sent_at,
+                });
                 let mut ctx = self.context_for(to);
                 self.actors[to].on_message(from, msg.get(), &mut ctx);
                 self.apply_effects(to, &mut ctx);
@@ -432,17 +469,20 @@ impl<A: Actor> Network<A> {
             EventKind::Timer { node, id, incarnation } => {
                 if incarnation != self.incarnation[node] {
                     self.stats.timers_cancelled += 1;
+                    pbc_trace::emit(self.time, || TraceEvent::TimerSkip { node, id });
                     return true;
                 }
                 if self.cancelled.get(&(node, id)).is_some_and(|&watermark| event.seq <= watermark)
                 {
                     self.stats.timers_cancelled += 1;
+                    pbc_trace::emit(self.time, || TraceEvent::TimerSkip { node, id });
                     return true;
                 }
                 if self.crashed[node] {
                     return true;
                 }
                 self.stats.timers_fired += 1;
+                pbc_trace::emit(self.time, || TraceEvent::TimerFire { node, id });
                 let mut ctx = self.context_for(node);
                 self.actors[node].on_timer(id, &mut ctx);
                 self.apply_effects(node, &mut ctx);
@@ -636,6 +676,59 @@ mod tests {
         net.inject(0, 0, Token(3), 1);
         let ok = net.run_until_all(100_000, |a| a.best == 3);
         assert!(ok);
+    }
+
+    /// The accounting identity `delivered + dropped + in_flight ==
+    /// sent + duplicated + injected` must hold at *every* point of a
+    /// run, across every path that schedules or retires a delivery:
+    /// plain routing, client injection, link faults (drop, duplicate,
+    /// spike, reorder), crashes, and partitions.
+    #[test]
+    fn stats_conserve_messages_under_faults() {
+        let actors = (0..6).map(|_| Gossip::default()).collect();
+        let mut net = Network::new(actors, NetworkConfig { seed: 0xACC7, ..Default::default() });
+        net.set_fault_model(crate::fault::FaultModel::uniform(crate::fault::LinkFault {
+            drop: 0.10,
+            duplicate: 0.15,
+            delay_spike: 0.20,
+            spike: 500,
+            reorder: 0.10,
+        }));
+        net.crash(5); // send-to-crashed exercises the late-drop path
+        net.partition(&[vec![0, 1, 2, 3, 5], vec![4]]);
+        for i in 0..20u32 {
+            net.inject(0, (i % 4) as usize, Token(i), 1 + i as u64);
+        }
+        // Mid-run: step one event at a time and re-check the identity
+        // while messages are genuinely in flight.
+        let mut saw_in_flight = false;
+        for _ in 0..200 {
+            if !net.step() {
+                break;
+            }
+            let s = net.stats();
+            saw_in_flight |= s.msgs_in_flight > 0;
+            assert!(
+                s.conserves_messages(),
+                "mid-run: delivered {} + dropped {} + in-flight {} != \
+                 sent {} + duplicated {} + injected {}",
+                s.msgs_delivered,
+                s.msgs_dropped,
+                s.msgs_in_flight,
+                s.msgs_sent,
+                s.msgs_duplicated,
+                s.msgs_injected
+            );
+        }
+        assert!(saw_in_flight, "the scenario must keep messages in flight mid-run");
+        net.heal_partition();
+        net.run_to_quiescence(1_000_000);
+        let s = net.stats();
+        assert!(s.msgs_dropped > 0, "drop paths must exercise");
+        assert!(s.msgs_duplicated > 0, "duplicate path must exercise");
+        assert!(s.msgs_injected > 0, "inject path must exercise");
+        assert!(s.conserves_messages(), "quiescent: {s:?}");
+        assert_eq!(s.msgs_in_flight, 0, "quiescence means nothing left in flight");
     }
 
     #[test]

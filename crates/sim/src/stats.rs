@@ -97,6 +97,12 @@ pub struct NetStats {
     /// traffic; excluded from `msgs_sent` so protocol ratios stay
     /// meaningful).
     pub msgs_injected: u64,
+    /// Delivery events currently scheduled but not yet delivered or
+    /// discarded. Every path that schedules a delivery (protocol sends,
+    /// link duplicates, client injections) increments this and every pop
+    /// decrements it, closing the conservation identity
+    /// [`NetStats::conserves_messages`] checks.
+    pub msgs_in_flight: u64,
     /// Extra copies created by link duplication faults.
     pub msgs_duplicated: u64,
     /// Messages hit by a link delay spike.
@@ -122,6 +128,23 @@ impl NetStats {
         } else {
             self.msgs_dropped as f64 / self.msgs_sent as f64
         }
+    }
+
+    /// The message-conservation identity: every message the network ever
+    /// scheduled is delivered, dropped, or still in flight —
+    ///
+    /// ```text
+    /// delivered + dropped + in_flight == sent + duplicated + injected
+    /// ```
+    ///
+    /// `msgs_sent` counts protocol sends (including ones dropped at send
+    /// time), `msgs_duplicated` the extra copies link faults fabricate,
+    /// and `msgs_injected` out-of-band client traffic. If this ever
+    /// returns `false`, some path created or destroyed a message without
+    /// accounting for it.
+    pub fn conserves_messages(&self) -> bool {
+        self.msgs_delivered + self.msgs_dropped + self.msgs_in_flight
+            == self.msgs_sent + self.msgs_duplicated + self.msgs_injected
     }
 }
 

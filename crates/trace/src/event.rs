@@ -1,0 +1,324 @@
+//! The structured event vocabulary.
+//!
+//! Every variant is `Copy`-sized and label fields are `&'static str`, so
+//! recording an event never allocates. Node and shard indices are plain
+//! `usize` (matching `pbc_sim::NodeIdx`) and times are the simulator's
+//! logical microseconds, kept as bare `u64` here so this crate depends
+//! on nothing.
+
+/// One recorded event with its logical timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Logical time the event was emitted (simulator ticks).
+    pub at: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A structured event from one of the instrumented layers.
+///
+/// Network-layer variants mirror the simulator's event loop (deliveries,
+/// fault decisions, timers); consensus variants are emitted via the
+/// hooks in `pbc_consensus::common`; `Stage`/`CrossShard` come from the
+/// execution and sharding layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    // ---- network layer -------------------------------------------------
+    /// A message reached its destination actor.
+    Deliver {
+        /// Sender node.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+        /// Global event sequence number (tie-break order).
+        seq: u64,
+        /// When the message was handed to the network.
+        sent_at: u64,
+    },
+    /// A message was dropped at send time (link fault or partition).
+    DropLink {
+        /// Sender node.
+        from: usize,
+        /// Intended receiver.
+        to: usize,
+        /// True if the drop was a partition crossing rather than a
+        /// probabilistic link fault.
+        partition: bool,
+    },
+    /// A message reached a crashed node and was discarded.
+    DropCrashed {
+        /// Sender node.
+        from: usize,
+        /// Crashed receiver.
+        to: usize,
+    },
+    /// A link fault duplicated a message.
+    Duplicate {
+        /// Sender node.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+    },
+    /// A link fault added a latency spike to a message.
+    DelaySpike {
+        /// Sender node.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+        /// Extra ticks added.
+        spike: u64,
+    },
+    /// A link fault rescheduled a message out of order.
+    Reorder {
+        /// Sender node.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+    },
+    /// An out-of-band client injection (`Network::inject`).
+    Inject {
+        /// Claimed sender.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+    },
+    /// A timer was armed.
+    TimerSet {
+        /// Owning node.
+        node: usize,
+        /// Protocol-chosen timer id.
+        id: u64,
+        /// Logical time it will surface.
+        fire_at: u64,
+    },
+    /// A timer fired and its callback ran.
+    TimerFire {
+        /// Owning node.
+        node: usize,
+        /// Timer id.
+        id: u64,
+    },
+    /// A timer surfaced dead: cancelled, superseded, or from a previous
+    /// incarnation of an amnesia-crashed node.
+    TimerSkip {
+        /// Owning node.
+        node: usize,
+        /// Timer id.
+        id: u64,
+    },
+    /// A cancellation watermark was written for a timer id.
+    TimerCancel {
+        /// Owning node.
+        node: usize,
+        /// Timer id.
+        id: u64,
+    },
+    /// A node crash-stopped (RAM intact).
+    Crash {
+        /// The node.
+        node: usize,
+    },
+    /// A node crashed losing volatile state (amnesia).
+    CrashAmnesia {
+        /// The node.
+        node: usize,
+    },
+    /// A crashed node resumed with memory intact.
+    Recover {
+        /// The node.
+        node: usize,
+    },
+    /// An amnesia-crashed node restarted from stable storage.
+    Restart {
+        /// The node.
+        node: usize,
+    },
+    /// The network was split.
+    PartitionSet {
+        /// Number of disjoint groups.
+        groups: usize,
+    },
+    /// The partition was healed.
+    PartitionHeal,
+    /// The adversary wrapper mutated outbound traffic.
+    AdversaryMutate {
+        /// The Byzantine node.
+        node: usize,
+        /// Which attack acted: `"equivocate"`, `"replay"`, `"mute"`,
+        /// `"hold"` (delay capture) or `"flush"` (delayed release).
+        kind: &'static str,
+        /// Target of the mutated (or suppressed) message.
+        to: usize,
+    },
+
+    // ---- consensus layer -----------------------------------------------
+    /// A replica entered a protocol phase (e.g. PBFT pre-prepared,
+    /// prepared; HotStuff locked).
+    Phase {
+        /// Protocol label (`"pbft"`, `"hotstuff"`, ...).
+        proto: &'static str,
+        /// The replica.
+        node: usize,
+        /// View / term / height the phase belongs to.
+        view: u64,
+        /// Phase label.
+        phase: &'static str,
+    },
+    /// A replica started or joined a view change.
+    ViewChange {
+        /// Protocol label.
+        proto: &'static str,
+        /// The replica.
+        node: usize,
+        /// The view being moved *to*.
+        view: u64,
+    },
+    /// A node started a leader election (Raft candidate, etc.).
+    Election {
+        /// Protocol label.
+        proto: &'static str,
+        /// The candidate.
+        node: usize,
+        /// Election term.
+        term: u64,
+    },
+    /// A node won leadership of a view/term.
+    LeaderElected {
+        /// Protocol label.
+        proto: &'static str,
+        /// The new leader.
+        node: usize,
+        /// The led view/term.
+        term: u64,
+    },
+    /// A replica committed (decided) a log slot.
+    Commit {
+        /// Protocol label.
+        proto: &'static str,
+        /// The committing replica.
+        node: usize,
+        /// Log sequence number.
+        seq: u64,
+        /// Payload digest (for cross-node agreement checks in dumps).
+        digest: u64,
+    },
+
+    // ---- execution / sharding layer --------------------------------------
+    /// An execution-pipeline stage completed.
+    Stage {
+        /// Pipeline label (e.g. `"pipelined"`, `"order-execute"`).
+        pipeline: &'static str,
+        /// Stage label (e.g. `"execute"`, `"commit"`).
+        stage: &'static str,
+        /// Block height the stage worked on.
+        height: u64,
+        /// Abstract duration (sequential steps consumed).
+        steps: u64,
+    },
+    /// One leg of a cross-shard transaction round trip.
+    CrossShard {
+        /// Coordinating shard.
+        from_shard: usize,
+        /// Participant shard.
+        to_shard: usize,
+        /// Protocol phase (`"prepare"`, `"commit"`, `"abort"`).
+        phase: &'static str,
+    },
+    /// A nemesis chaos op was applied to the network.
+    NemesisOp {
+        /// Op label (`"partition"`, `"crash"`, `"restart"`, ...).
+        op: &'static str,
+        /// Primary affected node, or `usize::MAX` for cluster-wide ops.
+        node: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Short lowercase label for exporters and dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::DropLink { .. } => "drop_link",
+            TraceEvent::DropCrashed { .. } => "drop_crashed",
+            TraceEvent::Duplicate { .. } => "duplicate",
+            TraceEvent::DelaySpike { .. } => "delay_spike",
+            TraceEvent::Reorder { .. } => "reorder",
+            TraceEvent::Inject { .. } => "inject",
+            TraceEvent::TimerSet { .. } => "timer_set",
+            TraceEvent::TimerFire { .. } => "timer_fire",
+            TraceEvent::TimerSkip { .. } => "timer_skip",
+            TraceEvent::TimerCancel { .. } => "timer_cancel",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::CrashAmnesia { .. } => "crash_amnesia",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Restart { .. } => "restart",
+            TraceEvent::PartitionSet { .. } => "partition",
+            TraceEvent::PartitionHeal => "heal_partition",
+            TraceEvent::AdversaryMutate { .. } => "adversary",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::ViewChange { .. } => "view_change",
+            TraceEvent::Election { .. } => "election",
+            TraceEvent::LeaderElected { .. } => "leader",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Stage { .. } => "stage",
+            TraceEvent::CrossShard { .. } => "cross_shard",
+            TraceEvent::NemesisOp { .. } => "nemesis",
+        }
+    }
+
+    /// The node the event is primarily about, if any (used as the Chrome
+    /// trace thread id and for per-node dump filtering).
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            TraceEvent::Deliver { to, .. }
+            | TraceEvent::DropLink { to, .. }
+            | TraceEvent::DropCrashed { to, .. }
+            | TraceEvent::Duplicate { to, .. }
+            | TraceEvent::DelaySpike { to, .. }
+            | TraceEvent::Reorder { to, .. }
+            | TraceEvent::Inject { to, .. } => Some(to),
+            TraceEvent::TimerSet { node, .. }
+            | TraceEvent::TimerFire { node, .. }
+            | TraceEvent::TimerSkip { node, .. }
+            | TraceEvent::TimerCancel { node, .. }
+            | TraceEvent::Crash { node }
+            | TraceEvent::CrashAmnesia { node }
+            | TraceEvent::Recover { node }
+            | TraceEvent::Restart { node }
+            | TraceEvent::AdversaryMutate { node, .. }
+            | TraceEvent::Phase { node, .. }
+            | TraceEvent::ViewChange { node, .. }
+            | TraceEvent::Election { node, .. }
+            | TraceEvent::LeaderElected { node, .. }
+            | TraceEvent::Commit { node, .. } => Some(node),
+            TraceEvent::NemesisOp { node, .. } => (node != usize::MAX).then_some(node),
+            TraceEvent::PartitionSet { .. }
+            | TraceEvent::PartitionHeal
+            | TraceEvent::Stage { .. }
+            | TraceEvent::CrossShard { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stay_copy_sized() {
+        // The whole point of the static-label design: pushing a record
+        // into the ring is a memcpy, never an allocation.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TraceRecord>();
+        assert!(std::mem::size_of::<TraceRecord>() <= 64, "record should fit a cache line");
+    }
+
+    #[test]
+    fn names_and_nodes() {
+        let e = TraceEvent::Deliver { from: 1, to: 2, seq: 9, sent_at: 3 };
+        assert_eq!(e.name(), "deliver");
+        assert_eq!(e.node(), Some(2));
+        assert_eq!(TraceEvent::PartitionHeal.node(), None);
+        assert_eq!(TraceEvent::NemesisOp { op: "heal", node: usize::MAX }.node(), None);
+    }
+}

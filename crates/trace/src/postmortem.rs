@@ -1,0 +1,131 @@
+//! Human-readable post-mortem dumps.
+//!
+//! When a chaos invariant trips, the last thing anyone wants is a bare
+//! `"agreement violated at seed 0x2a"`. [`render`] turns the retained
+//! trace window into a causal timeline — one line per event, aligned,
+//! with the violation header on top — and [`write()`] drops it in a file
+//! next to the failing test so the run can be reconstructed without
+//! re-running it.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders a dump: `header` (the violation message), a summary line,
+/// then one line per record, oldest first.
+pub fn render(header: &str, records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 64);
+    let _ = writeln!(out, "== post-mortem ==");
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "-- last {} events (oldest first) --", records.len());
+    for rec in records {
+        let _ = writeln!(out, "{}", line(rec));
+    }
+    out
+}
+
+/// Writes [`render`]'s output to `path`.
+pub fn write(path: impl AsRef<Path>, header: &str, records: &[TraceRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render(header, records).as_bytes())
+}
+
+/// One aligned timeline line for a record.
+fn line(rec: &TraceRecord) -> String {
+    let body = match rec.event {
+        TraceEvent::Deliver { from, to, seq, sent_at } => {
+            format!("deliver      {from} -> {to}  (seq {seq}, in flight {})", rec.at - sent_at)
+        }
+        TraceEvent::DropLink { from, to, partition } => {
+            let why = if partition { "partition" } else { "link fault" };
+            format!("drop         {from} -> {to}  ({why})")
+        }
+        TraceEvent::DropCrashed { from, to } => {
+            format!("drop         {from} -> {to}  (receiver crashed)")
+        }
+        TraceEvent::Duplicate { from, to } => format!("duplicate    {from} -> {to}"),
+        TraceEvent::DelaySpike { from, to, spike } => {
+            format!("delay-spike  {from} -> {to}  (+{spike})")
+        }
+        TraceEvent::Reorder { from, to } => format!("reorder      {from} -> {to}"),
+        TraceEvent::Inject { from, to } => format!("inject       {from} -> {to}  (client)"),
+        TraceEvent::TimerSet { node, id, fire_at } => {
+            format!("timer-set    n{node}  id {id}  fires at {fire_at}")
+        }
+        TraceEvent::TimerFire { node, id } => format!("timer-fire   n{node}  id {id}"),
+        TraceEvent::TimerSkip { node, id } => {
+            format!("timer-skip   n{node}  id {id}  (cancelled/stale)")
+        }
+        TraceEvent::TimerCancel { node, id } => format!("timer-cancel n{node}  id {id}"),
+        TraceEvent::Crash { node } => format!("CRASH        n{node}"),
+        TraceEvent::CrashAmnesia { node } => format!("CRASH        n{node}  (amnesia)"),
+        TraceEvent::Recover { node } => format!("RECOVER      n{node}"),
+        TraceEvent::Restart { node } => format!("RESTART      n{node}  (from stable store)"),
+        TraceEvent::PartitionSet { groups } => format!("PARTITION    {groups} groups"),
+        TraceEvent::PartitionHeal => "HEAL         partition removed".to_string(),
+        TraceEvent::AdversaryMutate { node, kind, to } => {
+            format!("byzantine    n{node}  {kind} -> {to}")
+        }
+        TraceEvent::Phase { proto, node, view, phase } => {
+            format!("{proto:<9} n{node}  view {view}  phase={phase}")
+        }
+        TraceEvent::ViewChange { proto, node, view } => {
+            format!("{proto:<9} n{node}  VIEW CHANGE -> {view}")
+        }
+        TraceEvent::Election { proto, node, term } => {
+            format!("{proto:<9} n{node}  election, term {term}")
+        }
+        TraceEvent::LeaderElected { proto, node, term } => {
+            format!("{proto:<9} n{node}  LEADER of term {term}")
+        }
+        TraceEvent::Commit { proto, node, seq, digest } => {
+            format!("{proto:<9} n{node}  commit seq {seq}  digest {digest:#018x}")
+        }
+        TraceEvent::Stage { pipeline, stage, height, steps } => {
+            format!("stage        {pipeline}/{stage}  block {height}  ({steps} steps)")
+        }
+        TraceEvent::CrossShard { from_shard, to_shard, phase } => {
+            format!("cross-shard  s{from_shard} -> s{to_shard}  {phase}")
+        }
+        TraceEvent::NemesisOp { op, node } => {
+            if node == usize::MAX {
+                format!("NEMESIS      {op}")
+            } else {
+                format!("NEMESIS      {op}  n{node}")
+            }
+        }
+    };
+    format!("t={:>10}  {body}", rec.at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_header_and_events() {
+        let records = vec![
+            TraceRecord { at: 10, event: TraceEvent::Crash { node: 2 } },
+            TraceRecord {
+                at: 20,
+                event: TraceEvent::Commit { proto: "raft", node: 0, seq: 3, digest: 0xabc },
+            },
+        ];
+        let dump = render("seed 42 violated agreement", &records);
+        assert!(dump.contains("seed 42 violated agreement"), "{dump}");
+        assert!(dump.contains("CRASH        n2"), "{dump}");
+        assert!(dump.contains("commit seq 3"), "{dump}");
+        assert!(dump.contains("last 2 events"), "{dump}");
+    }
+
+    #[test]
+    fn write_creates_readable_file() {
+        let path = std::env::temp_dir().join("pbc_trace_postmortem_test.txt");
+        let records = vec![TraceRecord { at: 1, event: TraceEvent::TimerFire { node: 0, id: 9 } }];
+        write(&path, "header", &records).expect("dump written");
+        let back = std::fs::read_to_string(&path).expect("dump readable");
+        assert!(back.contains("timer-fire"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,125 @@
+//! The bounded, overwriting ring buffer behind [`crate::emit`].
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricsRegistry;
+
+/// A fixed-capacity ring of the most recent [`TraceRecord`]s plus a
+/// [`MetricsRegistry`] fed by *every* event (metrics survive ring
+/// overwrites). Capacity is fixed at construction; when full, the oldest
+/// record is overwritten — recording is O(1) and, after warm-up, free of
+/// allocation.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    ring: Vec<TraceRecord>,
+    /// Next write position once the ring has wrapped.
+    next: usize,
+    cap: usize,
+    total: u64,
+    metrics: MetricsRegistry,
+}
+
+impl TraceSink {
+    /// A sink keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceSink {
+            ring: Vec::with_capacity(cap),
+            next: 0,
+            cap,
+            total: 0,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// Records one event. Updates metrics, then the ring.
+    pub fn push(&mut self, at: u64, event: TraceEvent) {
+        self.metrics.observe(at, &event);
+        let rec = TraceRecord { at, event };
+        if self.ring.len() < self.cap {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// The retained window, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.next..]);
+        out.extend_from_slice(&self.ring[..self.next]);
+        out
+    }
+
+    /// Total events observed, including ones the ring has overwritten.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwriting (`total - retained`).
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whole-run metrics (immune to ring overwrites).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(node: usize, id: u64) -> TraceEvent {
+        TraceEvent::TimerFire { node, id }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut sink = TraceSink::new(3);
+        for i in 0..5u64 {
+            sink.push(i, fire(0, i));
+        }
+        let ats: Vec<u64> = sink.records().iter().map(|r| r.at).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+        assert_eq!(sink.total(), 5);
+        assert_eq!(sink.overwritten(), 2);
+    }
+
+    #[test]
+    fn underfull_ring_in_order() {
+        let mut sink = TraceSink::new(8);
+        sink.push(1, fire(0, 0));
+        sink.push(2, fire(1, 0));
+        let ats: Vec<u64> = sink.records().iter().map(|r| r.at).collect();
+        assert_eq!(ats, vec![1, 2]);
+        assert_eq!(sink.overwritten(), 0);
+    }
+
+    #[test]
+    fn metrics_survive_overwrite() {
+        let mut sink = TraceSink::new(2);
+        for seq in 0..10u64 {
+            sink.push(seq, TraceEvent::Commit { proto: "raft", node: 0, seq, digest: seq });
+        }
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.metrics().proto("raft").unwrap().commits, 10);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut sink = TraceSink::new(0);
+        sink.push(1, fire(0, 0));
+        sink.push(2, fire(0, 1));
+        assert_eq!(sink.capacity(), 1);
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.records()[0].at, 2);
+    }
+}

@@ -11,7 +11,7 @@
 //!   signing (stable across runs and platforms).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod encode;

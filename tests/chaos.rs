@@ -17,12 +17,35 @@ use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode, VolatileRaft};
 use pbc_consensus::tendermint::{TendermintConfig, TendermintNode, TmMsg};
 use pbc_consensus::Payload;
 use pbc_sim::{
-    Actor, Adversary, Attack, Durable, InvariantChecker, Nemesis, NemesisConfig, Network,
-    NetworkConfig, Violation,
+    violation_report, Actor, Adversary, Attack, Durable, InvariantChecker, Nemesis, NemesisConfig,
+    Network, NetworkConfig, Violation,
 };
 
 /// Nemesis seeds every protocol is exercised with.
 const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Trace window embedded in post-mortem dumps. Wide enough to reach past
+/// steady-state heartbeat noise back to the decision/crash events that
+/// actually explain a violation (the checker observes every ~500k ticks,
+/// so a few thousand network events can pile up after the fatal commit).
+const POSTMORTEM_WINDOW: usize = 4096;
+
+/// Writes the violation post-mortem (the last trace events leading up to
+/// the failure) to `target/postmortems/` and panics with both the
+/// violation and the dump path — the file is the debugging artifact a
+/// failed chaos run leaves behind.
+fn postmortem_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("postmortems");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+fn dump_and_panic(what: &str, seed: u64, v: &Violation) -> ! {
+    let report = violation_report(v, POSTMORTEM_WINDOW);
+    let path = postmortem_dir().join(format!("chaos-{what}-seed{seed}.txt"));
+    std::fs::write(&path, &report).expect("write post-mortem dump");
+    panic!("chaos seed {seed} {what}: {v}\npost-mortem dump: {}", path.display());
+}
 
 /// Simulated time between nemesis ops: generous multiples of every
 /// protocol's progress timeout so view changes / elections can complete
@@ -47,6 +70,9 @@ where
     FV: Fn(&Network<A>) -> Vec<Vec<(u64, u64)>>,
 {
     let n = actors.len();
+    // A bounded trace ring: if an invariant trips, the dump shows what
+    // the network did in the run-up.
+    pbc_trace::install(pbc_trace::TraceSink::new(4096));
     let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
     net.start();
     for p in 1..=5u64 {
@@ -61,7 +87,7 @@ where
     let nemesis = Nemesis::generate(n, &ncfg);
     nemesis
         .drive_durable(&mut net, OP_GAP, &mut checker, &views)
-        .unwrap_or_else(|v| panic!("chaos seed {seed} violated safety: {v}"));
+        .unwrap_or_else(|v| dump_and_panic("violated-safety", seed, &v));
 
     // The schedule ended fully healed: new requests must still decide.
     for p in 6..=7u64 {
@@ -69,9 +95,8 @@ where
     }
     net.run_until(net.now() + 4_000_000);
     checker.observe(&views(&net)).expect("post-chaos safety");
-    checker
-        .check_progress(min_decided)
-        .unwrap_or_else(|v| panic!("chaos seed {seed} stalled: {v}"));
+    checker.check_progress(min_decided).unwrap_or_else(|v| dump_and_panic("stalled", seed, &v));
+    pbc_trace::uninstall();
     checker.total_decided()
 }
 
@@ -90,6 +115,7 @@ where
     FV: Fn(&Network<A>) -> Vec<Vec<(u64, u64)>>,
 {
     let n = actors.len();
+    pbc_trace::install(pbc_trace::TraceSink::new(4096));
     let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
     net.start();
     for p in 1..=5u64 {
@@ -102,16 +128,15 @@ where
     let nemesis = Nemesis::generate(n, &NemesisConfig::new(seed).with_steps(12));
     nemesis
         .drive(&mut net, OP_GAP, &mut checker, &views)
-        .unwrap_or_else(|v| panic!("chaos seed {seed} violated safety: {v}"));
+        .unwrap_or_else(|v| dump_and_panic("violated-safety", seed, &v));
 
     for p in 6..=7u64 {
         submit(&mut net, p);
     }
     net.run_until(net.now() + 4_000_000);
     checker.observe(&views(&net)).expect("post-chaos safety");
-    checker
-        .check_progress(min_decided)
-        .unwrap_or_else(|v| panic!("chaos seed {seed} stalled: {v}"));
+    checker.check_progress(min_decided).unwrap_or_else(|v| dump_and_panic("stalled", seed, &v));
+    pbc_trace::uninstall();
     checker.total_decided()
 }
 
@@ -312,6 +337,7 @@ fn volatile_raft_amnesia_violates_safety() {
     // differently — the checker must catch the rewrite/divergence.
     let mut violations = 0;
     for seed in [1u64, 2, 3, 4, 5] {
+        pbc_trace::install(pbc_trace::TraceSink::new(4096));
         let cfg = RaftConfig::new(3);
         let actors = (0..3).map(|i| VolatileRaft::<u64>::new(cfg.clone(), i)).collect();
         let net: Network<VolatileRaft<u64>> =
@@ -332,8 +358,16 @@ fn volatile_raft_amnesia_violates_safety() {
                 matches!(v, Violation::Rewrite { .. } | Violation::Disagreement { .. }),
                 "expected a safety violation, got {v}"
             );
+            // This violation is *expected* — the dump it leaves behind is
+            // the worked post-mortem example in EXPERIMENTS.md (E13).
+            let report = violation_report(&v, POSTMORTEM_WINDOW);
+            assert!(report.contains("post-mortem"), "report must embed the trace window");
+            let path = postmortem_dir().join(format!("volatile-raft-amnesia-seed{seed}.txt"));
+            std::fs::write(&path, &report).expect("write post-mortem dump");
+            assert!(path.exists(), "violation must leave a dump file behind");
             violations += 1;
         }
+        pbc_trace::uninstall();
     }
     assert!(
         violations > 0,

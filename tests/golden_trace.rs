@@ -15,6 +15,10 @@
 //! gets sent when will not disturb them — but a scheduler that breaks
 //! `(at, seq)` ordering, perturbs RNG draw order, or renumbers sends
 //! will.
+//!
+//! The observability layer is held to the same contract: installing a
+//! [`pbc_trace::TraceSink`] must not change any digest, because trace
+//! emission makes no RNG draws and no scheduling decisions.
 
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode, Role};
@@ -42,8 +46,8 @@ fn pbft_net(n: usize, seed: u64) -> Network<PbftReplica<u64>> {
     net
 }
 
-#[test]
-fn pbft_healthy_trace_matches_golden() {
+/// The healthy-path scenario, returning the schedule digest.
+fn pbft_healthy_digest() -> u64 {
     let mut net = pbft_net(4, 0xB117);
     for i in 0..10u64 {
         net.inject(0, 0, PbftMsg::Request(100 + i), 1 + i);
@@ -53,17 +57,11 @@ fn pbft_healthy_trace_matches_golden() {
         net.actors().all(|r| r.log.delivered().len() == 10),
         "scenario must decide all requests before the deadline"
     );
-    assert_eq!(
-        net.trace_digest(),
-        GOLDEN_PBFT_HEALTHY,
-        "PBFT healthy-path delivery order diverged from the golden trace \
-         (digest {:#018x})",
-        net.trace_digest()
-    );
+    net.trace_digest()
 }
 
-#[test]
-fn pbft_faulty_links_trace_matches_golden() {
+/// The faulty-links scenario, returning the schedule digest.
+fn pbft_faults_digest() -> u64 {
     let mut net = pbft_net(7, 0x5EED_F417);
     net.set_fault_model(FaultModel::uniform(LinkFault {
         drop: 0.02,
@@ -84,17 +82,11 @@ fn pbft_faulty_links_trace_matches_golden() {
     assert!(stats.msgs_duplicated > 0, "duplication branch must exercise");
     assert!(stats.msgs_reordered > 0, "reorder branch must exercise");
     assert!(stats.delay_spikes > 0, "delay-spike branch must exercise");
-    assert_eq!(
-        net.trace_digest(),
-        GOLDEN_PBFT_FAULTS,
-        "PBFT faulty-link delivery order diverged from the golden trace \
-         (digest {:#018x})",
-        net.trace_digest()
-    );
+    net.trace_digest()
 }
 
-#[test]
-fn raft_crash_trace_matches_golden() {
+/// The Raft leader-crash scenario, returning the schedule digest.
+fn raft_crash_digest() -> u64 {
     let n = 5;
     let actors = (0..n).map(|i| RaftNode::<u64>::new(RaftConfig::new(n), i)).collect();
     let mut net = Network::new(actors, NetworkConfig { seed: 0xC0FFEE, ..Default::default() });
@@ -112,12 +104,36 @@ fn raft_crash_trace_matches_golden() {
         net.stats().timers_fired > 0 && net.stats().timers_set > net.stats().timers_fired,
         "scenario must put real pressure on the timer path"
     );
+    net.trace_digest()
+}
+
+#[test]
+fn pbft_healthy_trace_matches_golden() {
+    let digest = pbft_healthy_digest();
     assert_eq!(
-        net.trace_digest(),
-        GOLDEN_RAFT_CRASH,
+        digest, GOLDEN_PBFT_HEALTHY,
+        "PBFT healthy-path delivery order diverged from the golden trace \
+         (digest {digest:#018x})"
+    );
+}
+
+#[test]
+fn pbft_faulty_links_trace_matches_golden() {
+    let digest = pbft_faults_digest();
+    assert_eq!(
+        digest, GOLDEN_PBFT_FAULTS,
+        "PBFT faulty-link delivery order diverged from the golden trace \
+         (digest {digest:#018x})"
+    );
+}
+
+#[test]
+fn raft_crash_trace_matches_golden() {
+    let digest = raft_crash_digest();
+    assert_eq!(
+        digest, GOLDEN_RAFT_CRASH,
         "Raft crash-path delivery order diverged from the golden trace \
-         (digest {:#018x})",
-        net.trace_digest()
+         (digest {digest:#018x})"
     );
 }
 
@@ -133,4 +149,30 @@ fn trace_digest_is_seed_sensitive() {
     };
     assert_eq!(run(1), run(1));
     assert_ne!(run(1), run(2));
+}
+
+/// Observability is passive: running every golden scenario with a trace
+/// sink installed produces the exact same schedule digests as running
+/// without one. A regression here means some emission site started
+/// drawing RNG, reordering sends, or otherwise leaking into the
+/// simulation — exactly the failure mode that would silently corrupt
+/// seeded experiments whenever someone turns metrics on.
+#[test]
+fn trace_sink_does_not_perturb_golden_schedules() {
+    let scenarios: [(&str, fn() -> u64, u64); 3] = [
+        ("pbft-healthy", pbft_healthy_digest, GOLDEN_PBFT_HEALTHY),
+        ("pbft-faults", pbft_faults_digest, GOLDEN_PBFT_FAULTS),
+        ("raft-crash", raft_crash_digest, GOLDEN_RAFT_CRASH),
+    ];
+    for (name, run, golden) in scenarios {
+        pbc_trace::install(pbc_trace::TraceSink::new(1024));
+        let with_sink = run();
+        let sink = pbc_trace::uninstall().expect("sink installed above");
+        assert!(sink.total() > 0, "{name}: the sink must actually observe events");
+        assert_eq!(
+            with_sink, golden,
+            "{name}: installing a trace sink changed the delivery schedule \
+             (digest {with_sink:#018x})"
+        );
+    }
 }
