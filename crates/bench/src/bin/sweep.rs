@@ -190,6 +190,67 @@ fn metrics() {
         }
         println!();
     }
+    shard_decide_latency();
+}
+
+/// §2.3.4, measured: intra- vs cross-shard decide latency from the real
+/// replica groups under AHL and SharPer shards, same mixed workload.
+fn shard_decide_latency() {
+    use pbc_shard::{AhlSystem, SharperSystem};
+    use pbc_sim::Topology;
+    use pbc_types::{ClientId, Op, ShardId, Transaction, TxId};
+
+    let mk_txs = || -> Vec<Transaction> {
+        (0..24u64)
+            .map(|i| {
+                // 1-in-3 cross-shard, the rest local to shard 0 or 1.
+                let (from, to) = match i % 3 {
+                    0 => ("s0/a", "s1/b"),
+                    1 => ("s0/a", "s0/c"),
+                    _ => ("s1/b", "s1/d"),
+                };
+                Transaction::new(
+                    TxId(i),
+                    ClientId(0),
+                    vec![Op::Transfer { from: from.into(), to: to.into(), amount: 1 }],
+                )
+            })
+            .collect()
+    };
+    let seed_sys = |seed: &mut dyn FnMut(&str)| {
+        for k in ["s0/a", "s0/c", "s1/b", "s1/d"] {
+            seed(k);
+        }
+    };
+
+    let mut ahl = AhlSystem::new(2, Topology::flat_clusters(3, 4, 100, 5_000), 300);
+    seed_sys(&mut |k| ahl.seed(k, pbc_types::tx::balance_value(1_000)));
+    ahl.process_batch(&mk_txs());
+
+    let mut sharper = SharperSystem::new(2, Topology::flat_clusters(2, 4, 100, 5_000), 300);
+    seed_sys(&mut |k| sharper.seed(k, pbc_types::tx::balance_value(1_000)));
+    sharper.process_batch(&mk_txs());
+
+    println!("=== shard decide latency (measured from replica groups, ticks) ===");
+    for (name, stats) in [("ahl", &ahl.stats), ("sharper", &sharper.stats)] {
+        println!(
+            "  [{name}] intra: n={} mean={:.0}   cross: n={} mean={:.0}   (cross/intra {:.2}x)",
+            stats.intra_decides,
+            stats.mean_intra_decide_latency(),
+            stats.cross_decides,
+            stats.mean_cross_decide_latency(),
+            stats.mean_cross_decide_latency() / stats.mean_intra_decide_latency().max(1.0),
+        );
+    }
+    let g = ahl.cluster(ShardId(0)).group().expect("AHL clusters are replicated");
+    println!(
+        "  groups: {} × {} replicas per shard; AHL committee {} × {}",
+        g.protocol(),
+        g.replicas(),
+        ahl.committee_group().protocol(),
+        ahl.committee_group().replicas(),
+    );
+    println!();
 }
 
 fn storm_overhead() {

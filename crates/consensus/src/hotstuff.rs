@@ -290,6 +290,19 @@ impl<P: Payload> HotStuffReplica<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for HotStuffReplica<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "hotstuff";
+
+    fn request_msg(payload: P) -> HsMsg<P> {
+        HsMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for HotStuffReplica<P> {
     type Msg = HsMsg<P>;
 

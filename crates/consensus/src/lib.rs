@@ -19,15 +19,18 @@
 //! replica requirement from `3f+1` to `2f+1`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod a2m;
 pub mod common;
 pub mod hotstuff;
 pub mod minbft;
+pub mod ordering;
 pub mod paxos;
 pub mod pbft;
 pub mod raft;
 pub mod tendermint;
 
 pub use common::{DecidedLog, Payload};
+pub use ordering::{cluster, cluster_with, protocol_info, OrderingActor, OrderingCluster};
+pub use ordering::{ProtocolInfo, PROTOCOLS};

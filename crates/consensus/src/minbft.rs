@@ -349,6 +349,19 @@ impl<P: Payload> MinBftReplica<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for MinBftReplica<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "minbft";
+
+    fn request_msg(payload: P) -> MinBftMsg<P> {
+        MinBftMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for MinBftReplica<P> {
     type Msg = MinBftMsg<P>;
 

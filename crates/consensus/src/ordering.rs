@@ -1,0 +1,515 @@
+//! The generic ordering layer: one trait, one registry, any protocol.
+//!
+//! The paper's design space is a cross-product — ordering (§2.2, §2.3.3)
+//! × execution architecture (§2.3.3) × sharding (§2.3.4) — so the
+//! composition point must not be a closed enum. This module makes every
+//! consensus implementation in the crate interchangeable behind two
+//! small interfaces:
+//!
+//! * [`OrderingActor`] — what a protocol actor must expose to be driven
+//!   generically: how to wrap a payload into its client-request message,
+//!   and where its in-order [`DecidedLog`] lives. All six protocols
+//!   (PBFT/IBFT, HotStuff, Tendermint, Raft, Paxos, MinBFT) implement
+//!   it, as does the Byzantine [`Adversary`] wrapper by delegation.
+//! * [`OrderingCluster`] — an object-safe view of a whole replica group
+//!   (`pbc_sim::Network<A>` implements it for every `A: OrderingActor`),
+//!   with generic driving helpers: zero-copy request fan-in
+//!   ([`OrderingCluster::submit`]), [`OrderingCluster::run_until_decided`],
+//!   crash/partition/link-fault controls, and
+//!   [`OrderingCluster::apply_nemesis`] for chaos schedules.
+//!
+//! The [`cluster`] / [`cluster_with`] constructors replace per-protocol
+//! `match` arms everywhere else in the workspace: callers name a
+//! protocol (`"pbft"`, `"raft"`, …) and get a boxed cluster generic
+//! over any [`Payload`]. The mapping lives in one `ordering_registry!`
+//! invocation — adding a protocol is an [`OrderingActor`] impl plus one
+//! registry line.
+//!
+//! # Example: a new protocol in one impl + one registry line
+//!
+//! A (toy) single-broadcast sequencer, made drivable by the whole
+//! generic stack with nothing but an [`OrderingActor`] impl:
+//!
+//! ```
+//! use pbc_consensus::ordering::{OrderingActor, OrderingCluster};
+//! use pbc_consensus::DecidedLog;
+//! use pbc_sim::{Actor, Context, Message, Network, NetworkConfig, NodeIdx};
+//!
+//! /// Node 0 stamps a sequence number on each request and broadcasts.
+//! #[derive(Default)]
+//! struct Sequencer {
+//!     log: DecidedLog<u64>,
+//!     next: u64,
+//! }
+//!
+//! #[derive(Clone, Debug)]
+//! enum SeqMsg {
+//!     Request(u64),
+//!     Decide(u64, u64),
+//! }
+//! impl Message for SeqMsg {}
+//!
+//! impl Actor for Sequencer {
+//!     type Msg = SeqMsg;
+//!     fn on_message(&mut self, _from: NodeIdx, msg: &SeqMsg, ctx: &mut Context<SeqMsg>) {
+//!         match msg {
+//!             SeqMsg::Request(v) if ctx.self_id == 0 => {
+//!                 let seq = self.next;
+//!                 self.next += 1;
+//!                 ctx.broadcast(SeqMsg::Decide(seq, *v));
+//!             }
+//!             SeqMsg::Decide(seq, v) => self.log.decide(*seq, *v, ctx.now),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! // The whole integration: one trait impl. (For name-based lookup,
+//! // add one `"sequencer" => …` line to the `ordering_registry!` list.)
+//! impl OrderingActor for Sequencer {
+//!     type Payload = u64;
+//!     const PROTOCOL: &'static str = "sequencer";
+//!     fn request_msg(payload: u64) -> SeqMsg {
+//!         SeqMsg::Request(payload)
+//!     }
+//!     fn log(&self) -> &DecidedLog<u64> {
+//!         &self.log
+//!     }
+//! }
+//!
+//! let actors = (0..3).map(|_| Sequencer::default()).collect();
+//! let mut cluster: Box<dyn OrderingCluster<u64>> =
+//!     Box::new(Network::new(actors, NetworkConfig::default()));
+//! cluster.submit(42); // zero-copy fan-in to all three replicas
+//! assert!(cluster.run_until_decided(1, 10_000));
+//! assert_eq!(cluster.decided(2)[0].1, 42);
+//! ```
+
+use crate::common::{DecidedLog, Payload};
+use crate::hotstuff::{HotStuffConfig, HotStuffReplica};
+use crate::minbft::{MinBftConfig, MinBftReplica};
+use crate::paxos::{PaxosConfig, PaxosNode};
+use crate::pbft::{PbftConfig, PbftReplica};
+use crate::raft::{RaftConfig, RaftNode};
+use crate::tendermint::{TendermintConfig, TendermintNode};
+use pbc_sim::fault::LinkFault;
+use pbc_sim::{Actor, Adversary, Attack, NemesisOp, NetStats, Network, NetworkConfig};
+use pbc_sim::{NodeIdx, SimTime};
+use pbc_trace::TraceEvent;
+
+/// A consensus actor drivable by the generic ordering layer.
+///
+/// The contract every protocol in this crate satisfies: client requests
+/// are ordinary messages built by [`OrderingActor::request_msg`], and
+/// decisions surface through an in-order [`DecidedLog`]. That is all the
+/// rest of the system needs — `pbc-core` composes execution pipelines on
+/// top, `pbc-shard` puts replica groups under shards, and the nemesis
+/// engine chaos-tests any of it, without naming a protocol.
+pub trait OrderingActor: Actor {
+    /// What this actor agrees on.
+    type Payload: Payload + 'static;
+
+    /// Registry / metrics label of the protocol.
+    const PROTOCOL: &'static str;
+
+    /// Wraps a payload into the protocol's client-request message.
+    fn request_msg(payload: Self::Payload) -> Self::Msg;
+
+    /// The actor's in-order decided log.
+    fn log(&self) -> &DecidedLog<Self::Payload>;
+}
+
+/// The Byzantine wrapper stays drivable: requests and the decided log
+/// delegate to the wrapped actor, so a registry-built cluster can host
+/// adversarial replicas with no protocol-specific code.
+impl<A: OrderingActor> OrderingActor for Adversary<A> {
+    type Payload = A::Payload;
+    const PROTOCOL: &'static str = A::PROTOCOL;
+
+    fn request_msg(payload: Self::Payload) -> Self::Msg {
+        A::request_msg(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<Self::Payload> {
+        self.inner().log()
+    }
+}
+
+/// An object-safe replica group running one ordering protocol.
+///
+/// This is the single vtable point the rest of the workspace dispatches
+/// through: `pbc_sim::Network<A>` implements it for every
+/// `A: OrderingActor`, and the [`cluster`] registry hands it out boxed.
+/// Callers drive consensus ([`submit`](OrderingCluster::submit),
+/// [`run_until_decided`](OrderingCluster::run_until_decided)), read
+/// decisions, and inject faults without knowing the protocol.
+pub trait OrderingCluster<P: Payload> {
+    /// Number of replicas.
+    fn len(&self) -> usize;
+
+    /// Protocol label (the registry name of the actor type).
+    fn protocol(&self) -> &'static str;
+
+    /// Submits a payload for ordering: the client request fans in to
+    /// every replica through one shared allocation (zero-copy).
+    fn submit(&mut self, payload: P);
+
+    /// Replica `node`'s in-order decided prefix.
+    fn decided(&self, node: NodeIdx) -> &[(u64, P, SimTime)];
+
+    /// Processes one simulation event; `false` when idle.
+    fn step(&mut self) -> bool;
+
+    /// Current logical time.
+    fn now(&self) -> SimTime;
+
+    /// Network accounting.
+    fn stats(&self) -> &NetStats;
+
+    /// True if `node` is crashed.
+    fn is_crashed(&self, node: NodeIdx) -> bool;
+
+    /// Crash-stops a replica (RAM intact).
+    fn crash(&mut self, node: NodeIdx);
+
+    /// Resumes a crashed replica with its memory intact.
+    fn recover(&mut self, node: NodeIdx);
+
+    /// Resumes a crashed replica through its `on_start` (re-arms timers).
+    fn restart(&mut self, node: NodeIdx);
+
+    /// Splits the group; cross-group messages drop.
+    fn partition(&mut self, groups: &[Vec<NodeIdx>]);
+
+    /// Removes any partition.
+    fn heal_partition(&mut self);
+
+    /// Installs a fault on one directed link.
+    fn degrade_link(&mut self, from: NodeIdx, to: NodeIdx, fault: LinkFault);
+
+    /// Restores every link to default behaviour.
+    fn heal_links(&mut self);
+
+    /// True if the group has no replicas.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of replica `node`'s decided prefix.
+    fn decided_len(&self, node: NodeIdx) -> usize {
+        self.decided(node).len()
+    }
+
+    /// Runs until every **alive** replica has decided at least `target`
+    /// slots, the simulation idles, or `max_events` elapse. Returns
+    /// whether the target was reached.
+    fn run_until_decided(&mut self, target: usize, max_events: u64) -> bool {
+        let n = self.len();
+        let mut events = 0;
+        loop {
+            let done =
+                (0..n).filter(|&i| !self.is_crashed(i)).all(|i| self.decided_len(i) >= target);
+            if done {
+                return true;
+            }
+            if events >= max_events || !self.step() {
+                return false;
+            }
+            events += 1;
+        }
+    }
+
+    /// Applies one nemesis op to the group, so seeded chaos schedules
+    /// drive the composed stack through the same vtable as everything
+    /// else.
+    ///
+    /// # Panics
+    /// Panics on [`NemesisOp::CrashAmnesia`]: amnesia needs a
+    /// [`pbc_sim::Durable`] actor, which the erased view cannot assume.
+    /// Generate composed-stack schedules with `amnesia: false`.
+    fn apply_nemesis(&mut self, op: &NemesisOp) {
+        pbc_trace::emit(self.now(), || TraceEvent::NemesisOp {
+            op: op.label(),
+            node: op.primary_node(),
+        });
+        match op {
+            NemesisOp::Partition { groups } => self.partition(groups),
+            NemesisOp::HealPartition => self.heal_partition(),
+            NemesisOp::Crash { node } => self.crash(*node),
+            NemesisOp::Recover { node } => self.recover(*node),
+            NemesisOp::CrashAmnesia { .. } => {
+                panic!("CrashAmnesia needs a Durable actor; erased clusters support plain crashes")
+            }
+            NemesisOp::Restart { node } => self.restart(*node),
+            NemesisOp::DegradeLink { from, to, fault } => self.degrade_link(*from, *to, *fault),
+            NemesisOp::HealLinks => self.heal_links(),
+        }
+    }
+}
+
+/// Every simulated network of ordering actors is an ordering cluster —
+/// the generic driving helpers the rest of the workspace builds on.
+impl<A: OrderingActor> OrderingCluster<A::Payload> for Network<A> {
+    fn len(&self) -> usize {
+        Network::len(self)
+    }
+
+    fn protocol(&self) -> &'static str {
+        A::PROTOCOL
+    }
+
+    fn submit(&mut self, payload: A::Payload) {
+        // One allocation for the whole fan-in (PR 2's shared-payload
+        // path); clients appear as node 0, matching the former
+        // per-node inject loop tuple-for-tuple.
+        self.inject_all(0, A::request_msg(payload), 1);
+    }
+
+    fn decided(&self, node: NodeIdx) -> &[(u64, A::Payload, SimTime)] {
+        self.actor(node).log().delivered()
+    }
+
+    fn step(&mut self) -> bool {
+        Network::step(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Network::now(self)
+    }
+
+    fn stats(&self) -> &NetStats {
+        Network::stats(self)
+    }
+
+    fn is_crashed(&self, node: NodeIdx) -> bool {
+        Network::is_crashed(self, node)
+    }
+
+    fn crash(&mut self, node: NodeIdx) {
+        Network::crash(self, node)
+    }
+
+    fn recover(&mut self, node: NodeIdx) {
+        Network::recover(self, node)
+    }
+
+    fn restart(&mut self, node: NodeIdx) {
+        Network::restart(self, node)
+    }
+
+    fn partition(&mut self, groups: &[Vec<NodeIdx>]) {
+        Network::partition(self, groups)
+    }
+
+    fn heal_partition(&mut self) {
+        Network::heal_partition(self)
+    }
+
+    fn degrade_link(&mut self, from: NodeIdx, to: NodeIdx, fault: LinkFault) {
+        self.fault_model_mut().set_link(from, to, fault);
+    }
+
+    fn heal_links(&mut self) {
+        self.fault_model_mut().heal_all();
+    }
+}
+
+/// Registry metadata for one protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolInfo {
+    /// Registry name (what [`cluster`] matches on).
+    pub name: &'static str,
+    /// True if the protocol rotates its proposer per decided height
+    /// (consumers stamp block seals with the rotating proposer).
+    pub rotating: bool,
+}
+
+/// Looks up a protocol's registry metadata.
+pub fn protocol_info(name: &str) -> Option<&'static ProtocolInfo> {
+    PROTOCOLS.iter().find(|p| p.name == name)
+}
+
+/// Builds, wires, and starts a cluster over `actors`, wrapping every
+/// replica in a Byzantine [`Adversary`] when any attacks are requested.
+fn finish<A>(
+    actors: Vec<A>,
+    cfg: NetworkConfig,
+    byzantine: &[(NodeIdx, Vec<Attack>)],
+) -> Box<dyn OrderingCluster<A::Payload>>
+where
+    A: OrderingActor + 'static,
+{
+    if byzantine.is_empty() {
+        let mut net = Network::new(actors, cfg);
+        net.start();
+        Box::new(net)
+    } else {
+        let wrapped: Vec<Adversary<A>> = actors
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| match byzantine.iter().find(|(node, _)| *node == i) {
+                Some((_, attacks)) => Adversary::new(a, attacks.clone()),
+                None => Adversary::honest(a),
+            })
+            .collect();
+        let mut net = Network::new(wrapped, cfg);
+        net.start();
+        Box::new(net)
+    }
+}
+
+// Uniform per-protocol constructors: each takes a replica count and
+// returns the actor vector. These (plus the registry entries below) are
+// the only protocol-specific lines in the whole composition story.
+
+fn pbft_actors<P: Payload + 'static>(n: usize) -> Vec<PbftReplica<P>> {
+    let cfg = PbftConfig::new(n);
+    (0..n).map(|_| PbftReplica::new(cfg.clone())).collect()
+}
+
+fn ibft_actors<P: Payload + 'static>(n: usize) -> Vec<PbftReplica<P>> {
+    let cfg = PbftConfig::ibft(n);
+    (0..n).map(|_| PbftReplica::new(cfg.clone())).collect()
+}
+
+fn hotstuff_actors<P: Payload + 'static>(n: usize) -> Vec<HotStuffReplica<P>> {
+    let cfg = HotStuffConfig::new(n);
+    (0..n).map(|_| HotStuffReplica::new(cfg.clone())).collect()
+}
+
+fn tendermint_actors<P: Payload + 'static>(n: usize) -> Vec<TendermintNode<P>> {
+    let cfg = TendermintConfig::equal(n);
+    (0..n).map(|_| TendermintNode::new(cfg.clone())).collect()
+}
+
+fn raft_actors<P: Payload + 'static>(n: usize) -> Vec<RaftNode<P>> {
+    let cfg = RaftConfig::new(n);
+    (0..n).map(|i| RaftNode::new(cfg.clone(), i)).collect()
+}
+
+fn paxos_actors<P: Payload + 'static>(n: usize) -> Vec<PaxosNode<P>> {
+    let cfg = PaxosConfig::new(n);
+    (0..n).map(|i| PaxosNode::new(cfg.clone(), i)).collect()
+}
+
+fn minbft_actors<P: Payload + 'static>(n: usize) -> Vec<MinBftReplica<P>> {
+    let cfg = MinBftConfig::new(n);
+    (0..n).map(|i| MinBftReplica::new(cfg.clone(), i)).collect()
+}
+
+/// Generates the protocol registry: the static metadata table plus the
+/// name → constructor dispatch of [`cluster_with`]. One entry per line;
+/// this is the single point a new protocol hooks into.
+macro_rules! ordering_registry {
+    ($( $name:literal => rotating $rot:literal, $builder:path; )*) => {
+        /// Every registered protocol, in registry order.
+        pub const PROTOCOLS: &[ProtocolInfo] = &[
+            $( ProtocolInfo { name: $name, rotating: $rot } ),*
+        ];
+
+        /// Builds a started `proto` cluster of `n` replicas, optionally
+        /// wrapping the listed nodes in Byzantine [`Adversary`]s with
+        /// the given attack sets. Returns `None` for an unknown name.
+        pub fn cluster_with<P: Payload + 'static>(
+            proto: &str,
+            n: usize,
+            cfg: NetworkConfig,
+            byzantine: &[(NodeIdx, Vec<Attack>)],
+        ) -> Option<Box<dyn OrderingCluster<P>>> {
+            match proto {
+                $( $name => Some(finish($builder(n), cfg, byzantine)), )*
+                _ => None,
+            }
+        }
+    };
+}
+
+ordering_registry! {
+    "pbft"       => rotating false, pbft_actors;
+    "ibft"       => rotating true,  ibft_actors;
+    "hotstuff"   => rotating true,  hotstuff_actors;
+    "tendermint" => rotating true,  tendermint_actors;
+    "raft"       => rotating false, raft_actors;
+    "paxos"      => rotating false, paxos_actors;
+    "minbft"     => rotating false, minbft_actors;
+}
+
+/// [`cluster_with`] without adversaries: the common case.
+pub fn cluster<P: Payload + 'static>(
+    proto: &str,
+    n: usize,
+    cfg: NetworkConfig,
+) -> Option<Box<dyn OrderingCluster<P>>> {
+    cluster_with(proto, n, cfg, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(proto: &str, n: usize, requests: u64) -> Box<dyn OrderingCluster<u64>> {
+        let cfg = NetworkConfig { seed: 0x0D0E, ..Default::default() };
+        let mut c = cluster::<u64>(proto, n, cfg).expect("registered protocol");
+        for r in 0..requests {
+            c.submit(100 + r);
+        }
+        assert!(c.run_until_decided(requests as usize, 2_000_000), "{proto} stalled");
+        c
+    }
+
+    #[test]
+    fn every_registered_protocol_orders_and_agrees() {
+        for info in PROTOCOLS {
+            let n = if info.name == "minbft" { 3 } else { 4 };
+            let c = drive(info.name, n, 3);
+            assert_eq!(c.protocol(), protocol_info(info.name).unwrap().name.max(c.protocol()));
+            let reference: Vec<u64> = c.decided(0).iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(reference.len(), 3, "{}", info.name);
+            for i in 1..n {
+                let log: Vec<u64> = c.decided(i).iter().map(|(_, p, _)| *p).collect();
+                assert_eq!(log, reference, "{} node {i} diverged", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_is_none() {
+        assert!(cluster::<u64>("zab", 4, NetworkConfig::default()).is_none());
+        assert!(protocol_info("zab").is_none());
+    }
+
+    #[test]
+    fn registry_metadata_matches_rotation_story() {
+        // The three per-height rotating protocols, per §2.3.3.
+        for (name, rotating) in
+            [("pbft", false), ("ibft", true), ("hotstuff", true), ("tendermint", true)]
+        {
+            assert_eq!(protocol_info(name).unwrap().rotating, rotating, "{name}");
+        }
+    }
+
+    #[test]
+    fn erased_cluster_survives_a_crash() {
+        let cfg = NetworkConfig { seed: 7, ..Default::default() };
+        let mut c = cluster::<u64>("pbft", 4, cfg).unwrap();
+        c.apply_nemesis(&NemesisOp::Crash { node: 3 });
+        assert!(c.is_crashed(3));
+        c.submit(9);
+        assert!(c.run_until_decided(1, 2_000_000));
+        assert_eq!(c.decided(0)[0].1, 9);
+        c.apply_nemesis(&NemesisOp::Recover { node: 3 });
+        assert!(!c.is_crashed(3));
+    }
+
+    #[test]
+    fn byzantine_replicas_build_through_the_registry() {
+        let cfg = NetworkConfig { seed: 11, ..Default::default() };
+        let byz = [(3usize, vec![Attack::Mute])];
+        let mut c = cluster_with::<u64>("pbft", 4, cfg, &byz).unwrap();
+        c.submit(5);
+        assert!(c.run_until_decided(1, 2_000_000), "f=1 tolerates one mute replica");
+        for i in 0..3 {
+            assert_eq!(c.decided(i)[0].1, 5, "honest node {i}");
+        }
+    }
+}

@@ -176,6 +176,19 @@ impl<P: Payload> PaxosNode<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for PaxosNode<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "paxos";
+
+    fn request_msg(payload: P) -> PaxosMsg<P> {
+        PaxosMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for PaxosNode<P> {
     type Msg = PaxosMsg<P>;
 

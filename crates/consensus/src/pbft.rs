@@ -482,6 +482,19 @@ impl<P: Payload> PbftReplica<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for PbftReplica<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "pbft";
+
+    fn request_msg(payload: P) -> PbftMsg<P> {
+        PbftMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for PbftReplica<P> {
     type Msg = PbftMsg<P>;
 

@@ -300,6 +300,19 @@ impl<P: Payload> RaftNode<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for RaftNode<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "raft";
+
+    fn request_msg(payload: P) -> RaftMsg<P> {
+        RaftMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for RaftNode<P> {
     type Msg = RaftMsg<P>;
 

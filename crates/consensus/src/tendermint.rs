@@ -313,6 +313,19 @@ impl<P: Payload> TendermintNode<P> {
     }
 }
 
+impl<P: Payload + 'static> crate::ordering::OrderingActor for TendermintNode<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "tendermint";
+
+    fn request_msg(payload: P) -> TmMsg<P> {
+        TmMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.log
+    }
+}
+
 impl<P: Payload> Actor for TendermintNode<P> {
     type Msg = TmMsg<P>;
 

@@ -1,18 +1,21 @@
 //! The blockchain network driver: consensus × architecture × simulation.
+//!
+//! Consensus is composed through the generic ordering layer
+//! ([`pbc_consensus::ordering`]): [`ConsensusKind`] resolves to a
+//! registry name once at construction, and everything after dispatches
+//! through a boxed [`OrderingCluster`] — there is no per-protocol code
+//! in this crate. Adding a protocol to the whole stack is an
+//! `OrderingActor` impl plus one registry entry in `pbc-consensus`.
 
 use crate::batch::Batch;
 use pbc_arch::{
     BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline,
     OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
 };
-use pbc_consensus::hotstuff::{HotStuffConfig, HotStuffReplica, HsMsg};
-use pbc_consensus::minbft::{MinBftConfig, MinBftMsg, MinBftReplica};
-use pbc_consensus::paxos::{PaxosConfig, PaxosMsg, PaxosNode};
-use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
-use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode};
-use pbc_consensus::tendermint::{TendermintConfig, TendermintNode, TmMsg};
+use pbc_consensus::{cluster_with, protocol_info, OrderingCluster, Payload};
 use pbc_ledger::StateStore;
-use pbc_sim::{LatencyModel, NetStats, Network, NetworkConfig, SimTime};
+use pbc_sim::fault::LinkFault;
+use pbc_sim::{Attack, LatencyModel, NemesisOp, NetStats, NetworkConfig, SimTime};
 use pbc_types::Transaction;
 
 /// Which ordering protocol the network runs (§2.2, §2.3.3).
@@ -32,6 +35,41 @@ pub enum ConsensusKind {
     Paxos,
     /// MinBFT with trusted hardware (n = 2f+1).
     MinBft,
+}
+
+impl ConsensusKind {
+    /// Every protocol the stack can run, in catalogue order.
+    pub const ALL: [ConsensusKind; 7] = [
+        ConsensusKind::Pbft,
+        ConsensusKind::Ibft,
+        ConsensusKind::HotStuff,
+        ConsensusKind::Tendermint,
+        ConsensusKind::Raft,
+        ConsensusKind::Paxos,
+        ConsensusKind::MinBft,
+    ];
+
+    /// The protocol's name in the [`pbc_consensus::ordering`] registry.
+    pub fn registry_name(&self) -> &'static str {
+        match self {
+            ConsensusKind::Pbft => "pbft",
+            ConsensusKind::Ibft => "ibft",
+            ConsensusKind::HotStuff => "hotstuff",
+            ConsensusKind::Tendermint => "tendermint",
+            ConsensusKind::Raft => "raft",
+            ConsensusKind::Paxos => "paxos",
+            ConsensusKind::MinBft => "minbft",
+        }
+    }
+
+    /// Minimum replica count tolerating one fault under this protocol's
+    /// fault model (`3f+1` Byzantine, `2f+1` crash / trusted-hardware).
+    pub fn min_nodes(&self) -> usize {
+        match self {
+            ConsensusKind::Raft | ConsensusKind::Paxos | ConsensusKind::MinBft => 3,
+            _ => 4,
+        }
+    }
 }
 
 /// Which execution architecture the nodes run (§2.3.3).
@@ -56,6 +94,18 @@ pub enum ArchKind {
 }
 
 impl ArchKind {
+    /// Every architecture the stack can run, in catalogue order.
+    pub const ALL: [ArchKind; 8] = [
+        ArchKind::Ox,
+        ArchKind::Oxii,
+        ArchKind::Xov,
+        ArchKind::XovFabricPp,
+        ArchKind::XovFabricSharp,
+        ArchKind::Xox,
+        ArchKind::FastFabric,
+        ArchKind::XovEndorsed,
+    ];
+
     fn make(&self, state: StateStore) -> Box<dyn ExecutionPipeline> {
         match self {
             ArchKind::Ox => Box::new(OxPipeline::with_state(state)),
@@ -77,138 +127,6 @@ impl ArchKind {
     }
 }
 
-/// The consensus layer, enum-dispatched over the protocol actors.
-enum Driver {
-    Pbft(Network<PbftReplica<Batch>>),
-    HotStuff(Network<HotStuffReplica<Batch>>),
-    Tendermint(Network<TendermintNode<Batch>>),
-    Raft(Network<RaftNode<Batch>>),
-    Paxos(Network<PaxosNode<Batch>>),
-    MinBft(Network<MinBftReplica<Batch>>),
-}
-
-impl Driver {
-    fn len(&self) -> usize {
-        match self {
-            Driver::Pbft(n) => n.len(),
-            Driver::HotStuff(n) => n.len(),
-            Driver::Tendermint(n) => n.len(),
-            Driver::Raft(n) => n.len(),
-            Driver::Paxos(n) => n.len(),
-            Driver::MinBft(n) => n.len(),
-        }
-    }
-
-    fn is_crashed(&self, i: usize) -> bool {
-        match self {
-            Driver::Pbft(n) => n.is_crashed(i),
-            Driver::HotStuff(n) => n.is_crashed(i),
-            Driver::Tendermint(n) => n.is_crashed(i),
-            Driver::Raft(n) => n.is_crashed(i),
-            Driver::Paxos(n) => n.is_crashed(i),
-            Driver::MinBft(n) => n.is_crashed(i),
-        }
-    }
-
-    fn crash(&mut self, i: usize) {
-        match self {
-            Driver::Pbft(n) => n.crash(i),
-            Driver::HotStuff(n) => n.crash(i),
-            Driver::Tendermint(n) => n.crash(i),
-            Driver::Raft(n) => n.crash(i),
-            Driver::Paxos(n) => n.crash(i),
-            Driver::MinBft(n) => n.crash(i),
-        }
-    }
-
-    fn inject_batch(&mut self, batch: Batch) {
-        let n = self.len();
-        for i in 0..n {
-            match self {
-                Driver::Pbft(net) => net.inject(0, i, PbftMsg::Request(batch.clone()), 1),
-                Driver::HotStuff(net) => net.inject(0, i, HsMsg::Request(batch.clone()), 1),
-                Driver::Tendermint(net) => net.inject(0, i, TmMsg::Request(batch.clone()), 1),
-                Driver::Raft(net) => net.inject(0, i, RaftMsg::Request(batch.clone()), 1),
-                Driver::Paxos(net) => net.inject(0, i, PaxosMsg::Request(batch.clone()), 1),
-                Driver::MinBft(net) => net.inject(0, i, MinBftMsg::Request(batch.clone()), 1),
-            }
-        }
-    }
-
-    fn decided_len(&self, i: usize) -> usize {
-        match self {
-            Driver::Pbft(n) => n.actor(i).log.len(),
-            Driver::HotStuff(n) => n.actor(i).log.len(),
-            Driver::Tendermint(n) => n.actor(i).log.len(),
-            Driver::Raft(n) => n.actor(i).log.len(),
-            Driver::Paxos(n) => n.actor(i).log.len(),
-            Driver::MinBft(n) => n.actor(i).log.len(),
-        }
-    }
-
-    fn decided(&self, i: usize) -> Vec<(u64, Batch, SimTime)> {
-        match self {
-            Driver::Pbft(n) => n.actor(i).log.delivered().to_vec(),
-            Driver::HotStuff(n) => n.actor(i).log.delivered().to_vec(),
-            Driver::Tendermint(n) => n.actor(i).log.delivered().to_vec(),
-            Driver::Raft(n) => n.actor(i).log.delivered().to_vec(),
-            Driver::Paxos(n) => n.actor(i).log.delivered().to_vec(),
-            Driver::MinBft(n) => n.actor(i).log.delivered().to_vec(),
-        }
-    }
-
-    fn step(&mut self) -> bool {
-        match self {
-            Driver::Pbft(n) => n.step(),
-            Driver::HotStuff(n) => n.step(),
-            Driver::Tendermint(n) => n.step(),
-            Driver::Raft(n) => n.step(),
-            Driver::Paxos(n) => n.step(),
-            Driver::MinBft(n) => n.step(),
-        }
-    }
-
-    fn now(&self) -> SimTime {
-        match self {
-            Driver::Pbft(n) => n.now(),
-            Driver::HotStuff(n) => n.now(),
-            Driver::Tendermint(n) => n.now(),
-            Driver::Raft(n) => n.now(),
-            Driver::Paxos(n) => n.now(),
-            Driver::MinBft(n) => n.now(),
-        }
-    }
-
-    fn stats(&self) -> &NetStats {
-        match self {
-            Driver::Pbft(n) => n.stats(),
-            Driver::HotStuff(n) => n.stats(),
-            Driver::Tendermint(n) => n.stats(),
-            Driver::Raft(n) => n.stats(),
-            Driver::Paxos(n) => n.stats(),
-            Driver::MinBft(n) => n.stats(),
-        }
-    }
-
-    /// Runs until every alive node delivered `target` batches or
-    /// `max_events` elapse. Returns whether the target was reached.
-    fn run_until_decided(&mut self, target: usize, max_events: u64) -> bool {
-        let n = self.len();
-        let mut events = 0;
-        loop {
-            let done =
-                (0..n).filter(|&i| !self.is_crashed(i)).all(|i| self.decided_len(i) >= target);
-            if done {
-                return true;
-            }
-            if events >= max_events || !self.step() {
-                return false;
-            }
-            events += 1;
-        }
-    }
-}
-
 /// Configures and builds a [`BlockchainNetwork`].
 pub struct NetworkBuilder {
     n: usize,
@@ -218,6 +136,7 @@ pub struct NetworkBuilder {
     seed: u64,
     batch_size: usize,
     initial_state: StateStore,
+    byzantine: Vec<(usize, Vec<Attack>)>,
 }
 
 impl NetworkBuilder {
@@ -231,6 +150,7 @@ impl NetworkBuilder {
             seed: 0,
             batch_size: 32,
             initial_state: StateStore::new(),
+            byzantine: Vec::new(),
         }
     }
 
@@ -270,68 +190,28 @@ impl NetworkBuilder {
         self
     }
 
+    /// Makes `node` Byzantine with the given attack set (replicas are
+    /// wrapped in [`pbc_sim::Adversary`] by the ordering registry).
+    pub fn byzantine(mut self, node: usize, attacks: Vec<Attack>) -> Self {
+        self.byzantine.push((node, attacks));
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> BlockchainNetwork {
         let cfg = NetworkConfig { latency: self.latency, seed: self.seed, drop_rate: 0.0 };
-        let driver = match self.consensus {
-            ConsensusKind::Pbft => {
-                let c = PbftConfig::new(self.n);
-                let actors = (0..self.n).map(|_| PbftReplica::new(c.clone())).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::Pbft(net)
-            }
-            ConsensusKind::Ibft => {
-                let c = PbftConfig::ibft(self.n);
-                let actors = (0..self.n).map(|_| PbftReplica::new(c.clone())).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::Pbft(net)
-            }
-            ConsensusKind::HotStuff => {
-                let c = HotStuffConfig::new(self.n);
-                let actors = (0..self.n).map(|_| HotStuffReplica::new(c.clone())).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::HotStuff(net)
-            }
-            ConsensusKind::Tendermint => {
-                let c = TendermintConfig::equal(self.n);
-                let actors = (0..self.n).map(|_| TendermintNode::new(c.clone())).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::Tendermint(net)
-            }
-            ConsensusKind::Raft => {
-                let c = RaftConfig::new(self.n);
-                let actors = (0..self.n).map(|i| RaftNode::new(c.clone(), i)).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::Raft(net)
-            }
-            ConsensusKind::Paxos => {
-                let c = PaxosConfig::new(self.n);
-                let actors = (0..self.n).map(|i| PaxosNode::new(c.clone(), i)).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::Paxos(net)
-            }
-            ConsensusKind::MinBft => {
-                let c = MinBftConfig::new(self.n);
-                let actors = (0..self.n).map(|i| MinBftReplica::new(c.clone(), i)).collect();
-                let mut net = Network::new(actors, cfg);
-                net.start();
-                Driver::MinBft(net)
-            }
-        };
+        let ordering =
+            cluster_with::<Batch>(self.consensus.registry_name(), self.n, cfg, &self.byzantine)
+                .expect("every ConsensusKind maps to a registered ordering protocol");
         let pipelines = (0..self.n).map(|_| self.arch.make(self.initial_state.clone())).collect();
         BlockchainNetwork {
-            driver,
+            ordering,
             pipelines,
             pending: Vec::new(),
             batch_size: self.batch_size,
             next_batch_id: 0,
-            batches_decided: 0,
+            applied: vec![0; self.n],
+            seals: std::collections::HashMap::new(),
             consensus: self.consensus,
             arch: self.arch,
         }
@@ -341,7 +221,7 @@ impl NetworkBuilder {
 /// The outcome of a [`BlockchainNetwork::run_to_completion`] call.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
-    /// Transactions committed (per node-0's pipeline accounting).
+    /// Transactions committed (per the reference node's pipeline).
     pub committed: usize,
     /// Transactions aborted.
     pub aborted: usize,
@@ -357,16 +237,33 @@ pub struct RunReport {
     pub mean_decide_latency: f64,
     /// True if consensus reached the target (false = stalled).
     pub consensus_complete: bool,
+    /// True if two alive nodes that applied the same number of batches
+    /// hold different ledger heads — silent replica divergence that a
+    /// single node's counters would hide. (A node merely *behind* is
+    /// lag, not divergence; lag surfaces as `consensus_complete =
+    /// false`.)
+    pub diverged: bool,
+    /// The reference node's ledger head after this run.
+    pub head: Option<pbc_crypto::Hash>,
 }
 
 /// A running permissioned blockchain (Figure 1, parameterized).
 pub struct BlockchainNetwork {
-    driver: Driver,
+    ordering: Box<dyn OrderingCluster<Batch>>,
     pipelines: Vec<Box<dyn ExecutionPipeline>>,
     pending: Vec<Transaction>,
     batch_size: usize,
     next_batch_id: u64,
-    batches_decided: usize,
+    /// Per-node count of batches applied to the pipeline, indexed into
+    /// that node's own decided log (a recovered laggard resumes where
+    /// *it* stopped, not where node 0 is).
+    applied: Vec<usize>,
+    /// Canonical per-sequence block seals, pinned the first time a
+    /// reference node decides the slot and never recomputed — a laggard
+    /// replaying the backlog later (possibly against a *different*
+    /// reference, if the original crashed) must seal seq `k` exactly as
+    /// the nodes that applied it first did, or heads fork.
+    seals: std::collections::HashMap<u64, BlockSeal>,
     consensus: ConsensusKind,
     arch: ArchKind,
 }
@@ -374,12 +271,12 @@ pub struct BlockchainNetwork {
 impl BlockchainNetwork {
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.driver.len()
+        self.ordering.len()
     }
 
     /// True if the network has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.driver.len() == 0
+        self.ordering.is_empty()
     }
 
     /// The configured consensus protocol.
@@ -405,35 +302,96 @@ impl BlockchainNetwork {
     /// Crashes a node (it stops participating in consensus; its pipeline
     /// stops applying blocks).
     pub fn crash(&mut self, node: usize) {
-        self.driver.crash(node);
+        self.ordering.crash(node);
+    }
+
+    /// Resumes a crashed node with its consensus memory intact; its
+    /// pipeline catches up on the next [`run_to_completion`] call.
+    ///
+    /// [`run_to_completion`]: BlockchainNetwork::run_to_completion
+    pub fn recover(&mut self, node: usize) {
+        self.ordering.recover(node);
+    }
+
+    /// Resumes a crashed node through its `on_start` (re-arms timers).
+    pub fn restart(&mut self, node: usize) {
+        self.ordering.restart(node);
+    }
+
+    /// True if `node` is crashed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.ordering.is_crashed(node)
+    }
+
+    /// Splits the consensus network; cross-group messages drop.
+    pub fn partition(&mut self, groups: &[Vec<usize>]) {
+        self.ordering.partition(groups);
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&mut self) {
+        self.ordering.heal_partition();
+    }
+
+    /// Installs a fault on one directed consensus link.
+    pub fn degrade_link(&mut self, from: usize, to: usize, fault: LinkFault) {
+        self.ordering.degrade_link(from, to, fault);
+    }
+
+    /// Restores every consensus link to default behaviour.
+    pub fn heal_links(&mut self) {
+        self.ordering.heal_links();
+    }
+
+    /// Applies one nemesis op to the composed stack's consensus layer,
+    /// so seeded chaos schedules (PR 1) can torture consensus ×
+    /// execution together. Panics on `CrashAmnesia` (see
+    /// [`OrderingCluster::apply_nemesis`]).
+    pub fn apply_nemesis(&mut self, op: &NemesisOp) {
+        self.ordering.apply_nemesis(op);
+    }
+
+    /// Every node's decided log as `(seq, payload digest)` pairs — the
+    /// shape [`pbc_sim::InvariantChecker::observe`] consumes.
+    pub fn decided_views(&self) -> Vec<Vec<(u64, u64)>> {
+        (0..self.len())
+            .map(|i| {
+                self.ordering
+                    .decided(i)
+                    .iter()
+                    .map(|(seq, batch, _)| (*seq, batch.digest_u64()))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Flushes pending transactions through consensus and executes every
     /// decided batch on every alive node's pipeline.
     pub fn run_to_completion(&mut self) -> RunReport {
-        // Batch and inject.
+        // Batch and inject: each batch is allocated once and fans in to
+        // every replica through the Arc-shared broadcast path.
         let mut submitted = 0;
         let pending = std::mem::take(&mut self.pending);
         for chunk in pending.chunks(self.batch_size) {
             let batch = Batch::new(self.next_batch_id, chunk.to_vec());
             self.next_batch_id += 1;
-            self.driver.inject_batch(batch);
+            self.ordering.submit(batch);
             submitted += 1;
         }
-        let target = self.batches_decided + submitted;
+        let target = self.next_batch_id as usize;
         // Generous budget: protocols with timers need room for recovery.
         let max_events = 200_000 + 400_000 * submitted as u64;
-        let complete = self.driver.run_until_decided(target, max_events);
+        let complete = self.ordering.run_until_decided(target, max_events);
 
         // Apply newly decided batches to every alive pipeline in order.
         let mut report = RunReport {
             consensus_complete: complete,
-            sim_time: self.driver.now(),
-            msgs_sent: self.driver.stats().msgs_sent,
-            bytes_sent: self.driver.stats().bytes_sent,
+            sim_time: self.ordering.now(),
+            msgs_sent: self.ordering.stats().msgs_sent,
+            bytes_sent: self.ordering.stats().bytes_sent,
             ..Default::default()
         };
-        let reference = (0..self.len()).find(|&i| !self.driver.is_crashed(i));
+        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i));
         let Some(reference) = reference else {
             return report;
         };
@@ -446,32 +404,28 @@ impl BlockchainNetwork {
         // those batches until the reference catches up and their seals
         // are known.
         let n = self.len();
-        let rotating = matches!(
-            self.consensus,
-            ConsensusKind::Ibft | ConsensusKind::HotStuff | ConsensusKind::Tendermint
-        );
-        let seals: std::collections::HashMap<u64, BlockSeal> = self
-            .driver
-            .decided(reference)
-            .iter()
-            .map(|(seq, _, t)| {
-                let proposer = if rotating { (*seq as usize % n) as u32 } else { 0 };
-                (*seq, BlockSeal { proposer: pbc_types::NodeId(proposer), time: *t })
-            })
-            .collect();
-        let decided_len = self.driver.decided(reference).len();
+        let rotating =
+            protocol_info(self.consensus.registry_name()).map(|p| p.rotating).unwrap_or(false);
+        for (seq, _, t) in self.ordering.decided(reference) {
+            let proposer = if rotating { (*seq as usize % n) as u32 } else { 0 };
+            self.seals
+                .entry(*seq)
+                .or_insert(BlockSeal { proposer: pbc_types::NodeId(proposer), time: *t });
+        }
         let mut latency_sum = 0u64;
         let mut latency_n = 0u64;
-        for (node, pipeline) in self.pipelines.iter_mut().enumerate() {
-            if self.driver.is_crashed(node) {
+        for node in 0..n {
+            if self.ordering.is_crashed(node) {
                 continue;
             }
-            let node_decided = self.driver.decided(node);
-            for (seq, batch, t) in node_decided.iter().skip(self.batches_decided) {
-                let Some(&seal) = seals.get(seq) else {
-                    break; // ahead of the reference: seal unknown yet
+            let node_decided = self.ordering.decided(node);
+            while self.applied[node] < node_decided.len() {
+                let (seq, batch, t) = &node_decided[self.applied[node]];
+                let Some(&seal) = self.seals.get(seq) else {
+                    break; // ahead of every past reference: seal unknown yet
                 };
-                let outcome = pipeline.process_block_sealed(batch.txs.clone(), seal);
+                let outcome = self.pipelines[node].process_block_sealed(batch.txs.clone(), seal);
+                self.applied[node] += 1;
                 if node == reference {
                     report.committed += outcome.committed.len();
                     report.aborted += outcome.aborted.len();
@@ -481,9 +435,24 @@ impl BlockchainNetwork {
                 }
             }
         }
-        self.batches_decided = decided_len;
         if latency_n > 0 {
             report.mean_decide_latency = latency_sum as f64 / latency_n as f64;
+        }
+
+        // Convergence check across *all* alive nodes, not just node 0's
+        // counters: any two nodes that applied equally many batches must
+        // hold the same ledger head.
+        report.head = Some(self.pipelines[reference].ledger().head_hash());
+        let alive: Vec<usize> = (0..n).filter(|&i| !self.ordering.is_crashed(i)).collect();
+        for (k, &i) in alive.iter().enumerate() {
+            for &j in &alive[k + 1..] {
+                if self.applied[i] == self.applied[j]
+                    && self.pipelines[i].ledger().head_hash()
+                        != self.pipelines[j].ledger().head_hash()
+                {
+                    report.diverged = true;
+                }
+            }
         }
         report
     }
@@ -491,7 +460,7 @@ impl BlockchainNetwork {
     /// True when all alive nodes hold identical ledgers and states —
     /// the consistency property Figure 1 illustrates.
     pub fn replicas_identical(&self) -> bool {
-        let alive: Vec<usize> = (0..self.len()).filter(|&i| !self.driver.is_crashed(i)).collect();
+        let alive: Vec<usize> = (0..self.len()).filter(|&i| !self.ordering.is_crashed(i)).collect();
         let Some(&first) = alive.first() else {
             return true;
         };
@@ -515,7 +484,7 @@ impl BlockchainNetwork {
 
     /// Consensus-layer network statistics.
     pub fn net_stats(&self) -> &NetStats {
-        self.driver.stats()
+        self.ordering.stats()
     }
 }
 
@@ -557,20 +526,13 @@ mod tests {
 
     #[test]
     fn every_consensus_kind_drives_the_chain() {
-        for kind in [
-            ConsensusKind::Pbft,
-            ConsensusKind::Ibft,
-            ConsensusKind::HotStuff,
-            ConsensusKind::Tendermint,
-            ConsensusKind::Raft,
-            ConsensusKind::Paxos,
-            ConsensusKind::MinBft,
-        ] {
+        for kind in ConsensusKind::ALL {
             let n = if kind == ConsensusKind::MinBft { 3 } else { 4 };
             let (chain, report) = run(kind, ArchKind::Ox, n, 16);
             assert!(report.consensus_complete, "{kind:?} stalled");
             assert_eq!(report.committed, 16, "{kind:?}");
             assert!(chain.replicas_identical(), "{kind:?} replicas diverged");
+            assert!(!report.diverged, "{kind:?} reported divergence");
         }
     }
 
@@ -625,11 +587,37 @@ mod tests {
     }
 
     #[test]
+    fn crashed_node_catches_up_after_recovery() {
+        // Raft: the leader replays the whole log to a restarted
+        // follower, so the laggard's pipeline has a backlog to apply.
+        let w = PaymentWorkload { accounts: 64, ..Default::default() };
+        let mut chain = NetworkBuilder::new(3)
+            .consensus(ConsensusKind::Raft)
+            .initial_state(w.initial_state())
+            .batch_size(4)
+            .build();
+        chain.crash(2);
+        chain.submit_all(w.generate(0, 8));
+        let r1 = chain.run_to_completion();
+        assert!(r1.consensus_complete);
+        chain.restart(2); // rejoin: leader heartbeats replicate the backlog
+        chain.submit_all(w.generate(100, 4));
+        let r2 = chain.run_to_completion();
+        assert!(r2.consensus_complete);
+        assert!(!r2.diverged, "recovered replica must not fork");
+        // The per-node applied counters replay node 2's full backlog.
+        assert!(chain.replicas_identical(), "node 2 caught up");
+        assert_eq!(r1.committed + r2.committed, 12);
+    }
+
+    #[test]
     fn report_metrics_populated() {
         let (_, report) = run(ConsensusKind::Pbft, ArchKind::Ox, 4, 8);
         assert!(report.msgs_sent > 0);
         assert!(report.bytes_sent > 0);
         assert!(report.mean_decide_latency > 0.0);
         assert!(report.sim_time > 0);
+        assert!(report.head.is_some());
+        assert!(!report.diverged);
     }
 }

@@ -17,6 +17,7 @@
 //! measures exactly this phase/latency bill against SharPer and Saguaro.
 
 use crate::cluster::{split_by_shard, Cluster, Partitioner, ShardStats};
+use crate::replication::ConsensusGroup;
 use pbc_sim::Topology;
 use pbc_types::{ShardId, Transaction};
 
@@ -94,27 +95,58 @@ pub struct AhlSystem {
     pub intra_round: u64,
     /// Accounting.
     pub stats: ShardStats,
+    /// The reference committee's own replica group. AHL's committee runs
+    /// BFT over trusted hardware (the A2M technique), so it is MinBFT
+    /// with `n = 2f+1 = 3`.
+    committee: ConsensusGroup,
     next_tx_serial: u64,
 }
 
 impl AhlSystem {
-    /// Creates an AHL system with `n_shards` clusters. `topology` must
-    /// cover `n_shards + 1` clusters — the extra one hosts the reference
-    /// committee.
+    /// Creates an AHL system with `n_shards` clusters, each backed by a
+    /// 4-replica PBFT group (the committee runs 3-replica MinBFT).
+    /// `topology` must cover `n_shards + 1` clusters — the extra one
+    /// hosts the reference committee.
     pub fn new(n_shards: u32, topology: Topology, intra_round: u64) -> Self {
+        Self::with_replication(n_shards, topology, intra_round, "pbft", 4)
+    }
+
+    /// [`AhlSystem::new`] with the per-cluster consensus protocol and
+    /// replica count selectable. Individual clusters can still be
+    /// re-pointed afterwards with [`AhlSystem::set_group`].
+    pub fn with_replication(
+        n_shards: u32,
+        topology: Topology,
+        intra_round: u64,
+        proto: &str,
+        replicas: usize,
+    ) -> Self {
         assert_eq!(
             topology.n_clusters(),
             n_shards as usize + 1,
             "topology needs one extra cluster position for the reference committee"
         );
         AhlSystem {
-            clusters: (0..n_shards).map(|i| Cluster::new(ShardId(i))).collect(),
+            clusters: (0..n_shards)
+                .map(|i| Cluster::replicated(ShardId(i), proto, replicas, 0xA41 ^ i as u64))
+                .collect(),
             partitioner: Partitioner::new(n_shards),
             topology,
             intra_round,
             stats: ShardStats::default(),
+            committee: ConsensusGroup::new("minbft", 3, 0xA41C),
             next_tx_serial: 0,
         }
+    }
+
+    /// Replaces one cluster's consensus group (protocol per cluster).
+    pub fn set_group(&mut self, s: ShardId, group: ConsensusGroup) {
+        self.clusters[s.0 as usize].set_group(group);
+    }
+
+    /// The reference committee's replica group.
+    pub fn committee_group(&self) -> &ConsensusGroup {
+        &self.committee
     }
 
     /// The key partitioner.
@@ -158,6 +190,13 @@ impl AhlSystem {
         let busiest = per_cluster.iter().map(|v| v.len()).max().unwrap_or(0);
         for (c, indices) in per_cluster.iter().enumerate() {
             for &i in indices {
+                // Order-execute: the cluster's replica group decides the
+                // command, then the shard executes it. The group's
+                // measured decide latency feeds the E9 intra/cross
+                // comparison.
+                let lat = self.clusters[c].order_command(txs[i].id.0);
+                self.stats.intra_decides += 1;
+                self.stats.intra_decide_ticks += lat;
                 let ok = self.clusters[c].execute_local(&txs[i]);
                 results[i] = ok;
                 self.stats.local_rounds += 1;
@@ -193,15 +232,21 @@ impl AhlSystem {
             .unwrap_or(0);
 
         // Phase 0: the reference committee agrees to coordinate (one
-        // consensus round inside the committee).
+        // consensus round inside the committee). `decide_ticks` tallies
+        // the *measured* latency of every consensus round on the
+        // critical path; involved clusters run theirs in parallel, so
+        // each cluster phase contributes its slowest group.
         self.stats.elapsed += self.intra_round;
+        let mut decide_ticks = self.committee.order(serial);
         // Phase 1: prepare — coordinator → clusters, each cluster runs a
         // consensus round to lock and vote, votes return.
         self.stats.coordination_phases += 2;
         self.stats.elapsed += max_dist + self.intra_round + max_dist;
         let mut all_yes = true;
+        let mut phase_max = 0;
         for s in &shards {
             let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+            phase_max = phase_max.max(self.clusters[s.0 as usize].order_command(serial));
             let vote = self.clusters[s.0 as usize].prepare(serial, ops);
             self.stats.local_rounds += 1;
             all_yes &= vote;
@@ -211,14 +256,18 @@ impl AhlSystem {
                 phase: "prepare",
             });
         }
+        decide_ticks += phase_max;
         // Phase 2: decision consensus at the committee, then commit/abort
         // messages out and cluster consensus to apply, acks back.
         self.stats.elapsed += self.intra_round;
+        decide_ticks += self.committee.order(serial);
         self.stats.coordination_phases += 2;
         self.stats.elapsed += max_dist + self.intra_round + max_dist;
         if all_yes {
+            let mut commit_max = 0;
             for s in &shards {
                 let ops = split.get(s).map(|v| v.as_slice()).unwrap_or(&[]);
+                commit_max = commit_max.max(self.clusters[s.0 as usize].order_command(serial));
                 self.clusters[s.0 as usize].commit(serial, ops);
                 self.stats.local_rounds += 1;
                 pbc_trace::emit(self.stats.elapsed, || pbc_trace::TraceEvent::CrossShard {
@@ -227,6 +276,9 @@ impl AhlSystem {
                     phase: "commit",
                 });
             }
+            decide_ticks += commit_max;
+            self.stats.cross_decides += 1;
+            self.stats.cross_decide_ticks += decide_ticks;
             self.stats.cross_committed += 1;
             true
         } else {
@@ -364,6 +416,59 @@ mod tests {
         let hi = committee::failure_probability(100, 0.3, 1, 3);
         assert!(lo < hi);
         assert!((0.0..=1.0).contains(&lo));
+    }
+
+    #[test]
+    fn clusters_run_real_consensus_groups() {
+        let mut sys = system(2);
+        sys.seed("s0/a", balance_value(100));
+        sys.seed("s1/b", balance_value(0));
+        sys.process_batch(&[transfer(1, "s0/a", "s0/a", 1), transfer(2, "s0/a", "s1/b", 10)]);
+        for s in 0..2 {
+            let g = sys.cluster(ShardId(s)).group().expect("replicated cluster");
+            assert!(g.replicas() >= 3, "≥3-replica group per shard");
+            assert!(g.agreement(), "shard {s} group must not fork");
+            assert!(g.decided_len() > 0, "shard {s} ordered commands");
+        }
+        // The A2M trusted-hardware committee runs 2f+1 MinBFT.
+        assert_eq!(sys.committee_group().protocol(), "minbft");
+        assert_eq!(sys.committee_group().replicas(), 3);
+        assert!(sys.committee_group().agreement());
+    }
+
+    #[test]
+    fn measured_cross_decide_latency_exceeds_intra() {
+        // §2.3.4 Discussion, now measured rather than asserted: AHL's
+        // 2PC spends two committee rounds plus two cluster rounds per
+        // cross-shard transaction versus one cluster round intra-shard.
+        let mut sys = system(2);
+        sys.seed("s0/a", balance_value(100));
+        sys.seed("s1/b", balance_value(0));
+        sys.process_batch(&[
+            transfer(1, "s0/a", "s0/a", 1),
+            transfer(2, "s0/a", "s1/b", 5),
+            transfer(3, "s0/a", "s0/a", 1),
+            transfer(4, "s0/a", "s1/b", 5),
+        ]);
+        assert_eq!(sys.stats.intra_decides, 2);
+        assert_eq!(sys.stats.cross_decides, 2);
+        let intra = sys.stats.mean_intra_decide_latency();
+        let cross = sys.stats.mean_cross_decide_latency();
+        assert!(intra > 0.0);
+        assert!(cross > 2.0 * intra, "2PC over groups: cross {cross} vs intra {intra}");
+    }
+
+    #[test]
+    fn cluster_protocol_is_selectable() {
+        let topo = Topology::flat_clusters(3, 4, 100, 5_000);
+        let mut sys = AhlSystem::with_replication(2, topo, 300, "raft", 3);
+        sys.set_group(ShardId(1), crate::replication::ConsensusGroup::new("hotstuff", 4, 0xB2));
+        sys.seed("s0/a", balance_value(50));
+        sys.seed("s1/b", balance_value(50));
+        sys.process_batch(&[transfer(1, "s0/a", "s0/a", 1), transfer(2, "s1/b", "s1/b", 1)]);
+        assert_eq!(sys.cluster(ShardId(0)).group().unwrap().protocol(), "raft");
+        assert_eq!(sys.cluster(ShardId(1)).group().unwrap().protocol(), "hotstuff");
+        assert_eq!(sys.stats.intra_committed, 2);
     }
 
     #[test]

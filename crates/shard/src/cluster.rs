@@ -1,7 +1,9 @@
 //! Shared sharding machinery: clusters, key partitioning, lock tables,
 //! cross-shard transaction decomposition, and phase/latency accounting.
 
+use crate::replication::ConsensusGroup;
 use pbc_ledger::{ChainLedger, StateStore, Version};
+use pbc_sim::SimTime;
 use pbc_types::tx::{balance_of, balance_value};
 use pbc_types::{Block, Key, NodeId, Op, ShardId, Transaction};
 use std::collections::{HashMap, HashSet};
@@ -72,6 +74,9 @@ pub struct Cluster {
     /// 2PL lock table: locked keys with the owning transaction id.
     locks: HashMap<Key, u64>,
     next_version: u64,
+    /// The replica group ordering this shard's commands; `None` keeps
+    /// the pre-replication single-copy behaviour.
+    group: Option<ConsensusGroup>,
 }
 
 impl Cluster {
@@ -83,6 +88,36 @@ impl Cluster {
             ledger: ChainLedger::new(),
             locks: HashMap::new(),
             next_version: 1,
+            group: None,
+        }
+    }
+
+    /// A cluster whose commands are ordered by a `replicas`-node
+    /// consensus group running `proto` (any ordering-registry name).
+    pub fn replicated(id: ShardId, proto: &str, replicas: usize, seed: u64) -> Self {
+        let mut c = Cluster::new(id);
+        c.group = Some(ConsensusGroup::new(proto, replicas, seed));
+        c
+    }
+
+    /// Installs (or replaces) the cluster's consensus group — protocol
+    /// selectable per cluster.
+    pub fn set_group(&mut self, group: ConsensusGroup) {
+        self.group = Some(group);
+    }
+
+    /// The cluster's consensus group, if replicated.
+    pub fn group(&self) -> Option<&ConsensusGroup> {
+        self.group.as_ref()
+    }
+
+    /// Orders a command through the cluster's consensus group and
+    /// returns the measured decide latency in simulation ticks (`0` for
+    /// an unreplicated cluster).
+    pub fn order_command(&mut self, digest: u64) -> SimTime {
+        match &mut self.group {
+            Some(g) => g.order(digest),
+            None => 0,
         }
     }
 
@@ -257,6 +292,38 @@ pub struct ShardStats {
     pub elapsed: u64,
     /// Scheduler steps (parallelism: lower = more parallel).
     pub steps: u64,
+    /// Intra-shard commands ordered through a real consensus group.
+    pub intra_decides: u64,
+    /// Summed measured decide latency of those intra-shard commands.
+    pub intra_decide_ticks: u64,
+    /// Committed cross-shard transactions whose coordination rounds ran
+    /// through real consensus groups.
+    pub cross_decides: u64,
+    /// Summed measured decide latency of those cross-shard transactions
+    /// (all coordination rounds, involved clusters in parallel).
+    pub cross_decide_ticks: u64,
+}
+
+impl ShardStats {
+    /// Mean measured intra-shard decide latency in ticks (0 when
+    /// nothing was measured).
+    pub fn mean_intra_decide_latency(&self) -> f64 {
+        if self.intra_decides == 0 {
+            0.0
+        } else {
+            self.intra_decide_ticks as f64 / self.intra_decides as f64
+        }
+    }
+
+    /// Mean measured cross-shard decide latency in ticks (0 when
+    /// nothing was measured).
+    pub fn mean_cross_decide_latency(&self) -> f64 {
+        if self.cross_decides == 0 {
+            0.0
+        } else {
+            self.cross_decide_ticks as f64 / self.cross_decides as f64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 pub mod ahl;
 pub mod channels;
 pub mod cluster;
+pub mod replication;
 pub mod resilientdb;
 pub mod saguaro;
 pub mod sharper;
@@ -45,6 +46,7 @@ pub mod sharper;
 pub use ahl::AhlSystem;
 pub use channels::{ChannelShardedSystem, CrossChannelMode};
 pub use cluster::{Cluster, Partitioner, ShardStats};
+pub use replication::ConsensusGroup;
 pub use resilientdb::ResilientDb;
 pub use saguaro::SaguaroSystem;
 pub use sharper::SharperSystem;

@@ -106,8 +106,9 @@ impl NemesisOp {
         }
     }
 
-    /// The node the op acts on, or `usize::MAX` for cluster-wide ops.
-    fn primary_node(&self) -> NodeIdx {
+    /// The node the op acts on, or `usize::MAX` for cluster-wide ops
+    /// (used to label [`TraceEvent::NemesisOp`] records).
+    pub fn primary_node(&self) -> NodeIdx {
         match self {
             NemesisOp::Crash { node }
             | NemesisOp::Recover { node }

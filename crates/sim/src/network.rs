@@ -308,6 +308,35 @@ impl<A: Actor> Network<A> {
         pbc_trace::emit(self.time, || TraceEvent::Inject { from, to });
     }
 
+    /// Injects one external message to **every** node at once, sharing a
+    /// single allocation across the whole fan-in (the same zero-copy
+    /// mechanism broadcasts use). Semantically identical to calling
+    /// [`Network::inject`] once per node with the same arguments — the
+    /// scheduled `(at, seq, from, to)` tuples, accounting, and trace
+    /// events are the same, so seeded runs and golden-trace digests are
+    /// unaffected — but the payload is allocated once instead of cloned
+    /// per node.
+    pub fn inject_all(&mut self, from: NodeIdx, msg: A::Msg, delay: SimTime) {
+        let at = self.time + delay.max(1);
+        let shared = Arc::new(msg);
+        for to in 0..self.actors.len() {
+            self.seq += 1;
+            self.queue.push(
+                at,
+                self.seq,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: Payload::Shared(Arc::clone(&shared)),
+                    sent_at: self.time,
+                },
+            );
+            self.stats.msgs_injected += 1;
+            self.stats.msgs_in_flight += 1;
+            pbc_trace::emit(self.time, || TraceEvent::Inject { from, to });
+        }
+    }
+
     /// Routes one message over the `origin → to` link: fault draws,
     /// latency sampling, scheduling. Identical decision order for
     /// unicasts and each recipient of a broadcast, so seeded runs replay
@@ -729,6 +758,29 @@ mod tests {
         assert!(s.msgs_injected > 0, "inject path must exercise");
         assert!(s.conserves_messages(), "quiescent: {s:?}");
         assert_eq!(s.msgs_in_flight, 0, "quiescence means nothing left in flight");
+    }
+
+    /// `inject_all` must be indistinguishable from the per-node inject
+    /// loop it replaces: same delivery trace digest, same accounting —
+    /// only the allocations differ.
+    #[test]
+    fn inject_all_matches_per_node_inject_loop() {
+        let per_node = {
+            let mut net = gossip_net(6, 0x1A11);
+            for to in 0..6 {
+                net.inject(2, to, Token(7), 3);
+            }
+            net.run_to_quiescence(100_000);
+            (net.trace_digest(), net.stats().msgs_injected, net.stats().msgs_delivered, net.now())
+        };
+        let fanned = {
+            let mut net = gossip_net(6, 0x1A11);
+            net.inject_all(2, Token(7), 3);
+            net.run_to_quiescence(100_000);
+            (net.trace_digest(), net.stats().msgs_injected, net.stats().msgs_delivered, net.now())
+        };
+        assert_eq!(per_node, fanned);
+        assert!(fanned.1 == 6, "one injection counted per recipient");
     }
 
     #[test]

@@ -159,7 +159,8 @@ fn trace_digest_is_seed_sensitive() {
 /// seeded experiments whenever someone turns metrics on.
 #[test]
 fn trace_sink_does_not_perturb_golden_schedules() {
-    let scenarios: [(&str, fn() -> u64, u64); 3] = [
+    type Scenario = (&'static str, fn() -> u64, u64);
+    let scenarios: [Scenario; 3] = [
         ("pbft-healthy", pbft_healthy_digest, GOLDEN_PBFT_HEALTHY),
         ("pbft-faults", pbft_faults_digest, GOLDEN_PBFT_FAULTS),
         ("raft-crash", raft_crash_digest, GOLDEN_RAFT_CRASH),
