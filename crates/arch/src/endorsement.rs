@@ -60,7 +60,11 @@ fn result_digest(r: &ExecResult) -> pbc_crypto::Hash {
         enc.str(k).u64(v.height).u32(v.tx_index);
     }
     for (k, v) in &r.write_set {
-        enc.str(k).bytes(v);
+        enc.str(k);
+        match v {
+            Some(v) => enc.u32(1).bytes(v),
+            None => enc.u32(0),
+        };
     }
     pbc_crypto::sha256(enc.as_slice())
 }
@@ -116,9 +120,11 @@ impl EndorsingPipeline {
             .map(|&org| {
                 let mut result = pbc_ledger::execute(tx, &self.state);
                 if self.byzantine_orgs.contains(&org) {
-                    // A lying endorser corrupts the proposed writes.
+                    // A lying endorser corrupts the proposed writes
+                    // (deletes included: a resurrected value is just as
+                    // much a lie as a corrupted one).
                     for (_, v) in result.write_set.iter_mut() {
-                        *v = pbc_types::Value::from_static(b"corrupted");
+                        *v = Some(pbc_types::Value::from_static(b"corrupted"));
                     }
                 }
                 let digest = result_digest(&result);
@@ -181,7 +187,7 @@ impl ExecutionPipeline for EndorsingPipeline {
         for (i, (tx, result)) in txs.iter().zip(endorsed).enumerate() {
             match result {
                 Some(r) if validate_read_set(&r, &self.state) == ValidationVerdict::Valid => {
-                    self.state.apply(&r.write_set, Version::new(height, i as u32));
+                    self.state.apply_writes(&r.write_set, Version::new(height, i as u32));
                     outcome.committed.push(tx.id);
                 }
                 _ => outcome.aborted.push(tx.id),
@@ -245,7 +251,7 @@ mod tests {
         // Two honest matching endorsements satisfy the policy; the lie is
         // out-voted and its writes never reach the state.
         let agreed = p.check_policy(&endorsements).unwrap();
-        assert!(agreed.write_set.iter().all(|(_, v)| v != "corrupted"));
+        assert!(agreed.write_set.iter().all(|(_, v)| v.as_deref() != Some(b"corrupted".as_ref())));
     }
 
     #[test]

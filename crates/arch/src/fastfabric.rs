@@ -102,7 +102,7 @@ impl ExecutionPipeline for FastFabricPipeline {
             let verdicts = self.validate_layer_parallel(&layer_results);
             for (&i, verdict) in layer.iter().zip(verdicts) {
                 if verdict == ValidationVerdict::Valid {
-                    self.state.apply(&results[i].write_set, Version::new(height, i as u32));
+                    self.state.apply_writes(&results[i].write_set, Version::new(height, i as u32));
                     outcome.committed.push(txs[i].id);
                 } else {
                     outcome.aborted.push(txs[i].id);

@@ -51,7 +51,7 @@ impl ExecutionPipeline for OxiiPipeline {
                 if result.is_success() {
                     // Version stamps use the tx's position in the block.
                     let idx = txs.iter().position(|t| t.id == tx.id).expect("tx in block");
-                    self.state.apply(&result.write_set, Version::new(height, idx as u32));
+                    self.state.apply_writes(&result.write_set, Version::new(height, idx as u32));
                     outcome.committed.push(tx.id);
                 } else {
                     outcome.aborted.push(tx.id);

@@ -105,7 +105,7 @@ impl ExecutionPipeline for XovPipeline {
             crate::pipeline::spin(self.validation_work);
             let verdict = validate_read_set(&results[i], &self.state);
             if verdict == ValidationVerdict::Valid {
-                self.state.apply(&results[i].write_set, Version::new(height, pos as u32));
+                self.state.apply_writes(&results[i].write_set, Version::new(height, pos as u32));
                 outcome.committed.push(txs[i].id);
             } else {
                 outcome.aborted.push(txs[i].id);

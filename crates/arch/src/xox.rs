@@ -46,7 +46,7 @@ impl ExecutionPipeline for XoxPipeline {
         for (i, r) in results.iter().enumerate() {
             match validate_read_set(r, &self.state) {
                 ValidationVerdict::Valid => {
-                    self.state.apply(&r.write_set, Version::new(height, i as u32));
+                    self.state.apply_writes(&r.write_set, Version::new(height, i as u32));
                     outcome.committed.push(txs[i].id);
                 }
                 ValidationVerdict::Stale { .. } => retry.push(i),

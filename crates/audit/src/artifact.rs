@@ -1,0 +1,159 @@
+//! Deterministic replay artifacts for shrunk violations.
+//!
+//! When the shrinker reduces a failing chaos schedule, the result is
+//! only useful if it survives the test process: a [`ReplayArtifact`]
+//! renders the seed, the minimized op sequence, the violation, and an
+//! optional trace post-mortem into one text file. Everything needed to
+//! re-run the failure is in the file — the schedule is replayed by
+//! constructing the same harness with the same seed and applying the
+//! listed ops in order.
+
+use crate::shrink::ShrinkOutcome;
+use pbc_sim::NemesisOp;
+use std::path::{Path, PathBuf};
+
+/// A self-contained reproduction recipe for a shrunk violation.
+#[derive(Clone, Debug)]
+pub struct ReplayArtifact {
+    /// Short scenario name (used for the file name).
+    pub title: String,
+    /// Seed the harness (network + schedule) was constructed with.
+    pub seed: u64,
+    /// Cluster size of the harness.
+    pub nodes: usize,
+    /// Ops in the original failing schedule.
+    pub original_ops: usize,
+    /// The minimized schedule, in execution order.
+    pub schedule: Vec<NemesisOp>,
+    /// Rendered violation message.
+    pub violation: String,
+    /// Harness executions the shrink consumed.
+    pub tests_run: usize,
+    /// Optional trace post-mortem (from [`pbc_sim::violation_report`]).
+    pub postmortem: String,
+}
+
+impl ReplayArtifact {
+    /// Builds an artifact from a shrink result plus harness parameters.
+    pub fn from_shrink(title: &str, seed: u64, nodes: usize, outcome: &ShrinkOutcome) -> Self {
+        ReplayArtifact {
+            title: title.to_string(),
+            seed,
+            nodes,
+            original_ops: outcome.original_len,
+            schedule: outcome.minimized.clone(),
+            violation: outcome.violation.to_string(),
+            tests_run: outcome.tests_run,
+            postmortem: String::new(),
+        }
+    }
+
+    /// Attaches a trace post-mortem (builder style).
+    pub fn with_postmortem(mut self, postmortem: String) -> Self {
+        self.postmortem = postmortem;
+        self
+    }
+
+    /// Renders the artifact as a stable, line-oriented text document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# nemesis replay artifact: {}\n", self.title));
+        out.push_str(&format!("seed = {:#x}\n", self.seed));
+        out.push_str(&format!("nodes = {}\n", self.nodes));
+        out.push_str(&format!(
+            "schedule = {} ops (shrunk from {} in {} harness runs)\n",
+            self.schedule.len(),
+            self.original_ops,
+            self.tests_run
+        ));
+        out.push_str(&format!("violation: {}\n\nschedule:\n", self.violation));
+        for (i, op) in self.schedule.iter().enumerate() {
+            out.push_str(&format!("  {}. {}\n", i + 1, format_op(op)));
+        }
+        if !self.postmortem.is_empty() {
+            out.push_str("\npostmortem:\n");
+            out.push_str(&self.postmortem);
+            if !self.postmortem.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Writes `render()` to `dir/<title>.repro.txt`, creating `dir` if
+    /// needed, and returns the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.repro.txt", self.title));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// One op, one line, human-readable and diff-stable.
+fn format_op(op: &NemesisOp) -> String {
+    match op {
+        NemesisOp::Partition { groups } => format!("partition groups={groups:?}"),
+        NemesisOp::HealPartition => "heal-partition".into(),
+        NemesisOp::Crash { node } => format!("crash node={node}"),
+        NemesisOp::Recover { node } => format!("recover node={node}"),
+        NemesisOp::CrashAmnesia { node } => format!("crash-amnesia node={node}"),
+        NemesisOp::Restart { node } => format!("restart node={node}"),
+        NemesisOp::DegradeLink { from, to, fault } => {
+            format!("degrade-link {from}->{to} {fault:?}")
+        }
+        NemesisOp::HealLinks => "heal-links".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_sim::Violation;
+
+    fn outcome() -> ShrinkOutcome {
+        ShrinkOutcome {
+            minimized: vec![
+                NemesisOp::CrashAmnesia { node: 0 },
+                NemesisOp::CrashAmnesia { node: 1 },
+                NemesisOp::Restart { node: 0 },
+                NemesisOp::Restart { node: 1 },
+            ],
+            violation: Violation::Rewrite { node: 0, seq: 0, was: 7, now: 9 },
+            tests_run: 17,
+            original_len: 12,
+        }
+    }
+
+    #[test]
+    fn render_is_complete_and_ordered() {
+        let artifact = ReplayArtifact::from_shrink("volatile-raft", 0xBEEF, 3, &outcome());
+        let text = artifact.render();
+        assert!(text.contains("seed = 0xbeef"));
+        assert!(text.contains("nodes = 3"));
+        assert!(text.contains("4 ops (shrunk from 12 in 17 harness runs)"));
+        assert!(text.contains("1. crash-amnesia node=0"));
+        assert!(text.contains("4. restart node=1"));
+        let pos_crash = text.find("crash-amnesia node=0").unwrap();
+        let pos_restart = text.find("restart node=1").unwrap();
+        assert!(pos_crash < pos_restart, "ops render in execution order");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = ReplayArtifact::from_shrink("x", 1, 3, &outcome());
+        assert_eq!(a.render(), a.render());
+    }
+
+    #[test]
+    fn writes_a_file() {
+        let dir = std::env::temp_dir().join("pbc-audit-artifact-test");
+        let artifact = ReplayArtifact::from_shrink("unit-test", 5, 3, &outcome())
+            .with_postmortem("the trace window".into());
+        let path = artifact.write_to(&dir).expect("write artifact");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, artifact.render());
+        assert!(read.contains("postmortem:\nthe trace window"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,163 @@
+//! A ready-made violation harness for the shrinker: VolatileRaft under
+//! amnesia schedules.
+//!
+//! `VolatileRaft` is the deliberately broken Raft variant that persists
+//! nothing across an amnesia crash (PR 1's negative control). Crashing a
+//! majority that includes the leader with memory loss lets the restarted
+//! empty-log nodes elect each other and re-decide slot 0 — a textbook
+//! history rewrite. [`volatile_raft_violation`] packages that scenario
+//! as a *deterministic function of `(seed, schedule)`*, exactly the
+//! shape [`shrink_schedule`](crate::shrink_schedule) needs: the shrinker
+//! calls it dozens of times with candidate subsequences, and the same
+//! `(seed, schedule)` always reproduces the same outcome.
+
+use pbc_consensus::raft::{RaftConfig, RaftMsg, VolatileRaft};
+use pbc_consensus::Payload;
+use pbc_sim::{
+    InvariantChecker, Nemesis, NemesisConfig, NemesisOp, Network, NetworkConfig, Violation,
+};
+
+/// Cluster size of the harness (Raft quorum = 2).
+pub const NODES: usize = 3;
+
+/// Runs a 3-node `VolatileRaft` cluster through `ops` and returns the
+/// first safety violation, if any.
+///
+/// The run is a pure function of `(seed, ops)`: elect a leader, commit
+/// payload 1 on every node, apply the schedule as one instantaneous
+/// fault burst (no simulated time between ops — faults land faster than
+/// the cluster can react, the regime where amnesia actually bites; give
+/// each restart a whole election of breathing room and the surviving
+/// replica simply repairs the amnesiacs), then submit payload 2 and keep
+/// observing while the cluster settles. Any subsequence of any schedule
+/// is a valid input — every op is idempotent at the simulator level.
+pub fn volatile_raft_violation(seed: u64, ops: &[NemesisOp]) -> Option<Violation> {
+    let cfg = RaftConfig::new(NODES);
+    let actors: Vec<VolatileRaft<u64>> =
+        (0..NODES).map(|i| VolatileRaft::new(cfg.clone(), i)).collect();
+    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    net.start();
+    net.run_until(300_000);
+    for i in 0..NODES {
+        net.inject(0, i, RaftMsg::Request(1), 1);
+    }
+    if !net.run_until_all(5_000_000, |a| !a.0.log.delivered().is_empty()) {
+        return None; // nothing ever decided ⇒ nothing to rewrite
+    }
+    let views = |net: &Network<VolatileRaft<u64>>| -> Vec<Vec<(u64, u64)>> {
+        net.actors()
+            .map(|a| a.0.log.delivered().iter().map(|(s, p, _)| (*s, p.digest_u64())).collect())
+            .collect()
+    };
+    let mut checker = InvariantChecker::new(NODES);
+    if let Err(v) = checker.observe(&views(&net)) {
+        return Some(v);
+    }
+    for op in ops {
+        op.apply_durable(&mut net);
+        if let Err(v) = checker.observe(&views(&net)) {
+            return Some(v);
+        }
+    }
+    // Fresh work after the schedule: an amnesiac majority re-elected
+    // with empty logs will re-decide slot 0 here.
+    for i in 0..NODES {
+        net.inject(0, i, RaftMsg::Request(2), 1);
+    }
+    for _ in 0..8 {
+        let deadline = net.now() + 500_000;
+        net.run_until(deadline);
+        if let Err(v) = checker.observe(&views(&net)) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// The four-op kernel that kills `VolatileRaft`: a majority (including
+/// the node that led the first commit) loses its memory and comes back
+/// empty. With `seed` chosen so the initial leader is node 0 or 1, this
+/// is the minimal schedule [`volatile_raft_violation`] fails on.
+pub fn amnesia_kernel() -> Vec<NemesisOp> {
+    vec![
+        NemesisOp::CrashAmnesia { node: 0 },
+        NemesisOp::CrashAmnesia { node: 1 },
+        NemesisOp::Restart { node: 0 },
+        NemesisOp::Restart { node: 1 },
+    ]
+}
+
+/// The kernel buried in seeded nemesis noise: a realistic failing
+/// schedule of the kind a chaos sweep produces, used to pin the
+/// shrinker's behaviour in regression tests. The noise (link faults,
+/// heals, crash/recover of the bystander node) is generated from
+/// `noise_seed` and is harmless on its own.
+pub fn padded_amnesia_schedule(noise_seed: u64) -> Vec<NemesisOp> {
+    let noise = Nemesis::generate(
+        NODES,
+        &NemesisConfig {
+            seed: noise_seed,
+            steps: 6,
+            max_down: 1,
+            amnesia: false,
+            link_faults: true,
+            partitions: false,
+        },
+    );
+    // Interleave: noise, kernel ops, noise — ddmin must strip the noise
+    // from both sides and the middle.
+    let kernel = amnesia_kernel();
+    let mut ops = Vec::new();
+    let mut noise_iter = noise.ops().iter().cloned();
+    for k in kernel {
+        ops.extend(noise_iter.by_ref().take(2));
+        ops.push(k);
+    }
+    ops.extend(noise_iter);
+    ops
+}
+
+/// The harness seed every regression pins: the initial VolatileRaft
+/// leader at this seed is inside the `{0, 1}` amnesiac majority (see
+/// `kernel_violates_at_pinned_seed`).
+pub const PINNED_SEED: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned harness seed: chosen (and asserted here) so the
+    /// initial leader is inside the amnesiac majority `{0, 1}`, making
+    /// the kernel a real violation. If the simulator's event order ever
+    /// shifts, this test fails first and points at the constant.
+    #[test]
+    fn kernel_violates_at_pinned_seed() {
+        let v = volatile_raft_violation(crate::harness::PINNED_SEED, &amnesia_kernel());
+        assert!(v.is_some(), "amnesia kernel must violate safety at the pinned seed");
+    }
+
+    #[test]
+    fn empty_schedule_is_safe() {
+        assert!(volatile_raft_violation(PINNED_SEED, &[]).is_none());
+    }
+
+    #[test]
+    fn noise_alone_is_safe() {
+        let noise: Vec<NemesisOp> = padded_amnesia_schedule(7)
+            .into_iter()
+            .filter(|op| !matches!(op, NemesisOp::CrashAmnesia { .. } | NemesisOp::Restart { .. }))
+            .collect();
+        assert!(
+            volatile_raft_violation(PINNED_SEED, &noise).is_none(),
+            "link faults and bystander crashes must not violate safety"
+        );
+    }
+
+    #[test]
+    fn harness_is_deterministic() {
+        let padded = padded_amnesia_schedule(7);
+        let a = volatile_raft_violation(PINNED_SEED, &padded);
+        let b = volatile_raft_violation(PINNED_SEED, &padded);
+        assert_eq!(a.is_some(), b.is_some());
+    }
+}

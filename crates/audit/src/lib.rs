@@ -1,0 +1,42 @@
+//! The differential auditor: every run is an untrusted claim.
+//!
+//! The paper's verifiability axis (§2.3.2) says a permissioned
+//! blockchain must be *checkable after the fact* — the operators are
+//! known but not blindly trusted, so an auditor who holds the genesis
+//! state and the block stream must be able to re-derive everything the
+//! system claims. This crate is that auditor, pointed at our own stack:
+//!
+//! * [`oracle::audit_network`] — the **replay oracle**. Treats a
+//!   [`BlockchainNetwork`](pbc_core::BlockchainNetwork) run as a set of
+//!   untrusted [`CommitRecord`](pbc_core::CommitRecord) claims and
+//!   cross-checks every one of them against (a) an independent
+//!   *sequential* reimplementation of the node's execution architecture
+//!   ([`reference::ReferenceExecutor`]) and (b) a serial replay of the
+//!   claimed commit order, plus a full chain walk (hash links, Merkle
+//!   transaction roots) and sampled state inclusion/absence proofs.
+//! * [`shrink::shrink_schedule`] — the **nemesis shrinker**. Given a
+//!   seeded chaos schedule that violates a safety invariant, ddmin
+//!   delta-debugging reduces it to a locally minimal subsequence that
+//!   still violates, turning a 12-op timeline into a 3-op repro.
+//! * [`artifact::ReplayArtifact`] — the deterministic repro file a
+//!   shrunk violation leaves behind: seed, minimized schedule, violation
+//!   and post-mortem in one human-readable artifact.
+//!
+//! The crate deliberately depends on the *interfaces* of the stack
+//! (`pbc-core`, `pbc-ledger`) but re-implements the execution semantics
+//! from scratch: a bug shared between a pipeline and its auditor would
+//! have to be introduced twice, independently.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod artifact;
+pub mod harness;
+pub mod oracle;
+pub mod reference;
+pub mod shrink;
+
+pub use artifact::ReplayArtifact;
+pub use oracle::{audit_network, AuditError, AuditReport};
+pub use reference::{ReferenceExecutor, ReferenceOutcome};
+pub use shrink::{shrink_schedule, ShrinkOutcome};

@@ -1,0 +1,265 @@
+//! A sequential reference executor for every [`ArchKind`].
+//!
+//! Each pipeline in `pbc-arch` earns its throughput with parallelism —
+//! threaded endorsement, layered validation, in-block reordering. This
+//! module re-derives each architecture's *commit rule* in plain
+//! sequential code, one transaction at a time, so the auditor can
+//! predict exactly which transactions a correct pipeline must commit and
+//! abort at every height, and what the resulting state must look like.
+//!
+//! Version stamping matters: XOV validation compares read versions
+//! against current state versions, so the reference must stamp writes
+//! exactly as the real pipeline does or verdicts would drift apart at
+//! later heights. The per-architecture stamping conventions are
+//! documented on [`ReferenceExecutor::apply_block`].
+
+use pbc_core::ArchKind;
+use pbc_ledger::{execute, execute_and_apply, ExecResult, StateStore, Version};
+use pbc_txn::validate::{validate_read_set, ValidationVerdict};
+use pbc_txn::{fabric_pp_reorder, fabric_sharp_reorder};
+use pbc_types::{Transaction, TxId};
+
+/// What the reference says one block must do.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReferenceOutcome {
+    /// Transactions that must commit. Order is the reference's own
+    /// application order; architectures that apply in layer order
+    /// (OXII, FastFabric) report a different *order* but the same *set*,
+    /// so callers compare these as sorted sets.
+    pub committed: Vec<TxId>,
+    /// Transactions that must abort.
+    pub aborted: Vec<TxId>,
+}
+
+/// Sequential re-implementation of an execution architecture.
+///
+/// Holds its own [`StateStore`] evolved block by block from the genesis
+/// state, entirely independent of any pipeline's store.
+#[derive(Clone, Debug)]
+pub struct ReferenceExecutor {
+    arch: ArchKind,
+    state: StateStore,
+}
+
+impl ReferenceExecutor {
+    /// A reference for `arch` starting from the genesis state.
+    pub fn new(arch: ArchKind, initial: StateStore) -> Self {
+        ReferenceExecutor { arch, state: initial }
+    }
+
+    /// The reference state after every block applied so far.
+    pub fn state(&self) -> &StateStore {
+        &self.state
+    }
+
+    /// The architecture this reference models.
+    pub fn arch(&self) -> ArchKind {
+        self.arch
+    }
+
+    /// Applies one block at `height`, returning the commit/abort
+    /// verdicts a correct pipeline must produce.
+    ///
+    /// Commit rules and version stamps, per architecture:
+    ///
+    /// * **OX / OXII** — execute serially in block order; tx `i` stamps
+    ///   `(height, i)`. OXII's layered schedule is defined to be
+    ///   equivalent to this serial order and stamps by block position.
+    /// * **XOV / XOV+endorsement / FastFabric** — endorse everything
+    ///   against the pre-block snapshot, then validate serially in
+    ///   block order, stamping `(height, position)`. FastFabric's
+    ///   layer-parallel validation produces identical verdicts (layers
+    ///   respect block order between conflicting transactions) and
+    ///   identical stamps (block index); honest endorsement is verdict-
+    ///   neutral.
+    /// * **XOV+Fabric++ / XOV+FabricSharp** — same, but the reorder runs
+    ///   over the pre-block endorsements first; validation follows the
+    ///   reordered sequence and stamps `(height, reordered_position)`.
+    /// * **XOX** — validate in block order (valid ⇒ apply with
+    ///   `(height, i)`), then re-execute stale transactions serially
+    ///   against current state, stamping `(height, len + i)`.
+    pub fn apply_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
+        match self.arch {
+            ArchKind::Ox | ArchKind::Oxii => self.serial_block(txs, height),
+            ArchKind::Xov | ArchKind::XovEndorsed | ArchKind::FastFabric => {
+                self.validated_block(txs, height, Reorder::None)
+            }
+            ArchKind::XovFabricPp => self.validated_block(txs, height, Reorder::FabricPp),
+            ArchKind::XovFabricSharp => self.validated_block(txs, height, Reorder::FabricSharp),
+            ArchKind::Xox => self.xox_block(txs, height),
+        }
+    }
+
+    fn serial_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
+        let mut out = ReferenceOutcome::default();
+        for (i, tx) in txs.iter().enumerate() {
+            let r = execute_and_apply(tx, &mut self.state, Version::new(height, i as u32));
+            if r.is_success() {
+                out.committed.push(tx.id);
+            } else {
+                out.aborted.push(tx.id);
+            }
+        }
+        out
+    }
+
+    fn validated_block(
+        &mut self,
+        txs: &[Transaction],
+        height: u64,
+        reorder: Reorder,
+    ) -> ReferenceOutcome {
+        let results: Vec<ExecResult> = txs.iter().map(|t| execute(t, &self.state)).collect();
+        let (order, pre_aborted) = match reorder {
+            Reorder::None => ((0..txs.len()).collect(), Vec::new()),
+            Reorder::FabricPp => {
+                let o = fabric_pp_reorder(&results);
+                (o.order, o.aborted)
+            }
+            Reorder::FabricSharp => {
+                let o = fabric_sharp_reorder(&results, &self.state);
+                (o.order, o.aborted)
+            }
+        };
+        let mut out = ReferenceOutcome::default();
+        for i in pre_aborted {
+            out.aborted.push(txs[i].id);
+        }
+        for (pos, &i) in order.iter().enumerate() {
+            match validate_read_set(&results[i], &self.state) {
+                ValidationVerdict::Valid => {
+                    self.state
+                        .apply_writes(&results[i].write_set, Version::new(height, pos as u32));
+                    out.committed.push(txs[i].id);
+                }
+                _ => out.aborted.push(txs[i].id),
+            }
+        }
+        out
+    }
+
+    fn xox_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
+        let results: Vec<ExecResult> = txs.iter().map(|t| execute(t, &self.state)).collect();
+        let mut out = ReferenceOutcome::default();
+        let mut retry = Vec::new();
+        for (i, r) in results.iter().enumerate() {
+            match validate_read_set(r, &self.state) {
+                ValidationVerdict::Valid => {
+                    self.state.apply_writes(&r.write_set, Version::new(height, i as u32));
+                    out.committed.push(txs[i].id);
+                }
+                ValidationVerdict::Stale { .. } => retry.push(i),
+                ValidationVerdict::ExecutionFailed => out.aborted.push(txs[i].id),
+            }
+        }
+        for i in retry {
+            let v = Version::new(height, (txs.len() + i) as u32);
+            let r = execute_and_apply(&txs[i], &mut self.state, v);
+            if r.is_success() {
+                out.committed.push(txs[i].id);
+            } else {
+                out.aborted.push(txs[i].id);
+            }
+        }
+        out
+    }
+}
+
+/// Reorder policy of the XOV variants (mirrors `pbc_arch::ReorderPolicy`
+/// without importing pipeline code).
+#[derive(Clone, Copy)]
+enum Reorder {
+    None,
+    FabricPp,
+    FabricSharp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_types::tx::{balance_of, balance_value};
+    use pbc_types::{ClientId, Op};
+
+    fn transfer(id: u64, from: &str, to: &str, amount: u64) -> Transaction {
+        Transaction::new(
+            TxId(id),
+            ClientId(0),
+            vec![Op::Transfer { from: from.into(), to: to.into(), amount }],
+        )
+    }
+
+    fn seeded(accounts: usize, balance: u64) -> StateStore {
+        let mut s = StateStore::new();
+        for i in 0..accounts {
+            s.put(format!("acc{i}"), balance_value(balance), Version::new(0, i as u32));
+        }
+        s
+    }
+
+    #[test]
+    fn ox_reference_commits_everything_solvent() {
+        let mut r = ReferenceExecutor::new(ArchKind::Ox, seeded(2, 100));
+        let txs: Vec<Transaction> = (0..5).map(|i| transfer(i, "acc0", "acc1", 10)).collect();
+        let out = r.apply_block(&txs, 1);
+        assert_eq!(out.committed.len(), 5);
+        assert_eq!(balance_of(r.state().get("acc0")), 50);
+    }
+
+    #[test]
+    fn xov_reference_first_committer_wins() {
+        let mut r = ReferenceExecutor::new(ArchKind::Xov, seeded(2, 100));
+        let txs: Vec<Transaction> = (0..5).map(|i| transfer(i, "acc0", "acc1", 10)).collect();
+        let out = r.apply_block(&txs, 1);
+        assert_eq!(out.committed, vec![TxId(0)]);
+        assert_eq!(out.aborted.len(), 4);
+    }
+
+    #[test]
+    fn xox_reference_salvages_stale_transactions() {
+        let mut r = ReferenceExecutor::new(ArchKind::Xox, seeded(2, 100));
+        let txs: Vec<Transaction> = (0..5).map(|i| transfer(i, "acc0", "acc1", 10)).collect();
+        let out = r.apply_block(&txs, 1);
+        assert_eq!(out.committed.len(), 5);
+        assert_eq!(balance_of(r.state().get("acc1")), 150);
+    }
+
+    /// The load-bearing property: for every architecture, the sequential
+    /// reference and the real (parallel) pipeline agree on verdicts and
+    /// on the observable state, block after block.
+    #[test]
+    fn reference_matches_every_real_pipeline() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA0D1);
+        for arch in ArchKind::ALL {
+            let initial = seeded(5, 200);
+            let mut reference = ReferenceExecutor::new(arch, initial.clone());
+            let mut pipeline = arch.make_pipeline(initial);
+            for block in 0..4u64 {
+                let txs: Vec<Transaction> = (0..10)
+                    .map(|i| {
+                        let a = rng.gen_range(0..5);
+                        let b = rng.gen_range(0..5);
+                        transfer(
+                            block * 100 + i,
+                            &format!("acc{a}"),
+                            &format!("acc{b}"),
+                            rng.gen_range(1..30),
+                        )
+                    })
+                    .collect();
+                let expected = reference.apply_block(&txs, block + 1);
+                let got = pipeline.process_block(txs);
+                let mut ec = expected.committed.clone();
+                let mut gc = got.committed.clone();
+                ec.sort_unstable();
+                gc.sort_unstable();
+                assert_eq!(ec, gc, "{arch:?} block {block}: commit sets diverge");
+                assert_eq!(
+                    reference.state().value_digest(),
+                    pipeline.state().value_digest(),
+                    "{arch:?} block {block}: state diverged"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Delta-debugging for nemesis schedules (ddmin).
+//!
+//! A seeded chaos schedule that violates a safety invariant is a
+//! *reproduction*, but rarely a *minimal* one: a 12-op timeline usually
+//! hides a 3-op kernel (crash the wrong majority, restart it, submit).
+//! [`shrink_schedule`] runs Zeller's ddmin over the op sequence: it
+//! repeatedly re-tests subsets and complements of the failing schedule,
+//! keeping any smaller subsequence that still fails, until the result is
+//! 1-minimal — removing any single remaining op makes the violation
+//! disappear.
+//!
+//! Subsequences of a nemesis schedule are always well-formed inputs:
+//! every [`NemesisOp`] is idempotent at the simulator level (recovering
+//! an alive node or healing a healthy link is a no-op), so the test
+//! harness never needs to special-case a "dangling" recover or heal.
+//! Dropping a `Restart` can leave a node down through the end of the
+//! run — that is a legitimate (and often *more* minimal) fault timeline.
+
+use pbc_sim::{NemesisOp, Violation};
+
+/// The result of a successful shrink.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The 1-minimal failing subsequence, in original order.
+    pub minimized: Vec<NemesisOp>,
+    /// The violation the minimized schedule still produces.
+    pub violation: Violation,
+    /// How many times the test harness ran (including the initial
+    /// confirmation of the full schedule).
+    pub tests_run: usize,
+    /// Length of the original schedule, for the reduction ratio.
+    pub original_len: usize,
+}
+
+/// Test-budget cap: ddmin on a k-op schedule needs O(k²) tests in the
+/// worst case; chaos harnesses cost real wall-clock per test, so the
+/// shrinker settles for the best reduction found within the budget.
+const MAX_TESTS: usize = 256;
+
+/// Minimizes `ops` against `test` with ddmin.
+///
+/// `test` replays a candidate subsequence from scratch (same seeds, same
+/// network construction) and returns the violation it produces, if any.
+/// It must be deterministic: the same subsequence must keep failing the
+/// same way, which every `pbc-sim` harness guarantees by construction.
+///
+/// Returns `None` if the *full* schedule does not fail — there is
+/// nothing to shrink, and a harness bug (a flaky or mis-seeded test
+/// closure) should not masquerade as a passing shrink.
+pub fn shrink_schedule<F>(ops: &[NemesisOp], mut test: F) -> Option<ShrinkOutcome>
+where
+    F: FnMut(&[NemesisOp]) -> Option<Violation>,
+{
+    let mut tests_run = 1;
+    let mut violation = test(ops)?;
+    let mut current: Vec<NemesisOp> = ops.to_vec();
+    let mut granularity = 2usize;
+
+    while current.len() >= 2 && tests_run < MAX_TESTS {
+        let chunk = current.len().div_ceil(granularity);
+        let chunks: Vec<Vec<NemesisOp>> = current.chunks(chunk).map(<[_]>::to_vec).collect();
+        let mut reduced = false;
+
+        // Try each chunk alone ("reduce to subset")...
+        for piece in &chunks {
+            if piece.len() == current.len() || tests_run >= MAX_TESTS {
+                continue;
+            }
+            tests_run += 1;
+            if let Some(v) = test(piece) {
+                current = piece.clone();
+                violation = v;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // ...then each complement ("reduce to complement").
+        for skip in 0..chunks.len() {
+            if chunks.len() <= 1 || tests_run >= MAX_TESTS {
+                break;
+            }
+            let complement: Vec<NemesisOp> = chunks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .flat_map(|(_, c)| c.iter().cloned())
+                .collect();
+            tests_run += 1;
+            if let Some(v) = test(&complement) {
+                current = complement;
+                violation = v;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // No subset or complement fails: refine, or stop at 1-minimal.
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+
+    Some(ShrinkOutcome { minimized: current, violation, tests_run, original_len: ops.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic harness: "fails" iff the schedule still contains
+    /// every op in `kernel` (order preserved by subsequence semantics).
+    fn contains_kernel(schedule: &[NemesisOp], kernel: &[NemesisOp]) -> Option<Violation> {
+        let mut it = schedule.iter();
+        let all = kernel.iter().all(|k| it.by_ref().any(|op| op == k));
+        all.then_some(Violation::Rewrite { node: 0, seq: 0, was: 1, now: 2 })
+    }
+
+    fn crash(node: usize) -> NemesisOp {
+        NemesisOp::Crash { node }
+    }
+
+    fn recover(node: usize) -> NemesisOp {
+        NemesisOp::Recover { node }
+    }
+
+    #[test]
+    fn shrinks_to_exact_kernel() {
+        let kernel = vec![crash(0), crash(1), recover(0)];
+        let mut padded = vec![
+            NemesisOp::HealLinks,
+            crash(0),
+            NemesisOp::HealPartition,
+            crash(1),
+            recover(2),
+            NemesisOp::HealLinks,
+            recover(0),
+            recover(1),
+            NemesisOp::HealPartition,
+        ];
+        padded.push(NemesisOp::HealLinks);
+        let out = shrink_schedule(&padded, |s| contains_kernel(s, &kernel)).expect("full fails");
+        assert_eq!(out.minimized, kernel, "ddmin must strip all padding");
+        assert_eq!(out.original_len, padded.len());
+        assert!(out.tests_run >= 2);
+    }
+
+    #[test]
+    fn passing_schedule_yields_none() {
+        let ops = vec![crash(0), recover(0)];
+        assert!(shrink_schedule(&ops, |_| None).is_none());
+    }
+
+    #[test]
+    fn single_op_kernel_is_found() {
+        let kernel = vec![crash(2)];
+        let padded =
+            vec![NemesisOp::HealLinks, recover(1), crash(2), NemesisOp::HealPartition, recover(2)];
+        let out = shrink_schedule(&padded, |s| contains_kernel(s, &kernel)).unwrap();
+        assert_eq!(out.minimized, kernel);
+    }
+
+    #[test]
+    fn result_is_one_minimal_within_budget() {
+        // Kernel of two ops scattered through noise: dropping either
+        // kernel op from the result must make the harness pass.
+        let kernel = vec![crash(0), recover(0)];
+        let mut padded = Vec::new();
+        for i in 0..6 {
+            padded.push(NemesisOp::HealLinks);
+            padded.push(crash(i % 3));
+            padded.push(recover(i % 3));
+        }
+        let out = shrink_schedule(&padded, |s| contains_kernel(s, &kernel)).unwrap();
+        for drop in 0..out.minimized.len() {
+            let mut fewer = out.minimized.clone();
+            fewer.remove(drop);
+            assert!(
+                contains_kernel(&fewer, &kernel).is_none() || fewer.len() >= out.minimized.len(),
+                "dropping op {drop} must break the repro"
+            );
+        }
+    }
+}

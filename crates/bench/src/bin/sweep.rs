@@ -16,6 +16,12 @@
 //! `sweep --storm-overhead` times the chaos-storm workload with the
 //! trace sink absent and installed, printing both rates — the
 //! observability layer's cost on the simulator's hottest path.
+//!
+//! `sweep --audit` runs the differential auditor over the full
+//! `ConsensusKind × ArchKind` matrix (every commit replayed against the
+//! sequential reference, every proof re-checked) and then the nemesis
+//! shrinker regression: a seeded VolatileRaft amnesia schedule must
+//! shrink to its minimal kernel and reproduce deterministically.
 
 use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto, RunStats};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
@@ -278,10 +284,88 @@ fn storm_overhead() {
     );
 }
 
+/// `--audit`: the CI smoke for the auditor crate. Part one audits every
+/// consensus × architecture combination end to end; part two pins the
+/// shrinker's behaviour on the canonical VolatileRaft amnesia schedule.
+fn audit_smoke() {
+    use pbc_audit::harness::{
+        padded_amnesia_schedule, volatile_raft_violation, NODES, PINNED_SEED,
+    };
+    use pbc_core::{ArchKind, ConsensusKind, NetworkBuilder};
+    use pbc_workload::PaymentWorkload;
+
+    let t0 = Instant::now();
+    let mut heights = 0usize;
+    let mut replays = 0usize;
+    let mut proofs = 0usize;
+    for consensus in ConsensusKind::ALL {
+        for arch in ArchKind::ALL {
+            let n = if consensus == ConsensusKind::MinBft { 3 } else { 4 };
+            let w = PaymentWorkload { accounts: 32, ..Default::default() };
+            let mut chain = NetworkBuilder::new(n)
+                .consensus(consensus)
+                .architecture(arch)
+                .initial_state(w.initial_state())
+                .batch_size(6)
+                .seed(0xA0D1)
+                .with_audit()
+                .build();
+            chain.submit_all(w.generate(0, 18));
+            let report = chain.run_to_completion();
+            assert!(report.consensus_complete, "{consensus:?} × {arch:?} stalled");
+            let audit = pbc_audit::audit_network(&chain)
+                .unwrap_or_else(|e| panic!("{consensus:?} × {arch:?} FAILED AUDIT: {e}"));
+            heights += audit.heights_checked;
+            replays += audit.txs_replayed;
+            proofs += audit.proofs_checked;
+        }
+    }
+    println!(
+        "audit matrix: {} combos green — {} heights, {} replayed txs, {} proofs ({:.2}s)",
+        ConsensusKind::ALL.len() * ArchKind::ALL.len(),
+        heights,
+        replays,
+        proofs,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t1 = Instant::now();
+    let padded = padded_amnesia_schedule(7);
+    let outcome = pbc_audit::shrink_schedule(&padded, |s| volatile_raft_violation(PINNED_SEED, s))
+        .expect("seeded amnesia schedule must violate VolatileRaft safety");
+    assert!(
+        outcome.minimized.len() <= 10,
+        "shrinker regressed: {} ops left (expected <= 10)",
+        outcome.minimized.len()
+    );
+    assert!(
+        volatile_raft_violation(PINNED_SEED, &outcome.minimized).is_some(),
+        "minimized schedule must reproduce deterministically"
+    );
+    let artifact = pbc_audit::ReplayArtifact::from_shrink(
+        "volatile-raft-amnesia",
+        PINNED_SEED,
+        NODES,
+        &outcome,
+    );
+    println!(
+        "shrinker: {} -> {} ops in {} harness runs ({:.2}s)\n{}",
+        outcome.original_len,
+        outcome.minimized.len(),
+        outcome.tests_run,
+        t1.elapsed().as_secs_f64(),
+        artifact.render()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--metrics") {
         metrics();
+        return;
+    }
+    if args.iter().any(|a| a == "--audit") {
+        audit_smoke();
         return;
     }
     if args.iter().any(|a| a == "--storm-overhead") {

@@ -151,7 +151,11 @@ impl PdcChannel {
         let r = pbc_ledger::execute(&tx, &self.public_state);
         if r.is_success() {
             for (k, v) in &r.write_set {
-                self.public_state.put(k.clone(), v.clone(), Version::new(height.0, state_version));
+                let ver = Version::new(height.0, state_version);
+                match v {
+                    Some(v) => self.public_state.put(k.clone(), v.clone(), ver),
+                    None => self.public_state.delete(k.clone(), ver),
+                }
                 state_version += 1;
             }
         }

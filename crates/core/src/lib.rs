@@ -36,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod batch;
 pub mod network;
 
+pub use audit::{AuditTrail, CommitRecord};
 pub use batch::Batch;
 pub use network::{ArchKind, BlockchainNetwork, ConsensusKind, NetworkBuilder, RunReport};
 

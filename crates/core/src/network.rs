@@ -7,6 +7,7 @@
 //! in this crate. Adding a protocol to the whole stack is an
 //! `OrderingActor` impl plus one registry entry in `pbc-consensus`.
 
+use crate::audit::{AuditTrail, CommitRecord};
 use crate::batch::Batch;
 use pbc_arch::{
     BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline,
@@ -106,7 +107,11 @@ impl ArchKind {
         ArchKind::XovEndorsed,
     ];
 
-    fn make(&self, state: StateStore) -> Box<dyn ExecutionPipeline> {
+    /// Builds a standalone pipeline of this architecture over `state` —
+    /// the same construction the network driver uses per node, exposed
+    /// so auditors and benches can run an architecture outside a
+    /// consensus context.
+    pub fn make_pipeline(&self, state: StateStore) -> Box<dyn ExecutionPipeline> {
         match self {
             ArchKind::Ox => Box::new(OxPipeline::with_state(state)),
             ArchKind::Oxii => Box::new(OxiiPipeline::with_state(state)),
@@ -137,6 +142,7 @@ pub struct NetworkBuilder {
     batch_size: usize,
     initial_state: StateStore,
     byzantine: Vec<(usize, Vec<Attack>)>,
+    audit: bool,
 }
 
 impl NetworkBuilder {
@@ -151,6 +157,7 @@ impl NetworkBuilder {
             batch_size: 32,
             initial_state: StateStore::new(),
             byzantine: Vec::new(),
+            audit: false,
         }
     }
 
@@ -197,13 +204,23 @@ impl NetworkBuilder {
         self
     }
 
+    /// Records a per-node [`AuditTrail`] of commit claims during runs,
+    /// enabling the `pbc-audit` differential auditor to replay and
+    /// cross-check the whole run afterwards. Off by default: recording
+    /// digests the state after every block.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> BlockchainNetwork {
         let cfg = NetworkConfig { latency: self.latency, seed: self.seed, drop_rate: 0.0 };
         let ordering =
             cluster_with::<Batch>(self.consensus.registry_name(), self.n, cfg, &self.byzantine)
                 .expect("every ConsensusKind maps to a registered ordering protocol");
-        let pipelines = (0..self.n).map(|_| self.arch.make(self.initial_state.clone())).collect();
+        let pipelines =
+            (0..self.n).map(|_| self.arch.make_pipeline(self.initial_state.clone())).collect();
         BlockchainNetwork {
             ordering,
             pipelines,
@@ -214,6 +231,8 @@ impl NetworkBuilder {
             seals: std::collections::HashMap::new(),
             consensus: self.consensus,
             arch: self.arch,
+            trails: self.audit.then(|| vec![AuditTrail::new(); self.n]),
+            initial_state: self.initial_state,
         }
     }
 }
@@ -266,6 +285,11 @@ pub struct BlockchainNetwork {
     seals: std::collections::HashMap<u64, BlockSeal>,
     consensus: ConsensusKind,
     arch: ArchKind,
+    /// Per-node commit audit trails (`NetworkBuilder::with_audit`).
+    trails: Option<Vec<AuditTrail>>,
+    /// The genesis state every pipeline started from — the root the
+    /// auditor replays from.
+    initial_state: StateStore,
 }
 
 impl BlockchainNetwork {
@@ -426,6 +450,15 @@ impl BlockchainNetwork {
                 };
                 let outcome = self.pipelines[node].process_block_sealed(batch.txs.clone(), seal);
                 self.applied[node] += 1;
+                if let Some(trails) = &mut self.trails {
+                    trails[node].record(CommitRecord {
+                        seq: *seq,
+                        height: self.pipelines[node].ledger().height().0,
+                        committed: outcome.committed.clone(),
+                        aborted: outcome.aborted.clone(),
+                        value_digest: self.pipelines[node].state().value_digest(),
+                    });
+                }
                 if node == reference {
                     report.committed += outcome.committed.len();
                     report.aborted += outcome.aborted.len();
@@ -485,6 +518,17 @@ impl BlockchainNetwork {
     /// Consensus-layer network statistics.
     pub fn net_stats(&self) -> &NetStats {
         self.ordering.stats()
+    }
+
+    /// The recorded audit trail for `node`, if the network was built
+    /// [`with_audit`](NetworkBuilder::with_audit).
+    pub fn audit_trail(&self, node: usize) -> Option<&AuditTrail> {
+        self.trails.as_ref().map(|t| &t[node])
+    }
+
+    /// The genesis state every node's pipeline started from.
+    pub fn initial_state(&self) -> &StateStore {
+        &self.initial_state
     }
 }
 

@@ -37,10 +37,19 @@ pub enum ProofStep {
 }
 
 /// Inclusion proof for a leaf.
+///
+/// Carries the total leaf count of the tree it was produced from:
+/// with odd nodes *promoted* (not duplicated), the Left/Right step
+/// sequence alone does not pin the leaf position — a promoted node
+/// contributes no step — so verification replays the exact level
+/// geometry from `(index, leaves)` and rejects proofs whose claimed
+/// index is inconsistent with the path shape.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MerkleProof {
     /// Index of the proved leaf.
     pub index: usize,
+    /// Total number of leaves in the tree the proof was built from.
+    pub leaves: usize,
     /// Sibling path from leaf level to the root.
     pub path: Vec<ProofStep>,
 }
@@ -110,7 +119,7 @@ impl MerkleTree {
             // Promoted odd nodes contribute no step.
             idx /= 2;
         }
-        Some(MerkleProof { index, path })
+        Some(MerkleProof { index, leaves: self.len(), path })
     }
 }
 
@@ -120,15 +129,41 @@ pub fn verify_inclusion(root: &Hash, leaf_data: &[u8], proof: &MerkleProof) -> b
 }
 
 /// Verifies inclusion of an already-hashed leaf.
+///
+/// The claimed `proof.index` is checked against the path structure, not
+/// merely ignored: verification walks the level sizes of a tree with
+/// `proof.leaves` leaves and demands, at every level, exactly the step
+/// kind that position dictates — `Right` sibling for a left child,
+/// `Left` sibling for a right child, *no* step where the node is a
+/// promoted odd tail. An index-lying proof therefore fails even when
+/// its hash path folds to the correct root.
 pub fn verify_inclusion_hash(root: &Hash, leaf: Hash, proof: &MerkleProof) -> bool {
-    let mut cur = leaf;
-    for step in &proof.path {
-        cur = match step {
-            ProofStep::Left(sib) => node_hash(sib, &cur),
-            ProofStep::Right(sib) => node_hash(&cur, sib),
-        };
+    if proof.index >= proof.leaves {
+        return false;
     }
-    cur == *root
+    let mut cur = leaf;
+    let mut idx = proof.index;
+    let mut size = proof.leaves;
+    let mut steps = proof.path.iter();
+    while size > 1 {
+        if !idx.is_multiple_of(2) {
+            // Right child: the sibling must be on the left.
+            match steps.next() {
+                Some(ProofStep::Left(sib)) => cur = node_hash(sib, &cur),
+                _ => return false,
+            }
+        } else if idx + 1 < size {
+            // Left child with a real sibling on the right.
+            match steps.next() {
+                Some(ProofStep::Right(sib)) => cur = node_hash(&cur, sib),
+                _ => return false,
+            }
+        }
+        // else: promoted odd tail — consumes no step.
+        idx /= 2;
+        size = size.div_ceil(2);
+    }
+    steps.next().is_none() && cur == *root
 }
 
 #[cfg(test)]
@@ -191,6 +226,57 @@ mod tests {
         ls.swap(0, 1);
         let t2 = MerkleTree::build(&ls);
         assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn index_lying_proof_rejected() {
+        // With promotion, the sibling path alone does not pin the leaf
+        // position; the structural index check must reject every claimed
+        // index other than the true one — exhaustively, for every tree
+        // size we use elsewhere, including out-of-range lies.
+        for n in 2..=33 {
+            let ls = leaves(n);
+            let t = MerkleTree::build(&ls);
+            for (i, leaf) in ls.iter().enumerate() {
+                let honest = t.prove(i).unwrap();
+                assert_eq!(honest.leaves, n);
+                for lie in 0..n + 2 {
+                    if lie == i {
+                        continue;
+                    }
+                    let mut p = honest.clone();
+                    p.index = lie;
+                    assert!(
+                        !verify_inclusion(&t.root(), leaf, &p),
+                        "n={n}: proof for leaf {i} accepted with lying index {lie}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_count_lying_proof_rejected() {
+        let ls = leaves(8);
+        let t = MerkleTree::build(&ls);
+        let mut p = t.prove(3).unwrap();
+        p.leaves = 16;
+        assert!(!verify_inclusion(&t.root(), &ls[3], &p), "inflated leaf count");
+        p.leaves = 3;
+        assert!(!verify_inclusion(&t.root(), &ls[3], &p), "index beyond claimed leaf count");
+    }
+
+    #[test]
+    fn truncated_and_padded_paths_rejected() {
+        let ls = leaves(8);
+        let t = MerkleTree::build(&ls);
+        let mut padded = t.prove(2).unwrap();
+        let extra = padded.path[0];
+        padded.path.push(extra);
+        assert!(!verify_inclusion(&t.root(), &ls[2], &padded));
+        let mut truncated = t.prove(2).unwrap();
+        truncated.path.pop();
+        assert!(!verify_inclusion(&t.root(), &ls[2], &truncated));
     }
 
     #[test]

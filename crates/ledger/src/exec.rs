@@ -6,9 +6,9 @@
 //! is strictly deterministic (SMR requirement, §2.2): the same ops against
 //! the same state always produce the same result.
 
-use crate::state::{StateStore, Version};
+use crate::state::{StateStore, Version, WriteOp};
 use pbc_types::tx::{balance_of, balance_value};
-use pbc_types::{Key, Op, Transaction, Value};
+use pbc_types::{Key, Op, Transaction};
 
 /// Why a transaction aborted during execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,8 +40,9 @@ pub struct ExecResult {
     pub tx_id: pbc_types::TxId,
     /// Keys read, with the version observed at read time.
     pub read_set: Vec<(Key, Version)>,
-    /// Buffered writes (not yet applied to any store).
-    pub write_set: Vec<(Key, Value)>,
+    /// Buffered writes (not yet applied to any store); `None` values
+    /// are deletes that will commit tombstones.
+    pub write_set: Vec<WriteOp>,
     /// Success or abort reason.
     pub status: ExecStatus,
     /// Abstract work units consumed (`Noop { busy_work }` accumulates
@@ -65,13 +66,14 @@ impl ExecResult {
 /// endorsements).
 pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
     let mut read_set: Vec<(Key, Version)> = Vec::new();
-    let mut writes: Vec<(Key, Value)> = Vec::new();
+    let mut writes: Vec<WriteOp> = Vec::new();
     let mut work: u64 = 0;
 
-    // Read-your-writes buffer: last write wins.
-    let lookup = |key: &str, writes: &[(Key, Value)], reads: &mut Vec<(Key, Version)>| {
+    // Read-your-writes buffer: last write wins. A buffered delete makes
+    // the key read as missing *without* falling through to the store.
+    let lookup = |key: &str, writes: &[WriteOp], reads: &mut Vec<(Key, Version)>| {
         if let Some((_, v)) = writes.iter().rev().find(|(k, _)| k == key) {
-            return Some(v.clone());
+            return v.clone();
         }
         let (val, ver) = state.get_versioned(key);
         reads.push((key.to_string(), ver));
@@ -86,7 +88,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
             }
             Op::Put { key, value } => {
                 work += 1;
-                writes.push((key.clone(), value.clone()));
+                writes.push((key.clone(), Some(value.clone())));
             }
             Op::Incr { key, delta } => {
                 work += 1;
@@ -96,7 +98,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
                 } else {
                     cur.saturating_sub(delta.unsigned_abs())
                 };
-                writes.push((key.clone(), balance_value(next)));
+                writes.push((key.clone(), Some(balance_value(next))));
             }
             Op::Transfer { from, to, amount } => {
                 work += 1;
@@ -116,9 +118,9 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
                 }
                 // Debit before reading the credit side so self-transfers
                 // observe the debited balance and conserve funds.
-                writes.push((from.clone(), balance_value(from_bal - amount)));
+                writes.push((from.clone(), Some(balance_value(from_bal - amount))));
                 let to_bal = balance_of(lookup(to, &writes, &mut read_set).as_ref());
-                writes.push((to.clone(), balance_value(to_bal + amount)));
+                writes.push((to.clone(), Some(balance_value(to_bal + amount))));
             }
             Op::Noop { busy_work } => {
                 // Simulated contract cost: a cheap but real computation so
@@ -132,13 +134,17 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
                 work += *busy_work as u64;
                 std::hint::black_box(x);
             }
+            Op::Delete { key } => {
+                work += 1;
+                writes.push((key.clone(), None));
+            }
         }
     }
 
     // Deduplicate the read set (first read per key is authoritative) and
     // collapse the write set to the last write per key.
     read_set.dedup_by(|a, b| a.0 == b.0);
-    let mut final_writes: Vec<(Key, Value)> = Vec::with_capacity(writes.len());
+    let mut final_writes: Vec<WriteOp> = Vec::with_capacity(writes.len());
     for (k, v) in writes {
         if let Some(slot) = final_writes.iter_mut().find(|(fk, _)| *fk == k) {
             slot.1 = v;
@@ -161,7 +167,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
 pub fn execute_and_apply(tx: &Transaction, state: &mut StateStore, version: Version) -> ExecResult {
     let result = execute(tx, state);
     if result.is_success() {
-        state.apply(&result.write_set, version);
+        state.apply_writes(&result.write_set, version);
     }
     result
 }
@@ -224,7 +230,7 @@ mod tests {
         assert!(r.is_success());
         // Final write must be 7.
         let (_, v) = r.write_set.iter().find(|(k, _)| k == "k").unwrap().clone();
-        assert_eq!(balance_of(Some(&v)), 7);
+        assert_eq!(balance_of(v.as_ref()), 7);
         // The Incr read was served from the tx's own buffer: no state read.
         assert!(r.read_set.is_empty());
     }
@@ -268,7 +274,47 @@ mod tests {
         ]);
         let r = execute(&t, &s);
         assert_eq!(r.write_set.len(), 1);
-        assert_eq!(balance_of(Some(&r.write_set[0].1)), 2);
+        assert_eq!(balance_of(r.write_set[0].1.as_ref()), 2);
+    }
+
+    #[test]
+    fn delete_buffers_a_tombstone_write() {
+        let mut s = seeded_state();
+        let t = tx(vec![Op::Delete { key: "alice".into() }]);
+        let r = execute_and_apply(&t, &mut s, Version::new(2, 0));
+        assert!(r.is_success());
+        assert_eq!(r.write_set, vec![("alice".to_string(), None)]);
+        assert!(s.get("alice").is_none());
+        assert_eq!(s.version("alice"), Version::new(2, 0), "tombstone carries the version");
+    }
+
+    #[test]
+    fn read_your_deletes() {
+        let s = seeded_state();
+        let t = tx(vec![
+            Op::Delete { key: "alice".into() },
+            Op::Incr { key: "alice".into(), delta: 3 },
+        ]);
+        let r = execute(&t, &s);
+        assert!(r.is_success());
+        // The Incr saw the buffered delete, not alice's live balance of
+        // 100 — and it never touched the store, so no read is recorded.
+        assert!(r.read_set.is_empty());
+        let (_, v) = r.write_set.iter().find(|(k, _)| k == "alice").unwrap();
+        assert_eq!(balance_of(v.as_ref()), 3);
+    }
+
+    #[test]
+    fn delete_then_put_collapses_to_put() {
+        let s = StateStore::new();
+        let t = tx(vec![
+            Op::Put { key: "k".into(), value: balance_value(1) },
+            Op::Delete { key: "k".into() },
+            Op::Put { key: "k".into(), value: balance_value(2) },
+        ]);
+        let r = execute(&t, &s);
+        assert_eq!(r.write_set.len(), 1);
+        assert_eq!(balance_of(r.write_set[0].1.as_ref()), 2);
     }
 
     #[test]

@@ -26,5 +26,8 @@ pub mod state;
 pub use chain::{ChainError, ChainLedger};
 pub use dag::{DagLedger, DagNodeKind, LocalView};
 pub use exec::{execute, execute_and_apply, ExecResult, ExecStatus};
-pub use proof::{prove_key, state_root, verify_key, StateProof};
-pub use state::{StateStore, Version};
+pub use proof::{
+    prove_absent, prove_key, state_root, verify_absent, verify_key, AbsenceProof, ProofBatch,
+    StateProof,
+};
+pub use state::{StateStore, Version, WriteOp};

@@ -203,6 +203,7 @@ impl Cluster {
                     let tb = balance_of(self.state.get(to));
                     self.state.put(to.clone(), balance_value(tb + amount), v);
                 }
+                Op::Delete { key } => self.state.delete(key.clone(), v),
                 Op::Get { .. } | Op::Noop { .. } => {}
             }
         }
@@ -264,7 +265,7 @@ pub fn split_by_shard(tx: &Transaction, p: &Partitioner) -> HashMap<ShardId, Vec
                         .push(Op::Incr { key: to.clone(), delta: *amount as i64 });
                 }
             }
-            Op::Put { key, .. } | Op::Incr { key, .. } | Op::Get { key } => {
+            Op::Put { key, .. } | Op::Incr { key, .. } | Op::Get { key } | Op::Delete { key } => {
                 per.entry(p.shard_of(key)).or_default().push(op.clone());
             }
             Op::Noop { .. } => {}

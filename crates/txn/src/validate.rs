@@ -64,7 +64,7 @@ pub fn validate_block(
     for (i, r) in results.iter().enumerate() {
         let verdict = validate_read_set(r, state);
         if verdict.is_valid() {
-            state.apply(&r.write_set, Version::new(height, i as u32));
+            state.apply_writes(&r.write_set, Version::new(height, i as u32));
         }
         verdicts.push(verdict);
     }
@@ -144,6 +144,50 @@ mod tests {
         // Another tx creates the key before validation.
         state.put("ghost".into(), balance_value(1), Version::new(2, 0));
         assert!(matches!(validate_read_set(&r, &state), ValidationVerdict::Stale { .. }));
+    }
+
+    #[test]
+    fn read_of_deleted_key_detected_as_stale() {
+        // The bug tombstones exist to fix: endorse a read of a live key,
+        // then a delete commits before validation. Without a tombstone
+        // the deleted key would read as GENESIS — indistinguishable from
+        // never-written — and the conflict would be silently missed.
+        let mut state = seeded();
+        let t = Transaction::new(TxId(1), ClientId(0), vec![Op::Get { key: "a".into() }]);
+        let r = execute(&t, &state);
+        state.delete("a".into(), Version::new(2, 0));
+        match validate_read_set(&r, &state) {
+            ValidationVerdict::Stale { key, read, current } => {
+                assert_eq!(key, "a");
+                assert_eq!(read, Version::new(1, 0));
+                assert_eq!(current, Version::new(2, 0));
+            }
+            other => panic!("read of deleted key must be stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_conflicts_propagate_through_block_validation() {
+        // Two parallel endorsements: tx1 deletes "a", tx2 read "a" at its
+        // endorsed version. Serial MVCC validation commits the delete and
+        // must invalidate the read.
+        let mut state = seeded();
+        let del = Transaction::new(TxId(1), ClientId(0), vec![Op::Delete { key: "a".into() }]);
+        let read = Transaction::new(
+            TxId(2),
+            ClientId(0),
+            vec![
+                Op::Get { key: "a".into() },
+                Op::Put { key: "out".into(), value: balance_value(1) },
+            ],
+        );
+        let r1 = execute(&del, &state);
+        let r2 = execute(&read, &state);
+        let v = validate_block(&[r1, r2], &mut state, 2);
+        assert!(v[0].is_valid());
+        assert!(matches!(&v[1], ValidationVerdict::Stale { key, .. } if key == "a"));
+        assert!(state.get("a").is_none());
+        assert!(state.get("out").is_none(), "stale tx's writes must not apply");
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum Op {
         /// Simulated execution cost in abstract work units.
         busy_work: u32,
     },
+    /// Deletes a key (Fabric's `DelState`). Commits a *tombstone* version
+    /// so MVCC validation still detects a read of the deleted key as
+    /// stale; the state root stops committing to the key.
+    Delete {
+        /// Key to delete.
+        key: Key,
+    },
 }
 
 impl Op {
@@ -69,6 +76,7 @@ impl Op {
             Op::Incr { key, .. } => vec![key],
             Op::Transfer { from, to, .. } => vec![from, to],
             Op::Noop { .. } => vec![],
+            Op::Delete { .. } => vec![],
         }
     }
 
@@ -80,6 +88,7 @@ impl Op {
             Op::Incr { key, .. } => vec![key],
             Op::Transfer { from, to, .. } => vec![from, to],
             Op::Noop { .. } => vec![],
+            Op::Delete { key } => vec![key],
         }
     }
 }
@@ -101,6 +110,9 @@ impl CanonicalEncode for Op {
             }
             Op::Noop { busy_work } => {
                 enc.tag(4).u32(*busy_work);
+            }
+            Op::Delete { key } => {
+                enc.tag(5).str(key);
             }
         }
     }
@@ -310,6 +322,19 @@ mod tests {
         let c = tx(2, vec![Op::Get { key: "k".into() }]);
         assert_eq!(a.digest(), b.digest());
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn delete_is_a_blind_write() {
+        let t = tx(1, vec![Op::Delete { key: "a".into() }]);
+        assert!(t.read_keys().is_empty());
+        assert_eq!(t.write_keys(), vec!["a"]);
+        // Delete and Get of the same key must not encode identically.
+        let g = tx(1, vec![Op::Get { key: "a".into() }]);
+        assert_ne!(t.digest(), g.digest());
+        // Write-write conflict with a Put of the same key.
+        let p = tx(2, vec![Op::Put { key: "a".into(), value: Bytes::new() }]);
+        assert!(t.conflicts_with(&p));
     }
 
     #[test]

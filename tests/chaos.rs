@@ -586,3 +586,55 @@ fn minbft_replay_adversary_is_harmless() {
         assert_eq!(log, reference, "node {i}");
     }
 }
+
+#[test]
+fn shrinker_reduces_amnesia_schedule_to_minimal_kernel() {
+    // The full loop the auditor crate exists for: a seeded chaos
+    // schedule that violates VolatileRaft safety is delta-debugged down
+    // to a 1-minimal kernel, and the kernel ships as a self-contained
+    // replay artifact next to the post-mortem dumps.
+    use pbc_audit::harness::{
+        padded_amnesia_schedule, volatile_raft_violation, NODES, PINNED_SEED,
+    };
+
+    let padded = padded_amnesia_schedule(7);
+    assert!(padded.len() >= 10, "regression input must bury the kernel in noise");
+    let out = pbc_audit::shrink_schedule(&padded, |s| volatile_raft_violation(PINNED_SEED, s))
+        .expect("padded amnesia schedule must violate safety");
+
+    assert!(
+        out.minimized.len() <= 10,
+        "shrinker left {} ops, expected a kernel of at most 10",
+        out.minimized.len()
+    );
+    let amnesia_crashes = out
+        .minimized
+        .iter()
+        .filter(|op| matches!(op, pbc_sim::NemesisOp::CrashAmnesia { .. }))
+        .count();
+    assert_eq!(amnesia_crashes, 2, "the kernel is losing a majority's memory");
+
+    // 1-minimality: dropping any single remaining op kills the repro.
+    for i in 0..out.minimized.len() {
+        let mut fewer = out.minimized.clone();
+        fewer.remove(i);
+        assert!(
+            volatile_raft_violation(PINNED_SEED, &fewer).is_none(),
+            "op {i} of the minimized schedule is redundant"
+        );
+    }
+
+    // Replay the kernel once more under tracing and write the artifact.
+    pbc_trace::install(pbc_trace::TraceSink::new(POSTMORTEM_WINDOW));
+    let v = volatile_raft_violation(PINNED_SEED, &out.minimized)
+        .expect("minimized schedule must still reproduce the violation");
+    let report = violation_report(&v, POSTMORTEM_WINDOW);
+    pbc_trace::uninstall();
+    let artifact =
+        pbc_audit::ReplayArtifact::from_shrink("volatile-raft-amnesia", PINNED_SEED, NODES, &out)
+            .with_postmortem(report);
+    let path = artifact.write_to(&postmortem_dir()).expect("write replay artifact");
+    let text = std::fs::read_to_string(&path).expect("read artifact back");
+    assert!(text.contains("crash-amnesia"), "artifact lists the kernel ops");
+    assert!(text.contains("post-mortem"), "artifact embeds the trace window");
+}

@@ -37,7 +37,8 @@ fn build(
         .architecture(ArchKind::Xov)
         .initial_state(w.initial_state())
         .batch_size(4)
-        .seed(0xC405);
+        .seed(0xC405)
+        .with_audit();
     if let Some((node, attacks)) = byzantine {
         b = b.byzantine(node, attacks);
     }
@@ -87,6 +88,12 @@ fn chaos_schedule(consensus: ConsensusKind, nemesis_seed: u64) {
     if r.consensus_complete {
         assert!(chain.replicas_identical(), "{consensus:?}: fully drained replicas converge");
     }
+    // Chaos must not be able to smuggle a wrong commit past the
+    // differential auditor: every height that *did* commit, on every
+    // node (laggards included), replays clean against the reference.
+    let audit = pbc_audit::audit_network(&chain)
+        .unwrap_or_else(|e| panic!("{consensus:?}: post-chaos audit failed: {e}"));
+    assert!(audit.heights_checked > 0, "{consensus:?}: audit covered nothing");
 }
 
 #[test]

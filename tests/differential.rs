@@ -1,0 +1,137 @@
+//! Differential property tests: every execution architecture against the
+//! sequential reference (§2.3.3's design space, audited pipeline by
+//! pipeline).
+//!
+//! The generator deliberately produces *conflicting* workloads — a tiny
+//! key space, mixed transfers, increments, blind puts, and deletes — so
+//! the parallel pipelines actually exercise their conflict handling
+//! (validation aborts, re-execution, reordering) instead of committing
+//! disjoint writes. Two oracles check each run:
+//!
+//! 1. [`pbc_audit::ReferenceExecutor`] — the architecture-specific
+//!    sequential re-implementation must agree on the exact commit/abort
+//!    split and the final key/value state.
+//! 2. [`pbc_txn::serial`] — the committed transactions, replayed alone
+//!    in commit order, must reproduce the pipeline's state
+//!    (serializability, architecture-agnostic).
+
+use pbc_audit::ReferenceExecutor;
+use pbc_core::ArchKind;
+use pbc_ledger::{StateStore, Version};
+use pbc_txn::serial::{replay_serial, values_equal};
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, Op, Transaction, TxId};
+use proptest::prelude::*;
+
+/// Key space small enough that almost every transaction conflicts.
+const KEYS: usize = 5;
+const BLOCK: usize = 7;
+
+fn key(i: u8) -> String {
+    format!("k{}", i as usize % KEYS)
+}
+
+/// Decodes one generated tuple into a transaction. `kind` selects the
+/// op shape; `a`/`b` pick keys from the shared space; `amount` doubles
+/// as transfer amount, increment delta, and put payload.
+fn decode(id: u64, (a, b, kind, amount): (u8, u8, u8, u64)) -> Transaction {
+    let op = match kind % 4 {
+        0 => Op::Transfer { from: key(a), to: key(b), amount },
+        1 => Op::Incr { key: key(a), delta: amount as i64 - 20 },
+        2 => Op::Put { key: key(a), value: balance_value(amount) },
+        _ => Op::Delete { key: key(a) },
+    };
+    // A second op on another key widens read/write sets across keys.
+    let op2 = Op::Get { key: key(b) };
+    Transaction::new(TxId(id), ClientId(0), vec![op, op2])
+}
+
+fn initial_state() -> StateStore {
+    let mut s = StateStore::new();
+    for i in 0..KEYS {
+        s.put(format!("k{i}"), balance_value(50), Version::new(0, i as u32));
+    }
+    s
+}
+
+proptest! {
+    /// For every architecture: pipeline ≡ reference ≡ serial replay, on
+    /// random conflicting workloads with deletes, block after block.
+    #[test]
+    fn pipelines_match_reference_and_serial_replay(
+        raw in proptest::collection::vec((0u8..6, 0u8..6, 0u8..4, 1u64..40), 1..40)
+    ) {
+        let txs: Vec<Transaction> =
+            raw.iter().enumerate().map(|(i, t)| decode(i as u64, *t)).collect();
+        for arch in ArchKind::ALL {
+            let initial = initial_state();
+            let mut reference = ReferenceExecutor::new(arch, initial.clone());
+            let mut pipeline = arch.make_pipeline(initial.clone());
+            let mut committed_in_order: Vec<Transaction> = Vec::new();
+            for (b, block) in txs.chunks(BLOCK).enumerate() {
+                let expected = reference.apply_block(block, b as u64 + 1);
+                let got = pipeline.process_block(block.to_vec());
+                let mut want = expected.committed.clone();
+                let mut have = got.committed.clone();
+                want.sort_unstable();
+                have.sort_unstable();
+                prop_assert_eq!(
+                    want, have,
+                    "{:?} block {}: commit set diverged from reference", arch, b
+                );
+                // Serial replay follows the *pipeline's* commit order.
+                for id in &got.committed {
+                    committed_in_order
+                        .push(block.iter().find(|t| t.id == *id).unwrap().clone());
+                }
+            }
+            prop_assert_eq!(
+                reference.state().value_digest(),
+                pipeline.state().value_digest(),
+                "{:?}: final state diverged from reference", arch
+            );
+            let refs: Vec<&Transaction> = committed_in_order.iter().collect();
+            let serial = replay_serial(&refs, &initial_state(), 1);
+            prop_assert!(
+                values_equal(&serial, pipeline.state()),
+                "{:?}: committed effects are not serializable", arch
+            );
+        }
+    }
+
+    /// Deletes propagate identically through every pipeline: a deleted
+    /// key is gone (not an empty value) in pipeline, reference, and
+    /// serial replay alike.
+    #[test]
+    fn deletes_are_observed_identically(victims in proptest::collection::vec(0u8..6, 1..10)) {
+        let txs: Vec<Transaction> = victims
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Transaction::new(
+                    TxId(i as u64),
+                    ClientId(0),
+                    vec![Op::Delete { key: key(v) }],
+                )
+            })
+            .collect();
+        for arch in ArchKind::ALL {
+            let initial = initial_state();
+            let mut reference = ReferenceExecutor::new(arch, initial.clone());
+            let mut pipeline = arch.make_pipeline(initial);
+            reference.apply_block(&txs, 1);
+            pipeline.process_block(txs.clone());
+            for &v in &victims {
+                prop_assert_eq!(
+                    pipeline.state().get(&key(v)), None,
+                    "{:?}: deleted key {} still readable", arch, key(v)
+                );
+            }
+            prop_assert_eq!(
+                reference.state().value_digest(),
+                pipeline.state().value_digest(),
+                "{:?}: post-delete states diverged", arch
+            );
+        }
+    }
+}

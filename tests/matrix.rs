@@ -22,6 +22,7 @@ fn run_combo(
         .initial_state(w.initial_state())
         .batch_size(6)
         .seed(seed)
+        .with_audit()
         .build();
     chain.submit_all(w.generate(0, 12));
     let report = chain.run_to_completion();
@@ -48,6 +49,13 @@ fn every_consensus_times_every_arch_converges() {
                     panic!("{consensus:?} × {arch:?} node {i} broken chain: {e:?}")
                 });
             }
+            // The differential auditor re-derives every commit from the
+            // sequential reference and re-checks every proof — green on
+            // all 56 combos or the pipeline (or the auditor) is wrong.
+            let audit = pbc_audit::audit_network(&chain)
+                .unwrap_or_else(|e| panic!("{consensus:?} × {arch:?} failed audit: {e}"));
+            assert_eq!(audit.nodes_audited, chain.len(), "{consensus:?} × {arch:?}");
+            assert!(audit.heights_checked > 0, "{consensus:?} × {arch:?} audited nothing");
         }
     }
 }
