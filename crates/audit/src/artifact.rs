@@ -81,11 +81,15 @@ impl ReplayArtifact {
     }
 
     /// Writes `render()` to `dir/<title>.repro.txt`, creating `dir` if
-    /// needed, and returns the path.
+    /// needed, and returns the path. The write is atomic (temp file +
+    /// fsync + rename, via [`pbc_store::write_atomic`]): the artifact is
+    /// the only reproduction recipe for a failure that may have taken
+    /// hours of chaos runs to find, so a crash mid-write must leave the
+    /// previous artifact or the new one, never a torn file.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.repro.txt", self.title));
-        std::fs::write(&path, self.render())?;
+        pbc_store::write_atomic(&path, self.render().as_bytes())?;
         Ok(path)
     }
 }
@@ -103,6 +107,9 @@ fn format_op(op: &NemesisOp) -> String {
             format!("degrade-link {from}->{to} {fault:?}")
         }
         NemesisOp::HealLinks => "heal-links".into(),
+        NemesisOp::FailSyncs { node, count } => format!("fail-syncs node={node} count={count}"),
+        NemesisOp::CorruptWalTail { node } => format!("corrupt-wal-tail node={node}"),
+        NemesisOp::BitRot { node } => format!("bit-rot node={node}"),
     }
 }
 

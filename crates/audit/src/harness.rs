@@ -102,6 +102,7 @@ pub fn padded_amnesia_schedule(noise_seed: u64) -> Vec<NemesisOp> {
             amnesia: false,
             link_faults: true,
             partitions: false,
+            disk_faults: false,
         },
     );
     // Interleave: noise, kernel ops, noise — ddmin must strip the noise

@@ -22,6 +22,13 @@
 //! sequential reference, every proof re-checked) and then the nemesis
 //! shrinker regression: a seeded VolatileRaft amnesia schedule must
 //! shrink to its minimal kernel and reproduce deterministically.
+//!
+//! `sweep --store [out.json]` exercises `pbc-store` against a **real**
+//! filesystem (a tempdir): raw append/sync/recovery throughput, a torn
+//! WAL write repaired by staged recovery, and an end-to-end durable
+//! blockchain that total-crashes a node, reboots it from disk, passes
+//! the differential auditor, and cold-verifies every node's ledger.
+//! Snapshots the numbers into `BENCH_STORE.json` by default.
 
 use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto, RunStats};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
@@ -358,6 +365,131 @@ fn audit_smoke() {
     );
 }
 
+/// `--store`: the durability smoke over a real filesystem. Everything
+/// here touches an actual tempdir — fsyncs, atomic renames, torn bytes
+/// on a real WAL file — so CI proves the store's recovery story outside
+/// the simulated `FaultFs`.
+fn store_smoke(out_path: &str) {
+    use pbc_core::{ConsensusKind, NetworkBuilder};
+    use pbc_sim::NemesisOp;
+    use pbc_store::{NodeStore, RealFs, StoreConfig};
+    use pbc_workload::PaymentWorkload;
+
+    let root = std::env::temp_dir().join(format!("pbc-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // -- 1. Raw throughput: appends + periodic checkpoint/sync ---------
+    const BLOCKS: u64 = 512;
+    let payload = vec![0xA5u8; 1024];
+    let raw_root = root.join("raw");
+    let t0 = Instant::now();
+    let (mut store, rec) =
+        NodeStore::open(Box::new(RealFs::new(&raw_root).expect("tempdir")), StoreConfig::default())
+            .expect("fresh store opens");
+    assert!(rec.blocks.is_empty(), "fresh dir must recover empty");
+    for seq in 0..BLOCKS {
+        store.append_block(seq, &payload).expect("append");
+        if seq % 16 == 15 {
+            store.put_checkpoint(&seq.to_be_bytes()).expect("checkpoint");
+            store.sync().expect("sync");
+        }
+    }
+    store.sync().expect("final sync");
+    let append_secs = t0.elapsed().as_secs_f64();
+    let append_rate = BLOCKS as f64 / append_secs;
+    println!(
+        "store raw: {BLOCKS} x {}B blocks + {} checkpoints in {append_secs:.3}s \
+         ({append_rate:.0} appends/s, fsync every 16)",
+        payload.len(),
+        BLOCKS / 16,
+    );
+
+    // -- 2. Power loss + torn WAL write, then staged recovery ----------
+    drop(store); // the "crash": the process abandons the open store
+    let wal_path = raw_root.join("checkpoint.wal");
+    let mut wal_bytes = std::fs::read(&wal_path).expect("read real WAL");
+    // A torn append: a full length prefix promising 64 bytes, then the
+    // power dies after 3.
+    wal_bytes.extend_from_slice(&[0, 0, 0, 64, 0xDE, 0xAD, 0xBE]);
+    std::fs::write(&wal_path, &wal_bytes).expect("tear the WAL tail");
+    let t1 = Instant::now();
+    let (_store, rec) =
+        NodeStore::open(Box::new(RealFs::new(&raw_root).expect("tempdir")), StoreConfig::default())
+            .expect("recovery over torn WAL");
+    let recover_secs = t1.elapsed().as_secs_f64();
+    assert!(rec.wal_torn_tail, "the torn append must be detected");
+    assert!(rec.checkpoint.is_some(), "an intact checkpoint survives the torn tail");
+    assert_eq!(rec.blocks.len(), BLOCKS as usize, "segment blocks survive a torn WAL");
+    assert!(rec.quarantined.is_empty() && rec.lost_seqs.is_empty());
+    println!(
+        "store recovery: {} blocks + checkpoint re-read in {recover_secs:.3}s after a torn \
+         WAL write (tail truncated: {})",
+        rec.blocks.len(),
+        rec.wal_torn_tail,
+    );
+
+    // -- 3. End-to-end: durable chain on disk, total crash, cold audit -
+    let t2 = Instant::now();
+    let stores = (0..4)
+        .map(|i| {
+            let vfs = RealFs::new(root.join(format!("node{i}"))).expect("node dir");
+            NodeStore::open(Box::new(vfs), StoreConfig::default()).expect("node store opens").0
+        })
+        .collect();
+    let w = PaymentWorkload { accounts: 32, ..Default::default() };
+    let mut chain = NetworkBuilder::new(4)
+        .consensus(ConsensusKind::Pbft)
+        .initial_state(w.initial_state())
+        .batch_size(6)
+        .seed(0x5704E)
+        .with_audit()
+        .durable(stores)
+        .build();
+    chain.submit_all(w.generate(0, 18));
+    let r1 = chain.run_to_completion();
+    assert!(r1.consensus_complete, "pre-crash run stalled");
+    chain.persist();
+    chain.apply_nemesis(&NemesisOp::CrashAmnesia { node: 2 });
+    chain.apply_nemesis(&NemesisOp::Restart { node: 2 });
+    chain.submit_all(w.generate(100, 12));
+    let r2 = chain.run_to_completion();
+    assert!(r2.consensus_complete, "post-reboot run stalled");
+    assert!(!r2.diverged, "disk-rebooted replica forked the chain");
+    chain.persist();
+    let audit = pbc_audit::audit_network(&chain).expect("differential audit over durable chain");
+    for node in 0..4 {
+        assert_eq!(
+            chain.verify_cold_ledger(node),
+            Some(true),
+            "node {node}: cold ledger contradicts decided history"
+        );
+    }
+    let e2e_secs = t2.elapsed().as_secs_f64();
+    println!(
+        "store e2e: pbft x 4 on real disks, {} committed, total crash + disk reboot, audit \
+         green ({} heights, {} txs replayed), 4/4 cold ledgers verified ({e2e_secs:.2}s)",
+        r1.committed + r2.committed,
+        audit.heights_checked,
+        audit.txs_replayed,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"pbc-store-smoke-v1\",\n  \"blocks\": {BLOCKS},\n  \
+         \"block_bytes\": {},\n  \"append_secs\": {append_secs:.6},\n  \
+         \"appends_per_sec\": {append_rate:.0},\n  \"recover_secs\": {recover_secs:.6},\n  \
+         \"recovered_blocks\": {},\n  \"wal_torn_tail_repaired\": {},\n  \
+         \"e2e_committed\": {},\n  \"e2e_audit_heights\": {},\n  \"e2e_secs\": {e2e_secs:.6}\n}}\n",
+        payload.len(),
+        rec.blocks.len(),
+        rec.wal_torn_tail,
+        r1.committed + r2.committed,
+        audit.heights_checked,
+    );
+    std::fs::write(out_path, json).expect("write store smoke json");
+    println!("store smoke written to {out_path}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--metrics") {
@@ -370,6 +502,16 @@ fn main() {
     }
     if args.iter().any(|a| a == "--storm-overhead") {
         storm_overhead();
+        return;
+    }
+    if args.iter().any(|a| a == "--store") {
+        let out = args
+            .iter()
+            .skip_while(|a| *a != "--store")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_STORE.json".to_string());
+        store_smoke(&out);
         return;
     }
     if args.iter().any(|a| a == "--baseline") {

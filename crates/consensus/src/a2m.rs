@@ -124,6 +124,30 @@ impl A2mVerifier {
         }
         self.used.entry(att.node).or_default().insert(att.counter)
     }
+
+    /// Every `(node, counter)` pair accepted so far, sorted — the part
+    /// of the verifier's state that must survive a crash (a forgotten
+    /// counter set would re-admit replayed attestations).
+    pub fn used_counters(&self) -> Vec<(usize, Vec<u64>)> {
+        let mut out: Vec<(usize, Vec<u64>)> = self
+            .used
+            .iter()
+            .map(|(node, set)| {
+                let mut counters: Vec<u64> = set.iter().copied().collect();
+                counters.sort_unstable();
+                (*node, counters)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(node, _)| *node);
+        out
+    }
+
+    /// Marks a counter as already accepted without a MAC check — used
+    /// when rebuilding a verifier from persisted state (the counters
+    /// were verified before they were written).
+    pub fn mark_used(&mut self, node: usize, counter: u64) {
+        self.used.entry(node).or_default().insert(counter);
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +226,28 @@ mod tests {
         let mut att = usig.attest(7);
         att.node = 1; // claim another node's identity
         assert!(!v.mac_valid(&att));
+    }
+
+    #[test]
+    fn used_counters_roundtrip_through_mark_used() {
+        let mut usig0 = Usig::new(9, 0);
+        let mut usig1 = Usig::new(9, 1);
+        let mut v = A2mVerifier::new(9, 4);
+        let a = usig0.attest(1);
+        let b = usig0.attest(2);
+        let c = usig1.attest(3);
+        assert!(v.verify_fresh(&a) && v.verify_fresh(&b) && v.verify_fresh(&c));
+        // Persist the counter sets, rebuild a fresh verifier, replay them.
+        let mut rebuilt = A2mVerifier::new(9, 4);
+        for (node, counters) in v.used_counters() {
+            for counter in counters {
+                rebuilt.mark_used(node, counter);
+            }
+        }
+        assert!(!rebuilt.verify_fresh(&a), "replay must still be rejected after restore");
+        assert!(!rebuilt.verify_fresh(&c));
+        let fresh = usig0.attest(4);
+        assert!(rebuilt.verify_fresh(&fresh), "new attestations still verify");
     }
 
     #[test]

@@ -26,6 +26,31 @@ pub trait Payload: Clone + PartialEq + std::fmt::Debug {
     }
 }
 
+/// A payload that can round-trip through a real stable store.
+///
+/// [`Payload`] is enough to *order* values; persisting them to a
+/// `pbc-store` WAL additionally needs a byte codec. `from_bytes` returns
+/// `None` on malformed input — the bytes may have just been recovered
+/// from a torn or rotted disk, and decoding must degrade, never panic.
+pub trait PersistPayload: Payload {
+    /// Serializes the payload for stable storage.
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Deserializes bytes produced by [`PersistPayload::to_bytes`];
+    /// `None` on any malformation.
+    fn from_bytes(bytes: &[u8]) -> Option<Self>;
+}
+
+impl PersistPayload for u64 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_be_bytes().to_vec()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_be_bytes(bytes.try_into().ok()?))
+    }
+}
+
 impl Payload for u64 {
     fn digest_u64(&self) -> u64 {
         // splitmix64 finalizer: decorrelates sequential ids.
@@ -268,5 +293,13 @@ mod tests {
     fn u64_payload_digest_spreads() {
         assert_ne!(Payload::digest_u64(&1u64), Payload::digest_u64(&2u64));
         assert_eq!(1u64.wire_size(), 8);
+    }
+
+    #[test]
+    fn u64_persist_roundtrip_and_rejection() {
+        let bytes = PersistPayload::to_bytes(&0xDEAD_BEEFu64);
+        assert_eq!(<u64 as PersistPayload>::from_bytes(&bytes), Some(0xDEAD_BEEF));
+        assert_eq!(<u64 as PersistPayload>::from_bytes(&bytes[..7]), None);
+        assert_eq!(<u64 as PersistPayload>::from_bytes(&[]), None);
     }
 }

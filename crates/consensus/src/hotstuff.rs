@@ -14,7 +14,7 @@
 //! a newer justify QC.
 
 use crate::common::{hooks, quorum, DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A quorum certificate over `(phase, view, digest)`.
@@ -425,6 +425,165 @@ impl<P: Payload> Actor for HotStuffReplica<P> {
     }
 }
 
+/// HotStuff's stable state (opaque): the block tree with its commit
+/// marks, the two safety-critical QCs (`prepare_qc` for liveness,
+/// `locked_qc` for safety — a replica that forgot its lock could vote
+/// for a conflicting branch), the commit sequence counter, and the
+/// decided log. Vote tallies, NewView tallies and pending requests are
+/// volatile: leaders re-collect them and clients retransmit.
+#[derive(Clone, Debug)]
+pub struct HsStable<P> {
+    view: u64,
+    blocks: Vec<(u64, u64, Option<P>, bool)>,
+    prepare_qc: Qc,
+    locked_qc: Qc,
+    delivered_digests: HashSet<u64>,
+    next_commit_seq: u64,
+    nonce: u64,
+    decided: Vec<(u64, P, SimTime)>,
+}
+
+impl<P: crate::common::PersistPayload> Durable for HotStuffReplica<P> {
+    type Stable = HsStable<P>;
+
+    fn checkpoint(&self) -> HsStable<P> {
+        let mut blocks: Vec<(u64, u64, Option<P>, bool)> = self
+            .blocks
+            .iter()
+            .map(|(d, b)| (*d, b.parent, b.payload.clone(), b.committed))
+            .collect();
+        blocks.sort_unstable_by_key(|(d, ..)| *d);
+        HsStable {
+            view: self.view,
+            blocks,
+            prepare_qc: self.prepare_qc,
+            locked_qc: self.locked_qc,
+            delivered_digests: self.delivered_digests.clone(),
+            next_commit_seq: self.next_commit_seq,
+            nonce: self.nonce,
+            decided: self.log.snapshot(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: HsStable<P>) -> Self {
+        let mut r = HotStuffReplica::new(crashed.cfg.clone());
+        r.view = r.view.max(stable.view);
+        r.blocks = stable
+            .blocks
+            .into_iter()
+            .map(|(d, parent, payload, committed)| (d, BlockRec { parent, payload, committed }))
+            .collect();
+        r.blocks.entry(GENESIS).or_insert(BlockRec {
+            parent: GENESIS,
+            payload: None,
+            committed: true,
+        });
+        r.prepare_qc = stable.prepare_qc;
+        r.locked_qc = stable.locked_qc;
+        r.delivered_digests = stable.delivered_digests;
+        r.next_commit_seq = stable.next_commit_seq;
+        r.nonce = stable.nonce.max(1);
+        r.log = DecidedLog::from_snapshot(0, stable.decided);
+        // `on_start` re-announces the current view to its leader, which
+        // re-joins the replica into the protocol.
+        r
+    }
+
+    fn encode_stable(stable: &HsStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.view);
+        e.u64(stable.blocks.len() as u64);
+        for (digest, parent, payload, committed) in &stable.blocks {
+            e.u64(*digest).u64(*parent);
+            match payload {
+                Some(p) => {
+                    e.tag(1).bytes(&p.to_bytes());
+                }
+                None => {
+                    e.tag(0);
+                }
+            }
+            e.tag(*committed as u8);
+        }
+        e.u64(stable.prepare_qc.view).u64(stable.prepare_qc.digest);
+        e.u64(stable.locked_qc.view).u64(stable.locked_qc.digest);
+        let mut digests: Vec<u64> = stable.delivered_digests.iter().copied().collect();
+        digests.sort_unstable();
+        e.u64(digests.len() as u64);
+        for d in digests {
+            e.u64(d);
+        }
+        e.u64(stable.next_commit_seq).u64(stable.nonce);
+        e.u64(stable.decided.len() as u64);
+        for (seq, payload, time) in &stable.decided {
+            e.u64(*seq).bytes(&payload.to_bytes()).u64(*time);
+        }
+        e.finish()
+    }
+
+    fn decode_stable(_crashed: &Self, bytes: &[u8]) -> Option<HsStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let view = d.u64()?;
+        let n_blocks = d.u64()? as usize;
+        let mut blocks = Vec::with_capacity(n_blocks.min(1024));
+        for _ in 0..n_blocks {
+            let digest = d.u64()?;
+            let parent = d.u64()?;
+            let payload = match d.tag()? {
+                0 => None,
+                1 => Some(P::from_bytes(d.bytes()?)?),
+                _ => return None,
+            };
+            let committed = match d.tag()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            blocks.push((digest, parent, payload, committed));
+        }
+        let prepare_qc = Qc { view: d.u64()?, digest: d.u64()? };
+        let locked_qc = Qc { view: d.u64()?, digest: d.u64()? };
+        let n_digests = d.u64()? as usize;
+        let mut delivered_digests = HashSet::with_capacity(n_digests.min(1024));
+        for _ in 0..n_digests {
+            delivered_digests.insert(d.u64()?);
+        }
+        let next_commit_seq = d.u64()?;
+        let nonce = d.u64()?;
+        let n_decided = d.u64()? as usize;
+        let mut decided = Vec::with_capacity(n_decided.min(1024));
+        for _ in 0..n_decided {
+            let seq = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            let time = d.u64()?;
+            decided.push((seq, payload, time));
+        }
+        d.is_empty().then_some(HsStable {
+            view,
+            blocks,
+            prepare_qc,
+            locked_qc,
+            delivered_digests,
+            next_commit_seq,
+            nonce,
+            decided,
+        })
+    }
+
+    fn blank_stable(_crashed: &Self) -> HsStable<P> {
+        HsStable {
+            view: 1,
+            blocks: vec![(GENESIS, GENESIS, None, true)],
+            prepare_qc: Qc { view: 0, digest: GENESIS },
+            locked_qc: Qc { view: 0, digest: GENESIS },
+            delivered_digests: HashSet::new(),
+            next_commit_seq: 0,
+            nonce: 1,
+            decided: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,5 +717,28 @@ mod tests {
         run_until_delivered(&mut net, 1, 5_000_000);
         let steps = net.run_to_quiescence(10_000_000);
         assert!(steps < 10_000_000, "network must quiesce after deciding");
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(4, 31);
+        for p in 1..=3u64 {
+            submit(&mut net, p);
+        }
+        run_until_delivered(&mut net, 3, 10_000_000);
+        for i in 0..4 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.decided.is_empty(), "node {i} decided something");
+            let bytes = HotStuffReplica::<u64>::encode_stable(&stable);
+            let back = HotStuffReplica::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(HotStuffReplica::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert_eq!(back.locked_qc, stable.locked_qc, "lock survives");
+            assert!(
+                HotStuffReplica::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none()
+            );
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(HotStuffReplica::decode_stable(net.actor(i), &padded).is_none());
+        }
     }
 }

@@ -31,6 +31,7 @@ pub mod pbft;
 pub mod raft;
 pub mod tendermint;
 
-pub use common::{DecidedLog, Payload};
+pub use common::{DecidedLog, Payload, PersistPayload};
 pub use ordering::{cluster, cluster_with, protocol_info, OrderingActor, OrderingCluster};
+pub use ordering::{durable_cluster_with, DurableNet};
 pub use ordering::{ProtocolInfo, PROTOCOLS};

@@ -512,7 +512,7 @@ pub struct MinBftStable<P> {
     decided: Vec<(u64, P, SimTime)>,
 }
 
-impl<P: Payload> Durable for MinBftReplica<P> {
+impl<P: crate::common::PersistPayload> Durable for MinBftReplica<P> {
     type Stable = MinBftStable<P>;
 
     fn checkpoint(&self) -> MinBftStable<P> {
@@ -542,6 +542,124 @@ impl<P: Payload> Durable for MinBftReplica<P> {
             r.next_assign = r.next_assign.max(seq + 1);
         }
         r
+    }
+
+    fn encode_stable(stable: &MinBftStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.view).u64(stable.usig_counter);
+        // The verifier's keys re-derive from (a2m_seed, n); only the
+        // accepted-counter sets need to survive (a forgotten set would
+        // re-admit replayed attestations).
+        let used = stable.verifier.used_counters();
+        e.u64(used.len() as u64);
+        for (node, counters) in used {
+            e.u64(node as u64).u64(counters.len() as u64);
+            for c in counters {
+                e.u64(c);
+            }
+        }
+        e.u64(stable.slots.len() as u64);
+        for (seq, slot) in &stable.slots {
+            e.u64(*seq);
+            match &slot.payload {
+                Some(p) => {
+                    e.tag(1).bytes(&p.to_bytes());
+                }
+                None => {
+                    e.tag(0);
+                }
+            }
+            e.u64(slot.digest);
+            let mut voters: Vec<NodeIdx> = slot.commits.iter().copied().collect();
+            voters.sort_unstable();
+            e.u64(voters.len() as u64);
+            for v in voters {
+                e.u64(v as u64);
+            }
+            e.tag(slot.decided as u8);
+        }
+        let mut digests: Vec<u64> = stable.delivered_digests.iter().copied().collect();
+        digests.sort_unstable();
+        e.u64(digests.len() as u64);
+        for d in digests {
+            e.u64(d);
+        }
+        e.u64(stable.decided.len() as u64);
+        for (seq, payload, time) in &stable.decided {
+            e.u64(*seq).bytes(&payload.to_bytes()).u64(*time);
+        }
+        e.finish()
+    }
+
+    fn decode_stable(crashed: &Self, bytes: &[u8]) -> Option<MinBftStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let view = d.u64()?;
+        let usig_counter = d.u64()?;
+        let mut verifier = A2mVerifier::new(crashed.cfg.a2m_seed, crashed.cfg.n);
+        let n_nodes = d.u64()? as usize;
+        for _ in 0..n_nodes {
+            let node = d.u64()? as usize;
+            let n_counters = d.u64()? as usize;
+            for _ in 0..n_counters {
+                verifier.mark_used(node, d.u64()?);
+            }
+        }
+        let n_slots = d.u64()? as usize;
+        let mut slots = BTreeMap::new();
+        for _ in 0..n_slots {
+            let seq = d.u64()?;
+            let payload = match d.tag()? {
+                0 => None,
+                1 => Some(P::from_bytes(d.bytes()?)?),
+                _ => return None,
+            };
+            let digest = d.u64()?;
+            let n_voters = d.u64()? as usize;
+            let mut commits = HashSet::with_capacity(n_voters.min(1024));
+            for _ in 0..n_voters {
+                commits.insert(d.u64()? as NodeIdx);
+            }
+            let decided = match d.tag()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            slots.insert(seq, SlotState { payload, digest, commits, decided });
+        }
+        let n_digests = d.u64()? as usize;
+        let mut delivered_digests = HashSet::with_capacity(n_digests.min(1024));
+        for _ in 0..n_digests {
+            delivered_digests.insert(d.u64()?);
+        }
+        let n_decided = d.u64()? as usize;
+        let mut decided = Vec::with_capacity(n_decided.min(1024));
+        for _ in 0..n_decided {
+            let seq = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            let time = d.u64()?;
+            decided.push((seq, payload, time));
+        }
+        d.is_empty().then_some(MinBftStable {
+            view,
+            usig_counter,
+            verifier,
+            slots,
+            delivered_digests,
+            decided,
+        })
+    }
+
+    fn blank_stable(crashed: &Self) -> MinBftStable<P> {
+        MinBftStable {
+            view: 0,
+            // Even a blank disk cannot rewind the USIG: its counter lives
+            // in the module's NVRAM, not on the host's disk.
+            usig_counter: crashed.usig.counter(),
+            verifier: A2mVerifier::new(crashed.cfg.a2m_seed, crashed.cfg.n),
+            slots: BTreeMap::new(),
+            delivered_digests: HashSet::new(),
+            decided: Vec::new(),
+        }
     }
 }
 
@@ -712,6 +830,27 @@ mod tests {
                 assert!(!log.contains(&1001), "node {i} accepted a replayed attestation");
                 assert!(log.contains(&7), "node {i} must decide the honest request: {log:?}");
             }
+        }
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(3, 31);
+        for p in 1..=3u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(1_000_000);
+        for i in 0..3 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.decided.is_empty(), "node {i} decided something");
+            let bytes = MinBftReplica::<u64>::encode_stable(&stable);
+            let back = MinBftReplica::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(MinBftReplica::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert_eq!(back.usig_counter, stable.usig_counter, "USIG counter survives");
+            assert!(MinBftReplica::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none());
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(MinBftReplica::decode_stable(net.actor(i), &padded).is_none());
         }
     }
 }

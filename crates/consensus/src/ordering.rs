@@ -85,7 +85,7 @@
 //! assert_eq!(cluster.decided(2)[0].1, 42);
 //! ```
 
-use crate::common::{DecidedLog, Payload};
+use crate::common::{DecidedLog, Payload, PersistPayload};
 use crate::hotstuff::{HotStuffConfig, HotStuffReplica};
 use crate::minbft::{MinBftConfig, MinBftReplica};
 use crate::paxos::{PaxosConfig, PaxosNode};
@@ -93,8 +93,9 @@ use crate::pbft::{PbftConfig, PbftReplica};
 use crate::raft::{RaftConfig, RaftNode};
 use crate::tendermint::{TendermintConfig, TendermintNode};
 use pbc_sim::fault::LinkFault;
-use pbc_sim::{Actor, Adversary, Attack, NemesisOp, NetStats, Network, NetworkConfig};
+use pbc_sim::{Actor, Adversary, Attack, Durable, NemesisOp, NetStats, Network, NetworkConfig};
 use pbc_sim::{NodeIdx, SimTime};
+use pbc_store::{NodeStore, Recovery};
 use pbc_trace::TraceEvent;
 
 /// A consensus actor drivable by the generic ordering layer.
@@ -243,7 +244,24 @@ pub trait OrderingCluster<P: Payload> {
             NemesisOp::Restart { node } => self.restart(*node),
             NemesisOp::DegradeLink { from, to, fault } => self.degrade_link(*from, *to, *fault),
             NemesisOp::HealLinks => self.heal_links(),
+            // Disk faults only bite when the cluster owns real stores
+            // ([`DurableNet`] overrides this method); a RAM-checkpointed
+            // cluster has no disk to hurt.
+            NemesisOp::FailSyncs { .. }
+            | NemesisOp::CorruptWalTail { .. }
+            | NemesisOp::BitRot { .. } => {}
         }
+    }
+
+    /// Flushes every alive replica's durable state to its stable store.
+    /// A no-op for clusters without real stores (the default).
+    fn persist(&mut self) {}
+
+    /// Re-reads replica `node`'s decided log **from disk** — reopening
+    /// its store cold and decoding what actually survived, bypassing all
+    /// in-memory state. `None` for clusters without real stores.
+    fn cold_decided(&mut self, _node: NodeIdx) -> Option<Vec<(u64, P)>> {
+        None
     }
 }
 
@@ -311,6 +329,242 @@ impl<A: OrderingActor> OrderingCluster<A::Payload> for Network<A> {
 
     fn heal_links(&mut self) {
         self.fault_model_mut().heal_all();
+    }
+}
+
+/// A replica group whose checkpoints live on **real stable stores**:
+/// every node owns a [`pbc_store::NodeStore`] (over a real or
+/// fault-injecting filesystem), crashes go through the total-loss path
+/// ([`Network::crash_total`]), and restarts recover exclusively from
+/// whatever the disk hands back — torn tails truncated, rotted segments
+/// quarantined, checkpoints decoded or degraded to a blank boot.
+///
+/// This is where the [`NemesisOp`] disk faults land: `FailSyncs` arms
+/// the node's store to swallow fsyncs, `CorruptWalTail` tears the last
+/// WAL record, `BitRot` flips bits in a sealed segment. The store's
+/// staged recovery is then on the hook to keep the replica's safety
+/// state intact — which `tests/chaos.rs` audits end to end.
+pub struct DurableNet<A: OrderingActor + Durable> {
+    net: Network<A>,
+    stores: Vec<NodeStore>,
+    /// Nodes currently down via `CrashAmnesia` (their restart must go
+    /// through disk recovery, not plain resume).
+    amnesiac: Vec<bool>,
+    /// Deterministic seed counter for corruption faults.
+    fault_seq: u64,
+    recoveries: Vec<(NodeIdx, Recovery)>,
+}
+
+impl<A> DurableNet<A>
+where
+    A: OrderingActor + Durable,
+    A::Payload: PersistPayload,
+{
+    /// Wires `actors` to per-node `stores` and starts the network.
+    ///
+    /// # Panics
+    /// Panics unless `stores.len() == actors.len()`.
+    pub fn new(actors: Vec<A>, cfg: NetworkConfig, stores: Vec<NodeStore>) -> Self {
+        assert_eq!(actors.len(), stores.len(), "one store per replica");
+        let n = actors.len();
+        let mut net = Network::new(actors, cfg);
+        net.start();
+        DurableNet { net, stores, amnesiac: vec![false; n], fault_seq: 0, recoveries: Vec::new() }
+    }
+
+    /// Flushes one replica's checkpoint and decided blocks to its store.
+    ///
+    /// Write or sync errors are swallowed deliberately: a failed fsync
+    /// leaves the data vulnerable, it does not stop the replica — that
+    /// exposure is exactly the fault model the store exists to survive.
+    fn persist_node(&mut self, node: NodeIdx) {
+        let stable = self.net.actor(node).checkpoint();
+        let bytes = A::encode_stable(&stable);
+        let _ = self.stores[node].put_checkpoint(&bytes);
+        let decided: Vec<(u64, Vec<u8>)> = self
+            .net
+            .actor(node)
+            .log()
+            .delivered()
+            .iter()
+            .map(|(seq, p, _)| (*seq, p.to_bytes()))
+            .collect();
+        for (seq, payload) in decided {
+            let _ = self.stores[node].append_block(seq, &payload);
+        }
+        let _ = self.stores[node].sync();
+    }
+
+    /// What each disk recovery found and repaired, in the order the
+    /// restarts happened.
+    pub fn recoveries(&self) -> &[(NodeIdx, Recovery)] {
+        &self.recoveries
+    }
+
+    /// Direct access to one replica's store (tests, harnesses).
+    pub fn store_mut(&mut self, node: NodeIdx) -> &mut NodeStore {
+        &mut self.stores[node]
+    }
+
+    /// The underlying network (read access for assertions).
+    pub fn network(&self) -> &Network<A> {
+        &self.net
+    }
+
+    /// The underlying network, mutably — for harnesses that need raw
+    /// injection or time control beyond the [`OrderingCluster`] surface
+    /// (e.g. replaying a golden scenario event-for-event).
+    pub fn network_mut(&mut self) -> &mut Network<A> {
+        &mut self.net
+    }
+}
+
+impl<A> OrderingCluster<A::Payload> for DurableNet<A>
+where
+    A: OrderingActor + Durable,
+    A::Payload: PersistPayload,
+{
+    fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    fn protocol(&self) -> &'static str {
+        A::PROTOCOL
+    }
+
+    fn submit(&mut self, payload: A::Payload) {
+        self.net.inject_all(0, A::request_msg(payload), 1);
+    }
+
+    fn decided(&self, node: NodeIdx) -> &[(u64, A::Payload, SimTime)] {
+        self.net.actor(node).log().delivered()
+    }
+
+    fn step(&mut self) -> bool {
+        self.net.step()
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    fn is_crashed(&self, node: NodeIdx) -> bool {
+        self.net.is_crashed(node)
+    }
+
+    fn crash(&mut self, node: NodeIdx) {
+        self.net.crash(node)
+    }
+
+    fn recover(&mut self, node: NodeIdx) {
+        self.net.recover(node)
+    }
+
+    fn restart(&mut self, node: NodeIdx) {
+        self.net.restart(node)
+    }
+
+    fn partition(&mut self, groups: &[Vec<NodeIdx>]) {
+        self.net.partition(groups)
+    }
+
+    fn heal_partition(&mut self) {
+        self.net.heal_partition()
+    }
+
+    fn degrade_link(&mut self, from: NodeIdx, to: NodeIdx, fault: LinkFault) {
+        self.net.fault_model_mut().set_link(from, to, fault);
+    }
+
+    fn heal_links(&mut self) {
+        self.net.fault_model_mut().heal_all();
+    }
+
+    /// The disk-backed nemesis semantics: amnesia crashes flush then
+    /// wipe RAM entirely, restarts of amnesiac nodes recover **only**
+    /// from staged disk replay, and the three disk-fault ops arm the
+    /// node's store.
+    fn apply_nemesis(&mut self, op: &NemesisOp) {
+        pbc_trace::emit(self.net.now(), || TraceEvent::NemesisOp {
+            op: op.label(),
+            node: op.primary_node(),
+        });
+        match op {
+            NemesisOp::Partition { groups } => self.net.partition(groups),
+            NemesisOp::HealPartition => self.net.heal_partition(),
+            NemesisOp::Crash { node } => self.net.crash(*node),
+            NemesisOp::Recover { node } => self.net.recover(*node),
+            NemesisOp::CrashAmnesia { node } => {
+                // Flush what the replica managed to persist, then drop
+                // the in-flight (unsynced) writes and all RAM.
+                self.persist_node(*node);
+                self.stores[*node].fault_crash();
+                self.net.crash_total(*node);
+                self.amnesiac[*node] = true;
+            }
+            NemesisOp::Restart { node } => {
+                if !self.amnesiac[*node] {
+                    self.net.restart(*node);
+                    return;
+                }
+                self.amnesiac[*node] = false;
+                let stable = match self.stores[*node].reopen() {
+                    Ok(rec) => {
+                        let stable = rec
+                            .checkpoint
+                            .as_deref()
+                            .and_then(|b| A::decode_stable(self.net.actor(*node), b))
+                            .unwrap_or_else(|| A::blank_stable(self.net.actor(*node)));
+                        self.recoveries.push((*node, rec));
+                        stable
+                    }
+                    // An unrecoverable disk is a fresh boot, not a halt.
+                    Err(_) => A::blank_stable(self.net.actor(*node)),
+                };
+                self.net.restart_with(*node, stable);
+            }
+            NemesisOp::DegradeLink { from, to, fault } => {
+                self.net.fault_model_mut().set_link(*from, *to, *fault);
+            }
+            NemesisOp::HealLinks => self.net.fault_model_mut().heal_all(),
+            NemesisOp::FailSyncs { node, count } => self.stores[*node].fault_fail_syncs(*count),
+            NemesisOp::CorruptWalTail { node } => {
+                self.fault_seq += 1;
+                self.stores[*node].fault_corrupt_wal_tail(self.fault_seq);
+            }
+            NemesisOp::BitRot { node } => {
+                self.fault_seq += 1;
+                self.stores[*node].fault_bit_rot(self.fault_seq);
+            }
+        }
+    }
+
+    fn persist(&mut self) {
+        for node in 0..self.net.len() {
+            if !self.net.is_crashed(node) {
+                self.persist_node(node);
+            }
+        }
+    }
+
+    fn cold_decided(&mut self, node: NodeIdx) -> Option<Vec<(u64, A::Payload)>> {
+        // Reopen is idempotent staged replay, so a cold read is just a
+        // recovery pass over whatever is on disk right now. Blocks that
+        // fail payload decoding are dropped — bit rot that slipped past
+        // the checksums must degrade, not panic.
+        let rec = self.stores[node].reopen().ok()?;
+        Some(
+            rec.blocks
+                .iter()
+                .filter_map(|(seq, bytes)| {
+                    <A::Payload as PersistPayload>::from_bytes(bytes).map(|p| (*seq, p))
+                })
+                .collect(),
+        )
     }
 }
 
@@ -421,6 +675,25 @@ macro_rules! ordering_registry {
                 _ => None,
             }
         }
+
+        /// Builds a started `proto` cluster whose `n` replicas are wired
+        /// to real per-node stable `stores` (a [`DurableNet`]): crashes
+        /// lose RAM entirely and restarts recover from staged disk
+        /// replay. Returns `None` for an unknown name.
+        ///
+        /// # Panics
+        /// Panics unless `stores.len() == n`.
+        pub fn durable_cluster_with<P: PersistPayload + 'static>(
+            proto: &str,
+            n: usize,
+            cfg: NetworkConfig,
+            stores: Vec<NodeStore>,
+        ) -> Option<Box<dyn OrderingCluster<P>>> {
+            match proto {
+                $( $name => Some(Box::new(DurableNet::new($builder(n), cfg, stores))), )*
+                _ => None,
+            }
+        }
     };
 }
 
@@ -499,6 +772,70 @@ mod tests {
         assert_eq!(c.decided(0)[0].1, 9);
         c.apply_nemesis(&NemesisOp::Recover { node: 3 });
         assert!(!c.is_crashed(3));
+    }
+
+    fn fault_stores(n: usize, seed: u64) -> Vec<NodeStore> {
+        (0..n)
+            .map(|i| {
+                let vfs = pbc_store::FaultFs::new(seed ^ (i as u64).wrapping_mul(0x9E37));
+                NodeStore::open(Box::new(vfs), pbc_store::StoreConfig::default()).unwrap().0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durable_cluster_recovers_decided_log_from_disk() {
+        for proto in ["pbft", "raft", "hotstuff", "tendermint", "paxos", "minbft", "ibft"] {
+            let n = if proto == "minbft" { 3 } else { 4 };
+            let cfg = NetworkConfig { seed: 0xD15C, ..Default::default() };
+            let mut c =
+                durable_cluster_with::<u64>(proto, n, cfg, fault_stores(n, 0xD15C)).unwrap();
+            for r in 0..3u64 {
+                c.submit(100 + r);
+            }
+            assert!(c.run_until_decided(3, 20_000_000), "{proto} stalled");
+            let reference: Vec<u64> = c.decided(0).iter().map(|(_, p, _)| *p).collect();
+            c.persist();
+            // Total crash: RAM and checkpoint gone; only the disk is left.
+            c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 1 });
+            c.apply_nemesis(&NemesisOp::Restart { node: 1 });
+            // Raft re-derives its decided log from the recovered entries
+            // once a leader re-teaches the commit index; others restore
+            // it straight off the checkpoint. Either way a short run
+            // converges.
+            assert!(c.run_until_decided(3, 20_000_000), "{proto}: post-restart convergence");
+            let recovered: Vec<u64> = c.decided(1).iter().map(|(_, p, _)| *p).collect();
+            assert_eq!(recovered, reference, "{proto}: disk recovery");
+            // The cold re-read of node 1's store sees the same blocks.
+            let cold = c.cold_decided(1).expect("durable cluster reads cold");
+            assert_eq!(
+                cold.iter().map(|(_, p)| *p).collect::<Vec<u64>>(),
+                reference,
+                "{proto}: cold ledger"
+            );
+        }
+    }
+
+    #[test]
+    fn erased_cluster_ignores_disk_faults_and_durable_net_arms_them() {
+        // Plain clusters: disk ops are no-ops (no store to hurt).
+        let mut plain = cluster::<u64>("pbft", 4, NetworkConfig::default()).unwrap();
+        plain.apply_nemesis(&NemesisOp::FailSyncs { node: 0, count: 2 });
+        plain.apply_nemesis(&NemesisOp::BitRot { node: 0 });
+        assert!(plain.cold_decided(0).is_none(), "no store, no cold read");
+        // Durable clusters survive an armed sync failure before the crash.
+        let cfg = NetworkConfig { seed: 0xFA17, ..Default::default() };
+        let mut c = durable_cluster_with::<u64>("raft", 3, cfg, fault_stores(3, 0xFA17)).unwrap();
+        c.submit(7);
+        assert!(c.run_until_decided(1, 5_000_000));
+        c.apply_nemesis(&NemesisOp::FailSyncs { node: 2, count: 8 });
+        c.persist(); // syncs swallowed on node 2: appends stay volatile
+        c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 2 });
+        c.apply_nemesis(&NemesisOp::Restart { node: 2 });
+        // Node 2 lost its unsynced writes but must re-join and re-learn
+        // the decided prefix from its peers (Raft re-replicates).
+        assert!(c.run_until_decided(1, 20_000_000), "node 2 re-learns after data loss");
+        assert_eq!(c.decided(2)[0].1, 7);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! timeout claims leadership with a higher ballot.
 
 use crate::common::{hooks, quorum, DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Paxos wire messages.
@@ -291,6 +291,100 @@ impl<P: Payload> Actor for PaxosNode<P> {
     }
 }
 
+/// Paxos's stable state (opaque): the acceptor's promise and accepted
+/// values — the safety-critical pieces; an acceptor that forgot a
+/// promise could promise a stale ballot, and one that forgot an
+/// accepted value could let a conflicting value win its slot — plus
+/// the learner's decided log. Proposer state (ballot, leadership,
+/// promise tallies) is volatile: a recovered node simply isn't leading
+/// and re-runs phase 1 if its timeout fires.
+#[derive(Clone, Debug)]
+pub struct PaxosStable<P> {
+    promised: u64,
+    accepted: BTreeMap<u64, (u64, P)>,
+    delivered_digests: HashSet<u64>,
+    decided: Vec<(u64, P, SimTime)>,
+}
+
+impl<P: crate::common::PersistPayload> Durable for PaxosNode<P> {
+    type Stable = PaxosStable<P>;
+
+    fn checkpoint(&self) -> PaxosStable<P> {
+        PaxosStable {
+            promised: self.promised,
+            accepted: self.accepted.clone(),
+            delivered_digests: self.delivered_digests.clone(),
+            decided: self.log.snapshot(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: PaxosStable<P>) -> Self {
+        let mut node = PaxosNode::new(crashed.cfg.clone(), crashed.id);
+        node.promised = stable.promised;
+        node.accepted = stable.accepted;
+        node.delivered_digests = stable.delivered_digests;
+        node.log = DecidedLog::from_snapshot(0, stable.decided);
+        node.next_slot = node.log.next_seq();
+        node
+    }
+
+    fn encode_stable(stable: &PaxosStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.promised);
+        e.u64(stable.accepted.len() as u64);
+        for (slot, (ballot, value)) in &stable.accepted {
+            e.u64(*slot).u64(*ballot).bytes(&value.to_bytes());
+        }
+        let mut digests: Vec<u64> = stable.delivered_digests.iter().copied().collect();
+        digests.sort_unstable();
+        e.u64(digests.len() as u64);
+        for d in digests {
+            e.u64(d);
+        }
+        e.u64(stable.decided.len() as u64);
+        for (seq, payload, time) in &stable.decided {
+            e.u64(*seq).bytes(&payload.to_bytes()).u64(*time);
+        }
+        e.finish()
+    }
+
+    fn decode_stable(_crashed: &Self, bytes: &[u8]) -> Option<PaxosStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let promised = d.u64()?;
+        let n_accepted = d.u64()? as usize;
+        let mut accepted = BTreeMap::new();
+        for _ in 0..n_accepted {
+            let slot = d.u64()?;
+            let ballot = d.u64()?;
+            let value = P::from_bytes(d.bytes()?)?;
+            accepted.insert(slot, (ballot, value));
+        }
+        let n_digests = d.u64()? as usize;
+        let mut delivered_digests = HashSet::with_capacity(n_digests.min(1024));
+        for _ in 0..n_digests {
+            delivered_digests.insert(d.u64()?);
+        }
+        let n_decided = d.u64()? as usize;
+        let mut decided = Vec::with_capacity(n_decided.min(1024));
+        for _ in 0..n_decided {
+            let seq = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            let time = d.u64()?;
+            decided.push((seq, payload, time));
+        }
+        d.is_empty().then_some(PaxosStable { promised, accepted, delivered_digests, decided })
+    }
+
+    fn blank_stable(_crashed: &Self) -> PaxosStable<P> {
+        PaxosStable {
+            promised: 0,
+            accepted: BTreeMap::new(),
+            delivered_digests: HashSet::new(),
+            decided: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +492,29 @@ mod tests {
         }
         net.run_to_quiescence(3_000_000);
         logs_agree(&net, 5);
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(3, 31);
+        net.run_until(10_000);
+        for p in 1..=3u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(1_000_000);
+        for i in 0..3 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.decided.is_empty(), "node {i} decided something");
+            assert!(!stable.accepted.is_empty(), "node {i} accepted values");
+            let bytes = PaxosNode::<u64>::encode_stable(&stable);
+            let back = PaxosNode::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(PaxosNode::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert_eq!(back.promised, stable.promised);
+            assert_eq!(back.accepted, stable.accepted);
+            assert!(PaxosNode::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none());
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(PaxosNode::decode_stable(net.actor(i), &padded).is_none());
+        }
     }
 }

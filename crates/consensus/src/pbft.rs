@@ -613,7 +613,42 @@ pub struct PbftStable<P> {
     decided: Vec<(u64, P, SimTime)>,
 }
 
-impl<P: Payload> Durable for PbftReplica<P> {
+/// Encodes a `(view, digest) → voters` vote map with deterministic
+/// ordering (keys sorted, then voters sorted).
+fn encode_votes(e: &mut pbc_types::encode::Encoder, votes: &HashMap<(u64, u64), HashSet<NodeIdx>>) {
+    let mut keys: Vec<&(u64, u64)> = votes.keys().collect();
+    keys.sort_unstable();
+    e.u64(keys.len() as u64);
+    for key in keys {
+        e.u64(key.0).u64(key.1);
+        let mut voters: Vec<NodeIdx> = votes[key].iter().copied().collect();
+        voters.sort_unstable();
+        e.u64(voters.len() as u64);
+        for v in voters {
+            e.u64(v as u64);
+        }
+    }
+}
+
+fn decode_votes(
+    d: &mut pbc_types::encode::Decoder<'_>,
+) -> Option<HashMap<(u64, u64), HashSet<NodeIdx>>> {
+    let n = d.u64()? as usize;
+    let mut votes = HashMap::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let view = d.u64()?;
+        let digest = d.u64()?;
+        let m = d.u64()? as usize;
+        let mut voters = HashSet::with_capacity(m.min(1024));
+        for _ in 0..m {
+            voters.insert(d.u64()? as NodeIdx);
+        }
+        votes.insert((view, digest), voters);
+    }
+    Some(votes)
+}
+
+impl<P: crate::common::PersistPayload> Durable for PbftReplica<P> {
     type Stable = PbftStable<P>;
 
     fn checkpoint(&self) -> PbftStable<P> {
@@ -640,6 +675,93 @@ impl<P: Payload> Durable for PbftReplica<P> {
             r.next_assign = r.next_assign.max(seq + 1);
         }
         r
+    }
+
+    fn encode_stable(stable: &PbftStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.view);
+        e.u64(stable.slots.len() as u64);
+        for (seq, slot) in &stable.slots {
+            e.u64(*seq);
+            match &slot.accepted {
+                Some((view, digest, payload)) => {
+                    e.tag(1).u64(*view).u64(*digest).bytes(&payload.to_bytes());
+                }
+                None => {
+                    e.tag(0);
+                }
+            }
+            encode_votes(&mut e, &slot.prepares);
+            encode_votes(&mut e, &slot.commits);
+            e.tag(slot.sent_commit as u8).tag(slot.decided as u8);
+        }
+        let mut digests: Vec<u64> = stable.delivered_digests.iter().copied().collect();
+        digests.sort_unstable();
+        e.u64(digests.len() as u64);
+        for d in digests {
+            e.u64(d);
+        }
+        e.u64(stable.decided.len() as u64);
+        for (seq, payload, time) in &stable.decided {
+            e.u64(*seq).bytes(&payload.to_bytes()).u64(*time);
+        }
+        e.finish()
+    }
+
+    fn decode_stable(_crashed: &Self, bytes: &[u8]) -> Option<PbftStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let view = d.u64()?;
+        let n_slots = d.u64()? as usize;
+        let mut slots = BTreeMap::new();
+        for _ in 0..n_slots {
+            let seq = d.u64()?;
+            let accepted = match d.tag()? {
+                0 => None,
+                1 => {
+                    let v = d.u64()?;
+                    let digest = d.u64()?;
+                    let payload = P::from_bytes(d.bytes()?)?;
+                    Some((v, digest, payload))
+                }
+                _ => return None,
+            };
+            let prepares = decode_votes(&mut d)?;
+            let commits = decode_votes(&mut d)?;
+            let sent_commit = match d.tag()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let decided = match d.tag()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            slots.insert(seq, Slot { accepted, prepares, commits, sent_commit, decided });
+        }
+        let n_digests = d.u64()? as usize;
+        let mut delivered_digests = HashSet::with_capacity(n_digests.min(1024));
+        for _ in 0..n_digests {
+            delivered_digests.insert(d.u64()?);
+        }
+        let n_decided = d.u64()? as usize;
+        let mut decided = Vec::with_capacity(n_decided.min(1024));
+        for _ in 0..n_decided {
+            let seq = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            let time = d.u64()?;
+            decided.push((seq, payload, time));
+        }
+        d.is_empty().then_some(PbftStable { view, slots, delivered_digests, decided })
+    }
+
+    fn blank_stable(_crashed: &Self) -> PbftStable<P> {
+        PbftStable {
+            view: 0,
+            slots: BTreeMap::new(),
+            delivered_digests: HashSet::new(),
+            decided: Vec::new(),
+        }
     }
 }
 
@@ -930,5 +1052,25 @@ mod tests {
             assert_eq!(w[0], w[1], "honest replicas diverged");
         }
         assert!(logs[0].contains(&7), "honest request must decide: {logs:?}");
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(4, 31, LeaderPolicy::FixedPerView);
+        for p in 1..=3u64 {
+            submit(&mut net, p);
+        }
+        net.run_to_quiescence(1_000_000);
+        for i in 0..4 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.decided.is_empty(), "node {i} decided something");
+            let bytes = PbftReplica::<u64>::encode_stable(&stable);
+            let back = PbftReplica::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(PbftReplica::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert!(PbftReplica::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none());
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(PbftReplica::decode_stable(net.actor(i), &padded).is_none());
+        }
     }
 }

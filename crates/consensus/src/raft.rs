@@ -466,7 +466,7 @@ pub struct RaftStable<P> {
     pub log_entries: Vec<(u64, P)>,
 }
 
-impl<P: Payload> Durable for RaftNode<P> {
+impl<P: crate::common::PersistPayload> Durable for RaftNode<P> {
     type Stable = RaftStable<P>;
 
     fn checkpoint(&self) -> RaftStable<P> {
@@ -487,6 +487,46 @@ impl<P: Payload> Durable for RaftNode<P> {
         // paper); the next AppendEntries re-teaches the commit point and
         // the decided log re-fills identically from the same entries.
         node
+    }
+
+    fn encode_stable(stable: &RaftStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.term);
+        match stable.voted_for {
+            Some(v) => {
+                e.tag(1).u64(v as u64);
+            }
+            None => {
+                e.tag(0);
+            }
+        }
+        e.u64(stable.log_entries.len() as u64);
+        for (term, payload) in &stable.log_entries {
+            e.u64(*term).bytes(&payload.to_bytes());
+        }
+        e.finish()
+    }
+
+    fn decode_stable(_crashed: &Self, bytes: &[u8]) -> Option<RaftStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let term = d.u64()?;
+        let voted_for = match d.tag()? {
+            0 => None,
+            1 => Some(d.u64()? as NodeIdx),
+            _ => return None,
+        };
+        let n = d.u64()? as usize;
+        let mut log_entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let entry_term = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            log_entries.push((entry_term, payload));
+        }
+        d.is_empty().then_some(RaftStable { term, voted_for, log_entries })
+    }
+
+    fn blank_stable(_crashed: &Self) -> RaftStable<P> {
+        RaftStable { term: 0, voted_for: None, log_entries: Vec::new() }
     }
 }
 
@@ -523,6 +563,24 @@ impl<P: Payload> Actor for VolatileRaft<P> {
     }
 }
 
+/// Drivable by the generic ordering layer, so the chaos suite can put
+/// the broken variant under a [`crate::ordering::DurableNet`] too: a
+/// node that persists nothing violates safety *even with a perfectly
+/// healthy disk attached* — the store faithfully round-trips the empty
+/// state it was given.
+impl<P: Payload + 'static> crate::ordering::OrderingActor for VolatileRaft<P> {
+    type Payload = P;
+    const PROTOCOL: &'static str = "volatile-raft";
+
+    fn request_msg(payload: P) -> RaftMsg<P> {
+        RaftMsg::Request(payload)
+    }
+
+    fn log(&self) -> &DecidedLog<P> {
+        &self.0.log
+    }
+}
+
 impl<P: Payload> Durable for VolatileRaft<P> {
     /// Nothing survives — the point of the exercise.
     type Stable = ();
@@ -532,6 +590,16 @@ impl<P: Payload> Durable for VolatileRaft<P> {
     fn restore(crashed: &Self, _stable: ()) -> Self {
         VolatileRaft(RaftNode::new(crashed.0.cfg.clone(), crashed.0.id))
     }
+
+    fn encode_stable(_stable: &()) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn decode_stable(_crashed: &Self, _bytes: &[u8]) -> Option<()> {
+        Some(())
+    }
+
+    fn blank_stable(_crashed: &Self) {}
 }
 
 #[cfg(test)]
@@ -734,5 +802,29 @@ mod tests {
             raft_msgs < pbft_msgs,
             "raft {raft_msgs} should use fewer msgs than pbft {pbft_msgs}"
         );
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(3, 31);
+        net.run_until(100_000);
+        for p in 1..=4u64 {
+            submit(&mut net, p);
+        }
+        run_until_delivered(&mut net, 4, 2_000_000);
+        for i in 0..3 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.log_entries.is_empty(), "node {i} persisted entries");
+            let bytes = RaftNode::<u64>::encode_stable(&stable);
+            let back = RaftNode::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(RaftNode::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert_eq!(back.term, stable.term);
+            assert_eq!(back.log_entries, stable.log_entries);
+            // Any strict prefix is malformed, as is trailing garbage.
+            assert!(RaftNode::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none());
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(RaftNode::decode_stable(net.actor(i), &padded).is_none());
+        }
     }
 }

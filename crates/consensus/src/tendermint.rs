@@ -14,7 +14,7 @@
 //!    for safety across rounds.
 
 use crate::common::{hooks, DecidedLog, Payload};
-use pbc_sim::{Actor, Context, Message, NodeIdx, SimTime};
+use pbc_sim::{Actor, Context, Durable, Message, NodeIdx, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Tendermint wire messages.
@@ -407,6 +407,105 @@ impl<P: Payload> Actor for TendermintNode<P> {
     }
 }
 
+/// Tendermint's stable state (opaque): the current height, the lock —
+/// the safety-critical piece; a validator that forgot its lock could
+/// prevote a conflicting value in a later round — with the locked
+/// payload itself (so a recovered proposer can re-propose it), and the
+/// decided log. Round number, vote tallies and pending requests are
+/// volatile: the validator rejoins at round 0 of its height and the
+/// protocol's nil-precommit timeouts walk it forward.
+#[derive(Clone, Debug)]
+pub struct TmStable<P> {
+    height: u64,
+    locked: Option<(u64, u64, P)>,
+    delivered_digests: HashSet<u64>,
+    decided: Vec<(u64, P, SimTime)>,
+}
+
+impl<P: crate::common::PersistPayload> Durable for TendermintNode<P> {
+    type Stable = TmStable<P>;
+
+    fn checkpoint(&self) -> TmStable<P> {
+        TmStable {
+            height: self.height,
+            locked: self.locked.and_then(|(round, digest)| {
+                self.by_digest.get(&digest).map(|p| (round, digest, p.clone()))
+            }),
+            delivered_digests: self.delivered_digests.clone(),
+            decided: self.log.snapshot(),
+        }
+    }
+
+    fn restore(crashed: &Self, stable: TmStable<P>) -> Self {
+        let mut node = TendermintNode::new(crashed.cfg.clone());
+        node.height = stable.height;
+        if let Some((round, digest, payload)) = stable.locked {
+            node.locked = Some((round, digest));
+            node.by_digest.insert(digest, payload);
+        }
+        node.delivered_digests = stable.delivered_digests;
+        node.log = DecidedLog::from_snapshot(0, stable.decided);
+        node
+    }
+
+    fn encode_stable(stable: &TmStable<P>) -> Vec<u8> {
+        let mut e = pbc_types::encode::Encoder::new();
+        e.u64(stable.height);
+        match &stable.locked {
+            Some((round, digest, payload)) => {
+                e.tag(1).u64(*round).u64(*digest).bytes(&payload.to_bytes());
+            }
+            None => {
+                e.tag(0);
+            }
+        }
+        let mut digests: Vec<u64> = stable.delivered_digests.iter().copied().collect();
+        digests.sort_unstable();
+        e.u64(digests.len() as u64);
+        for d in digests {
+            e.u64(d);
+        }
+        e.u64(stable.decided.len() as u64);
+        for (seq, payload, time) in &stable.decided {
+            e.u64(*seq).bytes(&payload.to_bytes()).u64(*time);
+        }
+        e.finish()
+    }
+
+    fn decode_stable(_crashed: &Self, bytes: &[u8]) -> Option<TmStable<P>> {
+        let mut d = pbc_types::encode::Decoder::new(bytes);
+        let height = d.u64()?;
+        let locked = match d.tag()? {
+            0 => None,
+            1 => {
+                let round = d.u64()?;
+                let digest = d.u64()?;
+                let payload = P::from_bytes(d.bytes()?)?;
+                Some((round, digest, payload))
+            }
+            _ => return None,
+        };
+        let n_digests = d.u64()? as usize;
+        let mut delivered_digests = HashSet::with_capacity(n_digests.min(1024));
+        for _ in 0..n_digests {
+            delivered_digests.insert(d.u64()?);
+        }
+        let n_decided = d.u64()? as usize;
+        let mut decided = Vec::with_capacity(n_decided.min(1024));
+        for _ in 0..n_decided {
+            let seq = d.u64()?;
+            let payload = P::from_bytes(d.bytes()?)?;
+            let time = d.u64()?;
+            decided.push((seq, payload, time));
+        }
+        d.is_empty().then_some(TmStable { height, locked, delivered_digests, decided })
+    }
+
+    fn blank_stable(_crashed: &Self) -> TmStable<P> {
+        TmStable { height: 1, locked: None, delivered_digests: HashSet::new(), decided: Vec::new() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,5 +644,28 @@ mod tests {
         let cfg = TendermintConfig::weighted(vec![70, 10, 10, 10]);
         assert!(!cfg.is_quorum(66));
         assert!(cfg.is_quorum(67));
+    }
+
+    #[test]
+    fn stable_codec_roundtrips_and_rejects_truncation() {
+        let mut net = cluster(TendermintConfig::equal(4), 31);
+        for p in 1..=3u64 {
+            submit(&mut net, p);
+        }
+        run_until_delivered(&mut net, 3, 20_000_000);
+        for i in 0..4 {
+            let stable = net.actor(i).checkpoint();
+            assert!(!stable.decided.is_empty(), "node {i} decided something");
+            let bytes = TendermintNode::<u64>::encode_stable(&stable);
+            let back = TendermintNode::decode_stable(net.actor(i), &bytes).expect("decodes");
+            assert_eq!(TendermintNode::<u64>::encode_stable(&back), bytes, "canonical roundtrip");
+            assert_eq!(back.height, stable.height);
+            assert!(
+                TendermintNode::decode_stable(net.actor(i), &bytes[..bytes.len() - 1]).is_none()
+            );
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(TendermintNode::decode_stable(net.actor(i), &padded).is_none());
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The consensus payload: an ordered batch of client transactions.
 
-use pbc_consensus::Payload;
-use pbc_types::encode::CanonicalEncode;
+use pbc_consensus::{Payload, PersistPayload};
+use pbc_types::encode::{CanonicalEncode, Decoder, Encoder};
 use pbc_types::Transaction;
 
 /// A transaction batch proposed to consensus (one batch = one block).
@@ -35,6 +35,28 @@ impl Payload for Batch {
     }
 }
 
+impl PersistPayload for Batch {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.id).u64(self.txs.len() as u64);
+        for tx in &self.txs {
+            tx.encode(&mut e);
+        }
+        e.finish()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut d = Decoder::new(bytes);
+        let id = d.u64()?;
+        let n = d.u64()? as usize;
+        let mut txs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            txs.push(Transaction::decode(&mut d)?);
+        }
+        d.is_empty().then_some(Batch { id, txs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +75,20 @@ mod tests {
         assert_eq!(a.digest_u64(), b.digest_u64());
         assert_ne!(a.digest_u64(), c.digest_u64());
         assert_ne!(a.digest_u64(), d.digest_u64());
+    }
+
+    #[test]
+    fn persist_codec_roundtrips_and_rejects_malformation() {
+        let batch = Batch::new(7, vec![tx(1), tx(2), tx(3)]);
+        let bytes = batch.to_bytes();
+        assert_eq!(Batch::from_bytes(&bytes), Some(batch.clone()));
+        // Truncation at any boundary must degrade to None, never panic:
+        // the bytes may have come off a torn WAL tail.
+        assert_eq!(Batch::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Batch::from_bytes(&[]), None);
+        let mut padded = bytes;
+        padded.push(0);
+        assert_eq!(Batch::from_bytes(&padded), None, "trailing garbage rejected");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use pbc_arch::{
     BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline,
     OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
 };
-use pbc_consensus::{cluster_with, protocol_info, OrderingCluster, Payload};
+use pbc_consensus::{cluster_with, durable_cluster_with, protocol_info, OrderingCluster, Payload};
 use pbc_ledger::StateStore;
 use pbc_sim::fault::LinkFault;
 use pbc_sim::{Attack, LatencyModel, NemesisOp, NetStats, NetworkConfig, SimTime};
@@ -143,6 +143,7 @@ pub struct NetworkBuilder {
     initial_state: StateStore,
     byzantine: Vec<(usize, Vec<Attack>)>,
     audit: bool,
+    stores: Option<Vec<pbc_store::NodeStore>>,
 }
 
 impl NetworkBuilder {
@@ -158,6 +159,7 @@ impl NetworkBuilder {
             initial_state: StateStore::new(),
             byzantine: Vec::new(),
             audit: false,
+            stores: None,
         }
     }
 
@@ -213,12 +215,39 @@ impl NetworkBuilder {
         self
     }
 
+    /// Wires every replica to its own stable [`pbc_store::NodeStore`]
+    /// (one per node, in node order): crashes become *total* — RAM is
+    /// lost entirely — and restarts recover from staged disk replay.
+    /// Enables the disk-fault nemesis ops ([`NemesisOp::FailSyncs`],
+    /// [`NemesisOp::CorruptWalTail`], [`NemesisOp::BitRot`]) and the
+    /// [`BlockchainNetwork::verify_cold_ledger`] cold re-read check.
+    ///
+    /// Incompatible with [`byzantine`](NetworkBuilder::byzantine):
+    /// `build` panics if both are configured.
+    pub fn durable(mut self, stores: Vec<pbc_store::NodeStore>) -> Self {
+        self.stores = Some(stores);
+        self
+    }
+
     /// Builds the network.
+    ///
+    /// # Panics
+    /// Panics if [`durable`](NetworkBuilder::durable) and
+    /// [`byzantine`](NetworkBuilder::byzantine) are both configured, or
+    /// if the durable store count differs from `n`.
     pub fn build(self) -> BlockchainNetwork {
         let cfg = NetworkConfig { latency: self.latency, seed: self.seed, drop_rate: 0.0 };
-        let ordering =
+        let ordering = if let Some(stores) = self.stores {
+            assert!(
+                self.byzantine.is_empty(),
+                "durable mode wires plain replicas; byzantine adversaries are not yet persisted"
+            );
+            durable_cluster_with::<Batch>(self.consensus.registry_name(), self.n, cfg, stores)
+                .expect("every ConsensusKind maps to a registered ordering protocol")
+        } else {
             cluster_with::<Batch>(self.consensus.registry_name(), self.n, cfg, &self.byzantine)
-                .expect("every ConsensusKind maps to a registered ordering protocol");
+                .expect("every ConsensusKind maps to a registered ordering protocol")
+        };
         let pipelines =
             (0..self.n).map(|_| self.arch.make_pipeline(self.initial_state.clone())).collect();
         BlockchainNetwork {
@@ -369,10 +398,45 @@ impl BlockchainNetwork {
 
     /// Applies one nemesis op to the composed stack's consensus layer,
     /// so seeded chaos schedules (PR 1) can torture consensus ×
-    /// execution together. Panics on `CrashAmnesia` (see
+    /// execution together. On a [`durable`](NetworkBuilder::durable)
+    /// network every op is armed, including `CrashAmnesia` (total RAM
+    /// loss, recovery from staged disk replay) and the disk faults
+    /// (`FailSyncs`, `CorruptWalTail`, `BitRot`). On a plain network
+    /// `CrashAmnesia` panics and disk faults are inert no-ops (see
     /// [`OrderingCluster::apply_nemesis`]).
     pub fn apply_nemesis(&mut self, op: &NemesisOp) {
         self.ordering.apply_nemesis(op);
+    }
+
+    /// Persists every alive node's consensus state to its stable store
+    /// (checkpoint + decided-block WAL append + sync). A no-op on a
+    /// network built without [`durable`](NetworkBuilder::durable)
+    /// stores. Sync failures injected by [`NemesisOp::FailSyncs`] are
+    /// swallowed here — that is the fault model under test.
+    pub fn persist(&mut self) {
+        self.ordering.persist();
+    }
+
+    /// Cold-reads `node`'s ledger straight off its stable store —
+    /// re-running staged recovery on the *current* disk image, bypassing
+    /// all RAM state — and checks every recovered block against the
+    /// reference replica's decided log. `None` on a non-durable network.
+    ///
+    /// Returns `Some(true)` when every block that survived on disk
+    /// matches the digest the cluster decided at that sequence (the disk
+    /// may legitimately hold a *prefix* — blocks decided after the last
+    /// [`persist`](BlockchainNetwork::persist) are not on it — but it
+    /// must never contradict the decided history).
+    pub fn verify_cold_ledger(&mut self, node: usize) -> Option<bool> {
+        let cold = self.ordering.cold_decided(node)?;
+        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i))?;
+        let hot: std::collections::HashMap<u64, u64> = self
+            .ordering
+            .decided(reference)
+            .iter()
+            .map(|(seq, batch, _)| (*seq, batch.digest_u64()))
+            .collect();
+        Some(cold.iter().all(|(seq, batch)| hot.get(seq) == Some(&batch.digest_u64())))
     }
 
     /// Every node's decided log as `(seq, payload digest)` pairs — the
@@ -652,6 +716,56 @@ mod tests {
         // The per-node applied counters replay node 2's full backlog.
         assert!(chain.replicas_identical(), "node 2 caught up");
         assert_eq!(r1.committed + r2.committed, 12);
+    }
+
+    fn fault_stores(n: usize, seed: u64) -> Vec<pbc_store::NodeStore> {
+        (0..n)
+            .map(|i| {
+                let vfs = pbc_store::FaultFs::new(seed ^ (i as u64 * 0x9E37));
+                let (store, _) =
+                    pbc_store::NodeStore::open(Box::new(vfs), pbc_store::StoreConfig::default())
+                        .expect("fresh in-memory store opens");
+                store
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durable_network_survives_total_crash_and_cold_read_matches() {
+        let w = PaymentWorkload { accounts: 64, ..Default::default() };
+        let mut chain = NetworkBuilder::new(4)
+            .consensus(ConsensusKind::Pbft)
+            .initial_state(w.initial_state())
+            .batch_size(4)
+            .durable(fault_stores(4, 0xD15C))
+            .build();
+        chain.submit_all(w.generate(0, 8));
+        let r1 = chain.run_to_completion();
+        assert!(r1.consensus_complete);
+        chain.persist();
+        // Total crash: node 2 loses ALL memory, then reboots from disk.
+        chain.apply_nemesis(&NemesisOp::CrashAmnesia { node: 2 });
+        chain.apply_nemesis(&NemesisOp::Restart { node: 2 });
+        chain.submit_all(w.generate(100, 8));
+        let r2 = chain.run_to_completion();
+        assert!(r2.consensus_complete, "rebooted-from-disk node must not stall the cluster");
+        assert!(!r2.diverged, "disk-recovered replica must not fork");
+        assert!(chain.replicas_identical());
+        chain.persist();
+        for node in 0..4 {
+            assert_eq!(
+                chain.verify_cold_ledger(node),
+                Some(true),
+                "node {node}: cold re-read off disk must match the decided history"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_network_has_no_cold_ledger() {
+        let (mut chain, _) = run(ConsensusKind::Pbft, ArchKind::Ox, 4, 8);
+        chain.persist(); // no-op, must not panic
+        assert_eq!(chain.verify_cold_ledger(0), None);
     }
 
     #[test]

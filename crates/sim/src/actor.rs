@@ -74,6 +74,25 @@ pub trait Durable: Actor + Sized {
     /// (cluster size, own id, seeds); volatile protocol state must not
     /// be copied from it — that is the amnesia being modelled.
     fn restore(crashed: &Self, stable: Self::Stable) -> Self;
+
+    /// Serializes a checkpoint for a *real* stable store (`pbc-store`'s
+    /// WAL). Together with [`Durable::decode_stable`] this upgrades the
+    /// durability claim from "a struct handed across the crash" to
+    /// "bytes that survived a disk".
+    fn encode_stable(stable: &Self::Stable) -> Vec<u8>;
+
+    /// Deserializes a checkpoint previously produced by
+    /// [`Durable::encode_stable`]. `crashed` is provided only for
+    /// immutable configuration, exactly as in [`Durable::restore`] —
+    /// configs need not be serialized. Returns `None` on malformed
+    /// bytes (a damaged disk must degrade, never panic).
+    fn decode_stable(crashed: &Self, bytes: &[u8]) -> Option<Self::Stable>;
+
+    /// The checkpoint a node restarts from when the disk yielded
+    /// nothing usable (empty store, or a checkpoint lost to a torn
+    /// tail): the state of a fresh boot. `crashed` again provides only
+    /// immutable configuration.
+    fn blank_stable(crashed: &Self) -> Self::Stable;
 }
 
 /// An effect emitted by an actor.

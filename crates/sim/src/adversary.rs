@@ -253,6 +253,33 @@ impl<A: Actor> Actor for Adversary<A> {
     }
 }
 
+impl<A: crate::Durable> crate::Durable for Adversary<A> {
+    type Stable = A::Stable;
+
+    fn checkpoint(&self) -> Self::Stable {
+        // Only the wrapped protocol's durable state is checkpointed: the
+        // attack bookkeeping (history, held traffic) is volatile by
+        // design — a crashed adversary forgets what it was replaying.
+        self.inner.checkpoint()
+    }
+
+    fn restore(crashed: &Self, stable: Self::Stable) -> Self {
+        Adversary::new(A::restore(&crashed.inner, stable), crashed.attacks.clone())
+    }
+
+    fn encode_stable(stable: &Self::Stable) -> Vec<u8> {
+        A::encode_stable(stable)
+    }
+
+    fn decode_stable(crashed: &Self, bytes: &[u8]) -> Option<Self::Stable> {
+        A::decode_stable(&crashed.inner, bytes)
+    }
+
+    fn blank_stable(crashed: &Self) -> Self::Stable {
+        A::blank_stable(&crashed.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

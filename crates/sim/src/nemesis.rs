@@ -89,6 +89,29 @@ pub enum NemesisOp {
     },
     /// Restore every link to the model's default behaviour.
     HealLinks,
+    /// Make the next `count` fsyncs on `node`'s stable store fail,
+    /// leaving recently written state vulnerable to the next crash. A
+    /// no-op at the plain simulation level — harnesses that attach a
+    /// real store (`pbc-store`) intercept it.
+    FailSyncs {
+        /// The node whose disk misbehaves.
+        node: NodeIdx,
+        /// How many consecutive syncs fail.
+        count: u32,
+    },
+    /// Flip a bit in the tail of `node`'s write-ahead log while the
+    /// node is down — the "disk rotted between crash and restart"
+    /// fault. No-op without an attached store.
+    CorruptWalTail {
+        /// The (currently crashed) node whose WAL tail rots.
+        node: NodeIdx,
+    },
+    /// Flip a bit in one of `node`'s cold (sealed) block segments.
+    /// No-op without an attached store.
+    BitRot {
+        /// The node whose cold storage rots.
+        node: NodeIdx,
+    },
 }
 
 impl NemesisOp {
@@ -103,6 +126,9 @@ impl NemesisOp {
             NemesisOp::Restart { .. } => "restart",
             NemesisOp::DegradeLink { .. } => "degrade_link",
             NemesisOp::HealLinks => "heal_links",
+            NemesisOp::FailSyncs { .. } => "fail_syncs",
+            NemesisOp::CorruptWalTail { .. } => "corrupt_wal_tail",
+            NemesisOp::BitRot { .. } => "bit_rot",
         }
     }
 
@@ -113,7 +139,10 @@ impl NemesisOp {
             NemesisOp::Crash { node }
             | NemesisOp::Recover { node }
             | NemesisOp::CrashAmnesia { node }
-            | NemesisOp::Restart { node } => *node,
+            | NemesisOp::Restart { node }
+            | NemesisOp::FailSyncs { node, .. }
+            | NemesisOp::CorruptWalTail { node }
+            | NemesisOp::BitRot { node } => *node,
             NemesisOp::DegradeLink { from, .. } => *from,
             _ => usize::MAX,
         }
@@ -143,6 +172,13 @@ impl NemesisOp {
                 net.fault_model_mut().set_link(*from, *to, *fault);
             }
             NemesisOp::HealLinks => net.fault_model_mut().heal_all(),
+            // Disk faults are no-ops on a bare network: there is no
+            // stable store to damage. Harnesses that wire actors over a
+            // real store (pbc-consensus `DurableNet`) intercept these
+            // before they reach here.
+            NemesisOp::FailSyncs { .. }
+            | NemesisOp::CorruptWalTail { .. }
+            | NemesisOp::BitRot { .. } => {}
         }
     }
 
@@ -181,6 +217,11 @@ pub struct NemesisConfig {
     pub link_faults: bool,
     /// Allow network partitions.
     pub partitions: bool,
+    /// Allow disk faults ([`NemesisOp::FailSyncs`],
+    /// [`NemesisOp::CorruptWalTail`], [`NemesisOp::BitRot`]). Only
+    /// meaningful for harnesses with an attached stable store; no-ops
+    /// elsewhere.
+    pub disk_faults: bool,
 }
 
 impl NemesisConfig {
@@ -194,12 +235,21 @@ impl NemesisConfig {
             amnesia: false,
             link_faults: true,
             partitions: true,
+            disk_faults: false,
         }
     }
 
     /// Enables amnesia crashes (schedule becomes `Durable`-only).
     pub fn with_amnesia(mut self) -> Self {
         self.amnesia = true;
+        self
+    }
+
+    /// Enables disk faults (failed syncs, WAL-tail rot, segment bit
+    /// rot). Pair with a store-attached harness; bare networks treat
+    /// them as no-ops.
+    pub fn with_disk_faults(mut self) -> Self {
+        self.disk_faults = true;
         self
     }
 
@@ -277,6 +327,9 @@ impl Nemesis {
             HealPart,
             Degrade,
             HealLinks,
+            FailSyncs,      // an up node's disk starts eating fsyncs
+            CorruptWalTail, // a crashed node's WAL tail rots before restart
+            BitRot,         // any node's cold segments rot
         }
 
         for _ in 0..config.steps {
@@ -301,6 +354,15 @@ impl Nemesis {
             }
             if degraded {
                 kinds.push(Kind::HealLinks);
+            }
+            if config.disk_faults {
+                if down.len() < n {
+                    kinds.push(Kind::FailSyncs);
+                }
+                kinds.push(Kind::BitRot);
+                if down.iter().any(|(_, how)| *how == Down::Amnesia) {
+                    kinds.push(Kind::CorruptWalTail);
+                }
             }
             if kinds.is_empty() {
                 continue;
@@ -366,6 +428,26 @@ impl Nemesis {
                 Kind::HealLinks => {
                     degraded = false;
                     ops.push(NemesisOp::HealLinks);
+                }
+                Kind::FailSyncs => {
+                    let up: Vec<NodeIdx> =
+                        (0..n).filter(|i| down.iter().all(|(d, _)| d != i)).collect();
+                    let node = up[rng.gen_range(0..up.len())];
+                    let count = rng.gen_range(1..=3);
+                    ops.push(NemesisOp::FailSyncs { node, count });
+                }
+                Kind::CorruptWalTail => {
+                    let candidates: Vec<NodeIdx> = down
+                        .iter()
+                        .filter(|(_, how)| *how == Down::Amnesia)
+                        .map(|(d, _)| *d)
+                        .collect();
+                    let node = candidates[rng.gen_range(0..candidates.len())];
+                    ops.push(NemesisOp::CorruptWalTail { node });
+                }
+                Kind::BitRot => {
+                    let node = rng.gen_range(0..n);
+                    ops.push(NemesisOp::BitRot { node });
                 }
             }
         }
@@ -533,6 +615,10 @@ mod tests {
                     NemesisOp::HealPartition => partitioned = false,
                     NemesisOp::DegradeLink { .. } => degraded = true,
                     NemesisOp::HealLinks => degraded = false,
+                    // Disk faults don't change availability state.
+                    NemesisOp::FailSyncs { .. }
+                    | NemesisOp::CorruptWalTail { .. }
+                    | NemesisOp::BitRot { .. } => {}
                 }
             }
             assert!(down.is_empty(), "seed {seed}: nodes left down: {down:?}");
@@ -576,6 +662,52 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn no_disk_ops_unless_enabled() {
+        for seed in 0..20 {
+            let nemesis = Nemesis::generate(5, &chaos_cfg(seed));
+            assert!(
+                !nemesis.ops().iter().any(|op| matches!(
+                    op,
+                    NemesisOp::FailSyncs { .. }
+                        | NemesisOp::CorruptWalTail { .. }
+                        | NemesisOp::BitRot { .. }
+                )),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_ops_generated_and_corrupt_wal_targets_a_down_node() {
+        let mut seen_disk = false;
+        for seed in 0..30 {
+            let cfg = chaos_cfg(seed).with_disk_faults();
+            let nemesis = Nemesis::generate(5, &cfg);
+            let mut amnesiac_down: Vec<NodeIdx> = Vec::new();
+            for op in nemesis.ops() {
+                match op {
+                    NemesisOp::CrashAmnesia { node } => amnesiac_down.push(*node),
+                    NemesisOp::Restart { node } => amnesiac_down.retain(|d| d != node),
+                    NemesisOp::CorruptWalTail { node } => {
+                        seen_disk = true;
+                        assert!(
+                            amnesiac_down.contains(node),
+                            "seed {seed}: WAL-tail rot must hit a crashed node, got {node}"
+                        );
+                    }
+                    NemesisOp::FailSyncs { count, .. } => {
+                        seen_disk = true;
+                        assert!((1..=3).contains(count), "seed {seed}");
+                    }
+                    NemesisOp::BitRot { .. } => seen_disk = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(seen_disk, "30 seeds with disk faults on must generate some disk op");
     }
 
     #[test]

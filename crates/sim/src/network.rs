@@ -237,6 +237,42 @@ impl<A: Actor> Network<A> {
         pbc_trace::emit(self.time, || TraceEvent::CrashAmnesia { node });
     }
 
+    /// Crashes `node` losing **everything volatile, checkpoint
+    /// included**: unlike [`Network::crash_and_lose_memory`], no
+    /// in-memory checkpoint is taken — the node's only hope of
+    /// remembering anything is whatever a real stable store hands back
+    /// to [`Network::restart_with`]. This is the crash half of the
+    /// disk-backed recovery path (`pbc-store`); on its own it restarts
+    /// as a blank fresh boot.
+    pub fn crash_total(&mut self, node: NodeIdx)
+    where
+        A: Durable,
+    {
+        let blank = A::blank_stable(&self.actors[node]);
+        let amnesiac = A::restore(&self.actors[node], blank);
+        self.actors[node] = amnesiac;
+        self.crashed[node] = true;
+        self.incarnation[node] += 1;
+        pbc_trace::emit(self.time, || TraceEvent::CrashAmnesia { node });
+    }
+
+    /// Restarts a crashed node from an externally recovered checkpoint
+    /// (bytes decoded off a real stable store), then re-runs its
+    /// `on_start`. The disk-backed counterpart of [`Network::restart`]:
+    /// `restart` resumes whatever actor is in place, `restart_with`
+    /// first rebuilds it from `stable`.
+    pub fn restart_with(&mut self, node: NodeIdx, stable: A::Stable)
+    where
+        A: Durable,
+    {
+        self.actors[node] = A::restore(&self.actors[node], stable);
+        self.crashed[node] = false;
+        pbc_trace::emit(self.time, || TraceEvent::Restart { node });
+        let mut ctx = self.context_for(node);
+        self.actors[node].on_start(&mut ctx);
+        self.apply_effects(node, &mut ctx);
+    }
+
     /// Recovers a crashed node and re-runs its `on_start` so the (possibly
     /// rebuilt) actor can re-arm timers and re-announce itself. This is
     /// the recovery path matching [`Network::crash_and_lose_memory`];

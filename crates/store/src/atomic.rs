@@ -1,0 +1,61 @@
+//! Write-temp-sync-rename: the one honest way to replace a file.
+//!
+//! A plain `std::fs::write` over an existing file can leave a torn mix
+//! of old and new bytes after a crash. The POSIX idiom is: write the
+//! full contents to a sibling temp file, `fsync` it, then atomically
+//! `rename` over the destination — a reader observes either the old
+//! file or the new one, never a splice. [`write_atomic`] packages that
+//! idiom for every artifact the workspace writes (replay artifacts,
+//! post-mortems, chrome traces, benchmark snapshots), and the segment
+//! store uses the same rename trick (through [`Vfs`](crate::Vfs)) to
+//! seal segments.
+
+use std::io;
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// Writes to `<path>.tmp` in the same directory (so the rename cannot
+/// cross filesystems), fsyncs the temp file, then renames it over
+/// `path`. On any error the destination is untouched; a stale `.tmp`
+/// may remain and is overwritten by the next attempt.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable where we can; best-effort because
+    // not every platform lets you open a directory for sync.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_existing_file_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join(format!("pbc-store-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.json");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second, longer contents");
+        assert!(!dir.join("out.json.tmp").exists(), "tmp file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

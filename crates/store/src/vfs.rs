@@ -1,0 +1,472 @@
+//! The filesystem seam: one trait, a real disk, and a lying disk.
+//!
+//! Every byte the store persists flows through [`Vfs`], so the same
+//! [`NodeStore`](crate::NodeStore) code path runs against `std::fs` in
+//! production ([`RealFs`]) and against a deterministic fault-injecting
+//! in-memory filesystem in chaos tests ([`FaultFs`]). The fault hooks
+//! (`fault_*`) are part of the trait with no-op defaults, so a harness
+//! can drive disk faults through a `Box<dyn Vfs>` without knowing which
+//! implementation is behind it — on a real disk they simply do nothing.
+//!
+//! The durability model both implementations share:
+//!
+//! * `append`/`write_at`/`truncate` reach the *page cache*, not the
+//!   platter; only `sync` makes data crash-durable.
+//! * `rename` is atomic and durable (the POSIX idiom the segment store
+//!   leans on for sealing).
+//! * A crash ([`FaultFs::fault_crash`] / power loss) keeps every synced
+//!   prefix and **tears the un-synced tail at an arbitrary byte
+//!   boundary** — the seed decides where, which is exactly how a real
+//!   disk loses a half-flushed WAL record.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Filesystem operations the store needs, plus fault-injection hooks.
+///
+/// Paths are flat relative file names (`"checkpoint.wal"`,
+/// `"seg-000004.blk"`); implementations own the mapping to any real
+/// directory. The trait is object-safe: stores hold a `Box<dyn Vfs>`.
+pub trait Vfs {
+    /// Reads the whole file.
+    fn read(&self, path: &str) -> io::Result<Vec<u8>>;
+
+    /// Current length in bytes, or an error if the file does not exist.
+    fn len(&self, path: &str) -> io::Result<u64>;
+
+    /// Appends bytes (creating the file if needed). Not durable until
+    /// [`Vfs::sync`].
+    fn append(&mut self, path: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Overwrites bytes at `offset` (must lie within the file).
+    fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates the file to `len` bytes.
+    fn truncate(&mut self, path: &str, len: u64) -> io::Result<()>;
+
+    /// Flushes the file to stable storage (`fsync`). May fail — a
+    /// failed sync means a later crash can tear the un-synced tail.
+    fn sync(&mut self, path: &str) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Deletes the file (missing file is not an error).
+    fn remove(&mut self, path: &str) -> io::Result<()>;
+
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// All file names, sorted (recovery's segment scan).
+    fn list(&self) -> Vec<String>;
+
+    /// FAULT HOOK — simulates a crash/power-loss: every file keeps its
+    /// synced prefix and a seed-chosen slice of any un-synced tail (the
+    /// torn write). No-op on a real disk (the *process* crash plays
+    /// that role there).
+    fn fault_crash(&mut self) {}
+
+    /// FAULT HOOK — makes the next `n` [`Vfs::sync`] calls fail,
+    /// leaving their data vulnerable to the next crash. No-op on a real
+    /// disk.
+    fn fault_fail_syncs(&mut self, n: u32) {
+        let _ = n;
+    }
+
+    /// FAULT HOOK — flips one seed-chosen bit of the file's *durable*
+    /// contents (media rot, not a write). Returns `true` if a bit was
+    /// flipped. No-op (returns `false`) on a real disk.
+    fn fault_flip_bit(&mut self, path: &str, seed: u64) -> bool {
+        let _ = (path, seed);
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------
+
+/// `std::fs` + `fsync`, rooted at a directory.
+#[derive(Debug)]
+pub struct RealFs {
+    root: PathBuf,
+}
+
+impl RealFs {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(RealFs { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    /// Fsyncs the root directory itself, making renames/creates durable.
+    fn sync_dir(&self) -> io::Result<()> {
+        std::fs::File::open(&self.root)?.sync_all()
+    }
+}
+
+impl Vfs for RealFs {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.full(path))
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.full(path))?.len())
+    }
+
+    fn append(&mut self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(self.full(path))?;
+        f.write_all(bytes)
+    }
+
+    fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) -> io::Result<()> {
+        use std::io::{Seek as _, SeekFrom, Write as _};
+        let mut f = std::fs::OpenOptions::new().write(true).open(self.full(path))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(bytes)
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(self.full(path))?;
+        f.set_len(len)
+    }
+
+    fn sync(&mut self, path: &str) -> io::Result<()> {
+        std::fs::File::open(self.full(path))?.sync_all()
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.full(from), self.full(to))?;
+        self.sync_dir()
+    }
+
+    fn remove(&mut self, path: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.full(path)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.full(path).exists()
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultFs
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FileBuf {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `sync`).
+    durable_len: usize,
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    files: BTreeMap<String, FileBuf>,
+    rng: u64,
+    fail_syncs: u32,
+    syncs_failed: u64,
+    crashes: u64,
+}
+
+/// Deterministic fault-injecting in-memory filesystem.
+///
+/// Cloning a `FaultFs` yields another handle to the *same* filesystem
+/// (single-threaded shared state), so a chaos harness can keep a handle
+/// to schedule faults while the [`NodeStore`](crate::NodeStore) owns
+/// another as its `Box<dyn Vfs>`. All randomness (tear points, bit
+/// positions) comes from a splitmix64 stream seeded at construction —
+/// the same seed and the same call sequence always fault identically.
+#[derive(Clone, Debug)]
+pub struct FaultFs {
+    inner: Rc<RefCell<FaultInner>>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultFs {
+    /// An empty filesystem with the given fault seed.
+    pub fn new(seed: u64) -> Self {
+        FaultFs {
+            inner: Rc::new(RefCell::new(FaultInner {
+                files: BTreeMap::new(),
+                rng: seed ^ 0x5EED_D15C_0000_0000,
+                fail_syncs: 0,
+                syncs_failed: 0,
+                crashes: 0,
+            })),
+        }
+    }
+
+    /// Total sync calls that were made to fail so far.
+    pub fn syncs_failed(&self) -> u64 {
+        self.inner.borrow().syncs_failed
+    }
+
+    /// Crashes simulated so far.
+    pub fn crashes(&self) -> u64 {
+        self.inner.borrow().crashes
+    }
+
+    /// Bytes of `path` that would survive a crash right now.
+    pub fn durable_len(&self, path: &str) -> u64 {
+        self.inner.borrow().files.get(path).map_or(0, |f| f.durable_len as u64)
+    }
+}
+
+impl Vfs for FaultFs {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.inner
+            .borrow()
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        self.inner
+            .borrow()
+            .files
+            .get(path)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))
+    }
+
+    fn append(&mut self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        inner.files.entry(path.to_string()).or_default().data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        let file = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        let end = offset as usize + bytes.len();
+        if end > file.data.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "write_at past EOF"));
+        }
+        file.data[offset as usize..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        let file = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        file.data.truncate(len as usize);
+        file.durable_len = file.durable_len.min(file.data.len());
+        Ok(())
+    }
+
+    fn sync(&mut self, path: &str) -> io::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.fail_syncs > 0 {
+            inner.fail_syncs -= 1;
+            inner.syncs_failed += 1;
+            return Err(io::Error::other("injected sync failure"));
+        }
+        let file = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        file.durable_len = file.data.len();
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        let mut file = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+        // The rename idiom: atomic and durable (the caller synced the
+        // contents first; the metadata operation itself is journaled).
+        file.durable_len = file.data.len();
+        inner.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &str) -> io::Result<()> {
+        self.inner.borrow_mut().files.remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.borrow().files.contains_key(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.borrow().files.keys().cloned().collect()
+    }
+
+    fn fault_crash(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.crashes += 1;
+        let mut rng = inner.rng;
+        for file in inner.files.values_mut() {
+            if file.data.len() > file.durable_len {
+                // Tear the un-synced tail at a seeded byte boundary:
+                // anywhere from "nothing survived" to "all of it did".
+                let extra = file.data.len() - file.durable_len;
+                let keep = (splitmix64(&mut rng) % (extra as u64 + 1)) as usize;
+                file.data.truncate(file.durable_len + keep);
+                file.durable_len = file.data.len();
+            }
+        }
+        inner.rng = rng;
+    }
+
+    fn fault_fail_syncs(&mut self, n: u32) {
+        self.inner.borrow_mut().fail_syncs += n;
+    }
+
+    fn fault_flip_bit(&mut self, path: &str, seed: u64) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let mut state = inner.rng ^ seed;
+        let Some(file) = inner.files.get_mut(path) else {
+            return false;
+        };
+        if file.data.is_empty() {
+            return false;
+        }
+        let bit = splitmix64(&mut state) % (file.data.len() as u64 * 8);
+        file.data[(bit / 8) as usize] ^= 1 << (bit % 8);
+        // Rot is on the platter: it IS the durable state now.
+        file.durable_len = file.durable_len.max((bit / 8) as usize + 1);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_crash_drops_unsynced_tail() {
+        let mut fs = FaultFs::new(1);
+        fs.append("a", b"synced").unwrap();
+        fs.sync("a").unwrap();
+        fs.append("a", b"-not-synced").unwrap();
+        fs.fault_crash();
+        let data = fs.read("a").unwrap();
+        assert!(data.starts_with(b"synced"), "synced prefix must survive");
+        assert!(data.len() < b"synced-not-synced".len(), "some tail must be lost at seed 1");
+    }
+
+    #[test]
+    fn crash_tear_is_deterministic() {
+        let run = |seed| {
+            let mut fs = FaultFs::new(seed);
+            fs.append("a", b"synced").unwrap();
+            fs.sync("a").unwrap();
+            fs.append("a", b"0123456789abcdef").unwrap();
+            fs.fault_crash();
+            fs.read("a").unwrap().len()
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds tear at different points (for at least one pair).
+        assert!((0..8).map(run).collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn failed_sync_leaves_data_vulnerable() {
+        let mut fs = FaultFs::new(2);
+        fs.append("w", b"aaaa").unwrap();
+        fs.sync("w").unwrap();
+        fs.fault_fail_syncs(1);
+        fs.append("w", b"bbbb").unwrap();
+        assert!(fs.sync("w").is_err(), "scheduled sync failure");
+        assert_eq!(fs.syncs_failed(), 1);
+        assert_eq!(fs.durable_len("w"), 4);
+        // A later sync succeeds and makes it durable.
+        fs.sync("w").unwrap();
+        assert_eq!(fs.durable_len("w"), 8);
+    }
+
+    #[test]
+    fn rename_is_atomic_and_durable() {
+        let mut fs = FaultFs::new(3);
+        fs.append("tmp", b"contents").unwrap();
+        fs.rename("tmp", "final").unwrap();
+        fs.fault_crash();
+        assert!(!fs.exists("tmp"));
+        assert_eq!(fs.read("final").unwrap(), b"contents");
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut fs = FaultFs::new(4);
+        fs.append("seg", &[0u8; 32]).unwrap();
+        fs.sync("seg").unwrap();
+        assert!(fs.fault_flip_bit("seg", 99));
+        let data = fs.read("seg").unwrap();
+        let ones: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn real_fs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pbc-store-vfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fs = RealFs::new(&dir).unwrap();
+        fs.append("x.wal", b"hello ").unwrap();
+        fs.append("x.wal", b"world").unwrap();
+        fs.sync("x.wal").unwrap();
+        assert_eq!(fs.read("x.wal").unwrap(), b"hello world");
+        assert_eq!(fs.len("x.wal").unwrap(), 11);
+        fs.truncate("x.wal", 5).unwrap();
+        assert_eq!(fs.read("x.wal").unwrap(), b"hello");
+        fs.rename("x.wal", "y.wal").unwrap();
+        assert!(fs.exists("y.wal") && !fs.exists("x.wal"));
+        assert_eq!(fs.list(), vec!["y.wal".to_string()]);
+        // Fault hooks are no-ops on the real disk.
+        fs.fault_crash();
+        assert!(!fs.fault_flip_bit("y.wal", 1));
+        assert_eq!(fs.read("y.wal").unwrap(), b"hello");
+        fs.remove("y.wal").unwrap();
+        fs.remove("y.wal").unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,7 +18,6 @@
 
 use crate::event::{TraceEvent, TraceRecord};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Renders `records` as a Chrome trace JSON string.
@@ -37,10 +36,11 @@ pub fn export(records: &[TraceRecord]) -> String {
     out
 }
 
-/// Writes `records` to `path` as a Chrome trace JSON file.
+/// Writes `records` to `path` as a Chrome trace JSON file, atomically
+/// (temp file + fsync + rename) so a crash mid-export never leaves a
+/// truncated JSON document for Perfetto to choke on.
 pub fn write_file(path: impl AsRef<Path>, records: &[TraceRecord]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(export(records).as_bytes())
+    pbc_store::write_atomic(path, export(records).as_bytes())
 }
 
 fn write_event(out: &mut String, rec: &TraceRecord) {

@@ -9,7 +9,6 @@
 
 use crate::event::{TraceEvent, TraceRecord};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Renders a dump: `header` (the violation message), a summary line,
@@ -25,10 +24,12 @@ pub fn render(header: &str, records: &[TraceRecord]) -> String {
     out
 }
 
-/// Writes [`render`]'s output to `path`.
+/// Writes [`render`]'s output to `path` atomically (temp file + fsync +
+/// rename): the dump is written *because* something already went wrong,
+/// so a crash mid-dump must leave either the old file or the new one,
+/// never a torn half-report.
 pub fn write(path: impl AsRef<Path>, header: &str, records: &[TraceRecord]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(render(header, records).as_bytes())
+    pbc_store::write_atomic(path, render(header, records).as_bytes())
 }
 
 /// One aligned timeline line for a record.

@@ -68,6 +68,77 @@ impl Encoder {
     }
 }
 
+/// A checked cursor over canonical bytes, mirroring [`Encoder`].
+///
+/// Every accessor returns `None` on underrun (or invalid UTF-8 for
+/// [`Decoder::str`]) instead of panicking: the bytes being decoded may
+/// have just been recovered from a torn or rotted disk, and a decode
+/// failure must degrade to "checkpoint unusable", never crash recovery.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads one tag byte.
+    pub fn tag(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a big-endian two's-complement `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|s| i64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return None;
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
 /// Types with a canonical encoding suitable for hashing/signing.
 pub trait CanonicalEncode {
     /// Writes the canonical representation of `self` into `enc`.
@@ -121,5 +192,39 @@ mod tests {
         let out = e.finish();
         assert_eq!(&out[..8], &2u64.to_be_bytes());
         assert_eq!(&out[8..], b"xy");
+    }
+
+    #[test]
+    fn decoder_roundtrips_every_primitive() {
+        let mut e = Encoder::new();
+        e.tag(7).u32(0xDEAD_BEEF).u64(u64::MAX).i64(-42).bytes(b"raw").str("text");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.tag(), Some(7));
+        assert_eq!(d.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(d.u64(), Some(u64::MAX));
+        assert_eq!(d.i64(), Some(-42));
+        assert_eq!(d.bytes(), Some(b"raw".as_slice()));
+        assert_eq!(d.str(), Some("text"));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn decoder_underrun_is_none_not_panic() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert_eq!(d.u32(), None);
+        // A length prefix larger than the buffer must not be trusted.
+        let mut e = Encoder::new();
+        e.u64(1 << 40);
+        let bytes = e.finish();
+        assert_eq!(Decoder::new(&bytes).bytes(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_invalid_utf8() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let bytes = e.finish();
+        assert_eq!(Decoder::new(&bytes).str(), None);
     }
 }

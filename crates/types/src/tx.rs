@@ -8,7 +8,7 @@
 //! transactions, the load-bearing distinction of §2.3.1 (Caper, channels)
 //! and §2.3.4 (intra- vs cross-shard).
 
-use crate::encode::{CanonicalEncode, Encoder};
+use crate::encode::{CanonicalEncode, Decoder, Encoder};
 use crate::ids::{ClientId, EnterpriseId, TxId};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -118,6 +118,29 @@ impl CanonicalEncode for Op {
     }
 }
 
+impl Op {
+    /// Decodes one operation from its canonical encoding. `None` on
+    /// malformed bytes (the input may come off a damaged disk).
+    pub fn decode(dec: &mut Decoder<'_>) -> Option<Op> {
+        Some(match dec.tag()? {
+            0 => Op::Get { key: dec.str()?.to_string() },
+            1 => {
+                let key = dec.str()?.to_string();
+                Op::Put { key, value: Bytes::copy_from_slice(dec.bytes()?) }
+            }
+            2 => Op::Incr { key: dec.str()?.to_string(), delta: dec.i64()? },
+            3 => {
+                let from = dec.str()?.to_string();
+                let to = dec.str()?.to_string();
+                Op::Transfer { from, to, amount: dec.u64()? }
+            }
+            4 => Op::Noop { busy_work: dec.u32()? },
+            5 => Op::Delete { key: dec.str()?.to_string() },
+            _ => return None,
+        })
+    }
+}
+
 /// Which parties a transaction involves (§2.3.1).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TxScope {
@@ -163,6 +186,25 @@ impl CanonicalEncode for TxScope {
                 enc.tag(2);
             }
         }
+    }
+}
+
+impl TxScope {
+    /// Decodes a scope from its canonical encoding.
+    pub fn decode(dec: &mut Decoder<'_>) -> Option<TxScope> {
+        Some(match dec.tag()? {
+            0 => TxScope::Internal(EnterpriseId(dec.u32()?)),
+            1 => {
+                let n = dec.u64()?;
+                let mut es = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    es.push(EnterpriseId(dec.u32()?));
+                }
+                TxScope::CrossEnterprise(es)
+            }
+            2 => TxScope::Global,
+            _ => return None,
+        })
     }
 }
 
@@ -239,6 +281,23 @@ impl CanonicalEncode for Transaction {
         for op in &self.ops {
             op.encode(enc);
         }
+    }
+}
+
+impl Transaction {
+    /// Decodes a transaction from its canonical encoding — the exact
+    /// inverse of its [`CanonicalEncode`] impl, so a persisted batch
+    /// rehydrates to bytes that re-digest identically.
+    pub fn decode(dec: &mut Decoder<'_>) -> Option<Transaction> {
+        let id = TxId(dec.u64()?);
+        let client = ClientId(dec.u32()?);
+        let scope = TxScope::decode(dec)?;
+        let n = dec.u64()?;
+        let mut ops = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            ops.push(Op::decode(dec)?);
+        }
+        Some(Transaction { id, client, scope, ops })
     }
 }
 
@@ -345,6 +404,41 @@ mod tests {
             TxScope::CrossEnterprise(vec![EnterpriseId(1), EnterpriseId(2)]).enterprises(),
             vec![EnterpriseId(1), EnterpriseId(2)]
         );
+    }
+
+    #[test]
+    fn transaction_decode_inverts_encode() {
+        let t = Transaction::with_scope(
+            TxId(42),
+            ClientId(7),
+            TxScope::CrossEnterprise(vec![EnterpriseId(1), EnterpriseId(3)]),
+            vec![
+                Op::Get { key: "a".into() },
+                Op::Put { key: "b".into(), value: Bytes::from_static(b"v") },
+                Op::Incr { key: "c".into(), delta: -9 },
+                Op::Transfer { from: "x".into(), to: "y".into(), amount: 5 },
+                Op::Noop { busy_work: 11 },
+                Op::Delete { key: "d".into() },
+            ],
+        );
+        let bytes = t.canonical_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Transaction::decode(&mut dec).unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(back, t);
+        assert_eq!(back.canonical_bytes(), bytes);
+    }
+
+    #[test]
+    fn transaction_decode_rejects_truncation() {
+        let t = tx(1, vec![Op::Put { key: "k".into(), value: Bytes::from_static(b"vv") }]);
+        let bytes = t.canonical_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Transaction::decode(&mut Decoder::new(&bytes[..cut])).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
     }
 
     #[test]

@@ -15,10 +15,10 @@ use pbc_consensus::paxos::{PaxosConfig, PaxosMsg, PaxosNode};
 use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode, VolatileRaft};
 use pbc_consensus::tendermint::{TendermintConfig, TendermintNode, TmMsg};
-use pbc_consensus::Payload;
+use pbc_consensus::{DurableNet, OrderingCluster, Payload};
 use pbc_sim::{
-    violation_report, Actor, Adversary, Attack, Durable, InvariantChecker, Nemesis, NemesisConfig,
-    Network, NetworkConfig, Violation,
+    violation_report, Adversary, Attack, Durable, InvariantChecker, Nemesis, NemesisConfig,
+    NemesisOp, Network, NetworkConfig, Violation,
 };
 
 /// Nemesis seeds every protocol is exercised with.
@@ -90,46 +90,6 @@ where
         .unwrap_or_else(|v| dump_and_panic("violated-safety", seed, &v));
 
     // The schedule ended fully healed: new requests must still decide.
-    for p in 6..=7u64 {
-        submit(&mut net, p);
-    }
-    net.run_until(net.now() + 4_000_000);
-    checker.observe(&views(&net)).expect("post-chaos safety");
-    checker.check_progress(min_decided).unwrap_or_else(|v| dump_and_panic("stalled", seed, &v));
-    pbc_trace::uninstall();
-    checker.total_decided()
-}
-
-/// Non-durable variant for protocols without checkpointing: same loop,
-/// amnesia disabled by construction.
-fn chaos_run_plain<A, FS, FV>(
-    actors: Vec<A>,
-    seed: u64,
-    min_decided: usize,
-    submit: FS,
-    views: FV,
-) -> usize
-where
-    A: Actor,
-    FS: Fn(&mut Network<A>, u64),
-    FV: Fn(&Network<A>) -> Vec<Vec<(u64, u64)>>,
-{
-    let n = actors.len();
-    pbc_trace::install(pbc_trace::TraceSink::new(4096));
-    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
-    net.start();
-    for p in 1..=5u64 {
-        submit(&mut net, p);
-    }
-    net.run_until(600_000);
-    let mut checker = InvariantChecker::new(n);
-    checker.observe(&views(&net)).expect("pre-chaos safety");
-
-    let nemesis = Nemesis::generate(n, &NemesisConfig::new(seed).with_steps(12));
-    nemesis
-        .drive(&mut net, OP_GAP, &mut checker, &views)
-        .unwrap_or_else(|v| dump_and_panic("violated-safety", seed, &v));
-
     for p in 6..=7u64 {
         submit(&mut net, p);
     }
@@ -233,9 +193,10 @@ fn chaos_hotstuff() {
     for seed in SEEDS {
         let cfg = HotStuffConfig::new(4);
         let actors = (0..4).map(|_| HotStuffReplica::<u64>::new(cfg.clone())).collect();
-        chaos_run_plain(
+        chaos_run(
             actors,
             seed,
+            true,
             1,
             |net, p| {
                 for i in 0..net.len() {
@@ -252,9 +213,10 @@ fn chaos_tendermint() {
     for seed in SEEDS {
         let cfg = TendermintConfig::equal(4);
         let actors = (0..4).map(|_| TendermintNode::<u64>::new(cfg.clone())).collect();
-        chaos_run_plain(
+        chaos_run(
             actors,
             seed,
+            true,
             1,
             |net, p| {
                 for i in 0..net.len() {
@@ -271,9 +233,10 @@ fn chaos_paxos() {
     for seed in SEEDS {
         let cfg = PaxosConfig::new(3);
         let actors = (0..3).map(|i| PaxosNode::<u64>::new(cfg.clone(), i)).collect();
-        chaos_run_plain(
+        chaos_run(
             actors,
             seed,
+            true,
             1,
             |net, p| {
                 for i in 0..net.len() {
@@ -449,6 +412,322 @@ fn durable_minbft_usig_counter_never_rewinds() {
         let log: Vec<u64> = net.actor(i).log.delivered().iter().map(|(_, p, _)| *p).collect();
         assert_eq!(log, reference, "node {i}");
     }
+}
+
+// ---------------------------------------------------------------------
+// Disk faults against real (simulated) stores: torn writes, bit rot,
+// crash-during-recovery. RAM checkpoints above survive because the
+// simulator hands them back; here every byte round-trips through a
+// pbc-store WAL + segment store over a fault-injecting filesystem.
+// ---------------------------------------------------------------------
+
+/// One fault-injecting store per node, deterministically seeded.
+fn fault_stores(n: usize, seed: u64) -> Vec<pbc_store::NodeStore> {
+    (0..n)
+        .map(|i| {
+            let vfs = pbc_store::FaultFs::new(seed ^ (i as u64 * 0x9E37));
+            let (store, _) =
+                pbc_store::NodeStore::open(Box::new(vfs), pbc_store::StoreConfig::default())
+                    .expect("fresh store opens clean");
+            store
+        })
+        .collect()
+}
+
+fn raft_durable_net(
+    n: usize,
+    seed: u64,
+    cfg_store: pbc_store::StoreConfig,
+) -> DurableNet<RaftNode<u64>> {
+    let cfg = RaftConfig::new(n);
+    let actors = (0..n).map(|i| RaftNode::<u64>::new(cfg.clone(), i)).collect();
+    let stores = (0..n)
+        .map(|i| {
+            let vfs = pbc_store::FaultFs::new(seed ^ (i as u64 * 0x9E37));
+            let (store, _) = pbc_store::NodeStore::open(Box::new(vfs), cfg_store)
+                .expect("fresh store opens clean");
+            store
+        })
+        .collect();
+    DurableNet::new(actors, NetworkConfig { seed, ..Default::default() }, stores)
+}
+
+/// The torn-write acceptance scenario: a WAL write torn mid-record
+/// between a total crash and the restart. Staged recovery must truncate
+/// the torn tail, fall back cleanly (checkpoint gone, segment blocks
+/// intact), and the cluster must converge with a green cold audit.
+///
+/// This test is deliberately load-bearing on
+/// `StoreConfig::truncate_torn_tail`: with truncation deleted, `reopen`
+/// refuses the torn WAL outright, no staged recovery happens, and the
+/// `wal_torn_tail` / `blocks` assertions below fail (see the companion
+/// test for that configuration).
+#[test]
+fn torn_wal_write_recovers_and_cold_audit_stays_green() {
+    let mut c = raft_durable_net(3, 0x70A1, pbc_store::StoreConfig::default());
+    for p in 1..=3u64 {
+        c.submit(p);
+    }
+    assert!(c.run_until_decided(3, 20_000_000), "pre-fault decisions");
+    let reference: Vec<(u64, u64)> = c.decided(0).iter().map(|(s, p, _)| (*s, *p)).collect();
+
+    // Total crash flushes a checkpoint + the decided blocks, then the
+    // WAL tail is torn before the node comes back.
+    c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 1 });
+    c.apply_nemesis(&NemesisOp::CorruptWalTail { node: 1 });
+    c.apply_nemesis(&NemesisOp::Restart { node: 1 });
+
+    let rec = c
+        .recoveries()
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == 1)
+        .map(|(_, r)| r)
+        .expect("restart must stage a disk recovery");
+    assert!(rec.wal_torn_tail, "the schedule must actually tear the WAL tail");
+    assert!(
+        rec.checkpoint.is_none(),
+        "the only checkpoint record was the torn one — recovery must not invent it"
+    );
+    assert_eq!(rec.blocks.len(), 3, "segment blocks are untouched by a torn WAL");
+
+    // The node booted with a blank consensus state but its block store
+    // intact; the leader re-teaches it and the cluster converges.
+    assert!(c.run_until_decided(3, 20_000_000), "post-recovery convergence");
+    let recovered: Vec<(u64, u64)> = c.decided(1).iter().map(|(s, p, _)| (*s, *p)).collect();
+    assert_eq!(recovered, reference, "no rewrite through the torn-write crash");
+
+    // Cold audit: reopen every store from disk and check what actually
+    // survived against the decided history.
+    c.persist();
+    for node in 0..3 {
+        let cold = c.cold_decided(node).expect("durable cluster cold-reads");
+        assert_eq!(cold, reference, "node {node}: cold ledger matches decided history");
+    }
+}
+
+/// The same torn-write schedule with torn-tail truncation *disabled*:
+/// recovery must refuse the WAL (fail-stop on ambiguous bytes), the
+/// node boots blank instead of staging a recovery, and cold reads stay
+/// impossible until an operator intervenes. Documents exactly what the
+/// truncation stage buys.
+#[test]
+fn torn_wal_without_truncation_is_fail_stop() {
+    let cfg_store = pbc_store::StoreConfig { truncate_torn_tail: false, ..Default::default() };
+    let mut c = raft_durable_net(3, 0x70A1, cfg_store);
+    for p in 1..=3u64 {
+        c.submit(p);
+    }
+    assert!(c.run_until_decided(3, 20_000_000));
+    let reference: Vec<(u64, u64)> = c.decided(0).iter().map(|(s, p, _)| (*s, *p)).collect();
+
+    c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 1 });
+    c.apply_nemesis(&NemesisOp::CorruptWalTail { node: 1 });
+    c.apply_nemesis(&NemesisOp::Restart { node: 1 });
+
+    assert!(
+        !c.recoveries().iter().any(|(n, _)| *n == 1),
+        "without truncation the torn WAL is unrecoverable — no staged recovery"
+    );
+    assert_eq!(c.cold_decided(1), None, "cold reads refuse the torn WAL too");
+    // Fresh boot, not a halt: the blank node is re-taught by the leader
+    // and the cluster still converges — durability degraded to safety.
+    assert!(c.run_until_decided(3, 20_000_000), "blank reboot must not stall the cluster");
+    let recovered: Vec<(u64, u64)> = c.decided(1).iter().map(|(s, p, _)| (*s, *p)).collect();
+    assert_eq!(recovered, reference);
+}
+
+/// Crash-during-recovery: the node loses power again immediately after
+/// its staged replay, before processing a single message, with the WAL
+/// tail torn a second time in between. Staged recovery is idempotent —
+/// the second pass must land in the same state as the first.
+#[test]
+fn double_fault_crash_again_mid_replay() {
+    let mut c = raft_durable_net(3, 0xD0B1, pbc_store::StoreConfig::default());
+    for p in 1..=3u64 {
+        c.submit(p);
+    }
+    assert!(c.run_until_decided(3, 20_000_000));
+    let reference: Vec<(u64, u64)> = c.decided(0).iter().map(|(s, p, _)| (*s, *p)).collect();
+
+    c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 2 });
+    c.apply_nemesis(&NemesisOp::CorruptWalTail { node: 2 });
+    c.apply_nemesis(&NemesisOp::Restart { node: 2 });
+    // ...and the power fails again before the replica does anything.
+    c.apply_nemesis(&NemesisOp::CrashAmnesia { node: 2 });
+    c.apply_nemesis(&NemesisOp::CorruptWalTail { node: 2 });
+    c.apply_nemesis(&NemesisOp::Restart { node: 2 });
+
+    let recoveries: Vec<_> = c.recoveries().iter().filter(|(n, _)| *n == 2).collect();
+    assert_eq!(recoveries.len(), 2, "both restarts staged a recovery");
+
+    assert!(c.run_until_decided(3, 20_000_000), "double-fault convergence");
+    let recovered: Vec<(u64, u64)> = c.decided(2).iter().map(|(s, p, _)| (*s, *p)).collect();
+    assert_eq!(recovered, reference, "no rewrite through two crash/recover cycles");
+    c.persist();
+    let cold = c.cold_decided(2).expect("cold read after double fault");
+    assert_eq!(cold, reference);
+}
+
+/// A seeded storm of every disk fault — failed fsyncs, bit rot on cold
+/// segments, torn WAL tails — interleaved with total crashes, across
+/// multiple seeds. Safety must hold throughout and the cold ledger must
+/// never contradict the decided history.
+#[test]
+fn disk_fault_storm_never_rewrites_history() {
+    for seed in SEEDS {
+        let mut c = raft_durable_net(3, seed, pbc_store::StoreConfig::default());
+        for p in 1..=3u64 {
+            c.submit(p);
+        }
+        assert!(c.run_until_decided(3, 20_000_000), "seed {seed}: pre-storm decisions");
+        let reference: Vec<(u64, u64)> = c.decided(0).iter().map(|(s, p, _)| (*s, *p)).collect();
+        c.persist();
+
+        let storm = [
+            NemesisOp::FailSyncs { node: 1, count: 4 },
+            NemesisOp::BitRot { node: 2 },
+            NemesisOp::CrashAmnesia { node: 1 },
+            NemesisOp::CorruptWalTail { node: 1 },
+            NemesisOp::Restart { node: 1 },
+            NemesisOp::BitRot { node: 1 },
+            NemesisOp::CrashAmnesia { node: 2 },
+            NemesisOp::Restart { node: 2 },
+        ];
+        let mut checker = InvariantChecker::new(3);
+        let views = |c: &DurableNet<RaftNode<u64>>| -> Vec<Vec<(u64, u64)>> {
+            (0..3)
+                .map(|i| c.decided(i).iter().map(|(s, p, _)| (*s, p.digest_u64())).collect())
+                .collect()
+        };
+        checker.observe(&views(&c)).expect("pre-storm safety");
+        for op in &storm {
+            c.apply_nemesis(op);
+            checker
+                .observe(&views(&c))
+                .unwrap_or_else(|v| panic!("seed {seed}: disk storm violated safety: {v}"));
+        }
+        c.submit(4);
+        assert!(c.run_until_decided(4, 30_000_000), "seed {seed}: post-storm liveness");
+        checker.observe(&views(&c)).expect("post-storm safety");
+
+        // Cold audit: whatever survived the storm on disk must be a
+        // subset of the decided history, never a contradiction.
+        c.persist();
+        let hot: std::collections::HashMap<u64, u64> = c
+            .decided(0)
+            .iter()
+            .map(|(s, p, _)| (*s, *p))
+            .chain(reference.iter().cloned())
+            .collect();
+        for node in 0..3 {
+            if let Some(cold) = c.cold_decided(node) {
+                for (seq, payload) in cold {
+                    assert_eq!(
+                        hot.get(&seq),
+                        Some(&payload),
+                        "seed {seed}: node {node} disk holds a block the cluster never decided"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shrinker against `VolatileRaft` *with a healthy disk attached*:
+/// the store faithfully persists the empty state the broken protocol
+/// hands it, so the amnesia violation still reproduces, and ddmin must
+/// strip all the disk-fault noise (which is harmless to a node that
+/// persists nothing) down to the same crash-a-majority kernel.
+#[test]
+fn shrinker_strips_disk_noise_from_volatile_raft_on_disk() {
+    fn violation(seed: u64, ops: &[NemesisOp]) -> Option<Violation> {
+        let cfg = RaftConfig::new(3);
+        let actors: Vec<VolatileRaft<u64>> =
+            (0..3).map(|i| VolatileRaft::new(cfg.clone(), i)).collect();
+        let mut c = DurableNet::new(
+            actors,
+            NetworkConfig { seed, ..Default::default() },
+            fault_stores(3, seed),
+        );
+        let views = |c: &DurableNet<VolatileRaft<u64>>| -> Vec<Vec<(u64, u64)>> {
+            (0..3)
+                .map(|i| c.decided(i).iter().map(|(s, p, _)| (*s, p.digest_u64())).collect())
+                .collect()
+        };
+        while c.now() < 300_000 && c.step() {}
+        c.submit(1);
+        if !c.run_until_decided(1, 5_000_000) {
+            return None;
+        }
+        let mut checker = InvariantChecker::new(3);
+        if let Err(v) = checker.observe(&views(&c)) {
+            return Some(v);
+        }
+        for op in ops {
+            c.apply_nemesis(op);
+            if let Err(v) = checker.observe(&views(&c)) {
+                return Some(v);
+            }
+        }
+        c.submit(2);
+        for _ in 0..8 {
+            let deadline = c.now() + 500_000;
+            while c.now() < deadline && c.step() {}
+            if let Err(v) = checker.observe(&views(&c)) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // The amnesia kernel buried in disk-fault noise.
+    let kernel = [
+        NemesisOp::CrashAmnesia { node: 0 },
+        NemesisOp::CrashAmnesia { node: 1 },
+        NemesisOp::Restart { node: 0 },
+        NemesisOp::Restart { node: 1 },
+    ];
+    let noise = [
+        NemesisOp::FailSyncs { node: 2, count: 3 },
+        NemesisOp::BitRot { node: 2 },
+        NemesisOp::CorruptWalTail { node: 0 },
+        NemesisOp::BitRot { node: 0 },
+        NemesisOp::FailSyncs { node: 1, count: 2 },
+        NemesisOp::BitRot { node: 1 },
+    ];
+    let mut padded = Vec::new();
+    let mut noise_iter = noise.iter().cloned();
+    for k in kernel {
+        padded.extend(noise_iter.by_ref().take(1));
+        padded.push(k);
+    }
+    padded.extend(noise_iter);
+    assert_eq!(padded.len(), 10);
+
+    // The violation needs the initial leader inside the amnesiac
+    // majority {0, 1}; pick the first seed where the padded schedule
+    // reproduces (deterministic given the code).
+    let seed = (1..32u64)
+        .find(|&s| violation(s, &padded).is_some())
+        .expect("some seed must elect the initial leader inside {0, 1}");
+
+    let out = pbc_audit::shrink_schedule(&padded, |s| violation(seed, s))
+        .expect("padded schedule violates at the chosen seed");
+    assert!(
+        !out.minimized.iter().any(|op| matches!(
+            op,
+            NemesisOp::FailSyncs { .. }
+                | NemesisOp::CorruptWalTail { .. }
+                | NemesisOp::BitRot { .. }
+        )),
+        "disk faults are noise to a node that persists nothing; ddmin must strip them: {:?}",
+        out.minimized
+    );
+    let amnesia_crashes =
+        out.minimized.iter().filter(|op| matches!(op, NemesisOp::CrashAmnesia { .. })).count();
+    assert_eq!(amnesia_crashes, 2, "the kernel is still losing a majority's memory");
+    assert!(out.minimized.len() <= 4, "kernel is at most the 4-op amnesia sequence");
 }
 
 // ---------------------------------------------------------------------

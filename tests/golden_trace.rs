@@ -151,6 +151,50 @@ fn trace_digest_is_seed_sensitive() {
     assert_ne!(run(1), run(2));
 }
 
+/// The storage layer is passive too: running the healthy PBFT golden
+/// scenario with every replica wired to a real (fault-injecting)
+/// `pbc-store` — checkpoints, WAL appends, and fsyncs included — must
+/// reproduce the golden digest bit-for-bit. Disk I/O happens strictly
+/// between simulation events and draws nothing from the network RNG; a
+/// regression here means persistence started leaking into the schedule,
+/// which would silently fork durable experiments from their seeds.
+#[test]
+fn durable_store_does_not_perturb_golden_schedule() {
+    use pbc_consensus::{DurableNet, OrderingCluster};
+    let actors: Vec<PbftReplica<u64>> =
+        (0..4).map(|_| PbftReplica::new(PbftConfig::new(4))).collect();
+    let stores = (0..4u64)
+        .map(|i| {
+            let vfs = pbc_store::FaultFs::new(0xB117 ^ (i * 0x9E37));
+            let (store, _) =
+                pbc_store::NodeStore::open(Box::new(vfs), pbc_store::StoreConfig::default())
+                    .expect("fresh store opens clean");
+            store
+        })
+        .collect();
+    let mut c =
+        DurableNet::new(actors, NetworkConfig { seed: 0xB117, ..Default::default() }, stores);
+    for i in 0..10u64 {
+        c.network_mut().inject(0, 0, PbftMsg::Request(100 + i), 1 + i);
+    }
+    c.network_mut().run_until(40_000);
+    assert!(
+        c.network().actors().all(|r| r.log.delivered().len() == 10),
+        "scenario must decide all requests before the deadline"
+    );
+    c.persist(); // disk writes after the run don't touch the digest either
+    let digest = c.network().trace_digest();
+    assert_eq!(
+        digest, GOLDEN_PBFT_HEALTHY,
+        "wiring replicas to real stores changed the delivery schedule \
+         (digest {digest:#018x})"
+    );
+    for node in 0..4 {
+        let cold = c.cold_decided(node).expect("durable cluster cold-reads");
+        assert_eq!(cold.len(), 10, "node {node}: all decided blocks hit the disk");
+    }
+}
+
 /// Observability is passive: running every golden scenario with a trace
 /// sink installed produces the exact same schedule digests as running
 /// without one. A regression here means some emission site started
