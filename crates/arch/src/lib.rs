@@ -39,7 +39,9 @@ pub mod pipeline;
 pub mod xov;
 pub mod xox;
 
-pub use endorsement::{EndorsementPolicy, EndorsingPipeline};
+pub use endorsement::{
+    EndorseError, EndorseSig, Endorsement, EndorsementPolicy, EndorsingPipeline,
+};
 pub use fastfabric::FastFabricPipeline;
 pub use ox::OxPipeline;
 pub use oxii::OxiiPipeline;

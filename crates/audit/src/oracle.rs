@@ -29,7 +29,8 @@ use crate::reference::ReferenceExecutor;
 use pbc_core::BlockchainNetwork;
 use pbc_crypto::merkle::{verify_inclusion, MerkleTree};
 use pbc_ledger::{
-    execute_and_apply, prove_absent, verify_absent, verify_key, ProofBatch, StateStore, Version,
+    execute_and_apply, prove_absent, verify_absent, verify_key, verify_keys, ProofBatch,
+    StateStore, Version,
 };
 use pbc_types::{encode::CanonicalEncode, Height, TxId};
 
@@ -400,21 +401,38 @@ fn audit_node(
     }
     let root = batch.root();
     let keys: Vec<String> = state.iter().map(|(k, _, _)| k.clone()).collect();
+    // Gather the whole sample, then verify it in one batched sweep: the
+    // proofs' hash walks run through the lane-interleaved SHA-256 kernel
+    // with lanes across proofs. Only a failing batch pays for the scalar
+    // re-check that names the culprit key.
+    let mut sampled: Vec<pbc_ledger::StateProof> = Vec::new();
     for i in sample_indices(keys.len()) {
         let key = &keys[i];
         let proof = batch.prove_key(key).ok_or_else(|| AuditError::ProofFailed {
             node,
             reason: format!("no inclusion proof for present key {key:?}"),
         })?;
-        if proof.value.as_ref() != state.get(key).expect("key sampled from live set").as_ref()
-            || !verify_key(&root, &proof)
-        {
+        if proof.value.as_ref() != state.get(key).expect("key sampled from live set").as_ref() {
             return Err(AuditError::ProofFailed {
                 node,
-                reason: format!("state inclusion proof for {key:?} rejected"),
+                reason: format!("state inclusion proof for {key:?} claims a stale value"),
             });
         }
-        report.proofs_checked += 1;
+        sampled.push(proof);
+    }
+    if !verify_keys(&root, &sampled) {
+        let culprit = sampled
+            .iter()
+            .find(|p| !verify_key(&root, p))
+            .map_or_else(|| "<batch/scalar disagreement>".into(), |p| format!("{:?}", p.key));
+        return Err(AuditError::ProofFailed {
+            node,
+            reason: format!("state inclusion proof for {culprit} rejected"),
+        });
+    }
+    report.proofs_checked += sampled.len();
+    for i in sample_indices(keys.len()) {
+        let key = &keys[i];
         // A key that hashes between this one and its neighbour: present
         // keys never contain NUL, so `key\0` is guaranteed absent and
         // adjacent in sort order — the sharpest absence case.

@@ -12,7 +12,9 @@
 //! hang, or break determinism without burning CI minutes on timing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pbc_bench::simcore::{broadcast_flood, chaos_run, chaos_storm, consensus_run, Proto};
+use pbc_bench::simcore::{
+    broadcast_flood, cancel_churn, chaos_run, chaos_storm, chaos_storm_par, consensus_run, Proto,
+};
 use pbc_bench::{fmt_u64, header};
 
 fn smoke() -> bool {
@@ -83,5 +85,53 @@ fn bench_churn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(e12, bench_consensus, bench_broadcast, bench_storm, bench_churn);
+fn bench_cancel_churn(c: &mut Criterion) {
+    header(
+        "E12e: cancellation-heavy churn (leader heartbeats cancel armed leases)",
+        "~16 cancels per fire; stresses wheel removal, conservation asserted inside the workload",
+    );
+    let rounds = if smoke() { 200 } else { 20_000 };
+    let stats = cancel_churn(16, 0xBA5E, rounds);
+    println!(
+        "   n16: {} events, timers set/fired/cancelled {}/{}/{}",
+        fmt_u64(stats.events),
+        fmt_u64(stats.net.timers_set),
+        fmt_u64(stats.net.timers_fired),
+        fmt_u64(stats.net.timers_cancelled)
+    );
+    let mut g = c.benchmark_group("e12_cancel_churn");
+    g.sample_size(if smoke() { 1 } else { 10 });
+    g.bench_function("n16", |b| b.iter(|| cancel_churn(16, 0xBA5E, rounds)));
+    g.finish();
+}
+
+fn bench_storm_lanes(c: &mut Criterion) {
+    header(
+        "E12f: chaos storm across lane counts",
+        "every lane count must reproduce the sequential trace digest bit-for-bit",
+    );
+    let rounds = if smoke() { 50 } else { 3_000 };
+    let (seq, seq_digest) = chaos_storm_par(64, 0xBA5E, rounds, 1);
+    let mut g = c.benchmark_group("e12_storm_lanes");
+    g.sample_size(if smoke() { 1 } else { 10 });
+    for lanes in [1usize, 2, 4, 8] {
+        let (stats, digest) = chaos_storm_par(64, 0xBA5E, rounds, lanes);
+        assert_eq!(digest, seq_digest, "lanes={lanes} diverged from lanes=1");
+        assert_eq!(stats.events, seq.events, "lanes={lanes} event count drifted");
+        g.bench_with_input(BenchmarkId::new("n64", lanes), &lanes, |b, &lanes| {
+            b.iter(|| chaos_storm_par(64, 0xBA5E, rounds, lanes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    e12,
+    bench_consensus,
+    bench_broadcast,
+    bench_storm,
+    bench_churn,
+    bench_cancel_churn,
+    bench_storm_lanes
+);
 criterion_main!(e12);

@@ -45,6 +45,7 @@ use pbc_consensus::pbft::{PbftConfig, PbftMsg, PbftReplica};
 use pbc_consensus::raft::{RaftConfig, RaftMsg, RaftNode, Role};
 use pbc_sim::{
     Actor, Context, FaultModel, LinkFault, Message, NetStats, Network, NetworkConfig, NodeIdx,
+    ParNetwork, SimNet,
 };
 
 /// Which consensus protocol a [`consensus_run`] drives.
@@ -219,7 +220,30 @@ pub fn broadcast_flood(n: usize, seed: u64, rounds: u64) -> RunStats {
 /// calendar queue stays `O(1)` regardless of population.
 pub fn chaos_storm(n: usize, seed: u64, rounds: u64) -> RunStats {
     let actors = (0..n).map(|_| StormNode::new(rounds)).collect();
-    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    let net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    chaos_storm_on(net, n).0
+}
+
+/// [`chaos_storm`] on the multi-lane [`ParNetwork`] engine — the same
+/// seeded workload, the same fault model, `lanes` event lanes advancing
+/// under conservative lookahead. Also returns the final trace digest so
+/// callers can assert bit-for-bit agreement across lane counts (and
+/// against the sequential engine).
+pub fn chaos_storm_par(n: usize, seed: u64, rounds: u64, lanes: usize) -> (RunStats, u64) {
+    let actors = (0..n).map(|_| StormNode::new(rounds)).collect();
+    let net = ParNetwork::new(actors, NetworkConfig { seed, lanes, ..Default::default() });
+    chaos_storm_on(net, n)
+}
+
+/// Trace digest of the sequential [`chaos_storm`] run (for engine
+/// cross-checks without re-timing).
+pub fn chaos_storm_digest(n: usize, seed: u64, rounds: u64) -> u64 {
+    let actors = (0..n).map(|_| StormNode::new(rounds)).collect();
+    let net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    chaos_storm_on(net, n).1
+}
+
+fn chaos_storm_on<N: SimNet<StormNode>>(mut net: N, n: usize) -> (RunStats, u64) {
     net.set_fault_model(FaultModel::uniform(LinkFault {
         drop: 0.02,
         duplicate: 0.05,
@@ -239,7 +263,8 @@ pub fn chaos_storm(n: usize, seed: u64, rounds: u64) -> RunStats {
     net.heal_partition();
     events += net.run_to_quiescence(u64::MAX);
     let decided = (0..n).map(|i| net.actor(i).received).sum();
-    RunStats { events, decided, sim_now: net.now(), net: net.stats().clone() }
+    let stats = RunStats { events, decided, sim_now: net.now(), net: net.stats().clone() };
+    (stats, net.trace_digest())
 }
 
 /// A chaos-storm participant: broadcasts every 4 ticks (staggered by
@@ -303,4 +328,145 @@ pub fn chaos_run(n: usize, seed: u64, windows: u32) -> RunStats {
     }
     let decided = (0..n).map(|i| net.actor(i).log.len() as u64).max().unwrap_or(0);
     RunStats { events, decided, sim_now: net.now(), net: net.stats().clone() }
+}
+
+/// The timer-*cancellation* microbench: leader churn distilled to its
+/// set/cancel pattern. Node 0 broadcasts a heartbeat every few ticks;
+/// every follower keeps an election "lease" armed and cancels it early
+/// on each heartbeat — so nearly every timer this workload sets is
+/// cancelled before firing, the path consensus runs barely touch
+/// (their `timers_cancelled` is a rounding error next to fires).
+///
+/// At drain the run asserts the timer-conservation identity
+/// `set == fired + cancelled + dropped + pending` with `pending == 0`,
+/// and that cancellations dominate fires — if a scheduler change
+/// breaks the cancel path (stale fires, double retirement), this is
+/// the workload that notices.
+pub fn cancel_churn(n: usize, seed: u64, rounds: u64) -> RunStats {
+    assert!(n >= 2, "churn needs a leader and at least one follower");
+    let actors = (0..n).map(|_| ChurnNode::new(rounds)).collect();
+    let mut net = Network::new(actors, NetworkConfig { seed, ..Default::default() });
+    net.start();
+    let events = net.run_to_quiescence(u64::MAX);
+    let s = net.stats();
+    assert!(s.conserves_timers(), "timer conservation violated at drain: {s:?}");
+    assert_eq!(s.timers_pending, 0, "drained run must retire every timer: {s:?}");
+    assert!(
+        s.timers_cancelled > s.timers_fired,
+        "cancellation-heavy workload must cancel more than it fires \
+         (cancelled {} vs fired {})",
+        s.timers_cancelled,
+        s.timers_fired,
+    );
+    let decided = (0..n).map(|i| net.actor(i).leases_cancelled).sum();
+    RunStats { events, decided, sim_now: net.now(), net: s.clone() }
+}
+
+/// Heartbeat interval of the churn leader (ticks).
+const CHURN_BEAT: u64 = 5;
+/// Election-lease timeout of churn followers — longer than a beat, so a
+/// healthy leader keeps cancelling it first.
+const CHURN_LEASE: u64 = 40;
+const TIMER_BEAT: u64 = 1;
+const TIMER_LEASE: u64 = 2;
+
+/// A [`cancel_churn`] participant. Node 0 is the heartbeating leader;
+/// everyone else arms an election lease per heartbeat and cancels the
+/// previous one early.
+pub struct ChurnNode {
+    rounds_left: u64,
+    /// Leases this follower cancelled before expiry (the exercised path).
+    pub leases_cancelled: u64,
+    /// Leases that expired (fired) — the tail after heartbeats stop.
+    pub elections: u64,
+}
+
+impl ChurnNode {
+    /// A churn node with a budget of `rounds` leader heartbeats.
+    pub fn new(rounds: u64) -> Self {
+        ChurnNode { rounds_left: rounds, leases_cancelled: 0, elections: 0 }
+    }
+}
+
+impl Actor for ChurnNode {
+    type Msg = Token;
+
+    fn on_start(&mut self, ctx: &mut Context<Token>) {
+        if ctx.self_id == 0 {
+            ctx.set_timer(CHURN_BEAT, TIMER_BEAT);
+        } else {
+            ctx.set_timer(CHURN_LEASE, TIMER_LEASE);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeIdx, _msg: &Token, ctx: &mut Context<Token>) {
+        // Heartbeat arrived in time: retire the armed lease *early* and
+        // re-arm — the cancellation-heavy path.
+        ctx.cancel_timer(TIMER_LEASE);
+        self.leases_cancelled += 1;
+        ctx.set_timer(CHURN_LEASE, TIMER_LEASE);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Token>) {
+        match id {
+            TIMER_BEAT => {
+                if self.rounds_left == 0 {
+                    return;
+                }
+                self.rounds_left -= 1;
+                ctx.broadcast(Token(self.rounds_left));
+                if self.rounds_left > 0 {
+                    ctx.set_timer(CHURN_BEAT, TIMER_BEAT);
+                }
+            }
+            _ => {
+                // The lease expired un-cancelled: heartbeats stopped
+                // (end of run). A real follower would start an election.
+                self.elections += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_churn_is_cancellation_heavy_and_conserves_timers() {
+        // The assertions live inside cancel_churn; this pins the shape:
+        // followers cancel one lease per heartbeat received.
+        let stats = cancel_churn(16, 0xC0FE, 200);
+        assert!(stats.net.conserves_timers(), "{:?}", stats.net);
+        // Fires are one leader beat per round plus the drain-tail
+        // elections; cancels are ~one per follower per beat, so the
+        // ratio approaches n as rounds grow.
+        assert!(
+            stats.net.timers_cancelled > 10 * stats.net.timers_fired,
+            "cancels must dwarf fires: {:?}",
+            stats.net
+        );
+        assert!(stats.decided > 0, "followers must have cancelled leases");
+        // Determinism: same seed, same run.
+        let again = cancel_churn(16, 0xC0FE, 200);
+        assert_eq!(stats.events, again.events);
+        assert_eq!(stats.decided, again.decided);
+    }
+
+    #[test]
+    fn parallel_chaos_storm_matches_sequential_at_every_lane_count() {
+        // The bench's lane-scaling curve is only meaningful if every
+        // lane count replays the same execution: digests, event counts
+        // and fault counters must be bit-for-bit identical.
+        let seq_digest = chaos_storm_digest(8, 0xBA5E, 40);
+        let seq = chaos_storm(8, 0xBA5E, 40);
+        for lanes in [1usize, 2, 4] {
+            let (stats, digest) = chaos_storm_par(8, 0xBA5E, 40, lanes);
+            assert_eq!(digest, seq_digest, "lanes={lanes} diverged");
+            assert_eq!(stats.events, seq.events, "lanes={lanes} event count");
+            assert_eq!(stats.decided, seq.decided, "lanes={lanes} tokens received");
+            assert_eq!(stats.sim_now, seq.sim_now, "lanes={lanes} final time");
+            assert_eq!(format!("{:?}", stats.net), format!("{:?}", seq.net), "lanes={lanes} stats");
+        }
+    }
 }

@@ -7,7 +7,12 @@ use pbc_sim::SimTime;
 /// Protocol proposals carry the full payload; votes carry only
 /// `digest_u64()`. Benches use `u64` payloads; the architecture crates
 /// decide on serialized blocks.
-pub trait Payload: Clone + PartialEq + std::fmt::Debug {
+///
+/// `Send + Sync` are supertraits so any protocol message generic over a
+/// payload can cross lane-worker threads: the multi-lane simulator core
+/// (`pbc_sim::ParNetwork`) shares in-flight messages between lanes by
+/// `Arc`, and every payload in this workspace is plain owned data.
+pub trait Payload: Clone + PartialEq + std::fmt::Debug + Send + Sync {
     /// A collision-resistant-enough digest for vote messages.
     fn digest_u64(&self) -> u64;
 

@@ -139,6 +139,7 @@ pub struct NetworkBuilder {
     arch: ArchKind,
     latency: LatencyModel,
     seed: u64,
+    lanes: usize,
     batch_size: usize,
     initial_state: StateStore,
     byzantine: Vec<(usize, Vec<Attack>)>,
@@ -155,6 +156,7 @@ impl NetworkBuilder {
             arch: ArchKind::Ox,
             latency: LatencyModel::lan(),
             seed: 0,
+            lanes: 1,
             batch_size: 32,
             initial_state: StateStore::new(),
             byzantine: Vec::new(),
@@ -184,6 +186,16 @@ impl NetworkBuilder {
     /// Sets the simulation seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the event-lane count. With `n > 1` the cluster runs on the
+    /// multi-lane parallel simulator core ([`pbc_sim::ParNetwork`]):
+    /// windows of events execute concurrently across lanes, while
+    /// digests, counters and decided logs stay bit-for-bit identical to
+    /// the sequential engine — a performance knob, not a semantic one.
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.lanes = n.max(1);
         self
     }
 
@@ -236,7 +248,12 @@ impl NetworkBuilder {
     /// [`byzantine`](NetworkBuilder::byzantine) are both configured, or
     /// if the durable store count differs from `n`.
     pub fn build(self) -> BlockchainNetwork {
-        let cfg = NetworkConfig { latency: self.latency, seed: self.seed, drop_rate: 0.0 };
+        let cfg = NetworkConfig {
+            latency: self.latency,
+            seed: self.seed,
+            drop_rate: 0.0,
+            lanes: self.lanes,
+        };
         let ordering = if let Some(stores) = self.stores {
             assert!(
                 self.byzantine.is_empty(),

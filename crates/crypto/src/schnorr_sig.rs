@@ -9,8 +9,8 @@
 //! `x ← Z_q`, public key `X = g^x`; a signature on `m` is `(R = g^k,
 //! s = k + H(R ‖ X ‖ m)·x)`, verified by `g^s = R · X^{H(R ‖ X ‖ m)}`.
 
-use crate::group::{hash_to_scalar, GroupElement, Scalar};
-use crate::sha256::Sha256;
+use crate::group::{hash_to_scalar, multi_exp, GroupElement, Scalar};
+use crate::sha256::{sha256_concat, Sha256};
 use serde::{Deserialize, Serialize};
 
 /// A Schnorr signing key.
@@ -70,6 +70,27 @@ impl SigningKey {
     /// Signs a message.
     pub fn sign<R: rand::Rng + ?Sized>(&self, msg: &[u8], rng: &mut R) -> SchnorrSignature {
         let k = Scalar::random(rng);
+        self.sign_with_nonce(k, msg)
+    }
+
+    /// Signs with a derandomized nonce (RFC 6979 style):
+    /// `k = H(domain ‖ x ‖ m)`. The same key and message always yield
+    /// the same signature — no RNG, which flows inside the deterministic
+    /// simulator require.
+    pub fn sign_deterministic(&self, msg: &[u8]) -> SchnorrSignature {
+        let mut h = Sha256::new();
+        h.update(b"pbc-schnorr-nonce-v1");
+        h.update(&self.secret.0.to_be_bytes());
+        h.update(&(msg.len() as u64).to_be_bytes());
+        h.update(msg);
+        let mut k = hash_to_scalar(&h.finalize());
+        if k == Scalar::ZERO {
+            k = Scalar::ONE;
+        }
+        self.sign_with_nonce(k, msg)
+    }
+
+    fn sign_with_nonce(&self, k: Scalar, msg: &[u8]) -> SchnorrSignature {
         let r = GroupElement::g_pow(k);
         let c = challenge(r, self.public, msg);
         SchnorrSignature { r, s: k.add(c.mul(self.secret)) }
@@ -87,6 +108,123 @@ impl VerifyingKey {
     }
 }
 
+/// One `(key, message, signature)` entry of a [`verify_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem<'a> {
+    /// The signer's public key.
+    pub key: VerifyingKey,
+    /// The signed message.
+    pub msg: &'a [u8],
+    /// The signature to check.
+    pub sig: SchnorrSignature,
+}
+
+/// Batch-verifies `n` Schnorr signatures with one shared-precomputation
+/// multi-scalar check instead of `n` independent `g^s == R · X^c`
+/// equations.
+///
+/// Each per-signature equation is raised to a random-looking weight
+/// `a_i` and the products combined:
+/// `g^{Σ a_i·s_i} == Π R_i^{a_i} · Π X_i^{a_i·c_i}`,
+/// evaluated by one interleaved [`multi_exp`] over `2n` bases — shared
+/// squarings across the whole batch. The weights are derived by
+/// Fiat–Shamir from a transcript of the entire batch (domain
+/// `pbc-schnorr-batch-v1`), so verification stays **deterministic** —
+/// no RNG, which matters inside the simulator — while still binding
+/// each weight to every byte of every entry: a forger cannot craft two
+/// invalid signatures that cancel, because any change to an entry
+/// reshuffles all the weights.
+///
+/// Returns `Ok(())` when every signature is valid. Otherwise the batch
+/// is bisected recursively — each half re-checked with the same
+/// weighted equation, singletons falling back to scalar
+/// [`VerifyingKey::verify`] — and `Err` carries the indices of exactly
+/// the invalid entries, in ascending order. Valid signatures satisfy
+/// the weighted identity unconditionally, so bisection never blames an
+/// innocent entry.
+pub fn verify_batch(items: &[BatchItem<'_>]) -> Result<(), Vec<usize>> {
+    match items {
+        [] => return Ok(()),
+        [only] => {
+            return if only.key.verify(only.msg, &only.sig) { Ok(()) } else { Err(vec![0]) };
+        }
+        _ => {}
+    }
+    let weights = batch_weights(items);
+    let all: Vec<usize> = (0..items.len()).collect();
+    if batch_holds(items, &all, &weights) {
+        return Ok(());
+    }
+    let mut bad = Vec::new();
+    bisect(items, &all, &weights, &mut bad);
+    debug_assert!(!bad.is_empty(), "a failing batch must contain an invalid signature");
+    Err(bad)
+}
+
+/// Fiat–Shamir weights: a transcript hash over the whole batch, then one
+/// derived nonzero scalar per entry.
+fn batch_weights(items: &[BatchItem<'_>]) -> Vec<Scalar> {
+    let mut t = Sha256::new();
+    t.update(b"pbc-schnorr-batch-v1");
+    t.update(&(items.len() as u64).to_be_bytes());
+    for it in items {
+        t.update(&it.sig.r.0.to_be_bytes());
+        t.update(&it.sig.s.0.to_be_bytes());
+        t.update(&it.key.0 .0.to_be_bytes());
+        t.update(&(it.msg.len() as u64).to_be_bytes());
+        t.update(it.msg);
+    }
+    let transcript = t.finalize();
+    (0..items.len() as u64)
+        .map(|i| {
+            let a = hash_to_scalar(&sha256_concat(&[&transcript.0, &i.to_be_bytes()]));
+            // A zero weight would silently drop an entry from the check.
+            if a == Scalar::ZERO {
+                Scalar::ONE
+            } else {
+                a
+            }
+        })
+        .collect()
+}
+
+/// The weighted combined equation over the `idxs` subset of the batch.
+fn batch_holds(items: &[BatchItem<'_>], idxs: &[usize], weights: &[Scalar]) -> bool {
+    let mut s_acc = Scalar::ZERO;
+    let mut bases = Vec::with_capacity(2 * idxs.len());
+    for &i in idxs {
+        let it = &items[i];
+        if !it.key.0.is_valid() || !it.sig.r.is_valid() {
+            return false;
+        }
+        let a = weights[i];
+        let c = challenge(it.sig.r, it.key, it.msg);
+        s_acc = s_acc.add(a.mul(it.sig.s));
+        bases.push((it.sig.r, a));
+        bases.push((it.key.0, a.mul(c)));
+    }
+    multi_exp(&bases) == GroupElement::g_pow(s_acc)
+}
+
+/// Recursive culprit search: a subset that passes the weighted equation
+/// is vouched for wholesale; a failing subset splits in half until the
+/// scalar check pins individual signatures.
+fn bisect(items: &[BatchItem<'_>], idxs: &[usize], weights: &[Scalar], bad: &mut Vec<usize>) {
+    if let [only] = idxs {
+        let it = &items[*only];
+        if !it.key.verify(it.msg, &it.sig) {
+            bad.push(*only);
+        }
+        return;
+    }
+    if batch_holds(items, idxs, weights) {
+        return;
+    }
+    let (lo, hi) = idxs.split_at(idxs.len() / 2);
+    bisect(items, lo, weights, bad);
+    bisect(items, hi, weights, bad);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +236,20 @@ mod tests {
         let key = SigningKey::generate(&mut rng);
         let sig = key.sign(b"endorse block 7", &mut rng);
         assert!(key.public.verify(b"endorse block 7", &sig));
+    }
+
+    #[test]
+    fn deterministic_signing_is_stable_and_verifies() {
+        let a = SigningKey::derive(0xD5, 1);
+        let b = SigningKey::derive(0xD5, 2);
+        let s1 = a.sign_deterministic(b"endorse block 7");
+        let s2 = a.sign_deterministic(b"endorse block 7");
+        assert_eq!(s1, s2, "same key + message must resign identically");
+        assert!(a.public.verify(b"endorse block 7", &s1));
+        // Different message or key → different nonce, different signature.
+        assert_ne!(s1, a.sign_deterministic(b"endorse block 8"));
+        assert_ne!(s1, b.sign_deterministic(b"endorse block 7"));
+        assert!(!b.public.verify(b"endorse block 7", &s1));
     }
 
     #[test]
@@ -144,6 +296,65 @@ mod tests {
         let c = SigningKey::derive(9, 4);
         assert_eq!(a.public, b.public);
         assert_ne!(a.public, c.public);
+    }
+
+    fn batch<'a>(msgs: &'a [Vec<u8>], seed: u64) -> (Vec<SigningKey>, Vec<BatchItem<'a>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys: Vec<SigningKey> =
+            (0..msgs.len()).map(|_| SigningKey::generate(&mut rng)).collect();
+        let items = keys
+            .iter()
+            .zip(msgs)
+            .map(|(k, m)| BatchItem { key: k.public, msg: m, sig: k.sign(m, &mut rng) })
+            .collect();
+        (keys, items)
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let msgs: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; 1 + i as usize]).collect();
+        let (_, items) = batch(&msgs, 10);
+        assert_eq!(verify_batch(&items), Ok(()));
+        assert_eq!(verify_batch(&[]), Ok(()), "empty batch is vacuously valid");
+        assert_eq!(verify_batch(&items[..1]), Ok(()), "singleton fast path");
+    }
+
+    #[test]
+    fn batch_pinpoints_single_culprit() {
+        let msgs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 4]).collect();
+        for culprit in [0usize, 4, 8] {
+            let (_, mut items) = batch(&msgs, 11);
+            items[culprit].sig.s = items[culprit].sig.s.add(Scalar::ONE);
+            assert_eq!(
+                verify_batch(&items),
+                Err(vec![culprit]),
+                "tampered entry {culprit} must be the one blamed"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_pinpoints_multiple_culprits_and_invalid_elements() {
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 3]).collect();
+        let (_, mut items) = batch(&msgs, 12);
+        items[1].sig.s = items[1].sig.s.add(Scalar::ONE);
+        items[5].sig.r = GroupElement(0); // structurally invalid commitment
+        items[6].msg = b"swapped";
+        assert_eq!(verify_batch(&items), Err(vec![1, 5, 6]));
+    }
+
+    #[test]
+    fn batch_agrees_with_scalar_verify_on_mixed_batches() {
+        let msgs: Vec<Vec<u8>> = (0..17u8).map(|i| vec![i.wrapping_mul(7); i as usize]).collect();
+        let (_, mut items) = batch(&msgs, 13);
+        for i in (0..items.len()).step_by(3) {
+            items[i].sig.s = items[i].sig.s.add(Scalar::new(i as u64 + 1));
+        }
+        let expect: Vec<usize> = (0..items.len())
+            .filter(|&i| !items[i].key.verify(items[i].msg, &items[i].sig))
+            .collect();
+        assert!(!expect.is_empty());
+        assert_eq!(verify_batch(&items), Err(expect));
     }
 
     #[test]

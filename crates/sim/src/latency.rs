@@ -48,6 +48,31 @@ impl LatencyModel {
             LatencyModel::Matrix { base, .. } => Some(base.len()),
         }
     }
+
+    /// Lower bound on [`LatencyModel::sample`] for one directed link:
+    /// jitter is non-negative and the sample is clamped to ≥ 1, so no
+    /// message on `from → to` can ever arrive sooner than this.
+    pub fn link_lower_bound(&self, from: NodeIdx, to: NodeIdx) -> SimTime {
+        match self {
+            LatencyModel::Uniform { base, .. } => (*base).max(1),
+            LatencyModel::Matrix { base, .. } => base[from][to].max(1),
+        }
+    }
+
+    /// Lower bound on [`LatencyModel::sample`] over **every** link,
+    /// self-delivery included. This is the conservative-lookahead
+    /// horizon of the multi-lane simulator core ([`crate::ParNetwork`]):
+    /// any message sent at time `t` lands no earlier than
+    /// `t + min_latency()`, so events inside a window shorter than this
+    /// bound cannot generate deliveries into the same window.
+    pub fn min_latency(&self) -> SimTime {
+        match self {
+            LatencyModel::Uniform { base, .. } => (*base).max(1),
+            LatencyModel::Matrix { base, .. } => {
+                base.iter().flat_map(|row| row.iter().map(|&b| b.max(1))).min().unwrap_or(1)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +104,29 @@ mod tests {
         assert_eq!(m.sample(0, 1, &mut rng), 500);
         assert_eq!(m.sample(1, 0, &mut rng), 900);
         assert_eq!(m.node_limit(), Some(2));
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_samples() {
+        let models = [
+            LatencyModel::Uniform { base: 100, jitter: 20 },
+            LatencyModel::Uniform { base: 0, jitter: 0 },
+            LatencyModel::Matrix { base: vec![vec![0, 500], vec![900, 3]], jitter: 7 },
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        for m in &models {
+            let n = m.node_limit().unwrap_or(2);
+            for from in 0..n {
+                for to in 0..n {
+                    let lb = m.link_lower_bound(from, to);
+                    assert!(m.min_latency() <= lb, "global bound exceeds link bound");
+                    for _ in 0..50 {
+                        assert!(m.sample(from, to, &mut rng) >= lb, "sample under bound");
+                    }
+                }
+            }
+            assert!(m.min_latency() >= 1, "horizon is always positive");
+        }
     }
 
     #[test]

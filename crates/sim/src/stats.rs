@@ -93,6 +93,15 @@ pub struct NetStats {
     /// being armed. Incarnation-filtered ghosts of pre-amnesia lives are
     /// counted here too.
     pub timers_cancelled: u64,
+    /// Timers that surfaced on a **crashed** node and were discarded
+    /// without firing. Before this counter existed the crashed branch
+    /// retired timers silently, which made the timer-conservation
+    /// identity ([`NetStats::conserves_timers`]) unverifiable.
+    pub timers_dropped: u64,
+    /// Timers armed but not yet retired: still sitting in the event
+    /// queue. Incremented at arm time, decremented when the timer
+    /// surfaces (fired, cancelled, or dropped).
+    pub timers_pending: u64,
     /// Messages injected out-of-band via `Network::inject` (client
     /// traffic; excluded from `msgs_sent` so protocol ratios stay
     /// meaningful).
@@ -146,6 +155,21 @@ impl NetStats {
         self.msgs_delivered + self.msgs_dropped + self.msgs_in_flight
             == self.msgs_sent + self.msgs_duplicated + self.msgs_injected
     }
+
+    /// The timer-conservation identity: every timer ever armed is fired,
+    /// cancelled, dropped on a crashed node, or still pending —
+    ///
+    /// ```text
+    /// set == fired + cancelled + dropped + pending
+    /// ```
+    ///
+    /// At drain (`pending == 0`) this pins the full lifecycle: if it
+    /// ever returns `false`, some path retired (or fabricated) a timer
+    /// without accounting for it.
+    pub fn conserves_timers(&self) -> bool {
+        self.timers_set
+            == self.timers_fired + self.timers_cancelled + self.timers_dropped + self.timers_pending
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +195,17 @@ mod tests {
         };
         assert_eq!(s.mean_latency(), 10.0);
         assert_eq!(s.drop_rate(), 0.2);
+    }
+
+    #[test]
+    fn timer_conservation_identity() {
+        let mut s = NetStats { timers_set: 10, timers_fired: 4, ..Default::default() };
+        s.timers_cancelled = 3;
+        s.timers_dropped = 1;
+        s.timers_pending = 2;
+        assert!(s.conserves_timers());
+        s.timers_pending = 0; // two timers vanished unaccounted
+        assert!(!s.conserves_timers());
     }
 
     #[test]
