@@ -37,6 +37,15 @@
 //! with its timer-conservation identity, and scalar-vs-batched rates
 //! for SHA-256, Merkle level construction and Schnorr verification.
 //! `E16_SMOKE=1` shrinks every budget for CI.
+//!
+//! `sweep --e2e [out.json]` drives the full client path — seeded open-
+//! loop arrivals through the bounded ingress queue into consensus and
+//! pipeline execution — up an offered-rate ladder for representative
+//! `ConsensusKind × ArchKind` combos, detects each curve's saturation
+//! knee (Kneedle-lite), asserts pre-knee monotonicity and queue
+//! conservation at every point, and snapshots the curves into
+//! `BENCH_E2E.json`. All rates are simulator-time, so the file is
+//! host-independent. `E2E_SMOKE=1` shrinks the ladder for CI.
 
 use pbc_bench::simcore::{
     broadcast_flood, cancel_churn, chaos_run, chaos_storm, chaos_storm_digest, chaos_storm_par,
@@ -702,6 +711,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_PAR.json".to_string());
         par_bench(&out);
+        return;
+    }
+    if args.iter().any(|a| a == "--e2e") {
+        let out = args
+            .iter()
+            .skip_while(|a| *a != "--e2e")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_E2E.json".to_string());
+        pbc_bench::e2e::e2e_bench(&out);
         return;
     }
     if args.iter().any(|a| a == "--baseline") {

@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod e2e;
 pub mod simcore;
 
 use pbc_arch::{BlockOutcome, ExecutionPipeline};

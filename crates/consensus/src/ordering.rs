@@ -156,6 +156,23 @@ pub trait OrderingCluster<P: Payload> {
     /// every replica through one shared allocation (zero-copy).
     fn submit(&mut self, payload: P);
 
+    /// Submits a payload whose client request is **scheduled** at the
+    /// absolute tick `at` (clamped to `now + 1` if already past): the
+    /// ingress path's client-arrival primitive, making arrivals
+    /// first-class simulation events with engine-invariant timing.
+    fn submit_at(&mut self, payload: P, at: SimTime);
+
+    /// Runs until the event queues drain or logical time exceeds
+    /// `deadline`; returns the number of events processed. Exact on
+    /// both engines (windows never cross the deadline), so ingress
+    /// drivers that advance time only through this call observe
+    /// identical `now()` values at any lane count.
+    fn run_until_time(&mut self, deadline: SimTime) -> u64;
+
+    /// Digest of the delivery trace so far — the golden-trace handle
+    /// e2e determinism tests compare across engines and repeats.
+    fn trace_digest(&self) -> u64;
+
     /// Replica `node`'s in-order decided prefix.
     fn decided(&self, node: NodeIdx) -> &[(u64, P, SimTime)];
 
@@ -284,6 +301,18 @@ impl<A: OrderingActor> OrderingCluster<A::Payload> for Network<A> {
         self.inject_all(0, A::request_msg(payload), 1);
     }
 
+    fn submit_at(&mut self, payload: A::Payload, at: SimTime) {
+        self.inject_all_at(0, A::request_msg(payload), at);
+    }
+
+    fn run_until_time(&mut self, deadline: SimTime) -> u64 {
+        Network::run_until(self, deadline)
+    }
+
+    fn trace_digest(&self) -> u64 {
+        Network::trace_digest(self)
+    }
+
     fn decided(&self, node: NodeIdx) -> &[(u64, A::Payload, SimTime)] {
         self.actor(node).log().delivered()
     }
@@ -355,6 +384,18 @@ where
 
     fn submit(&mut self, payload: A::Payload) {
         self.inject_all(0, A::request_msg(payload), 1);
+    }
+
+    fn submit_at(&mut self, payload: A::Payload, at: SimTime) {
+        self.inject_all_at(0, A::request_msg(payload), at);
+    }
+
+    fn run_until_time(&mut self, deadline: SimTime) -> u64 {
+        ParNetwork::run_until(self, deadline)
+    }
+
+    fn trace_digest(&self) -> u64 {
+        ParNetwork::trace_digest(self)
     }
 
     fn decided(&self, node: NodeIdx) -> &[(u64, A::Payload, SimTime)] {
@@ -538,6 +579,18 @@ where
 
     fn submit(&mut self, payload: A::Payload) {
         self.net.inject_all(0, A::request_msg(payload), 1);
+    }
+
+    fn submit_at(&mut self, payload: A::Payload, at: SimTime) {
+        self.net.inject_all_at(0, A::request_msg(payload), at);
+    }
+
+    fn run_until_time(&mut self, deadline: SimTime) -> u64 {
+        self.net.run_until(deadline)
+    }
+
+    fn trace_digest(&self) -> u64 {
+        self.net.trace_digest()
     }
 
     fn decided(&self, node: NodeIdx) -> &[(u64, A::Payload, SimTime)] {

@@ -38,11 +38,15 @@
 
 pub mod audit;
 pub mod batch;
+pub mod ingress;
 pub mod network;
 
 pub use audit::{AuditTrail, CommitRecord};
 pub use batch::Batch;
+pub use ingress::{IngressConfig, IngressReport};
 pub use network::{ArchKind, BlockchainNetwork, ConsensusKind, NetworkBuilder, RunReport};
+
+pub use pbc_ingress as ingress_queue;
 
 pub use pbc_arch as arch;
 pub use pbc_confidential as confidential;

@@ -10,8 +10,8 @@
 use crate::audit::{AuditTrail, CommitRecord};
 use crate::batch::Batch;
 use pbc_arch::{
-    BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline, FastFabricPipeline,
-    OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
+    BlockOutcome, BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline,
+    FastFabricPipeline, OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
 };
 use pbc_consensus::{cluster_with, durable_cluster_with, protocol_info, OrderingCluster, Payload};
 use pbc_ledger::StateStore;
@@ -314,11 +314,11 @@ pub struct RunReport {
 
 /// A running permissioned blockchain (Figure 1, parameterized).
 pub struct BlockchainNetwork {
-    ordering: Box<dyn OrderingCluster<Batch>>,
+    pub(crate) ordering: Box<dyn OrderingCluster<Batch>>,
     pipelines: Vec<Box<dyn ExecutionPipeline>>,
     pending: Vec<Transaction>,
-    batch_size: usize,
-    next_batch_id: u64,
+    pub(crate) batch_size: usize,
+    pub(crate) next_batch_id: u64,
     /// Per-node count of batches applied to the pipeline, indexed into
     /// that node's own decided log (a recovered laggard resumes where
     /// *it* stopped, not where node 0 is).
@@ -496,18 +496,53 @@ impl BlockchainNetwork {
             bytes_sent: self.ordering.stats().bytes_sent,
             ..Default::default()
         };
-        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i));
+        let mut latency_sum = 0u64;
+        let mut latency_n = 0u64;
+        let reference = {
+            let (committed, aborted, batches) =
+                (&mut report.committed, &mut report.aborted, &mut report.batches);
+            self.apply_decided(|_seq, _batch, t, outcome| {
+                *committed += outcome.committed.len();
+                *aborted += outcome.aborted.len();
+                *batches += 1;
+                latency_sum += t;
+                latency_n += 1;
+            })
+        };
         let Some(reference) = reference else {
             return report;
         };
-        // Seal each decided batch with consensus-level metadata taken
-        // from the *reference* replica: the proposer responsible for the
-        // sequence number (rotating protocols rotate it, fixed-leader
-        // protocols pin it to node 0) and the decision time. Every alive
-        // node seals seq k identically, so head hashes stay convergent;
-        // a node that has decided further ahead than the reference defers
-        // those batches until the reference catches up and their seals
-        // are known.
+        if latency_n > 0 {
+            report.mean_decide_latency = latency_sum as f64 / latency_n as f64;
+        }
+        report.head = Some(self.pipelines[reference].ledger().head_hash());
+        report.diverged = self.check_divergence();
+        report
+    }
+
+    /// Seals every slot the reference replica has decided, then applies
+    /// newly decided batches to every alive node's pipeline in order —
+    /// the shared back half of [`run_to_completion`] and the ingress
+    /// driver ([`run_ingress`]). `on_reference_batch` fires once per
+    /// batch newly applied on the reference node with `(seq, batch,
+    /// decide_time, outcome)`; returns the reference node, or `None`
+    /// when every node is crashed.
+    ///
+    /// Seals are pinned with consensus-level metadata taken from the
+    /// *reference* replica: the proposer responsible for the sequence
+    /// number (rotating protocols rotate it, fixed-leader protocols pin
+    /// it to node 0) and the decision time. Every alive node seals seq
+    /// `k` identically, so head hashes stay convergent; a node that has
+    /// decided further ahead than the reference defers those batches
+    /// until the reference catches up and their seals are known.
+    ///
+    /// [`run_to_completion`]: BlockchainNetwork::run_to_completion
+    /// [`run_ingress`]: BlockchainNetwork::run_ingress
+    pub(crate) fn apply_decided(
+        &mut self,
+        mut on_reference_batch: impl FnMut(u64, &Batch, SimTime, &BlockOutcome),
+    ) -> Option<usize> {
+        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i))?;
         let n = self.len();
         let rotating =
             protocol_info(self.consensus.registry_name()).map(|p| p.rotating).unwrap_or(false);
@@ -517,8 +552,6 @@ impl BlockchainNetwork {
                 .entry(*seq)
                 .or_insert(BlockSeal { proposer: pbc_types::NodeId(proposer), time: *t });
         }
-        let mut latency_sum = 0u64;
-        let mut latency_n = 0u64;
         for node in 0..n {
             if self.ordering.is_crashed(node) {
                 continue;
@@ -541,34 +574,30 @@ impl BlockchainNetwork {
                     });
                 }
                 if node == reference {
-                    report.committed += outcome.committed.len();
-                    report.aborted += outcome.aborted.len();
-                    report.batches += 1;
-                    latency_sum += t;
-                    latency_n += 1;
+                    on_reference_batch(*seq, batch, *t, &outcome);
                 }
             }
         }
-        if latency_n > 0 {
-            report.mean_decide_latency = latency_sum as f64 / latency_n as f64;
-        }
+        Some(reference)
+    }
 
-        // Convergence check across *all* alive nodes, not just node 0's
-        // counters: any two nodes that applied equally many batches must
-        // hold the same ledger head.
-        report.head = Some(self.pipelines[reference].ledger().head_hash());
-        let alive: Vec<usize> = (0..n).filter(|&i| !self.ordering.is_crashed(i)).collect();
+    /// Convergence check across *all* alive nodes, not just node 0's
+    /// counters: any two nodes that applied equally many batches must
+    /// hold the same ledger head. (A node merely *behind* is lag, not
+    /// divergence.)
+    pub(crate) fn check_divergence(&self) -> bool {
+        let alive: Vec<usize> = (0..self.len()).filter(|&i| !self.ordering.is_crashed(i)).collect();
         for (k, &i) in alive.iter().enumerate() {
             for &j in &alive[k + 1..] {
                 if self.applied[i] == self.applied[j]
                     && self.pipelines[i].ledger().head_hash()
                         != self.pipelines[j].ledger().head_hash()
                 {
-                    report.diverged = true;
+                    return true;
                 }
             }
         }
-        report
+        false
     }
 
     /// True when all alive nodes hold identical ledgers and states —
@@ -599,6 +628,17 @@ impl BlockchainNetwork {
     /// Consensus-layer network statistics.
     pub fn net_stats(&self) -> &NetStats {
         self.ordering.stats()
+    }
+
+    /// Current logical time of the consensus simulation.
+    pub fn now(&self) -> SimTime {
+        self.ordering.now()
+    }
+
+    /// Digest of the consensus delivery trace so far — the golden-trace
+    /// handle determinism tests compare across engines and repeats.
+    pub fn trace_digest(&self) -> u64 {
+        self.ordering.trace_digest()
     }
 
     /// The recorded audit trail for `node`, if the network was built

@@ -1,0 +1,145 @@
+//! Seeded arrival processes: open-loop (fixed offered rate) and
+//! closed-loop (fixed client population with think time).
+//!
+//! The benchmarking literature is strict about this distinction
+//! (Schroeder et al., "Open Versus Closed: A Cautionary Tale"): an
+//! **open-loop** generator issues transactions at a rate independent of
+//! the system's responses — past saturation the backlog grows without
+//! bound, which is exactly how a saturation knee is exposed. A
+//! **closed-loop** generator keeps a fixed number of clients, each
+//! waiting for its previous transaction to resolve (plus a think time)
+//! before issuing the next — offered load self-throttles to the
+//! system's capacity and the knee never appears, no matter how many
+//! clients you add.
+//!
+//! Both processes are driven entirely by a seeded [`StdRng`], so the
+//! arrival timeline is a pure function of `(seed, rate | clients)` and
+//! golden-trace digests stay bit-for-bit reproducible.
+
+use pbc_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Shape of the client population.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadProfile {
+    /// Open loop: Poisson arrivals with the given mean interarrival gap
+    /// in ticks (offered rate = `1e6 / mean_gap` tx/s in the abstract
+    /// microsecond clock). Arrivals never wait for completions.
+    Open {
+        /// Mean interarrival gap in simulator ticks (≥ 1).
+        mean_gap: SimTime,
+    },
+    /// Closed loop: `clients` concurrent clients; each issues its next
+    /// transaction `think` ticks (±25 % seeded jitter) after its
+    /// previous one resolves.
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Mean think time in ticks between a resolution and the next
+        /// issue.
+        think: SimTime,
+    },
+}
+
+/// A deterministic arrival process over abstract simulator time.
+///
+/// [`ArrivalProcess::peek`] / [`ArrivalProcess::pop`] expose the
+/// timeline lazily; for closed-loop profiles the driver feeds
+/// completions back with [`ArrivalProcess::on_resolved`].
+#[derive(Debug)]
+pub struct ArrivalProcess {
+    profile: LoadProfile,
+    rng: StdRng,
+    /// Min-heap of scheduled arrival times (stored negated so the
+    /// default max-heap pops the earliest).
+    pending: BinaryHeap<std::cmp::Reverse<SimTime>>,
+    /// Next open-loop arrival, generated on demand.
+    next_open: Option<SimTime>,
+}
+
+impl ArrivalProcess {
+    /// A process starting at tick 1 with the given profile and seed.
+    pub fn new(profile: LoadProfile, seed: u64) -> Self {
+        let mut p = ArrivalProcess {
+            profile,
+            rng: StdRng::seed_from_u64(seed ^ 0x494E_4752_4553_5321),
+            pending: BinaryHeap::new(),
+            next_open: None,
+        };
+        match profile {
+            LoadProfile::Open { .. } => {
+                let first = p.gap();
+                p.next_open = Some(first);
+            }
+            LoadProfile::Closed { clients, .. } => {
+                // Stagger the initial wave across one think interval so
+                // the first batch is not a single synchronized spike.
+                for _ in 0..clients {
+                    let at = 1 + p.think_sample() / 2;
+                    p.pending.push(std::cmp::Reverse(at));
+                }
+            }
+        }
+        p
+    }
+
+    /// One exponential interarrival gap, ≥ 1 tick.
+    fn gap(&mut self) -> SimTime {
+        let LoadProfile::Open { mean_gap } = self.profile else {
+            unreachable!("gap() only called for open profiles")
+        };
+        let u: f64 = self.rng.gen::<f64>();
+        // Inverse CDF of Exp(1/mean); clamp away u = 1.0 edge.
+        let gap = -(1.0 - u).max(f64::MIN_POSITIVE).ln() * mean_gap as f64;
+        (gap.round() as SimTime).max(1)
+    }
+
+    /// A think-time sample with ±25 % uniform jitter, ≥ 1 tick.
+    fn think_sample(&mut self) -> SimTime {
+        let LoadProfile::Closed { think, .. } = self.profile else {
+            unreachable!("think_sample() only called for closed profiles")
+        };
+        let lo = (think * 3) / 4;
+        let hi = (think * 5) / 4;
+        self.rng.gen_range(lo..=hi).max(1)
+    }
+
+    /// The earliest scheduled arrival at or before `horizon`, without
+    /// consuming it. Open-loop arrivals past the horizon end the run;
+    /// closed-loop clients simply stop being reissued.
+    pub fn peek(&mut self, horizon: SimTime) -> Option<SimTime> {
+        let at = match self.profile {
+            LoadProfile::Open { .. } => self.next_open?,
+            LoadProfile::Closed { .. } => self.pending.peek()?.0,
+        };
+        (at <= horizon).then_some(at)
+    }
+
+    /// Consumes the earliest arrival (which the caller must have
+    /// `peek`ed within the horizon) and returns its time.
+    pub fn pop(&mut self) -> SimTime {
+        match self.profile {
+            LoadProfile::Open { .. } => {
+                let at = self.next_open.expect("pop after successful peek");
+                let g = self.gap();
+                self.next_open = Some(at + g);
+                at
+            }
+            LoadProfile::Closed { .. } => self.pending.pop().expect("pop after successful peek").0,
+        }
+    }
+
+    /// Feeds back `n` resolutions observed at `now`: closed-loop
+    /// clients schedule their next arrival one think time later;
+    /// open-loop processes ignore completions by construction.
+    pub fn on_resolved(&mut self, n: usize, now: SimTime) {
+        if let LoadProfile::Closed { .. } = self.profile {
+            for _ in 0..n {
+                let at = now + self.think_sample();
+                self.pending.push(std::cmp::Reverse(at));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Transaction sources: lazy cursors over the deterministic workload
+//! generators, plus the [`LoadGen`] pairing a source with an arrival
+//! process.
+//!
+//! The workload generators in `pbc-workload` are pure functions
+//! `(first_id, count) → Vec<Transaction>`; a [`TxSource`] turns one
+//! into an infinite stream pulled one transaction at a time, so a
+//! million-client run never materializes a million transactions up
+//! front.
+
+use crate::arrival::{ArrivalProcess, LoadProfile};
+use pbc_sim::SimTime;
+use pbc_types::Transaction;
+use pbc_workload::{PaymentWorkload, SmallBankWorkload};
+use std::collections::VecDeque;
+
+/// Chunk size for lazy generation; big enough to amortize the
+/// generator call, small enough to keep memory flat.
+const CHUNK: usize = 256;
+
+/// An infinite deterministic stream of transactions with unique,
+/// monotonically increasing ids.
+pub trait TxSource {
+    /// The next transaction. Ids never repeat.
+    fn next_tx(&mut self) -> Transaction;
+}
+
+/// A [`TxSource`] over any `(first_id, count) → Vec<Transaction>`
+/// generator — the adapter every `pbc-workload` generator fits.
+pub struct WorkloadSource {
+    gen: Box<dyn FnMut(u64, usize) -> Vec<Transaction> + Send>,
+    next_id: u64,
+    buf: VecDeque<Transaction>,
+}
+
+impl std::fmt::Debug for WorkloadSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSource").field("next_id", &self.next_id).finish_non_exhaustive()
+    }
+}
+
+impl WorkloadSource {
+    /// Wraps a raw generator function.
+    pub fn new(gen: impl FnMut(u64, usize) -> Vec<Transaction> + Send + 'static) -> Self {
+        WorkloadSource { gen: Box::new(gen), next_id: 0, buf: VecDeque::new() }
+    }
+
+    /// Zipfian payments (the contention-knob workload).
+    pub fn payments(w: PaymentWorkload) -> Self {
+        Self::new(move |id, n| w.generate(id, n))
+    }
+
+    /// Smallbank (the Blockbench-style banking mix).
+    pub fn smallbank(w: SmallBankWorkload) -> Self {
+        Self::new(move |id, n| w.generate(id, n))
+    }
+}
+
+impl TxSource for WorkloadSource {
+    fn next_tx(&mut self) -> Transaction {
+        if self.buf.is_empty() {
+            self.buf.extend((self.gen)(self.next_id, CHUNK));
+            self.next_id += CHUNK as u64;
+        }
+        self.buf.pop_front().expect("generator produced CHUNK txs")
+    }
+}
+
+/// A load generator: a transaction source paced by an arrival process.
+/// This is what the e2e driver in `pbc-core` consumes.
+#[derive(Debug)]
+pub struct LoadGen {
+    source: WorkloadSource,
+    arrivals: ArrivalProcess,
+}
+
+impl LoadGen {
+    /// Pairs a source with a seeded arrival profile.
+    pub fn new(source: WorkloadSource, profile: LoadProfile, seed: u64) -> Self {
+        LoadGen { source, arrivals: ArrivalProcess::new(profile, seed) }
+    }
+
+    /// Time of the next arrival at or before `horizon`, if any.
+    pub fn peek(&mut self, horizon: SimTime) -> Option<SimTime> {
+        self.arrivals.peek(horizon)
+    }
+
+    /// Consumes the next arrival: its time and its transaction.
+    /// Callers must have `peek`ed successfully first.
+    pub fn pop(&mut self) -> (SimTime, Transaction) {
+        let at = self.arrivals.pop();
+        (at, self.source.next_tx())
+    }
+
+    /// Feeds back `n` transaction resolutions observed at `now`
+    /// (commit, abort, expiry, or backpressure rejection) — closed-loop
+    /// clients use this to schedule their next request.
+    pub fn on_resolved(&mut self, n: usize, now: SimTime) {
+        self.arrivals.on_resolved(n, now);
+    }
+}

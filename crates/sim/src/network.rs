@@ -469,6 +469,33 @@ impl<A: Actor> Network<A> {
         }
     }
 
+    /// Like [`Network::inject_all`], but scheduled at the **absolute**
+    /// tick `at` (clamped to `now + 1` if already past) instead of a
+    /// relative delay — the form client arrival processes use, where
+    /// the arrival timeline is fixed up front and must not depend on
+    /// how far the engine happened to run. Accounting and trace events
+    /// match `inject_all` exactly.
+    pub fn inject_all_at(&mut self, from: NodeIdx, msg: A::Msg, at: SimTime) {
+        let at = at.max(self.time + 1);
+        let shared = Arc::new(msg);
+        for to in 0..self.actors.len() {
+            self.seq += 1;
+            self.queue.push(
+                at,
+                self.seq,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: Payload::Shared(Arc::clone(&shared)),
+                    sent_at: self.time,
+                },
+            );
+            self.stats.msgs_injected += 1;
+            self.stats.msgs_in_flight += 1;
+            pbc_trace::emit(self.time, || TraceEvent::Inject { from, to });
+        }
+    }
+
     /// Routes one message over the `origin → to` link: fault draws,
     /// latency sampling, scheduling. Identical decision order for
     /// unicasts and each recipient of a broadcast, so seeded runs replay

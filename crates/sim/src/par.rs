@@ -664,6 +664,32 @@ where
         }
     }
 
+    /// Injects one external message to every node at the **absolute**
+    /// tick `at`; see [`Network::inject_all_at`]. Lane-safe: each
+    /// recipient's event lands in its own lane's queue with a global
+    /// sequence number, so digests match the sequential engine at any
+    /// lane count.
+    pub fn inject_all_at(&mut self, from: NodeIdx, msg: A::Msg, at: SimTime) {
+        let at = at.max(self.time + 1);
+        let shared = Arc::new(msg);
+        for to in 0..self.actors.len() {
+            self.seq += 1;
+            self.lanes[self.lane_of[to]].queue.push(
+                at,
+                self.seq,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: Payload::Shared(Arc::clone(&shared)),
+                    sent_at: self.time,
+                },
+            );
+            self.stats.msgs_injected += 1;
+            self.stats.msgs_in_flight += 1;
+            pbc_trace::emit(self.time, || TraceEvent::Inject { from, to });
+        }
+    }
+
     /// Earliest pending event time across all lanes.
     fn next_event_at(&self) -> Option<SimTime> {
         self.lanes.iter().filter_map(|l| l.queue.next_at()).min()
@@ -1043,6 +1069,9 @@ pub trait SimNet<A: Actor> {
     fn inject(&mut self, from: NodeIdx, to: NodeIdx, msg: A::Msg, delay: SimTime);
     /// Injects one external message to every node.
     fn inject_all(&mut self, from: NodeIdx, msg: A::Msg, delay: SimTime);
+    /// Injects one external message to every node at the **absolute**
+    /// tick `at` (clamped to `now + 1`); the client-arrival primitive.
+    fn inject_all_at(&mut self, from: NodeIdx, msg: A::Msg, at: SimTime);
     /// Calls every alive actor's `on_start`.
     fn start(&mut self);
     /// Advances the simulation by one unit of progress (engine-defined:
@@ -1112,6 +1141,9 @@ impl<A: Actor> SimNet<A> for Network<A> {
     }
     fn inject_all(&mut self, from: NodeIdx, msg: A::Msg, delay: SimTime) {
         Network::inject_all(self, from, msg, delay);
+    }
+    fn inject_all_at(&mut self, from: NodeIdx, msg: A::Msg, at: SimTime) {
+        Network::inject_all_at(self, from, msg, at);
     }
     fn start(&mut self) {
         Network::start(self);
@@ -1194,6 +1226,9 @@ where
     }
     fn inject_all(&mut self, from: NodeIdx, msg: A::Msg, delay: SimTime) {
         ParNetwork::inject_all(self, from, msg, delay);
+    }
+    fn inject_all_at(&mut self, from: NodeIdx, msg: A::Msg, at: SimTime) {
+        ParNetwork::inject_all_at(self, from, msg, at);
     }
     fn start(&mut self) {
         ParNetwork::start(self);

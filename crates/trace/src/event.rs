@@ -231,6 +231,29 @@ pub enum TraceEvent {
         /// Primary affected node, or `usize::MAX` for cluster-wide ops.
         node: usize,
     },
+    /// A client transaction hit the ingress front door (PR 8's client
+    /// path): admitted, shed by backpressure, deduplicated, or expired.
+    IngressAdmit {
+        /// Issuing client id.
+        client: u32,
+        /// Transaction id.
+        tx: u64,
+        /// Outcome label (`"admitted"`, `"full"`, `"duplicate"`,
+        /// `"expired"`).
+        outcome: &'static str,
+    },
+    /// A client transaction resolved end-to-end: the per-client latency
+    /// stamp the e2e sweep aggregates into knee curves.
+    ClientLatency {
+        /// Issuing client id.
+        client: u32,
+        /// Transaction id.
+        tx: u64,
+        /// Arrival → decision latency in ticks.
+        latency: u64,
+        /// Resolution label (`"commit"` or `"abort"`).
+        outcome: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -263,6 +286,8 @@ impl TraceEvent {
             TraceEvent::Stage { .. } => "stage",
             TraceEvent::CrossShard { .. } => "cross_shard",
             TraceEvent::NemesisOp { .. } => "nemesis",
+            TraceEvent::IngressAdmit { .. } => "ingress",
+            TraceEvent::ClientLatency { .. } => "client_latency",
         }
     }
 
@@ -295,7 +320,9 @@ impl TraceEvent {
             TraceEvent::PartitionSet { .. }
             | TraceEvent::PartitionHeal
             | TraceEvent::Stage { .. }
-            | TraceEvent::CrossShard { .. } => None,
+            | TraceEvent::CrossShard { .. }
+            | TraceEvent::IngressAdmit { .. }
+            | TraceEvent::ClientLatency { .. } => None,
         }
     }
 }

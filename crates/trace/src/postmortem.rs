@@ -96,6 +96,12 @@ fn line(rec: &TraceRecord) -> String {
                 format!("NEMESIS      {op}  n{node}")
             }
         }
+        TraceEvent::IngressAdmit { client, tx, outcome } => {
+            format!("ingress      c{client}  tx{tx}  {outcome}")
+        }
+        TraceEvent::ClientLatency { client, tx, latency, outcome } => {
+            format!("client       c{client}  tx{tx}  {outcome} after {latency}")
+        }
     };
     format!("t={:>10}  {body}", rec.at)
 }
