@@ -344,7 +344,8 @@ impl ExecutionPipeline for EndorsingPipeline {
                     self.state.apply_writes(&r.write_set, Version::new(height, i as u32));
                     outcome.committed.push(tx.id);
                 }
-                _ => outcome.aborted.push(tx.id),
+                Some(r) => outcome.record_exec_abort(&r),
+                None => outcome.aborted.push(tx.id),
             }
         }
         outcome

@@ -101,11 +101,26 @@ impl ExecutionPipeline for FastFabricPipeline {
             let layer_results: Vec<&ExecResult> = layer.iter().map(|&i| &results[i]).collect();
             let verdicts = self.validate_layer_parallel(&layer_results);
             for (&i, verdict) in layer.iter().zip(verdicts) {
+                // The layers were built from *declared* footprints. When a
+                // dynamic (VM) transaction under-declared, two genuinely
+                // conflicting transactions can share a layer — both would
+                // pass the parallel check against the same pre-layer
+                // state. The cheap serial re-check below (no simulated
+                // crypto cost: that was already paid in parallel) closes
+                // the hole; versions never revert, so a parallel `Stale`
+                // verdict can never flip back to `Valid` and needs no
+                // second look. With correct declarations the re-check
+                // never fires and verdicts equal plain Fabric's exactly.
                 if verdict == ValidationVerdict::Valid {
-                    self.state.apply_writes(&results[i].write_set, Version::new(height, i as u32));
-                    outcome.committed.push(txs[i].id);
+                    if validate_read_set(&results[i], &self.state) == ValidationVerdict::Valid {
+                        self.state
+                            .apply_writes(&results[i].write_set, Version::new(height, i as u32));
+                        outcome.committed.push(txs[i].id);
+                    } else {
+                        outcome.aborted.push(txs[i].id);
+                    }
                 } else {
-                    outcome.aborted.push(txs[i].id);
+                    outcome.record_exec_abort(&results[i]);
                 }
             }
         }
@@ -130,7 +145,7 @@ impl ExecutionPipeline for FastFabricPipeline {
 mod tests {
     use super::*;
     use crate::xov::XovPipeline;
-    use pbc_types::tx::balance_value;
+    use pbc_types::tx::{balance_of, balance_value};
     use pbc_types::{ClientId, Op, TxId};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -197,6 +212,45 @@ mod tests {
         let outcome = p.process_block(txs);
         assert_eq!(outcome.committed, vec![TxId(0)]);
         assert_eq!(outcome.aborted.len(), 3);
+    }
+
+    #[test]
+    fn under_declared_vm_txs_match_plain_xov() {
+        // Two VM transfers from acc0 that both *declare* disjoint decoy
+        // footprints land in the same conflict-free layer. The parallel
+        // check sees both as Valid against pre-layer state; the serial
+        // re-check must restore Fabric's first-committer-wins verdicts.
+        let vm_transfer = |id: u64, from: &str, to: &str, amount: u64, decoy: &str| {
+            let ops = [Op::Transfer { from: from.into(), to: to.into(), amount }];
+            let prog = pbc_vm::compile_ops(&ops);
+            Transaction::invoke(
+                TxId(id),
+                ClientId(0),
+                pbc_types::VmCall {
+                    bytecode: bytes::Bytes::from(prog.to_bytes()),
+                    args: vec![],
+                    gas_limit: 1_000,
+                    declared_reads: vec![decoy.into()],
+                    declared_writes: vec![decoy.into()],
+                },
+            )
+        };
+        let initial = seeded(3, 100);
+        let txs = vec![
+            vm_transfer(0, "acc0", "acc1", 60, "decoy_a"),
+            vm_transfer(1, "acc0", "acc2", 60, "decoy_b"),
+        ];
+        let mut ff = FastFabricPipeline::with_state(initial.clone());
+        let fo = ff.process_block(txs.clone());
+        // Both in one layer (decoys don't conflict) …
+        assert_eq!(fo.sequential_steps, 1);
+        // … yet only the first commits, exactly like serial Fabric.
+        let mut xov = XovPipeline::with_state(initial);
+        let xo = xov.process_block(txs);
+        assert_eq!(fo.committed, xo.committed);
+        assert_eq!(fo.aborted, xo.aborted);
+        assert!(pbc_txn::serial::values_equal(ff.state(), xov.state()));
+        assert_eq!(balance_of(ff.state().get("acc0")), 40);
     }
 
     #[test]

@@ -40,9 +40,9 @@ impl ExecutionPipeline for OxPipeline {
             if r.is_success() {
                 outcome.committed.push(tx.id);
             } else {
-                // Only intrinsic failures (e.g. insufficient funds) abort
-                // under OX — never concurrency.
-                outcome.aborted.push(tx.id);
+                // Only intrinsic failures (insufficient funds, VM aborts,
+                // out-of-gas) abort under OX — never concurrency.
+                outcome.record_exec_abort(&r);
             }
         }
         trace_stage("ox", "execute-sequential", seal, height, outcome.sequential_steps);

@@ -44,17 +44,46 @@ impl ExecutionPipeline for OxiiPipeline {
         let layers = graph.layers();
         let mut outcome = BlockOutcome { sequential_steps: layers.len(), ..Default::default() };
         // Executor side: parallel within a layer, barrier between layers.
+        //
+        // The graph is built from *declared* footprints, which dynamic
+        // (VM) transactions may get wrong — so the layer's speculative
+        // results must be validated before they commit. A result is a
+        // *mispredict* when any recorded read's version no longer
+        // matches the state the commit pass sees (an undeclared
+        // conflict with an earlier transaction of the same layer);
+        // ParBlockchain's remedy is serial re-execution in block order.
+        // With correct declarations layers are conflict-free, no read
+        // is ever stale, and this path reduces bit-for-bit to the
+        // original commit loop.
         for layer in layers {
+            // `layer` holds block positions in ascending order, so the
+            // commit pass below runs in block order.
             let layer_txs: Vec<Transaction> = layer.iter().map(|&i| txs[i].clone()).collect();
             let results = execute_parallel(&layer_txs, &self.state);
-            for (tx, result) in layer_txs.iter().zip(results) {
-                if result.is_success() {
+            for ((&idx, tx), result) in layer.iter().zip(&layer_txs).zip(results) {
+                let stale =
+                    result.read_set.iter().any(|(key, seen)| self.state.version(key) != *seen);
+                if stale {
+                    // Speculation lost: re-execute against current state
+                    // at the tx's block position (same stamp it would
+                    // have received had the prediction been right).
+                    let r = pbc_ledger::execute_and_apply(
+                        tx,
+                        &mut self.state,
+                        Version::new(height, idx as u32),
+                    );
+                    outcome.mispredicted.push(tx.id);
+                    if r.is_success() {
+                        outcome.committed.push(tx.id);
+                    } else {
+                        outcome.record_exec_abort(&r);
+                    }
+                } else if result.is_success() {
                     // Version stamps use the tx's position in the block.
-                    let idx = txs.iter().position(|t| t.id == tx.id).expect("tx in block");
                     self.state.apply_writes(&result.write_set, Version::new(height, idx as u32));
                     outcome.committed.push(tx.id);
                 } else {
-                    outcome.aborted.push(tx.id);
+                    outcome.record_exec_abort(&result);
                 }
             }
         }
@@ -175,6 +204,106 @@ mod tests {
         let outcome = p.process_block(txs);
         assert_eq!(outcome.committed, vec![TxId(0), TxId(1)]);
         assert_eq!(outcome.aborted, vec![TxId(2)]);
+    }
+
+    /// A VM transfer whose *declared* footprint is whatever the caller
+    /// says — the tool for manufacturing wrong predictions.
+    fn vm_transfer(
+        id: u64,
+        from: &str,
+        to: &str,
+        amount: u64,
+        declared: (&[&str], &[&str]),
+    ) -> Transaction {
+        let p = pbc_vm::compile_ops(&[Op::Transfer { from: from.into(), to: to.into(), amount }]);
+        Transaction::invoke(
+            TxId(id),
+            ClientId(0),
+            pbc_types::VmCall {
+                bytecode: bytes::Bytes::from(p.to_bytes()),
+                args: vec![],
+                gas_limit: p.straight_line_gas(),
+                declared_reads: declared.0.iter().map(|s| s.to_string()).collect(),
+                declared_writes: declared.1.iter().map(|s| s.to_string()).collect(),
+            },
+        )
+    }
+
+    #[test]
+    fn correct_declarations_never_mispredict() {
+        let mut p = OxiiPipeline::with_state(seeded(2, 100));
+        let txs = vec![
+            transfer(0, "acc0", "acc1", 10),
+            vm_transfer(1, "acc0", "acc1", 10, (&["acc0", "acc1"], &["acc0", "acc1"])),
+        ];
+        let outcome = p.process_block(txs);
+        assert_eq!(outcome.committed.len(), 2);
+        assert!(outcome.mispredicted.is_empty());
+        assert_eq!(pbc_types::tx::balance_of(p.state().get("acc0")), 80);
+    }
+
+    #[test]
+    fn wrong_declaration_is_caught_and_salvaged() {
+        // tx1 claims it touches only "decoy", so the depgraph schedules
+        // it alongside tx0 — but it actually drains acc0. The layer's
+        // speculative read of acc0 goes stale when tx0 applies; OXII
+        // must detect the mispredict and re-execute serially, landing
+        // on the same state OX produces.
+        let initial = seeded(2, 100);
+        let mut oxii = OxiiPipeline::with_state(initial.clone());
+        let txs = vec![
+            transfer(0, "acc0", "acc1", 10),
+            vm_transfer(1, "acc0", "acc1", 10, (&["decoy"], &["decoy"])),
+        ];
+        let outcome = oxii.process_block(txs.clone());
+        assert_eq!(outcome.sequential_steps, 1, "declared footprints put both in one layer");
+        assert_eq!(outcome.mispredicted, vec![TxId(1)]);
+        assert_eq!(outcome.committed.len(), 2);
+        let mut ox = crate::ox::OxPipeline::with_state(initial);
+        ox.process_block(txs);
+        assert!(
+            pbc_txn::serial::values_equal(ox.state(), oxii.state()),
+            "salvaged schedule must equal serial execution"
+        );
+        assert_eq!(pbc_types::tx::balance_of(oxii.state().get("acc0")), 80);
+    }
+
+    #[test]
+    fn mispredicted_out_of_gas_lands_in_both_buckets() {
+        // A program that reads acc0 (undeclared!) and then burns past
+        // its budget: the stale read makes it a mispredict, and the
+        // serial re-execution exhausts gas again — the abort must land
+        // in `aborted`, `out_of_gas`, *and* `mispredicted`.
+        let mut p = OxiiPipeline::with_state(seeded(2, 100));
+        let prog = pbc_vm::Program {
+            code: vec![
+                pbc_vm::Instr::Push(0),
+                pbc_vm::Instr::Get,
+                pbc_vm::Instr::Pop,
+                pbc_vm::Instr::Burn(1000),
+            ],
+            keys: vec!["acc0".into()],
+            consts: vec![],
+        };
+        let starving = Transaction::invoke(
+            TxId(1),
+            ClientId(0),
+            pbc_types::VmCall {
+                bytecode: bytes::Bytes::from(prog.to_bytes()),
+                args: vec![],
+                // Enough for the read (1+10+1 gas), nowhere near the
+                // 1001-gas burn.
+                gas_limit: 15,
+                declared_reads: vec!["decoy".into()],
+                declared_writes: vec!["decoy".into()],
+            },
+        );
+        let txs = vec![transfer(0, "acc0", "acc1", 10), starving];
+        let outcome = p.process_block(txs);
+        assert_eq!(outcome.aborted, vec![TxId(1)]);
+        assert_eq!(outcome.out_of_gas, vec![TxId(1)]);
+        assert_eq!(outcome.mispredicted, vec![TxId(1)]);
+        assert_eq!(outcome.committed, vec![TxId(0)]);
     }
 
     #[test]

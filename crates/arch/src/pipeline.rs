@@ -12,6 +12,15 @@ pub struct BlockOutcome {
     pub aborted: Vec<TxId>,
     /// Transactions salvaged by re-execution (XOX only).
     pub reexecuted: Vec<TxId>,
+    /// Transactions whose *declared* footprint proved wrong: OXII
+    /// scheduled them from the prediction, caught the stale speculative
+    /// read after the layer ran, and re-executed them serially. A
+    /// subset of `committed`/`aborted`, disjoint from `reexecuted`.
+    pub mispredicted: Vec<TxId>,
+    /// Transactions aborted specifically because a VM program exhausted
+    /// its gas budget. Always a subset of `aborted`; tracked separately
+    /// so the ingress conservation identity can account for it.
+    pub out_of_gas: Vec<TxId>,
     /// Sequential execution steps the block needed (OXII: layer count;
     /// OX: transaction count; XOV: 1 endorsement round).
     pub sequential_steps: usize,
@@ -25,6 +34,15 @@ impl BlockOutcome {
             1.0
         } else {
             self.committed.len() as f64 / total as f64
+        }
+    }
+
+    /// Records an execution-failure abort, classifying out-of-gas into
+    /// its dedicated bucket (single chokepoint so no pipeline forgets).
+    pub fn record_exec_abort(&mut self, result: &ExecResult) {
+        self.aborted.push(result.tx_id);
+        if result.status.is_out_of_gas() {
+            self.out_of_gas.push(result.tx_id);
         }
     }
 }

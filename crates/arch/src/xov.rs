@@ -97,7 +97,7 @@ impl ExecutionPipeline for XovPipeline {
             }
         };
         for &i in &pre_aborted {
-            outcome.aborted.push(txs[i].id);
+            outcome.record_exec_abort(&results[i]);
         }
 
         // 3. Validate serially in (possibly reordered) order.
@@ -108,7 +108,7 @@ impl ExecutionPipeline for XovPipeline {
                 self.state.apply_writes(&results[i].write_set, Version::new(height, pos as u32));
                 outcome.committed.push(txs[i].id);
             } else {
-                outcome.aborted.push(txs[i].id);
+                outcome.record_exec_abort(&results[i]);
             }
         }
         trace_stage("xov", "validate-serial", seal, height, order.len());

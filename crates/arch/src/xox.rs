@@ -50,7 +50,7 @@ impl ExecutionPipeline for XoxPipeline {
                     outcome.committed.push(txs[i].id);
                 }
                 ValidationVerdict::Stale { .. } => retry.push(i),
-                ValidationVerdict::ExecutionFailed => outcome.aborted.push(txs[i].id),
+                ValidationVerdict::ExecutionFailed => outcome.record_exec_abort(r),
             }
         }
 
@@ -66,7 +66,7 @@ impl ExecutionPipeline for XoxPipeline {
                 outcome.committed.push(txs[i].id);
                 outcome.reexecuted.push(txs[i].id);
             } else {
-                outcome.aborted.push(txs[i].id);
+                outcome.record_exec_abort(&r);
             }
         }
         trace_stage("xox", "validate-reexecute", seal, height, outcome.sequential_steps);

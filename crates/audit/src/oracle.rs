@@ -111,6 +111,17 @@ pub enum AuditError {
         /// The transaction that failed.
         tx: TxId,
     },
+    /// A transaction's execution consumed more gas than its own
+    /// declared `gas_limit` — the VM's charge-before-execute metering
+    /// invariant was violated (gas conservation, §gas metering).
+    GasOverrun {
+        /// The offending node.
+        node: usize,
+        /// The height whose block contains the overrun.
+        height: u64,
+        /// The transaction that overspent.
+        tx: TxId,
+    },
     /// Two replicas recorded different claims for the same height.
     ReplicaDisagreement {
         /// First node.
@@ -165,6 +176,9 @@ impl std::fmt::Display for AuditError {
                     f,
                     "node {node}: claimed-committed tx {tx:?} fails serial replay at height {height}"
                 )
+            }
+            AuditError::GasOverrun { node, height, tx } => {
+                write!(f, "node {node}: tx {tx:?} at height {height} spent more gas than its limit")
             }
             AuditError::ReplicaDisagreement { node_a, node_b, height } => {
                 write!(
@@ -317,8 +331,12 @@ fn audit_node(
         }
 
         // Oracle A: the sequential reference re-derives the verdicts and
-        // the state digest.
+        // the state digest — and, for dynamic (VM) transactions, checks
+        // gas conservation: no execution may spend past its own limit.
         let expected = reference.apply_block(&block.txs, record.height);
+        if let Some(&tx) = expected.gas_overruns.first() {
+            return Err(AuditError::GasOverrun { node, height: record.height, tx });
+        }
         let mut ec = expected.committed.clone();
         ec.sort_unstable();
         let mut cc = record.committed.clone();
@@ -351,6 +369,9 @@ fn audit_node(
                     height: record.height,
                     tx: *id,
                 });
+            }
+            if tx.gas_limit().is_some_and(|limit| r.gas_used > limit) {
+                return Err(AuditError::GasOverrun { node, height: record.height, tx: *id });
             }
             report.txs_replayed += 1;
         }

@@ -16,7 +16,7 @@
 use pbc_core::ArchKind;
 use pbc_ledger::{execute, execute_and_apply, ExecResult, StateStore, Version};
 use pbc_txn::validate::{validate_read_set, ValidationVerdict};
-use pbc_txn::{fabric_pp_reorder, fabric_sharp_reorder};
+use pbc_txn::{fabric_pp_reorder, fabric_sharp_reorder, DependencyGraph};
 use pbc_types::{Transaction, TxId};
 
 /// What the reference says one block must do.
@@ -29,6 +29,12 @@ pub struct ReferenceOutcome {
     pub committed: Vec<TxId>,
     /// Transactions that must abort.
     pub aborted: Vec<TxId>,
+    /// Gas-conservation violations: transactions whose re-execution
+    /// consumed more gas than their own declared `gas_limit`. A correct
+    /// VM charges gas *before* executing each instruction, so this list
+    /// must always be empty — any entry is a metering bug the auditor
+    /// surfaces as its own error.
+    pub gas_overruns: Vec<TxId>,
 }
 
 /// Sequential re-implementation of an execution architecture.
@@ -78,8 +84,20 @@ impl ReferenceExecutor {
     /// * **XOX** — validate in block order (valid ⇒ apply with
     ///   `(height, i)`), then re-execute stale transactions serially
     ///   against current state, stamping `(height, len + i)`.
+    ///
+    /// Blocks containing dynamic (VM) transactions refine the OXII rule:
+    /// the dependency graph is built from *declared* footprints which
+    /// may be wrong, so OXII's schedule is only serial-equivalent when
+    /// declarations are correct. For such blocks the reference replays
+    /// the pipeline's actual layered rule — speculate against the
+    /// pre-layer snapshot, detect stale reads at commit, salvage by
+    /// serial re-execution — mirroring `OxiiPipeline`. Static blocks
+    /// keep the serial fast path (provably identical outcomes).
     pub fn apply_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
         match self.arch {
+            ArchKind::Oxii if txs.iter().any(|t| t.gas_limit().is_some()) => {
+                self.oxii_block(txs, height)
+            }
             ArchKind::Ox | ArchKind::Oxii => self.serial_block(txs, height),
             ArchKind::Xov | ArchKind::XovEndorsed | ArchKind::FastFabric => {
                 self.validated_block(txs, height, Reorder::None)
@@ -90,14 +108,64 @@ impl ReferenceExecutor {
         }
     }
 
+    /// Records a gas-conservation violation if `r` spent past the
+    /// transaction's declared budget. Static transactions have no
+    /// budget (`gas_limit()` is `None`) and are exempt.
+    fn check_gas(tx: &Transaction, r: &ExecResult, out: &mut ReferenceOutcome) {
+        if let Some(limit) = tx.gas_limit() {
+            if r.gas_used > limit && !out.gas_overruns.contains(&tx.id) {
+                out.gas_overruns.push(tx.id);
+            }
+        }
+    }
+
     fn serial_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
         let mut out = ReferenceOutcome::default();
         for (i, tx) in txs.iter().enumerate() {
             let r = execute_and_apply(tx, &mut self.state, Version::new(height, i as u32));
+            Self::check_gas(tx, &r, &mut out);
             if r.is_success() {
                 out.committed.push(tx.id);
             } else {
                 out.aborted.push(tx.id);
+            }
+        }
+        out
+    }
+
+    /// OXII's layered commit rule for blocks with dynamic transactions.
+    ///
+    /// Mirrors `pbc_arch::OxiiPipeline` one-to-one, sequentially: every
+    /// transaction of a layer executes against the pre-layer snapshot;
+    /// the commit pass walks the layer in block order, treats any read
+    /// whose version has since moved as a mispredict, and salvages the
+    /// mispredict by re-executing against current state at the tx's
+    /// block-position version stamp.
+    fn oxii_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
+        let graph = DependencyGraph::build(txs);
+        let mut out = ReferenceOutcome::default();
+        for layer in graph.layers() {
+            // Speculative pass: the whole layer sees the pre-layer state.
+            let results: Vec<ExecResult> =
+                layer.iter().map(|&i| execute(&txs[i], &self.state)).collect();
+            for (&i, r) in layer.iter().zip(&results) {
+                Self::check_gas(&txs[i], r, &mut out);
+                let stale = r.read_set.iter().any(|(key, seen)| self.state.version(key) != *seen);
+                if stale {
+                    let r2 =
+                        execute_and_apply(&txs[i], &mut self.state, Version::new(height, i as u32));
+                    Self::check_gas(&txs[i], &r2, &mut out);
+                    if r2.is_success() {
+                        out.committed.push(txs[i].id);
+                    } else {
+                        out.aborted.push(txs[i].id);
+                    }
+                } else if r.is_success() {
+                    self.state.apply_writes(&r.write_set, Version::new(height, i as u32));
+                    out.committed.push(txs[i].id);
+                } else {
+                    out.aborted.push(txs[i].id);
+                }
             }
         }
         out
@@ -122,6 +190,9 @@ impl ReferenceExecutor {
             }
         };
         let mut out = ReferenceOutcome::default();
+        for (i, r) in results.iter().enumerate() {
+            Self::check_gas(&txs[i], r, &mut out);
+        }
         for i in pre_aborted {
             out.aborted.push(txs[i].id);
         }
@@ -141,6 +212,9 @@ impl ReferenceExecutor {
     fn xox_block(&mut self, txs: &[Transaction], height: u64) -> ReferenceOutcome {
         let results: Vec<ExecResult> = txs.iter().map(|t| execute(t, &self.state)).collect();
         let mut out = ReferenceOutcome::default();
+        for (i, r) in results.iter().enumerate() {
+            Self::check_gas(&txs[i], r, &mut out);
+        }
         let mut retry = Vec::new();
         for (i, r) in results.iter().enumerate() {
             match validate_read_set(r, &self.state) {
@@ -155,6 +229,7 @@ impl ReferenceExecutor {
         for i in retry {
             let v = Version::new(height, (txs.len() + i) as u32);
             let r = execute_and_apply(&txs[i], &mut self.state, v);
+            Self::check_gas(&txs[i], &r, &mut out);
             if r.is_success() {
                 out.committed.push(txs[i].id);
             } else {
@@ -221,6 +296,89 @@ mod tests {
         let out = r.apply_block(&txs, 1);
         assert_eq!(out.committed.len(), 5);
         assert_eq!(balance_of(r.state().get("acc1")), 150);
+    }
+
+    /// A VM transfer with caller-chosen (possibly wrong) declarations.
+    fn vm_transfer(
+        id: u64,
+        from: &str,
+        to: &str,
+        amount: u64,
+        declared: (&[&str], &[&str]),
+    ) -> Transaction {
+        let p = pbc_vm::compile_ops(&[Op::Transfer { from: from.into(), to: to.into(), amount }]);
+        Transaction::invoke(
+            TxId(id),
+            ClientId(0),
+            pbc_types::VmCall {
+                bytecode: bytes::Bytes::from(p.to_bytes()),
+                args: vec![],
+                gas_limit: p.straight_line_gas(),
+                declared_reads: declared.0.iter().map(|s| s.to_string()).collect(),
+                declared_writes: declared.1.iter().map(|s| s.to_string()).collect(),
+            },
+        )
+    }
+
+    #[test]
+    fn oxii_reference_replays_layered_mispredict_rule() {
+        // Wrong declarations make OXII's schedule diverge from plain
+        // serial execution — the reference must track the *pipeline*,
+        // not the serial ideal. Random mixes of static transfers and
+        // decoy-declared VM transfers, compared block by block.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x0E11);
+        let initial = seeded(5, 200);
+        let mut reference = ReferenceExecutor::new(ArchKind::Oxii, initial.clone());
+        let mut pipeline = ArchKind::Oxii.make_pipeline(initial);
+        for block in 0..4u64 {
+            let txs: Vec<Transaction> = (0..10)
+                .map(|i| {
+                    let a = rng.gen_range(0..5);
+                    let b = rng.gen_range(0..5);
+                    let (from, to) = (format!("acc{a}"), format!("acc{b}"));
+                    let amount = rng.gen_range(1..30);
+                    let id = block * 100 + i;
+                    if rng.gen_bool(0.5) {
+                        // Half the block lies about its footprint.
+                        let decoy = format!("decoy{i}");
+                        vm_transfer(id, &from, &to, amount, (&[&decoy], &[decoy.as_str()]))
+                    } else {
+                        transfer(id, &from, &to, amount)
+                    }
+                })
+                .collect();
+            let expected = reference.apply_block(&txs, block + 1);
+            assert!(expected.gas_overruns.is_empty(), "block {block}: VM overspent gas");
+            let got = pipeline.process_block(txs);
+            let mut ec = expected.committed.clone();
+            let mut gc = got.committed.clone();
+            ec.sort_unstable();
+            gc.sort_unstable();
+            assert_eq!(ec, gc, "block {block}: commit sets diverge");
+            assert_eq!(
+                reference.state().value_digest(),
+                pipeline.state().value_digest(),
+                "block {block}: state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn gas_overrun_is_flagged() {
+        // The invariant checker itself: a (synthetic) result that spent
+        // past its limit must land in `gas_overruns` exactly once.
+        let tx = vm_transfer(7, "acc0", "acc1", 1, (&["acc0", "acc1"], &["acc0", "acc1"]));
+        let limit = tx.gas_limit().expect("invoke tx has a limit");
+        let mut r = pbc_ledger::execute(&tx, &seeded(2, 100));
+        assert!(r.gas_used <= limit, "real VM never overspends");
+        let mut out = ReferenceOutcome::default();
+        ReferenceExecutor::check_gas(&tx, &r, &mut out);
+        assert!(out.gas_overruns.is_empty());
+        r.gas_used = limit + 1;
+        ReferenceExecutor::check_gas(&tx, &r, &mut out);
+        ReferenceExecutor::check_gas(&tx, &r, &mut out);
+        assert_eq!(out.gas_overruns, vec![TxId(7)]);
     }
 
     /// The load-bearing property: for every architecture, the sequential

@@ -16,6 +16,8 @@ use pbc_bench::simcore::{
     broadcast_flood, cancel_churn, chaos_run, chaos_storm, chaos_storm_par, consensus_run, Proto,
 };
 use pbc_bench::{fmt_u64, header};
+use pbc_txn::DependencyGraph;
+use pbc_workload::SmallBankWorkload;
 
 fn smoke() -> bool {
     std::env::var("E12_SMOKE").is_ok_and(|v| v == "1")
@@ -125,6 +127,48 @@ fn bench_storm_lanes(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_depgraph(c: &mut Criterion) {
+    header(
+        "E12g: declared-footprint iteration (Op::reads/writes)",
+        "KeyRefs iterator vs the former per-call Vec<&str> allocation on the depgraph hot path",
+    );
+    let w = SmallBankWorkload { customers: 512, hotspot: 0.9, ..Default::default() };
+    let txs = w.generate(0, 1_024);
+    let mut g = c.benchmark_group("e12_depgraph");
+    g.sample_size(if smoke() { 10 } else { 30 });
+    // The footprint traversal both `DependencyGraph::build` and
+    // `conflicts_with` perform, isolated: current allocation-free shape
+    // vs the former collect-into-a-Vec-per-call shape.
+    g.bench_function("keyrefs_iter", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in &txs {
+                for op in &t.ops {
+                    acc += op.reads().map(|k| k.len()).sum::<usize>();
+                    acc += op.writes().map(|k| k.len()).sum::<usize>();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("alloc_per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in &txs {
+                for op in &t.ops {
+                    let reads: Vec<&str> = op.reads().collect();
+                    let writes: Vec<&str> = op.writes().collect();
+                    acc += reads.iter().map(|k| k.len()).sum::<usize>();
+                    acc += writes.iter().map(|k| k.len()).sum::<usize>();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("depgraph_build_1024", |b| b.iter(|| DependencyGraph::build(&txs)));
+    g.finish();
+}
+
 criterion_group!(
     e12,
     bench_consensus,
@@ -132,6 +176,7 @@ criterion_group!(
     bench_storm,
     bench_churn,
     bench_cancel_churn,
-    bench_storm_lanes
+    bench_storm_lanes,
+    bench_depgraph
 );
 criterion_main!(e12);

@@ -46,6 +46,15 @@
 //! conservation at every point, and snapshots the curves into
 //! `BENCH_E2E.json`. All rates are simulator-time, so the file is
 //! host-independent. `E2E_SMOKE=1` shrinks the ladder for CI.
+//!
+//! `sweep --vm [out.json]` sweeps the Blockbench-style VM contract
+//! workloads across a footprint-prediction-accuracy ladder, driving the
+//! identical transaction stream through OXII (schedules from declared
+//! footprints, salvages mispredicts serially) and XOV (declaration-
+//! blind endorsement snapshots), asserting queue/gas conservation and
+//! the full differential audit at every point, and snapshots the
+//! mispredict/abort/out-of-gas curves into `BENCH_VM.json`. `VM_SMOKE=1`
+//! shrinks the ladder for CI.
 
 use pbc_bench::simcore::{
     broadcast_flood, cancel_churn, chaos_run, chaos_storm, chaos_storm_digest, chaos_storm_par,
@@ -711,6 +720,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_PAR.json".to_string());
         par_bench(&out);
+        return;
+    }
+    if args.iter().any(|a| a == "--vm") {
+        let out = args
+            .iter()
+            .skip_while(|a| *a != "--vm")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_VM.json".to_string());
+        pbc_bench::vm::vm_bench(&out);
         return;
     }
     if args.iter().any(|a| a == "--e2e") {

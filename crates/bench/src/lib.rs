@@ -13,6 +13,7 @@
 
 pub mod e2e;
 pub mod simcore;
+pub mod vm;
 
 use pbc_arch::{BlockOutcome, ExecutionPipeline};
 use pbc_types::Transaction;

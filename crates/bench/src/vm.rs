@@ -1,0 +1,262 @@
+//! Dynamic-footprint sweep (`sweep --vm`): the Blockbench contracts
+//! compiled to `pbc-vm` bytecode, driven through the full client path at
+//! a ladder of **footprint-prediction accuracies** — the measurement
+//! static workloads cannot produce (Appendix E18).
+//!
+//! Per `(contract, accuracy)` point the sweep runs two architectures on
+//! the identical transaction stream:
+//!
+//! * **OXII** (order-execute with declared-footprint dependency graphs):
+//!   reports the *speculative-mispredict rate* — the fraction of decided
+//!   transactions whose declared footprint proved wrong at commit time
+//!   and needed serial salvage re-execution. Perfect declarations make
+//!   the depgraph perfect (rate 0); every dropped point of accuracy is
+//!   paid in serial re-execution — ParBlockchain's own evaluation axis.
+//! * **XOV** (execute-order-validate): reports the *early-abort rate* —
+//!   MVCC first-committer-wins aborts from stale endorsement-time reads.
+//!   XOV never consults declarations, so its curve is flat in accuracy:
+//!   it pays contention pain at every point instead.
+//!
+//! Every point asserts the queue-conservation identity (with out-of-gas
+//! aborts as a distinct, sub-counted abort reason — the `starve` knob
+//! guarantees some appear) and runs the full `pbc-audit` differential
+//! oracle, whose reference executor independently re-runs every program
+//! and checks `gas_used <= gas_limit` per transaction.
+
+use pbc_core::ingress_queue::{IngressQueue, LoadGen, LoadProfile, QueueConfig, WorkloadSource};
+use pbc_core::{ArchKind, ConsensusKind, IngressConfig, IngressReport, NetworkBuilder};
+use pbc_workload::blockbench::{BlockbenchWorkload, Contract};
+
+/// Seed shared by every point: curves differ only in the knob under
+/// study (contract, accuracy, architecture), never in the random tape.
+pub const VM_SEED: u64 = 0xE18;
+
+/// Offered load per point, tx/s — comfortably below the PBFT knee so
+/// the abort rates measure footprint quality, not queueing collapse.
+pub const VM_OFFERED_TPS: f64 = 20_000.0;
+
+/// One architecture's view of a `(contract, accuracy)` point.
+#[derive(Clone, Debug)]
+pub struct ArchPoint {
+    /// Full ingress report the rates are read off.
+    pub report: IngressReport,
+    /// Mispredicted ÷ decided (OXII's speculative-abort axis).
+    pub mispredict_rate: f64,
+    /// Non-gas aborts ÷ decided (XOV's early-abort axis).
+    pub abort_rate: f64,
+    /// Out-of-gas aborts ÷ decided (the distinct abort reason).
+    pub out_of_gas_rate: f64,
+}
+
+/// One `(contract, accuracy)` measurement: OXII and XOV side by side.
+#[derive(Clone, Debug)]
+pub struct VmPoint {
+    /// Declared-footprint accuracy of the workload at this point.
+    pub accuracy: f64,
+    /// OXII under this stream.
+    pub oxii: ArchPoint,
+    /// XOV under this stream.
+    pub xov: ArchPoint,
+}
+
+/// The workload for one `(contract, accuracy)` point: contended enough
+/// that wrong declarations have consequences, with a small gas-starve
+/// fraction so out-of-gas accounting is exercised at every point.
+fn workload(contract: Contract, accuracy: f64) -> BlockbenchWorkload {
+    BlockbenchWorkload {
+        contract,
+        accounts: 128,
+        scan: 8,
+        agg_keys: 4,
+        hot_fraction: 0.5,
+        theta: 0.8,
+        accuracy,
+        starve: 0.02,
+        seed: VM_SEED,
+        ..Default::default()
+    }
+}
+
+/// Runs one architecture over one `(contract, accuracy)` stream and
+/// asserts conservation + the full differential audit.
+fn run_arch(contract: Contract, accuracy: f64, arch: ArchKind, horizon: u64) -> ArchPoint {
+    let consensus = ConsensusKind::Pbft;
+    let w = workload(contract, accuracy);
+    let mut net = NetworkBuilder::new(consensus.min_nodes())
+        .consensus(consensus)
+        .architecture(arch)
+        .initial_state(w.initial_state())
+        .batch_size(8)
+        .seed(VM_SEED)
+        .with_audit()
+        .build();
+    let gen = w.clone();
+    let mean_gap = ((1_000_000.0 / VM_OFFERED_TPS).round() as u64).max(1);
+    let mut load = LoadGen::new(
+        WorkloadSource::new(move |id, n| gen.generate(id, n)),
+        LoadProfile::Open { mean_gap },
+        VM_SEED,
+    );
+    let mut queue = IngressQueue::new(QueueConfig { capacity: 512, ttl: horizon / 2 });
+    let cfg = IngressConfig { horizon, max_inflight_batches: 4, ..Default::default() };
+    let report = net.run_ingress(&mut load, &mut queue, &cfg);
+    assert!(
+        report.conserves(),
+        "{arch:?} {contract:?}@{accuracy}: queue identity broken: {:?}",
+        report.queue
+    );
+    assert!(!report.diverged, "{arch:?} {contract:?}@{accuracy} diverged");
+    // The differential oracle re-executes every decided program
+    // independently and asserts gas conservation (`gas_used <=
+    // gas_limit`) per transaction — a failed audit is a panic here.
+    let audit = pbc_audit::audit_network(&net)
+        .unwrap_or_else(|e| panic!("{arch:?} {contract:?}@{accuracy} failed audit: {e:?}"));
+    assert!(audit.heights_checked > 0 || report.queue.committed == 0);
+    let q = &report.queue;
+    let decided = (q.committed + q.aborted).max(1) as f64;
+    ArchPoint {
+        mispredict_rate: report.mispredicted as f64 / decided,
+        abort_rate: (q.aborted - q.aborted_out_of_gas) as f64 / decided,
+        out_of_gas_rate: q.aborted_out_of_gas as f64 / decided,
+        report,
+    }
+}
+
+/// Measures one `(contract, accuracy)` point on both architectures.
+pub fn run_point(contract: Contract, accuracy: f64, horizon: u64) -> VmPoint {
+    VmPoint {
+        accuracy,
+        oxii: run_arch(contract, accuracy, ArchKind::Oxii, horizon),
+        xov: run_arch(contract, accuracy, ArchKind::Xov, horizon),
+    }
+}
+
+/// The accuracy ladder: perfect declarations down to pure decoys.
+pub const ACCURACIES: [f64; 6] = [1.0, 0.9, 0.75, 0.5, 0.25, 0.0];
+
+/// Runs the sweep and writes `BENCH_VM.json` (schema
+/// `pbc-vm-footprint-v1`). `VM_SMOKE=1` shrinks the ladder, the horizon,
+/// and the contract list for CI while keeping every assertion.
+pub fn vm_bench(out_path: &str) {
+    let smoke = std::env::var("VM_SMOKE").is_ok_and(|v| v == "1");
+    let horizon: u64 = if smoke { 25_000 } else { 100_000 };
+    let accuracies: Vec<f64> = if smoke { vec![1.0, 0.5, 0.0] } else { ACCURACIES.to_vec() };
+    let contracts: &[Contract] = if smoke {
+        &[Contract::TokenTransfer]
+    } else {
+        &[Contract::TokenTransfer, Contract::Analytics, Contract::IoHeavy]
+    };
+    println!(
+        "vm sweep: contracts {contracts:?}, accuracy ladder {accuracies:?}, \
+         {VM_OFFERED_TPS:.0} tx/s offered, horizon {horizon} ticks, smoke={smoke}"
+    );
+
+    let mut contract_rows = Vec::new();
+    for &contract in contracts {
+        let points: Vec<VmPoint> =
+            accuracies.iter().map(|&a| run_point(contract, a, horizon)).collect();
+        // The measurement static workloads cannot produce: OXII's
+        // mispredict rate rises as declarations degrade, while XOV —
+        // which never reads a declaration — holds its abort rate flat.
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        assert!(
+            first.oxii.mispredict_rate <= last.oxii.mispredict_rate + 1e-9,
+            "{contract:?}: OXII mispredict rate fell as declarations degraded \
+             ({:.4}@acc={} vs {:.4}@acc={})",
+            first.oxii.mispredict_rate,
+            first.accuracy,
+            last.oxii.mispredict_rate,
+            last.accuracy,
+        );
+        for p in &points {
+            println!(
+                "{contract:?} acc={:.2}: OXII mispredict {:.1}% commit {} | \
+                 XOV abort {:.1}% commit {} | out-of-gas {:.1}%/{:.1}%",
+                p.accuracy,
+                p.oxii.mispredict_rate * 100.0,
+                p.oxii.report.queue.committed,
+                p.xov.abort_rate * 100.0,
+                p.xov.report.queue.committed,
+                p.oxii.out_of_gas_rate * 100.0,
+                p.xov.out_of_gas_rate * 100.0,
+            );
+        }
+        let point_rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                let fmt_arch = |a: &ArchPoint| {
+                    let q = &a.report.queue;
+                    format!(
+                        "{{\"mispredict_rate\": {:.4}, \"abort_rate\": {:.4}, \
+                         \"out_of_gas_rate\": {:.4}, \"committed\": {}, \"aborted\": {}, \
+                         \"aborted_out_of_gas\": {}, \"mispredicted\": {}, \
+                         \"committed_tps\": {:.1}, \"p99_latency_us\": {}}}",
+                        a.mispredict_rate,
+                        a.abort_rate,
+                        a.out_of_gas_rate,
+                        q.committed,
+                        q.aborted,
+                        q.aborted_out_of_gas,
+                        a.report.mispredicted,
+                        a.report.committed_tps,
+                        a.report.p99_latency,
+                    )
+                };
+                format!(
+                    "        {{\"accuracy\": {:.2}, \"oxii\": {}, \"xov\": {}}}",
+                    p.accuracy,
+                    fmt_arch(&p.oxii),
+                    fmt_arch(&p.xov),
+                )
+            })
+            .collect();
+        contract_rows.push(format!(
+            "    {{\"contract\": \"{contract:?}\", \"points\": [\n{}\n      ]}}",
+            point_rows.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"pbc-vm-footprint-v1\",\n  \"seed\": {VM_SEED},\n  \
+         \"smoke\": {smoke},\n  \"horizon_ticks\": {horizon},\n  \
+         \"offered_tps\": {VM_OFFERED_TPS},\n  \"consensus\": \"Pbft\",\n  \
+         \"workload\": \"blockbench accounts=128 scan=8 hot=0.5 zipf-theta=0.8 starve=0.02\",\n  \
+         \"note\": \"per point: identical tx stream into OXII and XOV; queue conservation and \
+         the full differential audit (incl. per-tx gas_used <= gas_limit) asserted; \
+         simulator-time rates, host-independent\",\n  \"contracts\": [\n{}\n  ]\n}}\n",
+        contract_rows.join(",\n"),
+    );
+    std::fs::write(out_path, json).expect("write vm bench json");
+    println!("vm sweep written to {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_declarations_never_mispredict() {
+        let p = run_point(Contract::TokenTransfer, 1.0, 20_000);
+        assert_eq!(p.oxii.report.mispredicted, 0, "perfect footprints mispredicted");
+        assert!(p.oxii.report.queue.committed > 0);
+        // XOV pays contention regardless: the hot pair forces stale
+        // endorsement reads even with perfect declarations.
+        assert!(p.xov.abort_rate > 0.0, "hot-pair XOV run aborted nothing");
+    }
+
+    #[test]
+    fn decoy_declarations_mispredict_and_are_salvaged() {
+        let p = run_point(Contract::TokenTransfer, 0.0, 20_000);
+        assert!(
+            p.oxii.report.mispredicted > 0,
+            "all-decoy declarations produced no mispredicts: {:?}",
+            p.oxii.report.queue
+        );
+        // Salvage re-execution means wrong declarations cost serial
+        // work, not correctness: OXII still commits.
+        assert!(p.oxii.report.queue.committed > 0);
+        // Gas starvation surfaces as the distinct abort reason.
+        assert!(p.oxii.report.queue.aborted_out_of_gas > 0);
+    }
+}

@@ -89,6 +89,12 @@ pub struct IngressReport {
     /// True if two alive nodes at the same applied height hold
     /// different ledger heads.
     pub diverged: bool,
+    /// Dynamic transactions whose declared footprint proved wrong at
+    /// commit time and were salvaged (or aborted) by serial
+    /// re-execution — OXII's speculative-mispredict count. Overlaps
+    /// freely with the commit/abort split; out-of-gas aborts are
+    /// counted separately in [`QueueStats::aborted_out_of_gas`].
+    pub mispredicted: usize,
 }
 
 impl IngressReport {
@@ -118,6 +124,7 @@ impl BlockchainNetwork {
         let horizon = start.saturating_add(cfg.horizon);
         let mut latencies: Vec<SimTime> = Vec::new();
         let mut batches = 0usize;
+        let mut mispredicted = 0usize;
 
         loop {
             match load.peek(horizon) {
@@ -126,7 +133,13 @@ impl BlockchainNetwork {
                     // process exactly the events scheduled ≤ t-1, so
                     // `now()` is engine-invariant here.
                     self.ordering.run_until_time(t.saturating_sub(1));
-                    self.resolve_decided(load, queue, &mut latencies, &mut batches);
+                    self.resolve_decided(
+                        load,
+                        queue,
+                        &mut latencies,
+                        &mut batches,
+                        &mut mispredicted,
+                    );
                     // Completions may have scheduled an earlier
                     // closed-loop arrival; service the timeline in
                     // order.
@@ -150,7 +163,13 @@ impl BlockchainNetwork {
                     let stepped = self
                         .ordering
                         .run_until_time(now.saturating_add(cfg.idle_slice).min(horizon));
-                    self.resolve_decided(load, queue, &mut latencies, &mut batches);
+                    self.resolve_decided(
+                        load,
+                        queue,
+                        &mut latencies,
+                        &mut batches,
+                        &mut mispredicted,
+                    );
                     if stepped == 0 && !flushed {
                         if queue.depth() > 0 && self.backlog() < cfg.max_inflight_batches {
                             // Engine idle and nothing lingering long
@@ -192,14 +211,14 @@ impl BlockchainNetwork {
             let before = events(self.ordering.stats());
             let decided = self.ordering.run_until_decided(self.next_batch_id as usize, budget);
             budget = budget.saturating_sub(events(self.ordering.stats()) - before);
-            self.resolve_decided(load, queue, &mut latencies, &mut batches);
+            self.resolve_decided(load, queue, &mut latencies, &mut batches, &mut mispredicted);
             if !decided {
                 break; // stalled (e.g. dead majority) or budget spent
             }
         }
         let target = self.next_batch_id as usize;
         let complete = self.ordering.run_until_decided(target, budget);
-        self.resolve_decided(load, queue, &mut latencies, &mut batches);
+        self.resolve_decided(load, queue, &mut latencies, &mut batches, &mut mispredicted);
 
         let end = self.ordering.now();
         let elapsed = end.saturating_sub(start);
@@ -232,6 +251,7 @@ impl BlockchainNetwork {
             },
             consensus_complete: complete,
             diverged: self.check_divergence(),
+            mispredicted,
         }
     }
 
@@ -325,13 +345,18 @@ impl BlockchainNetwork {
         queue: &mut IngressQueue,
         latencies: &mut Vec<SimTime>,
         batches: &mut usize,
+        mispredicted: &mut usize,
     ) {
         self.apply_decided(|_seq, batch, t, outcome| {
             let committed: HashSet<TxId> = outcome.committed.iter().copied().collect();
+            let out_of_gas: HashSet<TxId> = outcome.out_of_gas.iter().copied().collect();
+            *mispredicted += outcome.mispredicted.len();
             let mut resolved = 0usize;
             for tx in &batch.txs {
                 let r = if committed.contains(&tx.id) {
                     queue.resolve_committed(tx.id, t).map(|l| (l, "commit"))
+                } else if out_of_gas.contains(&tx.id) {
+                    queue.resolve_aborted_out_of_gas(tx.id, t).map(|l| (l, "abort-out-of-gas"))
                 } else {
                     queue.resolve_aborted(tx.id, t).map(|l| (l, "abort"))
                 };

@@ -290,6 +290,14 @@ pub struct RunReport {
     pub committed: usize,
     /// Transactions aborted.
     pub aborted: usize,
+    /// Of `aborted`: transactions whose VM invocation exhausted its gas
+    /// budget. Always `<= aborted` — a distinct abort *reason*, not a
+    /// separate bucket of the commit/abort partition.
+    pub out_of_gas: usize,
+    /// Dynamic transactions whose declared footprint proved wrong at
+    /// commit time and were salvaged (or aborted) by serial
+    /// re-execution. Overlaps freely with both verdict buckets.
+    pub mispredicted: usize,
     /// Batches (blocks) decided by consensus.
     pub batches: usize,
     /// Logical time at completion.
@@ -499,11 +507,13 @@ impl BlockchainNetwork {
         let mut latency_sum = 0u64;
         let mut latency_n = 0u64;
         let reference = {
-            let (committed, aborted, batches) =
-                (&mut report.committed, &mut report.aborted, &mut report.batches);
+            let RunReport { committed, aborted, out_of_gas, mispredicted, batches, .. } =
+                &mut report;
             self.apply_decided(|_seq, _batch, t, outcome| {
                 *committed += outcome.committed.len();
                 *aborted += outcome.aborted.len();
+                *out_of_gas += outcome.out_of_gas.len();
+                *mispredicted += outcome.mispredicted.len();
                 *batches += 1;
                 latency_sum += t;
                 latency_n += 1;

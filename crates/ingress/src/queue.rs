@@ -74,12 +74,17 @@ pub struct QueueStats {
     pub committed: usize,
     /// Admitted transactions resolved as aborted by the pipeline.
     pub aborted: usize,
+    /// Of `aborted`: transactions whose VM invocation ran out of gas —
+    /// a distinct abort *reason*, always `<= aborted`, so saturation
+    /// sweeps can separate contention aborts from gas starvation.
+    pub aborted_out_of_gas: usize,
 }
 
 impl QueueStats {
     /// The conservation identity: every admitted transaction is either
     /// committed, aborted, expired, or still in flight (waiting in the
-    /// queue or submitted to consensus and not yet resolved).
+    /// queue or submitted to consensus and not yet resolved). Out-of-gas
+    /// aborts are a sub-count of `aborted`, never a fifth bucket.
     ///
     /// `in_flight` is the live count from
     /// [`IngressQueue::in_flight`]; the identity must hold at *every*
@@ -87,6 +92,7 @@ impl QueueStats {
     pub fn conserves(&self, in_flight: usize) -> bool {
         self.admitted == self.committed + self.aborted + self.expired + in_flight
             && self.offered == self.admitted + self.rejected_full + self.rejected_dup
+            && self.aborted_out_of_gas <= self.aborted
     }
 }
 
@@ -232,6 +238,16 @@ impl IngressQueue {
         let arrived = self.submitted.remove(&id)?;
         self.stats.aborted += 1;
         Some(decided.saturating_sub(arrived))
+    }
+
+    /// Like [`resolve_aborted`](IngressQueue::resolve_aborted), but for
+    /// a transaction that aborted because its VM invocation exhausted
+    /// its gas budget — counted under both `aborted` and
+    /// `aborted_out_of_gas`.
+    pub fn resolve_aborted_out_of_gas(&mut self, id: TxId, decided: SimTime) -> Option<SimTime> {
+        let latency = self.resolve_aborted(id, decided)?;
+        self.stats.aborted_out_of_gas += 1;
+        Some(latency)
     }
 
     /// Transactions waiting to be drained.

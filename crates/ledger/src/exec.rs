@@ -8,7 +8,8 @@
 
 use crate::state::{StateStore, Version, WriteOp};
 use pbc_types::tx::{balance_of, balance_value};
-use pbc_types::{Key, Op, Transaction};
+use pbc_types::{Key, Op, Transaction, Value, VmCall};
+use pbc_vm::{VmHost, VmStatus};
 
 /// Why a transaction aborted during execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,12 +25,40 @@ pub enum ExecStatus {
         /// The balance available.
         available: u64,
     },
+    /// A VM program exhausted its gas budget; no effects are produced.
+    /// Distinct from other aborts so it can be threaded through
+    /// `RunReport`, metrics, and the ingress conservation identity.
+    OutOfGas {
+        /// The budget the invocation declared.
+        limit: u64,
+        /// Gas metered before exhaustion (invariant: `used <= limit`).
+        used: u64,
+    },
+    /// A VM program aborted itself with a contract-level code (the
+    /// dynamic analogue of `InsufficientFunds`).
+    VmAbort {
+        /// The code passed to the VM's `Abort` instruction.
+        code: u32,
+    },
+    /// The bytecode failed to decode, or the program hit a runtime
+    /// fault (stack error, bad dynamic index). Deterministic: every
+    /// replica rejects identically.
+    VmFault {
+        /// Human-readable fault description (stable across replicas).
+        detail: String,
+    },
 }
 
 impl ExecStatus {
     /// True for successful execution.
     pub fn is_success(&self) -> bool {
         matches!(self, ExecStatus::Success)
+    }
+
+    /// True when the abort reason is gas exhaustion (the abort class
+    /// the ingress conservation identity accounts separately).
+    pub fn is_out_of_gas(&self) -> bool {
+        matches!(self, ExecStatus::OutOfGas { .. })
     }
 }
 
@@ -46,8 +75,14 @@ pub struct ExecResult {
     /// Success or abort reason.
     pub status: ExecStatus,
     /// Abstract work units consumed (`Noop { busy_work }` accumulates
-    /// here; real ops count 1 each). Used by cost-sensitive benches.
+    /// here; real ops count 1 each, VM invocations their metered gas).
+    /// Used by cost-sensitive benches.
     pub work: u64,
+    /// Gas metered across the transaction's VM invocations (0 for
+    /// purely static transactions). The auditor asserts
+    /// `gas_used <= tx.gas_limit()` on every committed and aborted
+    /// transaction.
+    pub gas_used: u64,
 }
 
 impl ExecResult {
@@ -57,34 +92,101 @@ impl ExecResult {
     }
 }
 
+/// Read-your-writes lookup: last buffered write wins (a buffered delete
+/// makes the key read as missing *without* falling through to the
+/// store); only reads served by the store are recorded in the read set.
+/// Shared verbatim by the static interpreter and the VM host, which is
+/// what makes their footprints byte-identical.
+fn lookup(
+    state: &StateStore,
+    writes: &[WriteOp],
+    reads: &mut Vec<(Key, Version)>,
+    key: &str,
+) -> Option<Value> {
+    if let Some((_, v)) = writes.iter().rev().find(|(k, _)| k == key) {
+        return v.clone();
+    }
+    let (val, ver) = state.get_versioned(key);
+    reads.push((key.to_string(), ver));
+    val.cloned()
+}
+
+/// The [`VmHost`] the shared `execute` entry point hands to `pbc-vm`:
+/// it routes every host op through the same buffers and [`lookup`] the
+/// static interpreter uses, so a program and the op list it was
+/// compiled from record indistinguishable footprints.
+struct LedgerHost<'a> {
+    state: &'a StateStore,
+    writes: &'a mut Vec<WriteOp>,
+    reads: &'a mut Vec<(Key, Version)>,
+}
+
+impl VmHost for LedgerHost<'_> {
+    fn get(&mut self, key: &str) -> u64 {
+        balance_of(lookup(self.state, self.writes, self.reads, key).as_ref())
+    }
+    fn put(&mut self, key: &str, value: u64) {
+        self.writes.push((key.to_string(), Some(balance_value(value))));
+    }
+    fn put_bytes(&mut self, key: &str, value: &[u8]) {
+        self.writes.push((key.to_string(), Some(Value::copy_from_slice(value))));
+    }
+    fn delete(&mut self, key: &str) {
+        self.writes.push((key.to_string(), None));
+    }
+}
+
+/// Runs one VM invocation against the transaction's buffers. `Ok` means
+/// the program halted; `Err` carries the abort status (writes must be
+/// discarded by the caller). Either way the metered gas is returned.
+fn run_invoke(
+    call: &VmCall,
+    state: &StateStore,
+    writes: &mut Vec<WriteOp>,
+    reads: &mut Vec<(Key, Version)>,
+) -> (u64, Option<ExecStatus>) {
+    let program = match pbc_vm::Program::from_bytes(&call.bytecode) {
+        Ok(p) => p,
+        Err(e) => {
+            return (0, Some(ExecStatus::VmFault { detail: format!("bytecode rejected: {e}") }))
+        }
+    };
+    let mut host = LedgerHost { state, writes, reads };
+    let run = pbc_vm::run(&program, &call.args, call.gas_limit, &mut host);
+    debug_assert!(run.gas_used <= call.gas_limit, "VM overdrew its gas budget");
+    let abort = match run.status {
+        VmStatus::Halted => None,
+        VmStatus::OutOfGas => {
+            Some(ExecStatus::OutOfGas { limit: call.gas_limit, used: run.gas_used })
+        }
+        VmStatus::Aborted(code) => Some(ExecStatus::VmAbort { code }),
+        VmStatus::Fault(f) => Some(ExecStatus::VmFault { detail: f.to_string() }),
+    };
+    (run.gas_used, abort)
+}
+
 /// Executes `tx` against `state` *without mutating it*.
 ///
-/// Reads see earlier writes of the same transaction (read-your-writes
-/// within the op list). A failed `Transfer` aborts the whole transaction:
-/// the returned write set is empty and the status carries the reason, but
+/// This is the single shared entry point for both payload forms of
+/// [`pbc_types::Executable`]: static ops are interpreted directly, and
+/// `Op::Invoke` payloads run on the `pbc-vm` interpreter against the
+/// same read-your-writes buffers. Reads see earlier writes of the same
+/// transaction. Any abort — a failed `Transfer`, a VM contract abort,
+/// out-of-gas, or a bytecode fault — aborts the whole transaction: the
+/// returned write set is empty and the status carries the reason, but
 /// the read set is retained (XOV still validates reads of aborted
 /// endorsements).
 pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
     let mut read_set: Vec<(Key, Version)> = Vec::new();
     let mut writes: Vec<WriteOp> = Vec::new();
     let mut work: u64 = 0;
-
-    // Read-your-writes buffer: last write wins. A buffered delete makes
-    // the key read as missing *without* falling through to the store.
-    let lookup = |key: &str, writes: &[WriteOp], reads: &mut Vec<(Key, Version)>| {
-        if let Some((_, v)) = writes.iter().rev().find(|(k, _)| k == key) {
-            return v.clone();
-        }
-        let (val, ver) = state.get_versioned(key);
-        reads.push((key.to_string(), ver));
-        val.cloned()
-    };
+    let mut gas_used: u64 = 0;
 
     for op in &tx.ops {
         match op {
             Op::Get { key } => {
                 work += 1;
-                let _ = lookup(key, &writes, &mut read_set);
+                let _ = lookup(state, &writes, &mut read_set, key);
             }
             Op::Put { key, value } => {
                 work += 1;
@@ -92,7 +194,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
             }
             Op::Incr { key, delta } => {
                 work += 1;
-                let cur = balance_of(lookup(key, &writes, &mut read_set).as_ref());
+                let cur = balance_of(lookup(state, &writes, &mut read_set, key).as_ref());
                 let next = if *delta >= 0 {
                     cur.saturating_add(*delta as u64)
                 } else {
@@ -102,7 +204,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
             }
             Op::Transfer { from, to, amount } => {
                 work += 1;
-                let from_bal = balance_of(lookup(from, &writes, &mut read_set).as_ref());
+                let from_bal = balance_of(lookup(state, &writes, &mut read_set, from).as_ref());
                 if from_bal < *amount {
                     return ExecResult {
                         tx_id: tx.id,
@@ -114,12 +216,13 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
                             available: from_bal,
                         },
                         work,
+                        gas_used,
                     };
                 }
                 // Debit before reading the credit side so self-transfers
                 // observe the debited balance and conserve funds.
                 writes.push((from.clone(), Some(balance_value(from_bal - amount))));
-                let to_bal = balance_of(lookup(to, &writes, &mut read_set).as_ref());
+                let to_bal = balance_of(lookup(state, &writes, &mut read_set, to).as_ref());
                 writes.push((to.clone(), Some(balance_value(to_bal + amount))));
             }
             Op::Noop { busy_work } => {
@@ -137,6 +240,21 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
             Op::Delete { key } => {
                 work += 1;
                 writes.push((key.clone(), None));
+            }
+            Op::Invoke { call } => {
+                let (gas, abort) = run_invoke(call, state, &mut writes, &mut read_set);
+                gas_used += gas;
+                work += gas;
+                if let Some(status) = abort {
+                    return ExecResult {
+                        tx_id: tx.id,
+                        read_set,
+                        write_set: Vec::new(),
+                        status,
+                        work,
+                        gas_used,
+                    };
+                }
             }
         }
     }
@@ -159,6 +277,7 @@ pub fn execute(tx: &Transaction, state: &StateStore) -> ExecResult {
         write_set: final_writes,
         status: ExecStatus::Success,
         work,
+        gas_used,
     }
 }
 
@@ -335,6 +454,86 @@ mod tests {
         let r = execute(&t, &s);
         assert_eq!(r.work, 500);
         assert!(r.write_set.is_empty());
+    }
+
+    fn invoke_tx(call: pbc_types::VmCall) -> Transaction {
+        Transaction::invoke(TxId(9), ClientId(0), call)
+    }
+
+    fn call_for(ops: &[Op], gas_limit: u64) -> pbc_types::VmCall {
+        let p = pbc_vm::compile_ops(ops);
+        pbc_types::VmCall {
+            bytecode: Bytes::from(p.to_bytes()),
+            args: vec![],
+            gas_limit,
+            declared_reads: vec![],
+            declared_writes: vec![],
+        }
+    }
+
+    #[test]
+    fn vm_invoke_matches_static_interpreter() {
+        let ops = vec![
+            Op::Transfer { from: "alice".into(), to: "bob".into(), amount: 30 },
+            Op::Incr { key: "counter".into(), delta: 7 },
+            Op::Get { key: "ghost".into() },
+        ];
+        let s = seeded_state();
+        let legacy = execute(&tx(ops.clone()), &s);
+        let p = pbc_vm::compile_ops(&ops);
+        let vm = execute(&invoke_tx(call_for(&ops, p.straight_line_gas())), &s);
+        assert!(vm.is_success());
+        assert_eq!(vm.read_set, legacy.read_set, "footprints must be byte-identical");
+        assert_eq!(vm.write_set, legacy.write_set);
+        assert!(vm.gas_used > 0 && vm.gas_used <= p.straight_line_gas());
+    }
+
+    #[test]
+    fn vm_out_of_gas_aborts_without_effects() {
+        let ops = vec![
+            Op::Put { key: "side".into(), value: balance_value(1) },
+            Op::Noop { busy_work: 1000 },
+        ];
+        let mut s = seeded_state();
+        let t = invoke_tx(call_for(&ops, 20)); // Put costs 10+1; Burn(1000) won't fit.
+        let r = execute_and_apply(&t, &mut s, Version::new(2, 0));
+        assert_eq!(r.status, ExecStatus::OutOfGas { limit: 20, used: r.gas_used });
+        assert!(r.gas_used <= 20, "gas conservation: used must never exceed the limit");
+        assert!(r.write_set.is_empty());
+        assert!(s.get("side").is_none(), "out-of-gas tx must leave no effects");
+    }
+
+    #[test]
+    fn vm_contract_abort_keeps_reads_discards_writes() {
+        let ops = vec![Op::Transfer { from: "alice".into(), to: "bob".into(), amount: 1000 }];
+        let s = seeded_state();
+        let legacy = execute(&tx(ops.clone()), &s);
+        let p = pbc_vm::compile_ops(&ops);
+        let vm = execute(&invoke_tx(call_for(&ops, p.straight_line_gas())), &s);
+        assert_eq!(vm.status, ExecStatus::VmAbort { code: pbc_vm::ABORT_INSUFFICIENT_FUNDS });
+        assert_eq!(vm.read_set, legacy.read_set);
+        assert!(vm.write_set.is_empty());
+    }
+
+    #[test]
+    fn vm_malformed_bytecode_is_a_typed_fault() {
+        let t = invoke_tx(pbc_types::VmCall {
+            bytecode: Bytes::from_static(&[0xFF, 1, 2, 3]),
+            args: vec![],
+            gas_limit: 100,
+            declared_reads: vec![],
+            declared_writes: vec![],
+        });
+        let r = execute(&t, &StateStore::new());
+        assert!(matches!(r.status, ExecStatus::VmFault { .. }), "got {:?}", r.status);
+        assert_eq!(r.gas_used, 0);
+    }
+
+    #[test]
+    fn static_tx_reports_zero_gas() {
+        let r = execute(&tx(vec![Op::Get { key: "alice".into() }]), &seeded_state());
+        assert_eq!(r.gas_used, 0);
+        assert!(!r.status.is_out_of_gas());
     }
 
     #[test]

@@ -204,6 +204,21 @@ impl Cluster {
                     self.state.put(to.clone(), balance_value(tb + amount), v);
                 }
                 Op::Delete { key } => self.state.delete(key.clone(), v),
+                Op::Invoke { .. } => {
+                    // VM payloads run through the shared ledger executor
+                    // against this shard's state. Sharded VM execution is
+                    // single-shard: the router keeps an `Invoke` whole
+                    // (see `split_by_shard`), so all its keys live here.
+                    let probe = Transaction::new(
+                        pbc_types::TxId(tx_id),
+                        pbc_types::ClientId(0),
+                        vec![op.clone()],
+                    );
+                    let r = pbc_ledger::execute(&probe, &self.state);
+                    if r.is_success() {
+                        self.state.apply_writes(&r.write_set, v);
+                    }
+                }
                 Op::Get { .. } | Op::Noop { .. } => {}
             }
         }
@@ -232,7 +247,7 @@ impl Cluster {
 fn ops_keys(ops: &[Op]) -> HashSet<Key> {
     let mut keys = HashSet::new();
     for op in ops {
-        for k in op.reads().into_iter().chain(op.writes()) {
+        for k in op.reads().chain(op.writes()) {
             keys.insert(k.to_string());
         }
     }
@@ -267,6 +282,19 @@ pub fn split_by_shard(tx: &Transaction, p: &Partitioner) -> HashMap<ShardId, Vec
             }
             Op::Put { key, .. } | Op::Incr { key, .. } | Op::Get { key } | Op::Delete { key } => {
                 per.entry(p.shard_of(key)).or_default().push(op.clone());
+            }
+            Op::Invoke { call } => {
+                // A VM program is atomic — it cannot be split into
+                // per-shard halves the way a Transfer can. Route the
+                // whole invocation to the shard of its first declared
+                // key (workloads pin VM footprints to one shard).
+                let home = call
+                    .declared_writes
+                    .first()
+                    .or_else(|| call.declared_reads.first())
+                    .map(|k| p.shard_of(k))
+                    .unwrap_or(ShardId(0));
+                per.entry(home).or_default().push(op.clone());
             }
             Op::Noop { .. } => {}
         }

@@ -20,4 +20,4 @@ pub mod tx;
 
 pub use block::{Block, BlockHeader};
 pub use ids::{ChannelId, ClientId, EnterpriseId, Height, NodeId, Round, ShardId, TxId, View};
-pub use tx::{Key, Op, Transaction, TxScope, Value};
+pub use tx::{Executable, Key, KeyRefs, Op, Transaction, TxScope, Value, VmCall};

@@ -65,30 +65,115 @@ pub enum Op {
         /// Key to delete.
         key: Key,
     },
+    /// Invokes a VM program (`pbc-vm` bytecode): the dynamic-footprint
+    /// payload. The keys the program actually touches are discovered at
+    /// execution time; [`VmCall::declared_reads`]/`declared_writes` are
+    /// the client's *prediction*, which schedulers may trust and
+    /// validators must check.
+    Invoke {
+        /// The program, its arguments, gas budget, and declared footprint.
+        call: VmCall,
+    },
 }
 
-impl Op {
-    /// Keys this operation reads.
-    pub fn reads(&self) -> Vec<&str> {
-        match self {
-            Op::Get { key } => vec![key],
-            Op::Put { .. } => vec![],
-            Op::Incr { key, .. } => vec![key],
-            Op::Transfer { from, to, .. } => vec![from, to],
-            Op::Noop { .. } => vec![],
-            Op::Delete { .. } => vec![],
+/// A VM invocation payload: bytecode plus call context.
+///
+/// `bytecode` is opaque at this layer (decoded and validated by
+/// `pbc-vm`), which keeps `pbc-types` free of a dependency on the VM.
+/// The declared read/write sets are what static-footprint machinery
+/// (OXII dependency graphs, FastFabric layering, `conflicts_with`) sees
+/// before execution — deliberately *allowed to be wrong*, because
+/// measuring the cost of wrong predictions is the point.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmCall {
+    /// Canonical `pbc-vm` bytecode (see `pbc_vm::Program::from_bytes`).
+    pub bytecode: Value,
+    /// Call arguments, addressable via the VM's `Arg` instruction.
+    pub args: Vec<u64>,
+    /// Gas budget; execution aborts with out-of-gas beyond it.
+    pub gas_limit: u64,
+    /// Keys the client predicts the program will read (sorted order not
+    /// required; may be incomplete or overbroad).
+    pub declared_reads: Vec<Key>,
+    /// Keys the client predicts the program will write.
+    pub declared_writes: Vec<Key>,
+}
+
+/// A borrowed view of the keys an [`Op`] statically declares, without
+/// heap allocation — `Op::reads`/`Op::writes` sit on the hot paths of
+/// dependency-graph construction and conflict checks, where the former
+/// per-call `Vec<&str>` showed up as allocator traffic (see the `e12`
+/// bench group).
+#[derive(Clone, Debug)]
+pub enum KeyRefs<'a> {
+    /// No keys.
+    None,
+    /// Exactly one key.
+    One(&'a str),
+    /// Exactly two keys (e.g. `Transfer`).
+    Two(&'a str, &'a str),
+    /// A declared key list (VM invocations).
+    Slice(std::slice::Iter<'a, Key>),
+}
+
+impl<'a> Iterator for KeyRefs<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        match std::mem::replace(self, KeyRefs::None) {
+            KeyRefs::None => None,
+            KeyRefs::One(a) => Some(a),
+            KeyRefs::Two(a, b) => {
+                *self = KeyRefs::One(b);
+                Some(a)
+            }
+            KeyRefs::Slice(mut it) => {
+                let head = it.next().map(|k| k.as_str());
+                *self = KeyRefs::Slice(it);
+                head
+            }
         }
     }
 
-    /// Keys this operation writes.
-    pub fn writes(&self) -> Vec<&str> {
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            KeyRefs::None => 0,
+            KeyRefs::One(_) => 1,
+            KeyRefs::Two(_, _) => 2,
+            KeyRefs::Slice(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for KeyRefs<'_> {}
+
+impl Op {
+    /// Keys this operation *declares* it reads (allocation-free). For
+    /// `Invoke` these are the client's predicted reads, which the real
+    /// execution may contradict.
+    pub fn reads(&self) -> KeyRefs<'_> {
         match self {
-            Op::Get { .. } => vec![],
-            Op::Put { key, .. } => vec![key],
-            Op::Incr { key, .. } => vec![key],
-            Op::Transfer { from, to, .. } => vec![from, to],
-            Op::Noop { .. } => vec![],
-            Op::Delete { key } => vec![key],
+            Op::Get { key } => KeyRefs::One(key),
+            Op::Put { .. } => KeyRefs::None,
+            Op::Incr { key, .. } => KeyRefs::One(key),
+            Op::Transfer { from, to, .. } => KeyRefs::Two(from, to),
+            Op::Noop { .. } => KeyRefs::None,
+            Op::Delete { .. } => KeyRefs::None,
+            Op::Invoke { call } => KeyRefs::Slice(call.declared_reads.iter()),
+        }
+    }
+
+    /// Keys this operation *declares* it writes (allocation-free).
+    pub fn writes(&self) -> KeyRefs<'_> {
+        match self {
+            Op::Get { .. } => KeyRefs::None,
+            Op::Put { key, .. } => KeyRefs::One(key),
+            Op::Incr { key, .. } => KeyRefs::One(key),
+            Op::Transfer { from, to, .. } => KeyRefs::Two(from, to),
+            Op::Noop { .. } => KeyRefs::None,
+            Op::Delete { key } => KeyRefs::One(key),
+            Op::Invoke { call } => KeyRefs::Slice(call.declared_writes.iter()),
         }
     }
 }
@@ -114,6 +199,25 @@ impl CanonicalEncode for Op {
             Op::Delete { key } => {
                 enc.tag(5).str(key);
             }
+            Op::Invoke { call } => {
+                // Tag 6 extends the op space; tags 0–5 and every legacy
+                // encoding stay bit-identical, which is what keeps the
+                // golden traces and persisted batches stable.
+                enc.tag(6).bytes(&call.bytecode);
+                enc.u64(call.args.len() as u64);
+                for a in &call.args {
+                    enc.u64(*a);
+                }
+                enc.u64(call.gas_limit);
+                enc.u64(call.declared_reads.len() as u64);
+                for k in &call.declared_reads {
+                    enc.str(k);
+                }
+                enc.u64(call.declared_writes.len() as u64);
+                for k in &call.declared_writes {
+                    enc.str(k);
+                }
+            }
         }
     }
 }
@@ -136,6 +240,28 @@ impl Op {
             }
             4 => Op::Noop { busy_work: dec.u32()? },
             5 => Op::Delete { key: dec.str()?.to_string() },
+            6 => {
+                let bytecode = Bytes::copy_from_slice(dec.bytes()?);
+                let n_args = dec.u64()?;
+                let mut args = Vec::with_capacity(n_args.min(1024) as usize);
+                for _ in 0..n_args {
+                    args.push(dec.u64()?);
+                }
+                let gas_limit = dec.u64()?;
+                let n_reads = dec.u64()?;
+                let mut declared_reads = Vec::with_capacity(n_reads.min(1024) as usize);
+                for _ in 0..n_reads {
+                    declared_reads.push(dec.str()?.to_string());
+                }
+                let n_writes = dec.u64()?;
+                let mut declared_writes = Vec::with_capacity(n_writes.min(1024) as usize);
+                for _ in 0..n_writes {
+                    declared_writes.push(dec.str()?.to_string());
+                }
+                Op::Invoke {
+                    call: VmCall { bytecode, args, gas_limit, declared_reads, declared_writes },
+                }
+            }
             _ => return None,
         })
     }
@@ -233,6 +359,44 @@ impl Transaction {
         Transaction { id, client, scope, ops }
     }
 
+    /// Creates a global-scope transaction whose whole payload is one VM
+    /// invocation.
+    pub fn invoke(id: TxId, client: ClientId, call: VmCall) -> Self {
+        Transaction::new(id, client, vec![Op::Invoke { call }])
+    }
+
+    /// What this transaction executes: the legacy static op list, or a
+    /// VM program when the payload is a single `Invoke`. Mixed lists
+    /// (static ops *and* invocations) are executed op-by-op and show up
+    /// as `Ops`.
+    pub fn executable(&self) -> Executable<'_> {
+        match self.ops.as_slice() {
+            [Op::Invoke { call }] => Executable::Program { call },
+            ops => Executable::Ops(ops),
+        }
+    }
+
+    /// The first VM invocation payload, if any op carries one.
+    pub fn vm_call(&self) -> Option<&VmCall> {
+        self.ops.iter().find_map(|op| match op {
+            Op::Invoke { call } => Some(call),
+            _ => None,
+        })
+    }
+
+    /// Total gas budget across the transaction's VM invocations. Static
+    /// ops are not metered (their cost model is `work`), so a purely
+    /// static transaction reports `None`.
+    pub fn gas_limit(&self) -> Option<u64> {
+        let mut total: Option<u64> = None;
+        for op in &self.ops {
+            if let Op::Invoke { call } = op {
+                total = Some(total.unwrap_or(0).saturating_add(call.gas_limit));
+            }
+        }
+        total
+    }
+
     /// The statically known read set (deduplicated, sorted).
     pub fn read_keys(&self) -> Vec<&str> {
         let mut ks: Vec<&str> = self.ops.iter().flat_map(|o| o.reads()).collect();
@@ -299,6 +463,19 @@ impl Transaction {
         }
         Some(Transaction { id, client, scope, ops })
     }
+}
+
+/// A borrowed view of a transaction's payload: the two execution forms
+/// every pipeline's shared `execute` entry point accepts.
+#[derive(Clone, Copy, Debug)]
+pub enum Executable<'a> {
+    /// The legacy static op list — footprints known before execution.
+    Ops(&'a [Op]),
+    /// A VM program + args — the footprint is discovered by running it.
+    Program {
+        /// The invocation payload.
+        call: &'a VmCall,
+    },
 }
 
 /// Helper: encodes a `u64` balance as a state value.

@@ -1,0 +1,106 @@
+//! Compiling legacy static [`Op`] lists to VM bytecode.
+//!
+//! The compiled program is *observationally identical* to the static
+//! interpreter in `pbc-ledger`: same buffered writes in the same order,
+//! same reads recorded in the same order (including the read-your-writes
+//! suppression), same abort point on insufficient funds. That equivalence
+//! is what the `vm_differential` proptest pins across all eight pipelines
+//! — it is the proof that threading the VM through the execution layer
+//! changed nothing for static workloads.
+
+use crate::program::{Instr, Program};
+use pbc_types::Op;
+
+/// The contract-level abort code a compiled `Transfer` raises when the
+/// debit side lacks funds (the VM analogue of
+/// `ExecStatus::InsufficientFunds`).
+pub const ABORT_INSUFFICIENT_FUNDS: u32 = 1;
+
+/// Interns `key` into the program's key table, returning its index.
+fn intern(program: &mut Program, key: &str) -> u64 {
+    match program.keys.iter().position(|k| k == key) {
+        Some(i) => i as u64,
+        None => {
+            program.keys.push(key.to_string());
+            (program.keys.len() - 1) as u64
+        }
+    }
+}
+
+/// Compiles a legacy op list to a VM program with identical observable
+/// behaviour (footprint, writes, abort point). The returned program is
+/// loop-free, so [`Program::straight_line_gas`] is a sufficient gas
+/// limit for it.
+pub fn compile_ops(ops: &[Op]) -> Program {
+    let mut p = Program::default();
+    for op in ops {
+        match op {
+            Op::Get { key } => {
+                let k = intern(&mut p, key);
+                // The static interpreter discards the value but records
+                // the read; `Pop` keeps the stack balanced.
+                p.code.extend([Instr::Push(k), Instr::Get, Instr::Pop]);
+            }
+            Op::Put { key, value } => {
+                let k = intern(&mut p, key);
+                let c = p.consts.len() as u32;
+                p.consts.push(value.to_vec());
+                p.code.extend([Instr::Push(k), Instr::PutData(c)]);
+            }
+            Op::Incr { key, delta } => {
+                let k = intern(&mut p, key);
+                p.code.extend([Instr::Push(k), Instr::Push(*delta as u64), Instr::Incr]);
+            }
+            Op::Transfer { from, to, amount } => {
+                let kf = intern(&mut p, from);
+                let kt = intern(&mut p, to);
+                let base = p.code.len() as u32;
+                // Stack trace (top rightmost):
+                //   Push kf, Get            -> [from_bal]        (read from)
+                //   Dup, Push amt, Lt       -> [from_bal, from_bal < amt]
+                //   Jz +7                   -> [from_bal]        (jump if sufficient)
+                //   Abort                                        (insufficient funds)
+                //   Push amt, Sub           -> [from_bal - amt]
+                //   Push kf, Swap, Put      -> []                (write from)
+                //   Push kt, Get            -> [to_bal]          (read to; ryw-suppressed on self-transfer)
+                //   Push amt, Add           -> [to_bal + amt]
+                //   Push kt, Swap, Put      -> []                (write to)
+                // Read/write recording order matches the static
+                // interpreter instruction for instruction.
+                p.code.extend([
+                    Instr::Push(kf),
+                    Instr::Get,
+                    Instr::Dup,
+                    Instr::Push(*amount),
+                    Instr::Lt,
+                    Instr::Jz(base + 7),
+                    Instr::Abort(ABORT_INSUFFICIENT_FUNDS),
+                    Instr::Push(*amount),
+                    Instr::Sub,
+                    Instr::Push(kf),
+                    Instr::Swap,
+                    Instr::Put,
+                    Instr::Push(kt),
+                    Instr::Get,
+                    Instr::Push(*amount),
+                    Instr::Add,
+                    Instr::Push(kt),
+                    Instr::Swap,
+                    Instr::Put,
+                ]);
+            }
+            Op::Noop { busy_work } => {
+                p.code.push(Instr::Burn(*busy_work));
+            }
+            Op::Delete { key } => {
+                let k = intern(&mut p, key);
+                p.code.extend([Instr::Push(k), Instr::Delete]);
+            }
+            // Already a program — nothing to translate. `compile_ops`
+            // exists for *legacy static* lists; the executor runs
+            // `Invoke` payloads directly.
+            Op::Invoke { .. } => {}
+        }
+    }
+    p
+}

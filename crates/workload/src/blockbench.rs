@@ -1,0 +1,466 @@
+//! Blockbench-style smart-contract workloads compiled to `pbc-vm`
+//! bytecode — the dynamic-footprint workloads of "Untangling Blockchain"
+//! (Dinh et al. 2017) ported to the workspace's VM.
+//!
+//! Four contracts:
+//!
+//! * [`Contract::DoNothing`] — an empty program; isolates
+//!   consensus/ordering overhead from execution cost.
+//! * [`Contract::IoHeavy`] — writes a window of keys then reads a second
+//!   window back; storage-bound.
+//! * [`Contract::Analytics`] — scans a window and accumulates the sum
+//!   into a shared aggregate key via `Incr`; scan-and-aggregate with a
+//!   write hot spot.
+//! * [`Contract::TokenTransfer`] — the conditional balance transfer,
+//!   with a **hot-pair knob**: a fraction of transfers all hit the same
+//!   `(from, to)` pair (the hot DeFi-pair contention shape).
+//!
+//! Every transaction is a single [`Op::Invoke`](pbc_types::Op::Invoke)
+//! whose key indices are
+//! popped from the stack at run time — the true footprint is only known
+//! once the program executes. The [`BlockbenchWorkload::accuracy`] knob
+//! controls how often the *declared* footprint (what OXII dependency
+//! graphs and FastFabric layering see) matches the truth: an inaccurate
+//! transaction declares a decoy footprint in a different key region, so
+//! schedulers both miss its real conflicts and invent fake ones — the
+//! misprediction axis the ParBlockchain evaluation turns on.
+
+use crate::zipf::Zipf;
+use pbc_ledger::{StateStore, Version};
+use pbc_types::tx::balance_value;
+use pbc_types::{ClientId, Key, Transaction, TxId, VmCall};
+use pbc_vm::{gas_cost, Instr, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four ported Blockbench contracts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contract {
+    /// Empty program: pure consensus/ordering overhead.
+    DoNothing,
+    /// Write a key window, read a second window back.
+    IoHeavy,
+    /// Scan a window, accumulate the sum into an aggregate key.
+    Analytics,
+    /// Conditional balance transfer with a hot-pair knob.
+    TokenTransfer,
+}
+
+/// Blockbench workload generator parameters.
+#[derive(Clone, Debug)]
+pub struct BlockbenchWorkload {
+    /// Which contract every generated transaction invokes.
+    pub contract: Contract,
+    /// Number of accounts in the key space.
+    pub accounts: usize,
+    /// Window size for `IoHeavy`/`Analytics` scans.
+    pub scan: usize,
+    /// Number of shared aggregate keys `Analytics` folds into.
+    pub agg_keys: usize,
+    /// Fraction of `TokenTransfer`s that hit the single hot pair
+    /// (accounts 0 → 1); the rest sample Zipfian endpoints.
+    pub hot_fraction: f64,
+    /// Zipfian skew for non-hot-pair account sampling (0 = uniform).
+    pub theta: f64,
+    /// Probability that a transaction's declared footprint matches its
+    /// true one. Inaccurate transactions declare a decoy footprint
+    /// shifted into a different key region.
+    pub accuracy: f64,
+    /// Probability that a transaction is shipped with half the gas it
+    /// needs, so it aborts out-of-gas (0 = never starve).
+    pub starve: f64,
+    /// Initial balance of every account.
+    pub initial_balance: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlockbenchWorkload {
+    fn default() -> Self {
+        BlockbenchWorkload {
+            contract: Contract::TokenTransfer,
+            accounts: 256,
+            scan: 8,
+            agg_keys: 8,
+            hot_fraction: 0.3,
+            theta: 0.6,
+            accuracy: 1.0,
+            starve: 0.0,
+            initial_balance: 1_000_000,
+            seed: 0xB10C,
+        }
+    }
+}
+
+/// The account key of index `a`.
+pub fn account(a: usize) -> String {
+    format!("acct{a:06}")
+}
+
+/// The `Analytics` aggregate key of index `g`.
+pub fn aggregate(g: usize) -> String {
+    format!("agg{g:03}")
+}
+
+/// A built program plus its true footprint and exact gas need.
+struct Built {
+    program: Program,
+    args: Vec<u64>,
+    reads: Vec<Key>,
+    writes: Vec<Key>,
+    gas_needed: u64,
+}
+
+/// Gas for `iters` trips through a loop whose body is `body` plus one
+/// final failed loop test of `check`.
+fn loop_gas(body: &[Instr], iters: u64, check: &[Instr]) -> u64 {
+    let per: u64 = body.iter().map(gas_cost).sum();
+    let tail: u64 = check.iter().map(gas_cost).sum();
+    per * iters + tail
+}
+
+impl BlockbenchWorkload {
+    /// The initial state: every account funded. Aggregate keys start
+    /// absent (reads of absent keys see balance 0).
+    pub fn initial_state(&self) -> StateStore {
+        let mut s = StateStore::new();
+        for a in 0..self.accounts {
+            s.put(account(a), balance_value(self.initial_balance), Version::new(0, 0));
+        }
+        s
+    }
+
+    /// Generates `count` transactions with ids from `first_id`. Pure
+    /// function of the parameters, the seed, and `first_id`.
+    pub fn generate(&self, first_id: u64, count: usize) -> Vec<Transaction> {
+        let zipf = Zipf::new(self.accounts, self.theta);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ first_id);
+        (0..count)
+            .map(|i| {
+                let id = TxId(first_id + i as u64);
+                let built = match self.contract {
+                    Contract::DoNothing => self.build_do_nothing(),
+                    Contract::IoHeavy => self.build_io_heavy(&mut rng),
+                    Contract::Analytics => self.build_analytics(id, &mut rng),
+                    Contract::TokenTransfer => self.build_transfer(&zipf, &mut rng),
+                };
+                let accurate = rng.gen_bool(self.accuracy.clamp(0.0, 1.0));
+                let (declared_reads, declared_writes) = if accurate {
+                    (built.reads.clone(), built.writes.clone())
+                } else {
+                    self.decoy_footprint(&built, &mut rng)
+                };
+                let starved = self.starve > 0.0 && rng.gen_bool(self.starve.clamp(0.0, 1.0));
+                let gas_limit =
+                    if starved { (built.gas_needed / 2).max(1) } else { built.gas_needed + 16 };
+                let call = VmCall {
+                    bytecode: built.program.to_bytes().into(),
+                    args: built.args,
+                    gas_limit,
+                    declared_reads,
+                    declared_writes,
+                };
+                Transaction::invoke(id, ClientId(rng.gen_range(0..32)), call)
+            })
+            .collect()
+    }
+
+    /// A decoy declaration: every true key replaced by its "mirror" half
+    /// a key space away, so the scheduler misses the real conflicts and
+    /// invents phantom ones with transactions actually working there.
+    fn decoy_footprint(&self, built: &Built, rng: &mut StdRng) -> (Vec<Key>, Vec<Key>) {
+        let shift = self.accounts / 2 + rng.gen_range(0..self.accounts.max(2) / 2).max(1);
+        let mut mirror = |keys: &[Key]| -> Vec<Key> {
+            keys.iter()
+                .map(|k| match k.strip_prefix("acct") {
+                    Some(n) => {
+                        let a: usize = n.parse().unwrap_or(0);
+                        account((a + shift) % self.accounts)
+                    }
+                    // Aggregate keys mirror onto a sibling aggregate.
+                    None => aggregate(rng.gen_range(0..self.agg_keys.max(1))),
+                })
+                .collect()
+        };
+        (mirror(&built.reads), mirror(&built.writes))
+    }
+
+    fn build_do_nothing(&self) -> Built {
+        let program = Program { code: vec![Instr::Halt], ..Default::default() };
+        let gas_needed = program.straight_line_gas();
+        Built { program, args: Vec::new(), reads: Vec::new(), writes: Vec::new(), gas_needed }
+    }
+
+    /// `TokenTransfer(from, to, amount)` with `amount = Arg(0)`: the
+    /// compiled-`Transfer` instruction sequence, loop-free.
+    fn build_transfer(&self, zipf: &Zipf, rng: &mut StdRng) -> Built {
+        let (from, to) = if rng.gen_bool(self.hot_fraction.clamp(0.0, 1.0)) {
+            (0, 1)
+        } else {
+            let f = zipf.sample(rng);
+            let mut t = zipf.sample(rng);
+            if t == f {
+                t = (t + 1) % self.accounts;
+            }
+            (f, t)
+        };
+        let amount = rng.gen_range(1..50u64);
+        let program = Program {
+            code: vec![
+                Instr::Push(0),
+                Instr::Get,
+                Instr::Dup,
+                Instr::Arg(0),
+                Instr::Lt,
+                Instr::Jz(7),
+                Instr::Abort(pbc_vm::ABORT_INSUFFICIENT_FUNDS),
+                Instr::Arg(0),
+                Instr::Sub,
+                Instr::Push(0),
+                Instr::Swap,
+                Instr::Put,
+                Instr::Push(1),
+                Instr::Get,
+                Instr::Arg(0),
+                Instr::Add,
+                Instr::Push(1),
+                Instr::Swap,
+                Instr::Put,
+            ],
+            keys: vec![account(from), account(to)],
+            consts: Vec::new(),
+        };
+        let gas_needed = program.straight_line_gas();
+        Built {
+            program,
+            args: vec![amount],
+            reads: vec![account(from), account(to)],
+            writes: vec![account(from), account(to)],
+            gas_needed,
+        }
+    }
+
+    /// `IoHeavy`: write keys `0..scan` of the table (value `i + Arg(0)`),
+    /// then read keys `scan..2*scan` back.
+    fn build_io_heavy(&self, rng: &mut StdRng) -> Built {
+        let scan = self.scan.max(1);
+        let wstart = rng.gen_range(0..self.accounts);
+        // Keep the read window disjoint from the write window: a read of
+        // a freshly buffered write is read-your-writes and records no
+        // footprint entry, which would make the true read set smaller
+        // than the window.
+        let gap = rng.gen_range(0..self.accounts.saturating_sub(2 * scan).max(1));
+        let rstart = (wstart + scan + gap) % self.accounts;
+        let wkeys: Vec<Key> = (0..scan).map(|i| account((wstart + i) % self.accounts)).collect();
+        let rkeys: Vec<Key> = (0..scan).map(|i| account((rstart + i) % self.accounts)).collect();
+        let n = scan as u64;
+        // Write loop at 1, read loop at 15 (see instruction indices).
+        let mut code = vec![Instr::Push(0)];
+        let wbody = [
+            Instr::Dup,
+            Instr::Push(n),
+            Instr::Lt,
+            Instr::Jz(13),
+            Instr::Dup,
+            Instr::Dup,
+            Instr::Arg(0),
+            Instr::Add,
+            Instr::Put,
+            Instr::Push(1),
+            Instr::Add,
+            Instr::Jump(1),
+        ];
+        code.extend(wbody);
+        code.extend([Instr::Pop, Instr::Push(0)]);
+        let rbody = [
+            Instr::Dup,
+            Instr::Push(n),
+            Instr::Lt,
+            Instr::Jz(27),
+            Instr::Dup,
+            Instr::Push(n),
+            Instr::Add,
+            Instr::Get,
+            Instr::Pop,
+            Instr::Push(1),
+            Instr::Add,
+            Instr::Jump(15),
+        ];
+        code.extend(rbody);
+        let check = [Instr::Dup, Instr::Push(n), Instr::Lt, Instr::Jz(0)];
+        let gas_needed = 3 + loop_gas(&wbody, n, &check) + loop_gas(&rbody, n, &check);
+        let mut keys = wkeys.clone();
+        keys.extend(rkeys.iter().cloned());
+        let program = Program { code, keys, consts: Vec::new() };
+        Built {
+            program,
+            args: vec![rng.gen_range(0..1_000u64)],
+            reads: rkeys,
+            writes: wkeys,
+            gas_needed,
+        }
+    }
+
+    /// `Analytics`: scan keys `0..scan`, folding each balance into an
+    /// aggregate key (table index `scan`) with `Incr`.
+    fn build_analytics(&self, id: TxId, rng: &mut StdRng) -> Built {
+        let scan = self.scan.max(1);
+        let start = rng.gen_range(0..self.accounts);
+        let skeys: Vec<Key> = (0..scan).map(|i| account((start + i) % self.accounts)).collect();
+        let agg = aggregate((id.0 as usize) % self.agg_keys.max(1));
+        let n = scan as u64;
+        let mut code = vec![Instr::Push(0)];
+        let body = [
+            Instr::Dup,
+            Instr::Push(n),
+            Instr::Lt,
+            Instr::Jz(13),
+            Instr::Dup,
+            Instr::Get,
+            Instr::Push(n), // the aggregate key's table index
+            Instr::Swap,
+            Instr::Incr,
+            Instr::Push(1),
+            Instr::Add,
+            Instr::Jump(1),
+        ];
+        code.extend(body);
+        let check = [Instr::Dup, Instr::Push(n), Instr::Lt, Instr::Jz(0)];
+        let gas_needed = 1 + loop_gas(&body, n, &check);
+        let mut keys = skeys.clone();
+        keys.push(agg.clone());
+        let program = Program { code, keys, consts: Vec::new() };
+        let mut reads = skeys;
+        reads.push(agg.clone());
+        Built { program, args: Vec::new(), reads, writes: vec![agg], gas_needed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_ledger::{execute, execute_and_apply};
+
+    fn workload(contract: Contract) -> BlockbenchWorkload {
+        BlockbenchWorkload { contract, accounts: 64, scan: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for contract in
+            [Contract::DoNothing, Contract::IoHeavy, Contract::Analytics, Contract::TokenTransfer]
+        {
+            let w = workload(contract);
+            assert_eq!(w.generate(0, 50), w.generate(0, 50));
+        }
+    }
+
+    #[test]
+    fn every_contract_executes_within_its_gas_budget() {
+        for contract in
+            [Contract::DoNothing, Contract::IoHeavy, Contract::Analytics, Contract::TokenTransfer]
+        {
+            let w = workload(contract);
+            let state = w.initial_state();
+            for tx in w.generate(0, 100) {
+                let r = execute(&tx, &state);
+                assert!(r.is_success(), "{contract:?} tx {:?} failed: {:?}", tx.id, r.status);
+                let limit = tx.gas_limit().unwrap();
+                assert!(r.gas_used <= limit, "{contract:?}: gas {} > limit {limit}", r.gas_used);
+                // The budget is tight: exact need + fixed margin, so the
+                // gas numbers in benches mean something.
+                assert!(
+                    r.gas_used + 64 > limit,
+                    "{contract:?}: slack too wide ({limit} for {})",
+                    r.gas_used
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_declarations_match_true_footprints() {
+        for contract in [Contract::IoHeavy, Contract::Analytics, Contract::TokenTransfer] {
+            let w = workload(contract);
+            let state = w.initial_state();
+            for tx in w.generate(0, 60) {
+                let r = execute(&tx, &state);
+                let call = tx.vm_call().unwrap();
+                let mut true_reads: Vec<&str> =
+                    r.read_set.iter().map(|(k, _)| k.as_str()).collect();
+                let mut declared: Vec<&str> =
+                    call.declared_reads.iter().map(|k| k.as_str()).collect();
+                true_reads.sort_unstable();
+                true_reads.dedup();
+                declared.sort_unstable();
+                declared.dedup();
+                assert_eq!(declared, true_reads, "{contract:?} {:?} read declaration", tx.id);
+                let mut true_writes: Vec<&str> =
+                    r.write_set.iter().map(|(k, _)| k.as_str()).collect();
+                let mut declared_w: Vec<&str> =
+                    call.declared_writes.iter().map(|k| k.as_str()).collect();
+                true_writes.sort_unstable();
+                true_writes.dedup();
+                declared_w.sort_unstable();
+                declared_w.dedup();
+                assert_eq!(declared_w, true_writes, "{contract:?} {:?} write declaration", tx.id);
+            }
+        }
+    }
+
+    #[test]
+    fn inaccurate_declarations_miss_the_true_footprint() {
+        let w = BlockbenchWorkload { accuracy: 0.0, ..workload(Contract::TokenTransfer) };
+        let state = w.initial_state();
+        let mut wrong = 0;
+        let txs = w.generate(0, 40);
+        for tx in &txs {
+            let r = execute(tx, &state);
+            let call = tx.vm_call().unwrap();
+            let truth: std::collections::HashSet<&str> =
+                r.read_set.iter().map(|(k, _)| k.as_str()).collect();
+            if !call.declared_reads.iter().any(|k| truth.contains(k.as_str())) {
+                wrong += 1;
+            }
+        }
+        // Decoys can collide with the truth by chance, but mostly miss.
+        assert!(wrong > txs.len() / 2, "only {wrong}/{} decoy declarations missed", txs.len());
+    }
+
+    #[test]
+    fn starved_transactions_run_out_of_gas() {
+        let w = BlockbenchWorkload { starve: 1.0, ..workload(Contract::IoHeavy) };
+        let mut state = w.initial_state();
+        for (i, tx) in w.generate(0, 20).iter().enumerate() {
+            let r = execute_and_apply(tx, &mut state, Version::new(1, i as u32));
+            assert!(r.status.is_out_of_gas(), "starved tx {:?} got {:?}", tx.id, r.status);
+        }
+    }
+
+    #[test]
+    fn hot_pair_concentrates_transfers() {
+        let hot = BlockbenchWorkload { hot_fraction: 0.9, ..workload(Contract::TokenTransfer) };
+        let txs = hot.generate(0, 200);
+        let on_pair = txs
+            .iter()
+            .filter(|t| {
+                let c = t.vm_call().unwrap();
+                c.declared_writes.contains(&account(0)) && c.declared_writes.contains(&account(1))
+            })
+            .count();
+        assert!(on_pair > 140, "hot fraction 0.9 produced only {on_pair}/200 hot transfers");
+    }
+
+    #[test]
+    fn analytics_accumulates_into_aggregates() {
+        let w = BlockbenchWorkload { agg_keys: 2, ..workload(Contract::Analytics) };
+        let mut state = w.initial_state();
+        for (i, tx) in w.generate(0, 10).iter().enumerate() {
+            let r = execute_and_apply(tx, &mut state, Version::new(1, i as u32));
+            assert!(r.is_success());
+        }
+        let total: u64 = (0..2).map(|g| pbc_types::tx::balance_of(state.get(&aggregate(g)))).sum();
+        // 10 scans of 4 funded accounts each.
+        assert_eq!(total, 10 * 4 * w.initial_balance);
+    }
+}

@@ -12,12 +12,17 @@
 //!   (E8/E9: the large-scale database scenario of §2.1.2).
 //! * [`smallbank`] — the SmallBank OLTP mix the Fabric++ evaluation uses
 //!   (a second contention model for E3).
+//! * [`blockbench`] — the Blockbench contracts (DoNothing, IOHeavy,
+//!   Analytics, TokenTransfer) compiled to `pbc-vm` bytecode, with
+//!   footprint-prediction-accuracy and hot-pair knobs (E18: the
+//!   dynamic-footprint experiments).
 //!
 //! Every generator is a pure function of its parameters and seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blockbench;
 pub mod crowdwork;
 pub mod payments;
 pub mod sharded;
@@ -25,6 +30,7 @@ pub mod smallbank;
 pub mod supplychain;
 pub mod zipf;
 
+pub use blockbench::{BlockbenchWorkload, Contract};
 pub use payments::PaymentWorkload;
 pub use sharded::ShardedWorkload;
 pub use smallbank::SmallBankWorkload;
