@@ -47,6 +47,14 @@
 //! `BENCH_E2E.json`. All rates are simulator-time, so the file is
 //! host-independent. `E2E_SMOKE=1` shrinks the ladder for CI.
 //!
+//! `sweep --real [out.json]` boots 4-node clusters of the registry's
+//! replicas on **real localhost TCP sockets** (`pbc-net`), replays the
+//! same workload through the simulator, asserts that both backends
+//! committed the identical batch sequence (and that replaying it with
+//! the simulator's seals reproduces the simulator's ledger head), and
+//! only then snapshots wall-clock throughput into `BENCH_REAL.json`.
+//! `REAL_SMOKE=1` shrinks the batch budget for CI.
+//!
 //! `sweep --vm [out.json]` sweeps the Blockbench-style VM contract
 //! workloads across a footprint-prediction-accuracy ladder, driving the
 //! identical transaction stream through OXII (schedules from declared
@@ -730,6 +738,16 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_VM.json".to_string());
         pbc_bench::vm::vm_bench(&out);
+        return;
+    }
+    if args.iter().any(|a| a == "--real") {
+        let out = args
+            .iter()
+            .skip_while(|a| *a != "--real")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_REAL.json".to_string());
+        pbc_bench::real::real_bench(&out);
         return;
     }
     if args.iter().any(|a| a == "--e2e") {

@@ -30,8 +30,11 @@ pub mod paxos;
 pub mod pbft;
 pub mod raft;
 pub mod tendermint;
+pub mod wire;
 
 pub use common::{DecidedLog, Payload, PersistPayload};
 pub use ordering::{cluster, cluster_with, protocol_info, OrderingActor, OrderingCluster};
 pub use ordering::{durable_cluster_with, DurableNet};
+pub use ordering::{run_real, RealRuntime};
 pub use ordering::{ProtocolInfo, PROTOCOLS};
+pub use wire::WireMsg;

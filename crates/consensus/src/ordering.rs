@@ -92,6 +92,7 @@ use crate::paxos::{PaxosConfig, PaxosNode};
 use crate::pbft::{PbftConfig, PbftReplica};
 use crate::raft::{RaftConfig, RaftNode};
 use crate::tendermint::{TendermintConfig, TendermintNode};
+use crate::wire::WireMsg;
 use pbc_sim::fault::LinkFault;
 use pbc_sim::{Actor, Adversary, Attack, Durable, NemesisOp, NetStats, Network, NetworkConfig};
 use pbc_sim::{NodeIdx, ParNetwork, SimNet, SimTime};
@@ -907,6 +908,55 @@ pub fn cluster<P: Payload + 'static>(
     cfg: NetworkConfig,
 ) -> Option<Box<dyn OrderingCluster<P>>> {
     cluster_with(proto, n, cfg, &[])
+}
+
+/// A runtime that can mount ordering actors on a **real** transport —
+/// the callback side of [`run_real`]'s dispatch.
+///
+/// The simulator's registry can hand back a `Box<dyn OrderingCluster>`
+/// because every engine is defined in this crate; a real runtime
+/// (pbc-net's TCP cluster) lives downstream, so the registry inverts
+/// control instead: [`run_real`] resolves the protocol name to a
+/// concrete actor type and calls [`mount`](RealRuntime::mount) with a
+/// *factory*, keeping the actor generics confined to the runtime while
+/// the protocol dispatch stays here, one line per protocol like
+/// [`cluster_with`]. The factory (rather than a pre-built `Vec`) lets
+/// the runtime re-create a node's actor after a kill/reboot.
+pub trait RealRuntime<P: Payload + 'static> {
+    /// What mounting yields — typically a running-cluster handle,
+    /// erased of the actor type.
+    type Output;
+
+    /// Boots a cluster of `n` actors built by `make` on this runtime.
+    fn mount<A, F>(self, n: usize, make: F) -> Self::Output
+    where
+        A: OrderingActor<Payload = P> + Send + 'static,
+        A::Msg: WireMsg + Send,
+        F: FnMut(NodeIdx) -> A + Send + 'static;
+}
+
+/// [`cluster`]'s real-transport sibling: resolves `proto` to its actor
+/// constructor and mounts `n` replicas on `runtime`. Returns `None` for
+/// a protocol that is unknown *or not yet wire-capable* — a protocol
+/// becomes wire-capable by implementing [`WireMsg`] for its message
+/// type and adding one arm here. PBFT and IBFT qualify today; that is
+/// exactly the pair the §2.3.3 sim-vs-TCP cross-check exercises.
+pub fn run_real<P, R>(proto: &str, n: usize, runtime: R) -> Option<R::Output>
+where
+    P: PersistPayload + 'static,
+    R: RealRuntime<P>,
+{
+    match proto {
+        "pbft" => {
+            let cfg = PbftConfig::new(n);
+            Some(runtime.mount(n, move |_| PbftReplica::new(cfg.clone())))
+        }
+        "ibft" => {
+            let cfg = PbftConfig::ibft(n);
+            Some(runtime.mount(n, move |_| PbftReplica::new(cfg.clone())))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -40,11 +40,13 @@ pub mod audit;
 pub mod batch;
 pub mod ingress;
 pub mod network;
+pub mod report;
 
 pub use audit::{AuditTrail, CommitRecord};
 pub use batch::Batch;
 pub use ingress::{IngressConfig, IngressReport};
 pub use network::{ArchKind, BlockchainNetwork, ConsensusKind, NetworkBuilder, RunReport};
+pub use report::{commit_rows, seal_proposer, sealed_head, CommitRow};
 
 pub use pbc_ingress as ingress_queue;
 

@@ -13,7 +13,7 @@ use pbc_arch::{
     BlockOutcome, BlockSeal, EndorsementPolicy, EndorsingPipeline, ExecutionPipeline,
     FastFabricPipeline, OxPipeline, OxiiPipeline, ReorderPolicy, XovPipeline, XoxPipeline,
 };
-use pbc_consensus::{cluster_with, durable_cluster_with, protocol_info, OrderingCluster, Payload};
+use pbc_consensus::{cluster_with, durable_cluster_with, OrderingCluster, Payload};
 use pbc_ledger::StateStore;
 use pbc_sim::fault::LinkFault;
 use pbc_sim::{Attack, LatencyModel, NemesisOp, NetStats, NetworkConfig, SimTime};
@@ -464,6 +464,44 @@ impl BlockchainNetwork {
         Some(cold.iter().all(|(seq, batch)| hot.get(seq) == Some(&batch.digest_u64())))
     }
 
+    /// The reference (first alive) node's committed sequence as
+    /// backend-neutral [`CommitRow`]s — the shape `sweep --real`
+    /// compares against a TCP run of the same seed. `None` when every
+    /// node is crashed.
+    ///
+    /// [`CommitRow`]: crate::report::CommitRow
+    pub fn commit_rows(&self) -> Option<Vec<crate::report::CommitRow>> {
+        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i))?;
+        Some(crate::report::commit_rows(
+            self.consensus.registry_name(),
+            self.len(),
+            self.ordering.decided(reference),
+        ))
+    }
+
+    /// The consensus-pinned block seals so far, in slot order. Together
+    /// with the committed batches these determine the ledger head (see
+    /// [`sealed_head`](crate::report::sealed_head)).
+    pub fn seals(&self) -> Vec<(u64, BlockSeal)> {
+        let mut seals: Vec<(u64, BlockSeal)> = self.seals.iter().map(|(&s, &b)| (s, b)).collect();
+        seals.sort_unstable_by_key(|&(s, _)| s);
+        seals
+    }
+
+    /// The reference node's decided batches in slot order — the block
+    /// payloads matching [`seals`](BlockchainNetwork::seals). `None`
+    /// when every node is crashed.
+    pub fn decided_batches(&self) -> Option<Vec<(u64, Batch)>> {
+        let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i))?;
+        Some(
+            self.ordering
+                .decided(reference)
+                .iter()
+                .map(|(seq, batch, _)| (*seq, batch.clone()))
+                .collect(),
+        )
+    }
+
     /// Every node's decided log as `(seq, payload digest)` pairs — the
     /// shape [`pbc_sim::InvariantChecker::observe`] consumes.
     pub fn decided_views(&self) -> Vec<Vec<(u64, u64)>> {
@@ -554,10 +592,8 @@ impl BlockchainNetwork {
     ) -> Option<usize> {
         let reference = (0..self.len()).find(|&i| !self.ordering.is_crashed(i))?;
         let n = self.len();
-        let rotating =
-            protocol_info(self.consensus.registry_name()).map(|p| p.rotating).unwrap_or(false);
         for (seq, _, t) in self.ordering.decided(reference) {
-            let proposer = if rotating { (*seq as usize % n) as u32 } else { 0 };
+            let proposer = crate::report::seal_proposer(self.consensus.registry_name(), n, *seq);
             self.seals
                 .entry(*seq)
                 .or_insert(BlockSeal { proposer: pbc_types::NodeId(proposer), time: *t });

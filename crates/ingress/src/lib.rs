@@ -92,6 +92,42 @@ mod tests {
         assert!(q.check_conservation());
     }
 
+    /// Regression: the TTL boundary is exclusive. A transaction drained
+    /// at *exactly* `arrived + ttl` has not waited longer than `ttl` and
+    /// must be handed out, not expired — pre-fix, `expire()` treated the
+    /// boundary as inclusive and silently dropped it. One tick later it
+    /// must expire, and the conservation identity must hold either way.
+    #[test]
+    fn ttl_boundary_is_exclusive() {
+        let mut q = IngressQueue::new(QueueConfig { capacity: 8, ttl: 50 });
+        q.offer(tx(1), 100);
+        let batch = q.drain(8, 150); // exactly arrived + ttl: still live
+        assert_eq!(batch.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(q.stats().expired, 0);
+        assert!(q.check_conservation());
+
+        q.offer(tx(2), 200);
+        assert_eq!(q.expire(250), 0); // boundary again: kept
+        assert_eq!(q.expire(251), 1); // one tick past: expired
+        assert_eq!(q.stats().expired, 1);
+        assert!(q.check_conservation());
+    }
+
+    /// Regression companion: the TTL is enforced lazily by `drain`
+    /// itself — an overdue transaction is never submitted even when
+    /// `expire()` was not called between arrival and drain.
+    #[test]
+    fn drain_lazily_expires_without_explicit_expire() {
+        let mut q = IngressQueue::new(QueueConfig { capacity: 8, ttl: 50 });
+        q.offer(tx(1), 0);
+        // No expire() call; drain well past the deadline.
+        let batch = q.drain(8, 51);
+        assert!(batch.is_empty());
+        assert_eq!(q.stats().expired, 1);
+        assert_eq!(q.resolve_committed(TxId(1), 60), None);
+        assert!(q.check_conservation());
+    }
+
     #[test]
     fn latency_is_arrival_to_decision() {
         let mut q = IngressQueue::new(QueueConfig::default());

@@ -30,8 +30,10 @@ pub struct QueueConfig {
     /// Maximum number of transactions waiting (not yet drained into a
     /// batch). Offers beyond this are rejected with [`Admit::Full`].
     pub capacity: usize,
-    /// Time-to-live in simulator ticks: a transaction still waiting
-    /// `ttl` ticks after its arrival is expired and never submitted.
+    /// Time-to-live in simulator ticks: a transaction that has waited
+    /// *longer than* `ttl` ticks after its arrival is expired and never
+    /// submitted. A transaction drained at exactly `arrived + ttl` is
+    /// still live — the boundary is exclusive, matching the module doc.
     pub ttl: SimTime,
 }
 
@@ -189,13 +191,14 @@ impl IngressQueue {
         Admit::Admitted
     }
 
-    /// Expires every waiting transaction whose TTL elapsed by `now`;
+    /// Expires every waiting transaction that has waited strictly longer
+    /// than `ttl` by `now` (a waiter at exactly `arrived + ttl` is kept);
     /// returns how many expired. Arrival order means expiry only ever
     /// removes a prefix of the queue.
     pub fn expire(&mut self, now: SimTime) -> usize {
         let mut n = 0;
         while let Some(w) = self.waiting.front() {
-            if w.arrived.saturating_add(self.cfg.ttl) > now {
+            if w.arrived.saturating_add(self.cfg.ttl) >= now {
                 break;
             }
             self.waiting.pop_front();
@@ -206,9 +209,14 @@ impl IngressQueue {
     }
 
     /// Drains up to `max` transactions into a batch (oldest first),
-    /// expiring overdue waiters first so an expired transaction is
-    /// never submitted. Drained transactions move to the in-flight set
-    /// until resolved.
+    /// lazily expiring overdue waiters first so an expired transaction
+    /// is never submitted — the TTL holds even if [`expire`] was never
+    /// called between arrival and drain. A transaction drained at
+    /// exactly `arrived + ttl` is handed out (the boundary is
+    /// exclusive). Drained transactions move to the in-flight set until
+    /// resolved.
+    ///
+    /// [`expire`]: IngressQueue::expire
     pub fn drain(&mut self, max: usize, now: SimTime) -> Vec<Transaction> {
         self.expire(now);
         let take = max.min(self.waiting.len());

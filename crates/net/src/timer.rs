@@ -1,0 +1,108 @@
+//! The monotonic-clock timer queue backing actor `Timer` effects.
+//!
+//! Actors speak logical ticks ([`pbc_sim::SimTime`]); the deployment
+//! runtime maps each tick onto a configurable real [`Duration`] and
+//! keeps armed timers in a min-heap keyed by [`Instant`] — wall clock
+//! never appears, so suspend/resume and NTP slew cannot fire a timer
+//! early. Cancellation is the simulator's watermark scheme:
+//! `cancel(id)` marks every *currently armed* timer with that id as
+//! dead in O(1), and dead entries are skipped when they surface; a
+//! timer armed after the cancellation (even in the same callback) is
+//! unaffected — the exact contract of
+//! [`Effect::CancelTimer`](pbc_sim::actor::Effect).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Armed timers for one node, ordered by deadline.
+#[derive(Debug, Default)]
+pub struct TimerQueue {
+    /// `(deadline, arm-sequence, timer id)` — the arm sequence breaks
+    /// deadline ties in arming order, matching simulator determinism as
+    /// closely as a real clock allows.
+    heap: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    /// Monotone arm counter.
+    seq: u64,
+    /// Per-id cancellation watermark: entries armed at or before the
+    /// stored sequence are dead.
+    cancelled: HashMap<u64, u64>,
+}
+
+impl TimerQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TimerQueue::default()
+    }
+
+    /// Arms timer `id` to fire `delay` from now.
+    pub fn arm(&mut self, now: Instant, delay: Duration, id: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((now + delay, self.seq, id)));
+    }
+
+    /// Cancels every currently armed timer with this id, in O(1).
+    pub fn cancel(&mut self, id: u64) {
+        self.cancelled.insert(id, self.seq);
+    }
+
+    /// Pops the next timer due at or before `now`, skipping cancelled
+    /// entries. `None` when nothing is due.
+    pub fn pop_due(&mut self, now: Instant) -> Option<u64> {
+        while let Some(Reverse((at, seq, id))) = self.heap.peek().copied() {
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            if self.cancelled.get(&id).is_some_and(|&w| seq <= w) {
+                continue; // armed before its cancellation: dead
+            }
+            return Some(id);
+        }
+        None
+    }
+
+    /// Deadline of the earliest armed entry (cancelled entries included
+    /// — a spurious early wake-up is cheap, a late timer is not).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let t0 = Instant::now();
+        let mut q = TimerQueue::new();
+        q.arm(t0, Duration::from_millis(20), 2);
+        q.arm(t0, Duration::from_millis(10), 1);
+        let late = t0 + Duration::from_millis(30);
+        assert_eq!(q.pop_due(late), Some(1));
+        assert_eq!(q.pop_due(late), Some(2));
+        assert_eq!(q.pop_due(late), None);
+    }
+
+    #[test]
+    fn not_due_yet_stays_armed() {
+        let t0 = Instant::now();
+        let mut q = TimerQueue::new();
+        q.arm(t0, Duration::from_secs(3600), 7);
+        assert_eq!(q.pop_due(t0), None);
+        assert!(q.next_deadline().is_some());
+    }
+
+    #[test]
+    fn cancel_kills_only_prior_arms() {
+        let t0 = Instant::now();
+        let mut q = TimerQueue::new();
+        q.arm(t0, Duration::from_millis(1), 9);
+        q.cancel(9);
+        q.arm(t0, Duration::from_millis(1), 9); // re-armed after cancel
+        let late = t0 + Duration::from_millis(10);
+        assert_eq!(q.pop_due(late), Some(9), "post-cancel arm must fire");
+        assert_eq!(q.pop_due(late), None, "pre-cancel arm must not");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property suite for the wire layer, mirroring `pbc-vm`'s
+//! `DecodeError` tests: decoders must reject — never panic on, never
+//! misread — truncated frames, trailing garbage, absurd lengths, and
+//! handshake junk. Frames additionally must reject bad input *before*
+//! allocating, which `frame_len_rejects_before_allocation` pins by
+//! feeding a header that advertises `u32::MAX` bytes.
+
+use pbc_consensus::pbft::PbftMsg;
+use pbc_consensus::WireMsg;
+use pbc_net::{frame, frame_len, Hello, WireError, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+
+/// A valid message to mutate: exercises every `PbftMsg` variant.
+fn sample_msgs() -> Vec<PbftMsg<u64>> {
+    vec![
+        PbftMsg::Request(7),
+        PbftMsg::PrePrepare { view: 1, seq: 2, payload: 3 },
+        PbftMsg::Prepare { view: 1, seq: 2, digest: 0xDEAD },
+        PbftMsg::Commit { view: 1, seq: 2, digest: 0xBEEF },
+        PbftMsg::ViewChange { new_view: 4, prepared: vec![(0, 10), (1, 11)], delivered: 1 },
+        PbftMsg::NewView { view: 4, proposals: vec![(2, 12)] },
+        PbftMsg::Decided { seq: 9, payload: 99 },
+    ]
+}
+
+proptest! {
+    /// Random bytes never panic the message decoder, and only an exact
+    /// re-encoding of a real message decodes successfully.
+    #[test]
+    fn message_decoder_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Some(msg) = PbftMsg::<u64>::from_wire(&raw) {
+            // Whatever decoded must re-encode to exactly the input —
+            // the codec admits no two spellings of one message.
+            prop_assert_eq!(msg.to_wire(), raw);
+        }
+    }
+
+    /// Random bytes never panic the handshake decoder; anything that
+    /// is not exactly a well-formed `Hello` is an error.
+    #[test]
+    fn hello_decoder_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(hello) = Hello::decode(&raw) {
+            prop_assert_eq!(hello.encode().as_slice(), raw.as_slice());
+        }
+    }
+
+    /// Every proper prefix of a valid encoding is rejected (truncated
+    /// frame), and any appended byte is rejected (trailing garbage).
+    #[test]
+    fn truncation_and_garbage_rejected(pick in 0usize..7, extra in any::<u8>()) {
+        let msg = &sample_msgs()[pick];
+        let wire = msg.to_wire();
+        for cut in 0..wire.len() {
+            prop_assert!(
+                PbftMsg::<u64>::from_wire(&wire[..cut]).is_none(),
+                "prefix of length {} decoded",
+                cut
+            );
+        }
+        let mut padded = wire.clone();
+        padded.push(extra);
+        prop_assert!(PbftMsg::<u64>::from_wire(&padded).is_none(), "trailing byte accepted");
+    }
+
+    /// A length header is judged before any allocation: zero and
+    /// over-cap lengths are typed errors straight from the 4 header
+    /// bytes, for every cap.
+    #[test]
+    fn frame_len_rejects_before_allocation(cap in 1usize..4096) {
+        prop_assert!(matches!(
+            frame_len([0, 0, 0, 0], cap),
+            Err(WireError::ZeroFrame)
+        ));
+        let absurd = u32::MAX.to_be_bytes();
+        prop_assert!(matches!(
+            frame_len(absurd, cap),
+            Err(WireError::Oversized { len, max }) if len == u32::MAX as usize && max == cap
+        ));
+        let just_over = ((cap as u32) + 1).to_be_bytes();
+        prop_assert!(matches!(
+            frame_len(just_over, cap),
+            Err(WireError::Oversized { .. })
+        ));
+        let at_cap = (cap as u32).to_be_bytes();
+        prop_assert_eq!(frame_len(at_cap, cap).unwrap(), cap);
+    }
+
+    /// Framing a message and stripping the header roundtrips, and the
+    /// outbound path refuses to build an over-cap frame.
+    #[test]
+    fn frame_roundtrip_and_outbound_cap(pick in 0usize..7) {
+        let wire = sample_msgs()[pick].to_wire();
+        let framed = frame(&wire, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(&framed[4..], wire.as_slice());
+        let mut header = [0u8; 4];
+        header.copy_from_slice(&framed[..4]);
+        prop_assert_eq!(frame_len(header, DEFAULT_MAX_FRAME).unwrap(), wire.len());
+        prop_assert!(matches!(
+            frame(&wire, wire.len().saturating_sub(1)),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

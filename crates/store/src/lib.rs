@@ -45,5 +45,5 @@ pub use atomic::write_atomic;
 pub use crc::crc32;
 pub use segment::{SegmentReport, SegmentStore};
 pub use store::{NodeStore, Recovery, StoreConfig, StoreError};
-pub use vfs::{FaultFs, RealFs, Vfs};
+pub use vfs::{read_full, write_full, FaultFs, RealFs, ShortReader, ShortWriter, Vfs};
 pub use wal::{Wal, WalRecovery};

@@ -118,6 +118,14 @@ impl RealFs {
     }
 }
 
+/// Short-transfer audit: every `Vfs` method on this impl moves whole
+/// buffers — `read` via `std::fs::read` (which loops internally) and
+/// `append`/`write_at` via `write_all` — so no call here can observe a
+/// partial transfer. Code that talks to *streams* (sockets, pipes) gets
+/// no such guarantee from a raw `Read::read`/`Write::write` and must go
+/// through [`read_full`]/[`write_full`] instead; the
+/// [`ShortReader`]/[`ShortWriter`] fault adapters below pin that
+/// contract the way [`FaultFs`] pins the durability one.
 impl Vfs for RealFs {
     fn read(&self, path: &str) -> io::Result<Vec<u8>> {
         std::fs::read(self.full(path))
@@ -379,9 +387,194 @@ impl Vfs for FaultFs {
     }
 }
 
+// ---------------------------------------------------------------------
+// Short transfers
+// ---------------------------------------------------------------------
+
+/// Reads exactly `buf.len()` bytes from `r`, looping over short reads
+/// and retrying `Interrupted`. A stream `read` may legally transfer any
+/// non-zero prefix (sockets under load routinely do); a caller that
+/// issues one `read` and assumes the buffer is full silently processes
+/// garbage. Fails with `UnexpectedEof` if the stream ends first.
+///
+/// This is `read_exact` semantics spelled out at the `Vfs` layer so
+/// both the store and the wire runtime (`pbc-net`) share one audited
+/// implementation, pinned by [`ShortReader`].
+pub fn read_full<R: io::Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended after {filled} of {} bytes", buf.len()),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes all of `buf` to `w`, looping over short writes and retrying
+/// `Interrupted` — `write_all` semantics, the counterpart of
+/// [`read_full`]. A zero-byte transfer from a live sink is reported as
+/// `WriteZero` rather than spinning.
+pub fn write_full<W: io::Write + ?Sized>(w: &mut W, buf: &[u8]) -> io::Result<()> {
+    let mut sent = 0;
+    while sent < buf.len() {
+        match w.write(&buf[sent..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    format!("sink accepted 0 bytes at offset {sent} of {}", buf.len()),
+                ));
+            }
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// FAULT ADAPTER — wraps any reader so every `read` call transfers a
+/// seed-chosen sliver (1–3 bytes) and periodically fails with
+/// `Interrupted`: the partial-transfer behavior a loaded socket shows,
+/// made deterministic. Code that survives a `ShortReader` handles short
+/// reads correctly; code that does not is exactly the bug class
+/// [`read_full`] exists to prevent.
+#[derive(Debug)]
+pub struct ShortReader<R> {
+    inner: R,
+    rng: u64,
+}
+
+impl<R: io::Read> ShortReader<R> {
+    /// Wraps `inner` with the given fault seed.
+    pub fn new(inner: R, seed: u64) -> Self {
+        ShortReader { inner, rng: seed ^ 0x5EED_0000_5707_ED00 }
+    }
+}
+
+impl<R: io::Read> io::Read for ShortReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let roll = splitmix64(&mut self.rng);
+        if roll.is_multiple_of(5) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected interrupt"));
+        }
+        let sliver = 1 + (roll % 3) as usize;
+        let cap = buf.len().min(sliver);
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+/// FAULT ADAPTER — the write-side counterpart of [`ShortReader`]: every
+/// `write` accepts a seed-chosen sliver of the buffer and periodically
+/// fails with `Interrupted`.
+#[derive(Debug)]
+pub struct ShortWriter<W> {
+    inner: W,
+    rng: u64,
+}
+
+impl<W: io::Write> ShortWriter<W> {
+    /// Wraps `inner` with the given fault seed.
+    pub fn new(inner: W, seed: u64) -> Self {
+        ShortWriter { inner, rng: seed ^ 0x5EED_0000_5707_ED01 }
+    }
+
+    /// The wrapped sink (to inspect what was actually written).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for ShortWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let roll = splitmix64(&mut self.rng);
+        if roll.is_multiple_of(5) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected interrupt"));
+        }
+        let sliver = 1 + (roll % 3) as usize;
+        let cap = buf.len().min(sliver);
+        self.inner.write(&buf[..cap])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The fault adapters really do produce partial transfers: a single
+    /// raw `read`/`write` call moves only a sliver of the buffer. This
+    /// is the pre-fix failure mode — any caller that issued one call
+    /// and assumed a full transfer would process a torn buffer — so the
+    /// two assertions here are what make the `read_full`/`write_full`
+    /// regression tests below meaningful.
+    #[test]
+    fn short_adapters_shorten_single_calls() {
+        use std::io::{Read as _, Write as _};
+        let payload = vec![0xAB; 64];
+        let mut r = ShortReader::new(&payload[..], 3);
+        let mut buf = [0u8; 64];
+        let n = loop {
+            match r.read(&mut buf) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        };
+        assert!(n < 64, "single read must be short (got {n})");
+
+        let mut w = ShortWriter::new(Vec::new(), 3);
+        let n = loop {
+            match w.write(&payload) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        };
+        assert!(n < 64, "single write must be short (got {n})");
+    }
+
+    /// Regression: `read_full` recovers the complete buffer through a
+    /// stream that transfers 1–3 bytes per call and injects
+    /// `Interrupted` errors. A non-looping implementation fails this
+    /// (see `short_adapters_shorten_single_calls`).
+    #[test]
+    fn read_full_survives_short_reads() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for seed in 0..4 {
+            let mut r = ShortReader::new(&payload[..], seed);
+            let mut buf = vec![0u8; payload.len()];
+            read_full(&mut r, &mut buf).unwrap();
+            assert_eq!(buf, payload, "seed {seed}");
+        }
+        // A stream that ends early is an error, not a silent short fill.
+        let mut r = ShortReader::new(&payload[..10], 1);
+        let mut buf = vec![0u8; 20];
+        let err = read_full(&mut r, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Regression: `write_full` pushes the complete buffer through a
+    /// sink that accepts 1–3 bytes per call and injects `Interrupted`.
+    #[test]
+    fn write_full_survives_short_writes() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for seed in 0..4 {
+            let mut w = ShortWriter::new(Vec::new(), seed);
+            write_full(&mut w, &payload).unwrap();
+            assert_eq!(w.into_inner(), payload, "seed {seed}");
+        }
+    }
 
     #[test]
     fn fault_crash_drops_unsynced_tail() {

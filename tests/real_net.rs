@@ -1,0 +1,182 @@
+//! Deployment-mode cross-check: the same actors, two interpreters.
+//!
+//! The deterministic simulator and the `pbc-net` TCP runtime both
+//! drive the registry's `PbftReplica` objects. Everything consensus
+//! *determines* — the committed batch sequence, payload digests, and
+//! seal proposers — must therefore be identical between a simulated
+//! run and a real-socket run of the same workload; and replaying the
+//! TCP run's commit order with the simulator's seals must reproduce
+//! the simulator's ledger head bit for bit. Timing is the one thing
+//! allowed to differ (logical ticks vs. wall clock), so rows exclude
+//! it by construction ([`pbc_core::CommitRow`]).
+
+use pbc_core::{sealed_head, ArchKind, Batch, ConsensusKind, NetworkBuilder};
+use pbc_net::NetRunner;
+use pbc_sim::{LatencyModel, SimTime};
+use pbc_types::Transaction;
+use pbc_workload::PaymentWorkload;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+const BATCH: usize = 32;
+
+/// Chunks a transaction stream exactly the way
+/// `BlockchainNetwork::run_to_completion` does: `BATCH`-sized batches
+/// with ids counting from zero.
+fn batches(txs: &[Transaction]) -> Vec<Batch> {
+    txs.chunks(BATCH).enumerate().map(|(id, chunk)| Batch::new(id as u64, chunk.to_vec())).collect()
+}
+
+#[test]
+fn tcp_commit_sequence_matches_simulator() {
+    let workload = PaymentWorkload { accounts: 64, seed: 5, ..Default::default() };
+    let txs = workload.generate(0, 3 * BATCH);
+
+    // Simulator run: the reference commit sequence and ledger head.
+    // Jitter is off so simulated request arrival order matches TCP's
+    // per-connection FIFO — arrival order is environment, and a
+    // rotating proposer would otherwise legitimately batch differently.
+    let mut sim = NetworkBuilder::new(4)
+        .consensus(ConsensusKind::Pbft)
+        .architecture(ArchKind::Ox)
+        .initial_state(workload.initial_state())
+        .latency(LatencyModel::Uniform { base: 100, jitter: 0 })
+        .batch_size(BATCH)
+        .seed(9)
+        .build();
+    sim.submit_all(txs.clone());
+    let report = sim.run_to_completion();
+    assert!(report.consensus_complete, "sim run must decide every batch");
+    let sim_rows = sim.commit_rows().expect("sim cluster alive");
+    assert!(sim_rows.len() >= 3, "expected >=3 committed batches, got {}", sim_rows.len());
+    let sim_head = report.head.expect("sim run produced a head");
+
+    // Real run: the same batches through real sockets.
+    let mut cluster = pbc_core::consensus::run_real::<Batch, _>("pbft", 4, NetRunner::with_seed(9))
+        .expect("pbft is wire-capable")
+        .expect("localhost cluster boots");
+    for batch in batches(&txs) {
+        cluster.submit(batch);
+    }
+    assert!(
+        cluster.wait_all_decided(sim_rows.len(), WAIT),
+        "TCP cluster must decide {} batches; decided lens: {:?}",
+        sim_rows.len(),
+        (0..4).map(|i| cluster.decided(i).len()).collect::<Vec<_>>()
+    );
+
+    // Row-for-row agreement with the simulator, on every replica.
+    for node in 0..4 {
+        let decided = cluster.decided(node);
+        let rows = pbc_core::commit_rows("pbft", 4, &decided[..sim_rows.len()]);
+        assert_eq!(rows, sim_rows, "TCP replica {node} disagrees with the simulator");
+    }
+
+    // Replaying the TCP commit order with the simulator's seals must
+    // land on the simulator's ledger head: consensus fixed everything
+    // execution needs, on both backends.
+    let seals: HashMap<u64, _> = sim.seals().into_iter().collect();
+    let decided = cluster.decided(0);
+    let blocks: Vec<_> = decided[..sim_rows.len()]
+        .iter()
+        .map(|(seq, batch, _)| (batch.clone(), seals[seq]))
+        .collect();
+    let replayed = sealed_head(ArchKind::Ox, workload.initial_state(), &blocks);
+    assert_eq!(replayed, sim_head, "TCP commit order must reproduce the simulator's head");
+}
+
+#[test]
+fn tcp_rotating_proposers_match_simulator() {
+    let workload = PaymentWorkload { accounts: 32, seed: 6, ..Default::default() };
+    let txs = workload.generate(0, 3 * BATCH);
+
+    // Rotation needs a closed-loop client on both backends: a rotating
+    // proposer facing several queued requests picks by pending-map
+    // order, so which batch lands in which slot would depend on how
+    // many requests happened to have arrived — environment, not
+    // consensus. One batch in flight removes the race entirely.
+    let mut sim = NetworkBuilder::new(4)
+        .consensus(ConsensusKind::Ibft)
+        .architecture(ArchKind::Ox)
+        .initial_state(workload.initial_state())
+        .latency(LatencyModel::Uniform { base: 100, jitter: 0 })
+        .batch_size(BATCH)
+        .seed(13)
+        .build();
+    for chunk in txs.chunks(BATCH) {
+        sim.submit_all(chunk.to_vec());
+        assert!(sim.run_to_completion().consensus_complete);
+    }
+    let sim_rows = sim.commit_rows().expect("sim cluster alive");
+    // Rotation is the point of this variant: proposers must not all be 0.
+    assert!(sim_rows.iter().any(|r| r.proposer != 0), "ibft rows must rotate proposers");
+
+    let mut cluster =
+        pbc_core::consensus::run_real::<Batch, _>("ibft", 4, NetRunner::with_seed(13))
+            .expect("ibft is wire-capable")
+            .expect("localhost cluster boots");
+    for (k, batch) in batches(&txs).into_iter().enumerate() {
+        cluster.submit(batch);
+        assert!(cluster.wait_all_decided(k + 1, WAIT), "ibft TCP cluster stalled at batch {k}");
+    }
+    let decided = cluster.decided(0);
+    let rows = pbc_core::commit_rows("ibft", 4, &decided[..sim_rows.len()]);
+    assert_eq!(rows, sim_rows);
+}
+
+#[test]
+fn surviving_quorum_progresses_after_kill_and_reconnects_after_reboot() {
+    let mut cluster = pbc_core::consensus::run_real::<u64, _>("pbft", 4, NetRunner::with_seed(21))
+        .expect("pbft is wire-capable")
+        .expect("localhost cluster boots");
+
+    cluster.submit(1);
+    assert!(cluster.wait_all_decided(1, WAIT), "healthy cluster must commit");
+
+    // Kill a backup: n=4 tolerates f=1, and the primary survives, so
+    // the remaining three must keep deciding with no view change.
+    cluster.kill(3);
+    assert!(cluster.is_down(3));
+    cluster.submit(2);
+    cluster.submit(3);
+    for node in 0..3 {
+        assert!(
+            cluster.wait_decided(node, 3, WAIT),
+            "node {node} must progress with one replica down; decided {:?}",
+            cluster.decided(node).len()
+        );
+    }
+    let (seqs, payloads): (Vec<u64>, Vec<u64>) =
+        cluster.decided(0)[..3].iter().map(|&(seq, payload, _)| (seq, payload)).unzip();
+    assert_eq!(seqs, vec![0, 1, 2]);
+    let mut payloads_sorted = payloads;
+    payloads_sorted.sort_unstable();
+    assert_eq!(payloads_sorted, vec![1, 2, 3]);
+
+    // Reboot the killed node on a fresh port: the survivors' dialers
+    // must find it through the backoff path — observable as completed
+    // reconnects — and the cluster keeps committing.
+    let before = cluster.stats().reconnects;
+    cluster.reboot(3).expect("reboot binds a fresh listener");
+    assert!(!cluster.is_down(3));
+    cluster.submit(4);
+    for node in 0..3 {
+        assert!(cluster.wait_decided(node, 4, WAIT), "node {node} must commit past the reboot");
+    }
+    let deadline = std::time::Instant::now() + WAIT;
+    while cluster.stats().reconnects <= before {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "peers must re-establish links to the rebooted node (reconnects stuck at {})",
+            cluster.stats().reconnects
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The decide timestamps a backend reports are its own clock; the
+    // type is shared ([`SimTime`]) but the scale is not — pin that the
+    // real backend reports monotone times, the only property it owes.
+    let times: Vec<SimTime> = cluster.decided(0).iter().map(|&(_, _, t)| t).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "decide times must be monotone");
+}
